@@ -1,0 +1,61 @@
+//! End-to-end engine benchmarks: wall-clock cost of simulating a query
+//! (regression tracking for the reproduction itself, not the simulated
+//! times it produces).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cluster::Params;
+use hive::{load_warehouse, HiveEngine};
+use pdw::{load_pdw, PdwEngine};
+use tpch::{generate, GenConfig};
+
+fn bench_engines(c: &mut Criterion) {
+    let cat = generate(&GenConfig::new(0.005));
+    let params = Params::paper_dss().scaled(50_000.0);
+    let (w, _) = load_warehouse(&cat, &params, None).unwrap();
+    let hive = HiveEngine::new(w);
+    let (pc, _) = load_pdw(&cat, &params);
+    let pdw = PdwEngine::new(pc);
+
+    let mut g = c.benchmark_group("engines");
+    g.sample_size(10);
+    for q in [1usize, 5, 6] {
+        let plan = tpch::query(q);
+        g.bench_function(format!("hive_q{q}"), |b| {
+            b.iter(|| hive.run_query(&plan).unwrap().total_secs)
+        });
+        g.bench_function(format!("pdw_q{q}"), |b| {
+            b.iter(|| pdw.run_query(&plan).total_secs)
+        });
+    }
+    g.finish();
+}
+
+fn bench_dbgen(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dbgen");
+    g.sample_size(10);
+    g.bench_function("generate_sf_0_01", |b| {
+        b.iter(|| generate(&GenConfig::new(0.01)))
+    });
+    g.finish();
+}
+
+fn bench_ycsb_sim(c: &mut Criterion) {
+    use elephants_core::serving::{run_point, ServingConfig, SystemKind};
+    use ycsb::workload::Workload;
+    let cfg = ServingConfig {
+        k: 50_000.0,
+        warmup_secs: 0.5,
+        measure_secs: 1.5,
+        threads: 100,
+        seed: 1,
+    };
+    let mut g = c.benchmark_group("ycsb_sim");
+    g.sample_size(10);
+    g.bench_function("sql_cs_workload_c_point", |b| {
+        b.iter(|| run_point(&cfg, SystemKind::SqlCs, Workload::C, 5_000.0))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_dbgen, bench_ycsb_sim);
+criterion_main!(benches);

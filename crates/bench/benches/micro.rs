@@ -1,0 +1,163 @@
+//! Criterion micro-benchmarks for the performance-critical building blocks:
+//! the compressor, RCFile codec, B-tree, buffer pool, join kernel, hash
+//! partitioner, and the zipfian generator.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use relational::expr::col;
+use relational::{ops, DataType, JoinKind, Row, Schema, Value};
+use storage::bufpool::BufferPool;
+use storage::rcfile::RcFile;
+use storage::{compress, BTree};
+use ycsb::generators::Zipfian;
+
+fn sample_rows(n: usize) -> Vec<Row> {
+    (0..n)
+        .map(|i| {
+            vec![
+                Value::I64(i as i64),
+                Value::Decimal(10_000 + (i % 997) as i64),
+                Value::str(if i % 3 == 0 { "AIR" } else { "TRUCK" }),
+                Value::I64((i % 25) as i64),
+            ]
+        })
+        .collect()
+}
+
+fn schema() -> Schema {
+    Schema::of(&[
+        ("k", DataType::I64),
+        ("price", DataType::Decimal),
+        ("mode", DataType::Str),
+        ("nat", DataType::I64),
+    ])
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let data: Vec<u8> = b"FURNITURE|BUILDING|AUTOMOBILE|HOUSEHOLD|"
+        .iter()
+        .cycle()
+        .take(256 * 1024)
+        .copied()
+        .collect();
+    let mut g = c.benchmark_group("compress");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("lz_compress_256k", |b| {
+        b.iter(|| compress::compress(&data))
+    });
+    let packed = compress::compress(&data);
+    g.bench_function("lz_decompress_256k", |b| {
+        b.iter(|| compress::decompress(&packed))
+    });
+    g.finish();
+}
+
+fn bench_rcfile(c: &mut Criterion) {
+    let rows = sample_rows(16 * 1024);
+    let s = schema();
+    let mut g = c.benchmark_group("rcfile");
+    g.bench_function("encode_16k_rows", |b| {
+        b.iter(|| RcFile::write(&rows, &s, 4096))
+    });
+    let f = RcFile::write(&rows, &s, 4096);
+    g.bench_function("decode_all_columns", |b| b.iter(|| f.read_all()));
+    g.bench_function("decode_projection_1col", |b| {
+        b.iter(|| f.read_columns(&[0]))
+    });
+    g.finish();
+}
+
+fn bench_btree(c: &mut Criterion) {
+    let mut g = c.benchmark_group("btree");
+    g.bench_function("insert_10k", |b| {
+        b.iter_batched(
+            BTree::<u64, u32>::new,
+            |mut t| {
+                for i in 0..10_000u64 {
+                    t.insert(i.wrapping_mul(0x9E3779B97F4A7C15), 0);
+                }
+                t
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut t = BTree::new();
+    for i in 0..100_000u64 {
+        t.insert(i, i as u32);
+    }
+    g.bench_function("get_hit", |b| {
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 7919) % 100_000;
+            t.get(&k)
+        })
+    });
+    g.bench_function("scan_1000", |b| b.iter(|| t.scan_from(&50_000u64, 1000)));
+    g.finish();
+}
+
+fn bench_bufpool(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bufpool");
+    g.bench_function("access_zipf_mix", |b| {
+        let mut pool = BufferPool::new(10_000);
+        let z = Zipfian::new(100_000);
+        let mut rng = rand::rngs::mock::StepRng::new(0x12345678, 0x9E3779B9);
+        b.iter(|| {
+            let page = z.next(&mut RngWrap(&mut rng));
+            pool.access(page, page.is_multiple_of(4))
+        })
+    });
+    g.finish();
+}
+
+/// Adapter so StepRng (deterministic, cheap) satisfies `Rng`.
+struct RngWrap<'a>(&'a mut rand::rngs::mock::StepRng);
+impl rand::RngCore for RngWrap<'_> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.0.try_fill_bytes(dest)
+    }
+}
+
+fn bench_join(c: &mut Criterion) {
+    let left = sample_rows(50_000);
+    let right = sample_rows(5_000);
+    let mut g = c.benchmark_group("ops");
+    g.bench_function("hash_join_50k_x_5k", |b| {
+        b.iter(|| ops::hash_join(&left, &right, &[(0, 0)], JoinKind::Inner, None, 4))
+    });
+    g.bench_function("hash_partition_50k_128", |b| {
+        b.iter_batched(
+            || left.clone(),
+            |rows| ops::hash_partition(rows, &[0], 128),
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("aggregate_50k", |b| {
+        b.iter(|| {
+            ops::hash_aggregate(
+                &left,
+                &[(col(3), "nat".to_string())],
+                &[relational::AggCall::sum(col(1), "s")],
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_rcfile,
+    bench_btree,
+    bench_bufpool,
+    bench_join
+);
+criterion_main!(benches);

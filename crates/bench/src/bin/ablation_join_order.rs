@@ -1,0 +1,118 @@
+//! Ablation — cost-based join ordering (§3.3.4.3 point 2): how much of the
+//! Hive-vs-PDW gap closes if Hive executes Q5 with a PDW-style join order
+//! (selective `orders` filter applied before touching `lineitem`), instead
+//! of the hand-written script order (nation ⋈ region ⋈ supplier ⋈ lineitem
+//! first, the expensive common join the paper dissects).
+
+use cluster::Params;
+use elephants_core::report::TableBuilder;
+use hive::{load_warehouse, HiveEngine};
+use relational::expr::{and, col, lit_f64, lit_str, lit_date};
+use relational::{AggCall, JoinKind, LogicalPlan, SortKey};
+use tpch::{generate, GenConfig};
+
+/// Q5 rewritten in the join order PDW's optimizer picks: filter orders by
+/// date first, join customer (pruning by nation via region), and only then
+/// touch lineitem, supplier last.
+fn q5_optimized() -> LogicalPlan {
+    let scan = |t: &str, cols: &[&str]| {
+        let schema = tpch::schema::table_schema(t);
+        LogicalPlan::scan(t).project(
+            cols.iter()
+                .map(|c| (col(schema.col(c)), *c))
+                .collect::<Vec<_>>(),
+        )
+    };
+    // orders filtered by date: 0 o_orderkey, 1 o_custkey
+    let orders = {
+        let s = tpch::schema::orders();
+        LogicalPlan::scan("orders")
+            .filter(and(vec![
+                col(s.col("o_orderdate")).ge(lit_date(1994, 1, 1)),
+                col(s.col("o_orderdate")).lt(lit_date(1995, 1, 1)),
+            ]))
+            .project(vec![
+                (col(s.col("o_orderkey")), "o_orderkey"),
+                (col(s.col("o_custkey")), "o_custkey"),
+            ])
+    };
+    // customer: 0 c_custkey, 1 c_nationkey → orders ⋈ customer
+    let t = orders.join(scan("customer", &["c_custkey", "c_nationkey"]), vec![(1, 0)]);
+    // nation(⋈ region ASIA): 0 n_nationkey, 1 n_name, 2 n_regionkey, 3 r_regionkey
+    let nr = scan("nation", &["n_nationkey", "n_name", "n_regionkey"]).join(
+        {
+            let s = tpch::schema::region();
+            LogicalPlan::scan("region")
+                .filter(col(s.col("r_name")).eq(lit_str("ASIA")))
+                .project(vec![(col(s.col("r_regionkey")), "r_regionkey")])
+        },
+        vec![(2, 0)],
+    );
+    // t(0..=3) ⋈ nr on c_nationkey: + 4 n_nationkey, 5 n_name, 6.., 7
+    let t = t.join(nr, vec![(3, 0)]);
+    // lineitem: 0 l_orderkey, 1 l_suppkey, 2 price, 3 disc → + 8..11
+    let t = t.join(
+        scan(
+            "lineitem",
+            &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+        ),
+        vec![(0, 0)],
+    );
+    // supplier last, with the nation-consistency residual: + 12, 13
+    let t = t.join_kind(
+        scan("supplier", &["s_suppkey", "s_nationkey"]),
+        JoinKind::Inner,
+        vec![(9, 0)],
+        Some(col(13).eq(col(3))),
+    );
+    t.aggregate(
+        vec![(col(5), "n_name")],
+        vec![AggCall::sum(col(10).mul(lit_f64(1.0).sub(col(11))), "revenue")],
+    )
+    .sort(vec![SortKey::desc(col(1))])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sf = bench::arg_f64(&args, "--sf", 0.01);
+    let paper = bench::arg_f64(&args, "--paper", 1000.0);
+    let cat = generate(&GenConfig::new(sf));
+    let params = Params::paper_dss().scaled(paper / sf);
+    let (w, _) = load_warehouse(&cat, &params, None).unwrap();
+    let engine = HiveEngine::new(w);
+
+    let script = engine.run_query(&tpch::query(5)).unwrap();
+    let optimized = engine.run_query(&q5_optimized()).unwrap();
+    assert!(
+        relational::testing::rows_approx_eq(&script.rows, &optimized.rows, 1e-9),
+        "both orders must compute the same answer"
+    );
+
+    let mut t = TableBuilder::new(
+        format!("Ablation: Q5 join order on Hive @ {paper:.0} GB"),
+        &["Plan", "Seconds"],
+    );
+    t.row(vec![
+        "script order (nation⋈region⋈supplier⋈lineitem first)".into(),
+        format!("{:.0}", script.total_secs),
+    ]);
+    t.row(vec![
+        "cost-based order (filtered orders first, lineitem late)".into(),
+        format!("{:.0}", optimized.total_secs),
+    ]);
+    println!("{}", t.to_markdown());
+    let ratio = script.total_secs / optimized.total_secs;
+    println!("script/optimized = {ratio:.2}x");
+    if ratio > 1.1 {
+        println!(
+            "join order alone recovers part of PDW's Q5 win (§3.3.4.3 point 2)."
+        );
+    } else {
+        println!(
+            "join order alone does NOT close the gap: every order still shuffles\n\
+             lineitem with a common join, because intermediate results lose their\n\
+             bucketing — the paper's deeper point (§3.3.4.3 point 3). PDW wins by\n\
+             combining ordering with partitioning-aware local joins."
+        );
+    }
+}

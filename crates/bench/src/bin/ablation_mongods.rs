@@ -1,0 +1,42 @@
+//! Ablation — mongod processes per node (§3.2.3: the paper ran 16 per node
+//! because one global write lock per process strangles update concurrency;
+//! their single-node tests found 16 > 8 > 1).
+
+use elephants_core::report::TableBuilder;
+use elephants_core::serving::ServingConfig;
+use docstore::{MongoCluster, Sharding};
+use simkit::Sim;
+use ycsb::driver::{run_workload, RunConfig};
+use ycsb::workload::{OpType, Workload};
+
+fn main() {
+    let cfg = ServingConfig::default();
+    let mut t = TableBuilder::new(
+        "Ablation: mongod processes per node (workload A, target 40k ops/s)",
+        &["Processes/node", "Achieved", "Update latency (ms)", "Write-lock fraction"],
+    );
+    for per_node in [1usize, 8, 16] {
+        let params = cfg.params();
+        let mut sim: Sim<()> = Sim::new();
+        let m = MongoCluster::build_with(&mut sim, &params, Sharding::Hash, per_node);
+        m.load(cfg.n_records());
+        let rc = RunConfig {
+            target_ops_per_sec: 40e3,
+            threads: cfg.threads,
+            warmup_secs: cfg.warmup_secs,
+            measure_secs: cfg.measure_secs,
+            seed: cfg.seed,
+            n_records: cfg.n_records(),
+            max_scan_len: 1000,
+        };
+        let elapsed = cfg.warmup_secs + cfg.measure_secs;
+        let r = run_workload(&mut sim, m.clone(), Workload::A, &rc);
+        t.row(vec![
+            per_node.to_string(),
+            format!("{:.0}", r.achieved_ops),
+            format!("{:.1}", r.latencies[&OpType::Update].mean_ms),
+            format!("{:.0}%", m.write_lock_fraction(elapsed) * 100.0),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+}

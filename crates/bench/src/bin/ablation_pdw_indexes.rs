@@ -1,0 +1,46 @@
+//! Ablation — the paper's future-work configuration (§3.3.2): PDW ran
+//! *without* indexes for fairness against Hive 0.7. How much faster would
+//! PDW have been with secondary indexes on the predicate columns?
+
+use cluster::Params;
+use elephants_core::report::TableBuilder;
+use pdw::{load_pdw, PdwEngine};
+use tpch::{generate, GenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sf = bench::arg_f64(&args, "--sf", 0.01);
+    let paper = bench::arg_f64(&args, "--paper", 4000.0);
+    let cat = generate(&GenConfig::new(sf));
+    let params = Params::paper_dss().scaled(paper / sf);
+    let (pdw_cat, _) = load_pdw(&cat, &params);
+    let baseline = PdwEngine::new(pdw_cat);
+    let (pdw_cat2, _) = load_pdw(&cat, &params);
+    let indexed = PdwEngine::with_indexes(pdw_cat2);
+
+    let mut t = TableBuilder::new(
+        format!("Ablation: PDW with secondary indexes @ {paper:.0} GB (seconds)"),
+        &["Query", "No indexes (paper)", "With indexes", "Speedup"],
+    );
+    for q in [1usize, 4, 6, 12, 14, 15, 19] {
+        let plan = tpch::query(q);
+        let a = baseline.run_query(&plan);
+        let b = indexed.run_query(&plan);
+        assert!(
+            relational::testing::rows_approx_eq(&a.rows, &b.rows, 1e-9),
+            "index path must not change Q{q}'s answer"
+        );
+        t.row(vec![
+            format!("Q{q}"),
+            format!("{:.0}", a.total_secs),
+            format!("{:.0}", b.total_secs),
+            format!("{:.2}", a.total_secs / b.total_secs),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    println!(
+        "selective date-range queries (Q6, Q14, Q15) gain; Q1's 98% selectivity\n\
+         keeps the full-scan path — indexing would widen PDW's lead further\n\
+         (consistent with Pavlo et al. [19], which the paper cites)."
+    );
+}

@@ -1,0 +1,44 @@
+//! Ablation — MongoDB's 32 KB reads per page miss vs an 8 KB configuration
+//! (the paper: "Mongo-AS and Mongo-CS waste disk bandwidth by reading in
+//! data that is not needed", workload C).
+
+use elephants_core::report::TableBuilder;
+use elephants_core::serving::ServingConfig;
+use docstore::{MongoCluster, Sharding};
+use simkit::Sim;
+use ycsb::driver::{run_workload, RunConfig};
+use ycsb::workload::{OpType, Workload};
+
+fn main() {
+    let cfg = ServingConfig::default();
+    let mut t = TableBuilder::new(
+        "Ablation: bytes read per page miss (Mongo-AS, workload C)",
+        &["Read size", "Target", "Achieved", "Read latency (ms)"],
+    );
+    for (label, bytes) in [("32 KB (paper)", 32 * 1024u64), ("8 KB", 8 * 1024)] {
+        for target in [40e3, 160e3] {
+            let mut params = cfg.params();
+            params.mongo_read_per_miss = bytes;
+            let mut sim: Sim<()> = Sim::new();
+            let m = MongoCluster::build(&mut sim, &params, Sharding::Range);
+            m.load(cfg.n_records());
+            let rc = RunConfig {
+                target_ops_per_sec: target,
+                threads: cfg.threads,
+                warmup_secs: cfg.warmup_secs,
+                measure_secs: cfg.measure_secs,
+                seed: cfg.seed,
+                n_records: cfg.n_records(),
+                max_scan_len: 1000,
+            };
+            let r = run_workload(&mut sim, m, Workload::C, &rc);
+            t.row(vec![
+                label.to_string(),
+                format!("{target:.0}"),
+                format!("{:.0}", r.achieved_ops),
+                format!("{:.1}", r.latencies[&OpType::Read].mean_ms),
+            ]);
+        }
+    }
+    println!("{}", t.to_markdown());
+}

@@ -1,0 +1,24 @@
+//! Diagnostic: per-query Hive scratch-space demand at a paper scale factor,
+//! vs the per-node headroom (drives the Q9-only failure calibration).
+
+use cluster::Params;
+use hive::{load_warehouse, HiveEngine};
+use tpch::{generate, GenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sf = bench::arg_f64(&args, "--sf", 0.01);
+    let paper = bench::arg_f64(&args, "--paper", 16000.0);
+    let k = paper / sf;
+    let cat = generate(&GenConfig::new(sf));
+    let params = Params::paper_dss().scaled(k);
+    let (w, report) = load_warehouse(&cat, &params, None).unwrap();
+    let base_per_node = report.stored_bytes * params.hdfs_replication as u64 / params.nodes as u64;
+    let engine = HiveEngine::new(w);
+    println!("base/node: {:.1} (paper-scale GB: {:.0})", base_per_node as f64, base_per_node as f64 * k / 1e9);
+    for q in 1..=22 {
+        let run = engine.run_query(&tpch::query(q)).unwrap();
+        let per_node = run.scratch_bytes / params.nodes as u64;
+        println!("Q{q:02}: scratch/node {:>12} (paper-scale GB: {:>8.0})", per_node, per_node as f64 * k / 1e9);
+    }
+}

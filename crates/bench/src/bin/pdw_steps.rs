@@ -1,0 +1,31 @@
+//! Diagnostic: print the PDW step breakdown for chosen queries (the Q5/Q19
+//! plan narratives of §3.3.4.1).
+
+use cluster::Params;
+use pdw::{load_pdw, PdwEngine};
+use tpch::{generate, GenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sf = bench::arg_f64(&args, "--sf", 0.01);
+    let paper = bench::arg_f64(&args, "--paper", 250.0);
+    let queries: Vec<usize> = args
+        .windows(2)
+        .find(|w| w[0] == "--queries")
+        .map(|w| w[1].split(',').filter_map(|s| s.parse().ok()).collect())
+        .unwrap_or_else(|| vec![1, 5, 19]);
+
+    let cat = generate(&GenConfig::new(sf));
+    let params = Params::paper_dss().scaled(paper / sf);
+    let (pdwcat, _) = load_pdw(&cat, &params);
+    let engine = PdwEngine::new(pdwcat);
+    for q in queries {
+        let run = engine.run_query(&tpch::query(q));
+        println!("== Q{q} @ paper SF {paper}: total {:.1}s", run.total_secs);
+        for s in &run.steps {
+            if s.secs > 0.05 {
+                println!("   {:>8.1}s  {}", s.secs, s.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates Figure 1: arithmetic and geometric means of TPC-H response
+//! times, normalized to PDW at SF 250 (paper: HIVE 22/48/148/500 AM and
+//! 26/52/144/474 GM; PDW 1/4/17/72 AM and 1/5/18/72 GM, computed on the
+//! AM-9/GM-9 values).
+
+use elephants_core::dss::{paper_disk_capacity, run_dss, DssConfig};
+use elephants_core::report::TableBuilder;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sim_scale = bench::arg_f64(&args, "--sf", 0.01);
+    let config = DssConfig {
+        sim_scale,
+        disk_capacity_per_node: Some(paper_disk_capacity()),
+        ..DssConfig::default()
+    };
+    eprintln!("running the full TPC-H suite (22 queries x 4 scales)...");
+    let results = run_dss(&config);
+
+    let base_am = results.runs[0].means("pdw", true).unwrap().0;
+    let base_gm = results.runs[0].means("pdw", true).unwrap().1;
+    let mut t = TableBuilder::new(
+        "Figure 1 — normalized AM-9 / GM-9 (PDW @ SF 250 = 1)",
+        &["SF", "HIVE norm AM", "PDW norm AM", "HIVE norm GM", "PDW norm GM"],
+    );
+    for run in &results.runs {
+        let hive = run.means("hive", true);
+        let pdw = run.means("pdw", true).unwrap();
+        t.row(vec![
+            format!("{:.0}", run.paper_scale),
+            hive.map(|m| format!("{:.0}", m.0 / base_am)).unwrap_or("--".into()),
+            format!("{:.0}", pdw.0 / base_am),
+            hive.map(|m| format!("{:.0}", m.1 / base_gm)).unwrap_or("--".into()),
+            format!("{:.0}", pdw.1 / base_gm),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    println!("paper AM: HIVE 22/48/148/500, PDW 1/4/17/72;  GM: HIVE 26/52/144/474, PDW 1/5/18/72");
+}

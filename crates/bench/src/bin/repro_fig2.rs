@@ -1,0 +1,20 @@
+//! Regenerates Figure 2: latency vs throughput for SQL-CS,
+//! Mongo-AS and Mongo-CS.
+
+use bench::figures::{figure_config, run_figure};
+use ycsb::workload::{OpType, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = figure_config(&args);
+    eprintln!("{} records per run (k = {})", cfg.n_records(), cfg.k);
+    let out = run_figure(
+        "Figure 2 — Workload C: 100% reads",
+        Workload::C,
+        &[5e3, 10e3, 20e3, 40e3, 80e3, 160e3],
+        &[OpType::Read],
+        &cfg,
+    );
+    println!("{out}");
+    println!("paper: SQL-CS peaks at 125,457 ops/s @ 6.4 ms; Mongo-AS 68,533 @ 11.8 ms; Mongo-CS 60,907 @ 13.2 ms");
+}

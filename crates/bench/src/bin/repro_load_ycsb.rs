@@ -1,0 +1,18 @@
+//! Regenerates §3.4.2's load times: Mongo-AS (pre-split) 114 min,
+//! SQL-CS 146 min, Mongo-CS 45 min — for 640 M records.
+
+use elephants_core::report::TableBuilder;
+use elephants_core::serving::{load_times_minutes, ServingConfig};
+
+fn main() {
+    let cfg = ServingConfig::default();
+    let mut t = TableBuilder::new(
+        "YCSB load times (640 M records, paper scale)",
+        &["System", "Minutes"],
+    );
+    for (name, mins) in load_times_minutes(&cfg) {
+        t.row(vec![name.to_string(), format!("{mins:.0}")]);
+    }
+    println!("{}", t.to_markdown());
+    println!("paper: Mongo-AS 114, SQL-CS 146, Mongo-CS 45");
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 6: the YCSB workload definitions (printed from the
+//! live workload objects the driver executes).
+
+use elephants_core::report::TableBuilder;
+use ycsb::workload::Workload;
+
+fn main() {
+    let mut t = TableBuilder::new(
+        "Table 6 — YCSB benchmark workloads",
+        &["Workload", "Operations"],
+    );
+    for w in Workload::all() {
+        t.row(vec![w.name().to_string(), w.description().to_string()]);
+    }
+    println!("{}", t.to_markdown());
+}

@@ -1,0 +1,55 @@
+//! Diagnostic: hit rates and lock fractions at one YCSB operating point.
+
+use cluster::Params;
+use elephants_core::serving::ServingConfig;
+use simkit::Sim;
+use sqlengine::SqlCluster;
+use ycsb::driver::{run_workload, RunConfig};
+use ycsb::workload::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = ServingConfig {
+        k: bench::arg_f64(&args, "--k", 2500.0),
+        warmup_secs: bench::arg_f64(&args, "--warmup", 3.0),
+        measure_secs: bench::arg_f64(&args, "--measure", 6.0),
+        ..ServingConfig::default()
+    };
+    let target = bench::arg_f64(&args, "--target", 160e3);
+    let params: Params = cfg.params();
+    let n = cfg.n_records();
+    let mut sim: Sim<()> = Sim::new();
+    let sql = SqlCluster::build(&mut sim, &params);
+    sql.load(n);
+    let rc = RunConfig {
+        target_ops_per_sec: target,
+        threads: 800,
+        warmup_secs: cfg.warmup_secs,
+        measure_secs: cfg.measure_secs,
+        seed: 42,
+        n_records: n,
+        max_scan_len: 1000,
+    };
+    let r = run_workload(&mut sim, sql.clone(), Workload::C, &rc);
+    println!(
+        "records={} pool_pages/node={} achieved={:.0} hit_rate={:.3}",
+        n,
+        sql.nodes[0].borrow().pool.capacity(),
+        r.achieved_ops,
+        sql.hit_rate()
+    );
+    // Per-resource utilization for node 0 (simkit's accounting).
+    let elapsed = simkit::as_secs(sim.now()).max(1e-9);
+    let mut ids = vec![sql.cluster.nodes[0].cpu];
+    ids.extend(sql.cluster.nodes[0].disks.iter().copied());
+    for rep in simkit::resource::report(&sim, &ids) {
+        println!(
+            "  {:<14} busy {:>6.1}s ({:>5.1}%)  {:>8} ops  mean queue wait {:.2} ms",
+            rep.name,
+            rep.busy_secs,
+            100.0 * rep.busy_secs / elapsed,
+            rep.completions,
+            rep.mean_queue_wait_secs * 1e3,
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! Shared runner for the YCSB figures (2–6): sweep the paper's target
+//! throughputs for all three systems, print achieved throughput and
+//! per-operation-type mean latency.
+
+use elephants_core::report::TableBuilder;
+use elephants_core::serving::{run_point, ServingConfig, SystemKind};
+use ycsb::workload::{OpType, Workload};
+
+/// Run one figure: `targets` in ops/sec, reporting latencies for `ops`.
+/// Renders markdown, or CSV when the process args contain `--csv`.
+pub fn run_figure(
+    title: &str,
+    workload: Workload,
+    targets: &[f64],
+    ops: &[OpType],
+    cfg: &ServingConfig,
+) -> String {
+    let t = run_figure_table(title, workload, targets, ops, cfg);
+    if std::env::args().any(|a| a == "--csv") {
+        t.to_csv()
+    } else {
+        t.to_markdown()
+    }
+}
+
+/// The underlying table for custom rendering.
+pub fn run_figure_table(
+    title: &str,
+    workload: Workload,
+    targets: &[f64],
+    ops: &[OpType],
+    cfg: &ServingConfig,
+) -> TableBuilder {
+    let mut header = vec!["System".to_string(), "Target ops/s".to_string(), "Achieved".to_string()];
+    for op in ops {
+        header.push(format!("{} latency (ms)", op.label()));
+    }
+    header.push("Crashed".to_string());
+    let headers: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = TableBuilder::new(title, &headers);
+
+    for system in SystemKind::all() {
+        for &target in targets {
+            eprintln!("  {} @ target {:.0} ops/s ...", system.label(), target);
+            let p = run_point(cfg, system, workload, target);
+            let mut row = vec![
+                system.label().to_string(),
+                format!("{target:.0}"),
+                format!("{:.0}", p.achieved_ops),
+            ];
+            for op in ops {
+                row.push(match p.latency(*op) {
+                    Some(l) => {
+                        let se = p.latency_stderr_ms.get(op).copied().unwrap_or(0.0);
+                        format!("{l:.1} ±{se:.1}")
+                    }
+                    None => "--".to_string(),
+                });
+            }
+            row.push(if p.crashed { "CRASH".into() } else { String::new() });
+            t.row(row);
+            // Once a system crashes at a target, higher targets only crash
+            // harder (the paper stops plotting Mongo-AS there too).
+            if p.crashed {
+                break;
+            }
+        }
+    }
+    t
+}
+
+/// Parse the standard figure-binary arguments into a config.
+pub fn figure_config(args: &[String]) -> ServingConfig {
+    ServingConfig {
+        k: crate::arg_f64(args, "--k", 2_500.0),
+        warmup_secs: crate::arg_f64(args, "--warmup", 3.0),
+        measure_secs: crate::arg_f64(args, "--measure", 6.0),
+        threads: crate::arg_usize(args, "--threads", 800),
+        seed: 42,
+    }
+}

@@ -1,0 +1,25 @@
+//! # cluster — simulated cluster hardware
+//!
+//! Models the paper's testbed (§3.1): 16 nodes, each with dual quad-core
+//! Xeon L5630 (16 hyper-threads), 32 GB RAM, 8 data disks (10k RPM SAS),
+//! all connected through a 1 Gbit HP Procurve switch. Plus the calibration
+//! constants the paper itself reports (HDFS ≈ 400 MB/s/node, RCFile decode
+//! ≈ 70 MB/s/task, 8 KB vs 32 KB reads per buffer miss, ...).
+//!
+//! ## Similitude scaling
+//!
+//! Paper-scale runs (up to 16 TB of TPC-H data, 640 M YCSB records) cannot
+//! be executed directly; instead [`Params::scaled`] divides every
+//! *capacity/throughput* quantity by a factor `k` while keeping every
+//! *fixed latency/overhead/count* unchanged. Running real data of size
+//! `paper_size / k` against the scaled parameters yields the same simulated
+//! times as paper-scale data against unscaled parameters for all
+//! bandwidth-bound work, while fixed overheads (task startup, per-request
+//! latency) retain their true magnitude — exactly the property that
+//! produces the paper's sub-linear scaling observations.
+
+pub mod params;
+pub mod topo;
+
+pub use params::Params;
+pub use topo::{Cluster, NodeId};

@@ -1,0 +1,81 @@
+//! Property tests for the hardware model: the similitude invariant and
+//! resource-charging arithmetic.
+
+use cluster::{Cluster, Params};
+use proptest::prelude::*;
+use simkit::Sim;
+use std::cell::Cell;
+use std::rc::Rc;
+
+/// Simulated seconds for one node-to-node transfer of `bytes`.
+fn time_transfer(params: &Params, bytes: u64) -> f64 {
+    let mut sim: Sim<()> = Sim::new();
+    let c = Cluster::build(&mut sim, params.clone());
+    let done: Rc<Cell<u64>> = Rc::default();
+    let d = done.clone();
+    c.transfer(&mut sim, 0, 1, bytes, Box::new(move |s, _| d.set(s.now())));
+    sim.run(&mut ());
+    simkit::as_secs(done.get())
+}
+
+proptest! {
+    /// The core similitude identity: a bandwidth-bound transfer of
+    /// `bytes / k` under `scaled(k)` takes the same simulated time as
+    /// `bytes` at full scale.
+    #[test]
+    fn transfer_time_invariant_under_similitude(
+        k in 1.0f64..1e6,
+        mb in 1.0f64..10_000.0,
+    ) {
+        let base = Params::paper_dss();
+        let scaled = base.scaled(k);
+        let bytes = (mb * 1e6) as u64;
+        let scaled_bytes = ((bytes as f64) / k) as u64;
+        // The invariant holds above byte quantization: a paper-scale
+        // payload that scales below ~100 bytes is dominated by rounding
+        // (the engines never move such sizes through the bandwidth model).
+        prop_assume!(scaled_bytes >= 100);
+
+        let t_full = time_transfer(&base, bytes);
+        let t_scaled = time_transfer(&scaled, scaled_bytes);
+        let rel = (t_full - t_scaled).abs() / t_full.max(1e-12);
+        prop_assert!(rel < 0.02, "full {t_full} vs scaled {t_scaled} (k={k})");
+    }
+
+    /// Fixed latencies are untouched by scaling at any k.
+    #[test]
+    fn fixed_quantities_never_scale(k in 1.0f64..1e7) {
+        let base = Params::paper_dss();
+        let s = base.scaled(k);
+        prop_assert_eq!(s.task_startup, base.task_startup);
+        prop_assert_eq!(s.disk_seek, base.disk_seek);
+        prop_assert_eq!(s.net_latency, base.net_latency);
+        prop_assert_eq!(s.job_overhead, base.job_overhead);
+        prop_assert_eq!(s.nodes, base.nodes);
+        prop_assert_eq!(s.map_slots_per_node, base.map_slots_per_node);
+        prop_assert_eq!(s.hdfs_replication, base.hdfs_replication);
+        prop_assert_eq!(s.mongo_read_per_miss, base.mongo_read_per_miss);
+        prop_assert_eq!(s.checkpoint_interval, base.checkpoint_interval);
+    }
+
+    /// Disk reads cost exactly seek + transfer, and sequential reads omit
+    /// the seek.
+    #[test]
+    fn disk_cost_arithmetic(kb in 1u64..100_000) {
+        let params = Params::paper_dss();
+        let bytes = kb * 1024;
+        let mut sim: Sim<()> = Sim::new();
+        let c = Cluster::build(&mut sim, params.clone());
+        let t_rand: Rc<Cell<u64>> = Rc::default();
+        let t_seq: Rc<Cell<u64>> = Rc::default();
+        let (a, b) = (t_rand.clone(), t_seq.clone());
+        c.disk_read_rand(&mut sim, 0, 0, bytes, Box::new(move |s, _| a.set(s.now())));
+        c.disk_read_seq(&mut sim, 1, 0, bytes, Box::new(move |s, _| b.set(s.now())));
+        sim.run(&mut ());
+        let expect_seq = bytes as f64 / params.disk_seq_bw;
+        let got_seq = simkit::as_secs(t_seq.get());
+        prop_assert!((got_seq - expect_seq).abs() < 1e-6);
+        let got_rand = simkit::as_secs(t_rand.get());
+        prop_assert!((got_rand - (expect_seq + params.disk_seek)).abs() < 1e-6);
+    }
+}

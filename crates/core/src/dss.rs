@@ -1,0 +1,214 @@
+//! The DSS suite: TPC-H on Hive and PDW across the paper's scale factors.
+
+use cluster::Params;
+use hive::{load_warehouse, HiveEngine, QueryRun};
+use pdw::{load_pdw, PdwEngine};
+use relational::Catalog;
+use tpch::{generate, GenConfig};
+
+/// Configuration for one full Table 3-style run.
+#[derive(Clone, Debug)]
+pub struct DssConfig {
+    /// Real generated scale factor (data volume actually held in memory).
+    pub sim_scale: f64,
+    /// Paper scale factors to emulate (GB-equivalents: 250, 1000, ...).
+    pub paper_scales: Vec<f64>,
+    /// Queries to run (1-based). Empty = all 22.
+    pub queries: Vec<usize>,
+    /// Per-node disk capacity at paper scale (bytes) for the Q9 failure
+    /// injection; `None` disables space accounting.
+    pub disk_capacity_per_node: Option<u64>,
+}
+
+impl Default for DssConfig {
+    fn default() -> Self {
+        DssConfig {
+            sim_scale: 0.02,
+            paper_scales: vec![250.0, 1000.0, 4000.0, 16000.0],
+            queries: Vec::new(),
+            disk_capacity_per_node: None,
+        }
+    }
+}
+
+/// One query at one scale factor.
+#[derive(Clone, Debug)]
+pub struct QueryCell {
+    pub query: usize,
+    /// `None` = failed (Hive Q9 at 16 TB: out of disk).
+    pub hive_secs: Option<f64>,
+    pub pdw_secs: f64,
+}
+
+impl QueryCell {
+    pub fn speedup(&self) -> Option<f64> {
+        self.hive_secs.map(|h| h / self.pdw_secs.max(1e-9))
+    }
+}
+
+/// All queries at one paper scale factor.
+#[derive(Clone, Debug)]
+pub struct ScaleRun {
+    pub paper_scale: f64,
+    pub k: f64,
+    pub cells: Vec<QueryCell>,
+    pub hive_load_secs: f64,
+    pub pdw_load_secs: f64,
+    /// Raw Hive runs for drill-down (Tables 4 and 5).
+    pub hive_runs: Vec<(usize, Option<QueryRun>)>,
+}
+
+fn mean(values: impl Iterator<Item = f64> + Clone) -> (f64, f64) {
+    let n = values.clone().count().max(1) as f64;
+    let am = values.clone().sum::<f64>() / n;
+    let gm = (values.map(|v| v.max(1e-12).ln()).sum::<f64>() / n).exp();
+    (am, gm)
+}
+
+impl ScaleRun {
+    /// Arithmetic/geometric means over completed queries, optionally
+    /// excluding Q9 (the paper's AM-9/GM-9).
+    pub fn means(&self, engine: &str, exclude_q9: bool) -> Option<(f64, f64)> {
+        let vals: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| !(exclude_q9 && c.query == 9))
+            .map(|c| match engine {
+                "hive" => c.hive_secs,
+                "pdw" => Some(c.pdw_secs),
+                other => panic!("unknown engine {other}"),
+            })
+            .collect::<Option<Vec<f64>>>()?;
+        Some(mean(vals.iter().copied()))
+    }
+}
+
+/// Full results of a DSS suite run.
+#[derive(Clone, Debug)]
+pub struct DssResults {
+    pub config: DssConfig,
+    pub runs: Vec<ScaleRun>,
+}
+
+/// Execute the suite. The four scale factors are independent simulations
+/// over the same generated data, so they run on separate threads.
+pub fn run_dss(config: &DssConfig) -> DssResults {
+    let catalog = generate(&GenConfig::new(config.sim_scale));
+    let queries: Vec<usize> = if config.queries.is_empty() {
+        (1..=tpch::QUERY_COUNT).collect()
+    } else {
+        config.queries.clone()
+    };
+    let runs = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = config
+            .paper_scales
+            .iter()
+            .map(|&ps| {
+                let catalog = &catalog;
+                let queries = &queries;
+                scope.spawn(move |_| run_one_scale(config, catalog, queries, ps))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scale-factor worker panicked"))
+            .collect::<Vec<_>>()
+    })
+    .expect("scoped threads");
+    DssResults {
+        config: config.clone(),
+        runs,
+    }
+}
+
+fn run_one_scale(
+    config: &DssConfig,
+    catalog: &Catalog,
+    queries: &[usize],
+    paper_scale: f64,
+) -> ScaleRun {
+    let k = paper_scale / config.sim_scale;
+    let params = Params::paper_dss().scaled(k);
+    let capacity = config
+        .disk_capacity_per_node
+        .map(|c| ((c as f64 / k).round() as u64).max(1));
+
+    let (warehouse, hive_load) =
+        load_warehouse(catalog, &params, capacity).expect("base data fits on disk");
+    let hive_engine = HiveEngine::new(warehouse);
+    let (pdw_catalog, pdw_load) = load_pdw(catalog, &params);
+    let pdw_engine = PdwEngine::new(pdw_catalog);
+
+    let mut cells = Vec::new();
+    let mut hive_runs = Vec::new();
+    for &q in queries {
+        let plan = tpch::query(q);
+        let hive_run = hive_engine.run_query(&plan).ok();
+        let pdw_run = pdw_engine.run_query(&plan);
+        cells.push(QueryCell {
+            query: q,
+            hive_secs: hive_run.as_ref().map(|r| r.total_secs),
+            pdw_secs: pdw_run.total_secs,
+        });
+        hive_runs.push((q, hive_run));
+    }
+    ScaleRun {
+        paper_scale,
+        k,
+        cells,
+        hive_load_secs: hive_load.total_secs,
+        pdw_load_secs: pdw_load.total_secs,
+        hive_runs,
+    }
+}
+
+/// The paper's per-node HDFS capacity: 8 data disks × 300 GB.
+pub fn paper_disk_capacity() -> u64 {
+    (8.0 * 300e9) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_suite_produces_sane_speedups() {
+        let cfg = DssConfig {
+            sim_scale: 0.01,
+            paper_scales: vec![250.0],
+            queries: vec![1, 6],
+            disk_capacity_per_node: None,
+        };
+        let res = run_dss(&cfg);
+        assert_eq!(res.runs.len(), 1);
+        let run = &res.runs[0];
+        assert_eq!(run.cells.len(), 2);
+        for c in &run.cells {
+            let s = c.speedup().expect("no failures at 250 GB");
+            assert!(s > 1.0, "PDW must win Q{} (speedup {s})", c.query);
+        }
+        let (am, gm) = run.means("hive", false).unwrap();
+        assert!(am >= gm, "AM >= GM always");
+    }
+
+    #[test]
+    fn q9_runs_out_of_disk_at_16tb_only() {
+        let cfg = DssConfig {
+            sim_scale: 0.01,
+            paper_scales: vec![250.0, 16000.0],
+            queries: vec![9],
+            disk_capacity_per_node: Some(paper_disk_capacity()),
+        };
+        let res = run_dss(&cfg);
+        assert!(
+            res.runs[0].cells[0].hive_secs.is_some(),
+            "Q9 completes at 250 GB"
+        );
+        assert!(
+            res.runs[1].cells[0].hive_secs.is_none(),
+            "Q9 must die on disk space at 16 TB"
+        );
+        // PDW finishes it everywhere.
+        assert!(res.runs[1].cells[0].pdw_secs > 0.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Minimal markdown / CSV rendering for the `repro_*` binaries — no
+//! serialization framework, just strings.
+
+/// A rectangular table with a header row.
+#[derive(Clone, Debug, Default)]
+pub struct TableBuilder {
+    pub title: String,
+    pub header: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    pub fn new(title: impl Into<String>, header: &[&str]) -> TableBuilder {
+        TableBuilder {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "ragged row");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            out.push_str(&format!("### {}\n\n", self.title));
+        }
+        out.push_str(&format!("| {} |\n", self.header.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.header.len())
+        ));
+        for r in &self.rows {
+            out.push_str(&format!("| {} |\n", r.join(" | ")));
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish quoting for commas/quotes).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds compactly ("--" for failures).
+pub fn fmt_secs(v: Option<f64>) -> String {
+    match v {
+        Some(s) if s >= 100.0 => format!("{s:.0}"),
+        Some(s) if s >= 1.0 => format!("{s:.1}"),
+        Some(s) => format!("{s:.2}"),
+        None => "--".to_string(),
+    }
+}
+
+/// Format a ratio like the paper's speedup columns.
+pub fn fmt_ratio(v: Option<f64>) -> String {
+    match v {
+        Some(r) if r >= 10.0 => format!("{r:.1}"),
+        Some(r) => format!("{r:.2}"),
+        None => "--".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_shape() {
+        let mut t = TableBuilder::new("T", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### T"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = TableBuilder::new("", &["x"]);
+        t.row(vec!["has,comma".into()]);
+        t.row(vec!["has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged row")]
+    fn ragged_rows_rejected() {
+        TableBuilder::new("", &["a", "b"]).row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_secs(Some(1234.6)), "1235");
+        assert_eq!(fmt_secs(Some(12.34)), "12.3");
+        assert_eq!(fmt_secs(Some(0.123)), "0.12");
+        assert_eq!(fmt_secs(None), "--");
+        assert_eq!(fmt_ratio(Some(34.13)), "34.1");
+        assert_eq!(fmt_ratio(Some(3.413)), "3.41");
+    }
+}

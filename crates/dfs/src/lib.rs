@@ -1,0 +1,338 @@
+//! # dfs — an HDFS-like distributed filesystem model
+//!
+//! Provides what the MapReduce/Hive stack needs from HDFS:
+//!
+//! * a namenode: path → file metadata (length, blocks, replica placement),
+//! * block splitting at the configured block size (256 MB at paper scale;
+//!   scaled with the similitude factor so *block counts per file* match
+//!   paper scale exactly — that is what drives map-task counts),
+//! * round-robin replica placement with per-node usage accounting and an
+//!   optional capacity limit (Hive's Q9 at 16 TB died on disk space; the
+//!   same failure is injected here),
+//! * typed in-memory payloads (`Dfs<P>` is generic: the Hive layer stores
+//!   real `RcFile`s and text blobs).
+//!
+//! Timing is *not* charged here — readers (map tasks) charge their own I/O
+//! through the `cluster` resources; this crate is the metadata plane.
+
+use cluster::NodeId;
+use std::collections::HashMap;
+
+/// Filesystem configuration.
+#[derive(Clone, Debug)]
+pub struct DfsConfig {
+    pub block_size: u64,
+    pub replication: u32,
+    pub nodes: usize,
+    /// Optional per-node capacity in bytes (base data + scratch). `None`
+    /// disables space accounting.
+    pub capacity_per_node: Option<u64>,
+}
+
+impl DfsConfig {
+    pub fn from_params(p: &cluster::Params) -> DfsConfig {
+        DfsConfig {
+            block_size: p.hdfs_block_size,
+            replication: p.hdfs_replication,
+            nodes: p.nodes,
+            capacity_per_node: None,
+        }
+    }
+}
+
+/// One block of a file.
+#[derive(Clone, Debug)]
+pub struct BlockInfo {
+    pub id: u64,
+    pub len: u64,
+    /// Nodes holding a replica (first = primary).
+    pub replicas: Vec<NodeId>,
+}
+
+/// File metadata.
+#[derive(Clone, Debug)]
+pub struct FileMeta {
+    pub path: String,
+    pub len: u64,
+    pub blocks: Vec<BlockInfo>,
+}
+
+struct FileEntry<P> {
+    meta: FileMeta,
+    payload: P,
+}
+
+/// Error cases surfaced to engines.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DfsError {
+    /// Per-node capacity exhausted (the Q9-at-16TB failure).
+    OutOfSpace { node: NodeId },
+    NotFound(String),
+    AlreadyExists(String),
+}
+
+impl std::fmt::Display for DfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DfsError::OutOfSpace { node } => {
+                write!(f, "node {node} out of disk space")
+            }
+            DfsError::NotFound(p) => write!(f, "no such file: {p}"),
+            DfsError::AlreadyExists(p) => write!(f, "file exists: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for DfsError {}
+
+/// The filesystem: namenode state + payload store.
+pub struct Dfs<P> {
+    pub config: DfsConfig,
+    files: HashMap<String, FileEntry<P>>,
+    next_block: u64,
+    rr_cursor: usize,
+    used: Vec<u64>,
+    /// Scratch space (MapReduce spills / intermediates) per node.
+    scratch: Vec<u64>,
+}
+
+impl<P> Dfs<P> {
+    pub fn new(config: DfsConfig) -> Self {
+        let nodes = config.nodes;
+        Dfs {
+            config,
+            files: HashMap::new(),
+            next_block: 0,
+            rr_cursor: 0,
+            used: vec![0; nodes],
+            scratch: vec![0; nodes],
+        }
+    }
+
+    /// Create a file of `len` logical bytes holding `payload`. Splits into
+    /// blocks and places `replication` replicas round-robin. A zero-length
+    /// file still gets one (empty) block — Hadoop launches a map task for
+    /// it, which is the Q1 empty-bucket phenomenon.
+    pub fn create(&mut self, path: impl Into<String>, len: u64, payload: P) -> Result<&FileMeta, DfsError> {
+        let path = path.into();
+        if self.files.contains_key(&path) {
+            return Err(DfsError::AlreadyExists(path));
+        }
+        let n_blocks = if len == 0 {
+            1
+        } else {
+            len.div_ceil(self.config.block_size)
+        };
+        let mut blocks = Vec::with_capacity(n_blocks as usize);
+        let mut remaining = len;
+        for _ in 0..n_blocks {
+            let blen = remaining.min(self.config.block_size);
+            remaining -= blen;
+            let replicas = self.place_replicas(blen)?;
+            blocks.push(BlockInfo {
+                id: self.next_block,
+                len: blen,
+                replicas,
+            });
+            self.next_block += 1;
+        }
+        let meta = FileMeta {
+            path: path.clone(),
+            len,
+            blocks,
+        };
+        self.files.insert(path.clone(), FileEntry { meta, payload });
+        Ok(&self.files[&path].meta)
+    }
+
+    fn place_replicas(&mut self, blen: u64) -> Result<Vec<NodeId>, DfsError> {
+        let n = self.config.nodes;
+        let r = (self.config.replication as usize).min(n);
+        let mut replicas = Vec::with_capacity(r);
+        for i in 0..r {
+            let node = (self.rr_cursor + i) % n;
+            if let Some(cap) = self.config.capacity_per_node {
+                if self.used[node] + self.scratch[node] + blen > cap {
+                    return Err(DfsError::OutOfSpace { node });
+                }
+            }
+            replicas.push(node);
+        }
+        for &node in &replicas {
+            self.used[node] += blen;
+        }
+        self.rr_cursor = (self.rr_cursor + 1) % n;
+        Ok(replicas)
+    }
+
+    pub fn meta(&self, path: &str) -> Result<&FileMeta, DfsError> {
+        self.files
+            .get(path)
+            .map(|e| &e.meta)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    pub fn payload(&self, path: &str) -> Result<&P, DfsError> {
+        self.files
+            .get(path)
+            .map(|e| &e.payload)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))
+    }
+
+    pub fn exists(&self, path: &str) -> bool {
+        self.files.contains_key(path)
+    }
+
+    pub fn delete(&mut self, path: &str) -> Result<P, DfsError> {
+        let entry = self
+            .files
+            .remove(path)
+            .ok_or_else(|| DfsError::NotFound(path.to_string()))?;
+        for b in &entry.meta.blocks {
+            for &node in &b.replicas {
+                self.used[node] = self.used[node].saturating_sub(b.len);
+            }
+        }
+        Ok(entry.payload)
+    }
+
+    /// List paths with a given prefix (a "directory" listing).
+    pub fn list(&self, prefix: &str) -> Vec<&FileMeta> {
+        let mut out: Vec<&FileMeta> = self
+            .files
+            .values()
+            .filter(|e| e.meta.path.starts_with(prefix))
+            .map(|e| &e.meta)
+            .collect();
+        out.sort_by(|a, b| a.path.cmp(&b.path));
+        out
+    }
+
+    /// Reserve scratch space on a node (MapReduce spill / intermediate
+    /// output). Fails when the node's disks are full — how Hive's Q9 died.
+    pub fn reserve_scratch(&mut self, node: NodeId, bytes: u64) -> Result<(), DfsError> {
+        if let Some(cap) = self.config.capacity_per_node {
+            if self.used[node] + self.scratch[node] + bytes > cap {
+                return Err(DfsError::OutOfSpace { node });
+            }
+        }
+        self.scratch[node] += bytes;
+        Ok(())
+    }
+
+    /// Release scratch space (job finished).
+    pub fn release_scratch(&mut self, node: NodeId, bytes: u64) {
+        self.scratch[node] = self.scratch[node].saturating_sub(bytes);
+    }
+
+    pub fn used_bytes(&self, node: NodeId) -> u64 {
+        self.used[node] + self.scratch[node]
+    }
+
+    /// Does `node` hold a replica of `block`? (map-task locality)
+    pub fn is_local(&self, block: &BlockInfo, node: NodeId) -> bool {
+        block.replicas.contains(&node)
+    }
+
+    pub fn total_used(&self) -> u64 {
+        self.used.iter().chain(self.scratch.iter()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(nodes: usize, block: u64, cap: Option<u64>) -> DfsConfig {
+        DfsConfig {
+            block_size: block,
+            replication: 3,
+            nodes,
+            capacity_per_node: cap,
+        }
+    }
+
+    #[test]
+    fn splits_into_blocks() {
+        let mut fs: Dfs<()> = Dfs::new(cfg(4, 100, None));
+        let meta = fs.create("/t/f1", 250, ()).unwrap();
+        assert_eq!(meta.blocks.len(), 3);
+        assert_eq!(meta.blocks[0].len, 100);
+        assert_eq!(meta.blocks[2].len, 50);
+        assert_eq!(meta.blocks[0].replicas.len(), 3);
+    }
+
+    #[test]
+    fn empty_file_has_one_empty_block() {
+        let mut fs: Dfs<()> = Dfs::new(cfg(4, 100, None));
+        let meta = fs.create("/t/empty", 0, ()).unwrap();
+        assert_eq!(meta.blocks.len(), 1);
+        assert_eq!(meta.blocks[0].len, 0);
+    }
+
+    #[test]
+    fn replication_respects_node_count() {
+        let mut fs: Dfs<()> = Dfs::new(cfg(2, 100, None));
+        let meta = fs.create("/f", 10, ()).unwrap();
+        assert_eq!(meta.blocks[0].replicas.len(), 2);
+    }
+
+    #[test]
+    fn usage_accounting_and_delete() {
+        let mut fs: Dfs<()> = Dfs::new(cfg(4, 100, None));
+        fs.create("/f", 200, ()).unwrap();
+        assert_eq!(fs.total_used(), 200 * 3);
+        fs.delete("/f").unwrap();
+        assert_eq!(fs.total_used(), 0);
+        assert!(matches!(fs.delete("/f"), Err(DfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn out_of_space_on_create_and_scratch() {
+        let mut fs: Dfs<()> = Dfs::new(cfg(2, 100, Some(250)));
+        fs.create("/a", 100, ()).unwrap(); // 100 on both nodes (repl 2)
+        fs.reserve_scratch(0, 100).unwrap();
+        assert_eq!(
+            fs.reserve_scratch(0, 100),
+            Err(DfsError::OutOfSpace { node: 0 })
+        );
+        // create also fails once a node is full
+        assert!(matches!(
+            fs.create("/b", 200, ()),
+            Err(DfsError::OutOfSpace { .. })
+        ));
+        fs.release_scratch(0, 100);
+        fs.create("/b", 100, ()).unwrap();
+    }
+
+    #[test]
+    fn listing_by_prefix_sorted() {
+        let mut fs: Dfs<u32> = Dfs::new(cfg(4, 100, None));
+        fs.create("/warehouse/lineitem/b2", 1, 2).unwrap();
+        fs.create("/warehouse/lineitem/b1", 1, 1).unwrap();
+        fs.create("/warehouse/orders/b1", 1, 3).unwrap();
+        let l = fs.list("/warehouse/lineitem/");
+        assert_eq!(l.len(), 2);
+        assert_eq!(l[0].path, "/warehouse/lineitem/b1");
+        assert_eq!(*fs.payload("/warehouse/lineitem/b2").unwrap(), 2);
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let mut fs: Dfs<()> = Dfs::new(cfg(4, 100, None));
+        fs.create("/f", 1, ()).unwrap();
+        assert!(matches!(
+            fs.create("/f", 1, ()),
+            Err(DfsError::AlreadyExists(_))
+        ));
+    }
+
+    #[test]
+    fn locality_check() {
+        let mut fs: Dfs<()> = Dfs::new(cfg(4, 100, None));
+        let meta = fs.create("/f", 10, ()).unwrap().clone();
+        let b = &meta.blocks[0];
+        let local_count = (0..4).filter(|&n| fs.is_local(b, n)).count();
+        assert_eq!(local_count, 3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the DFS: block math, replica placement, and space
+//! accounting under random create/delete workloads.
+
+use dfs::{Dfs, DfsConfig, DfsError};
+use proptest::prelude::*;
+
+fn cfg(nodes: usize, block: u64, repl: u32) -> DfsConfig {
+    DfsConfig {
+        block_size: block,
+        replication: repl,
+        nodes,
+        capacity_per_node: None,
+    }
+}
+
+proptest! {
+    #[test]
+    fn block_count_matches_ceiling_division(
+        len in 0u64..10_000,
+        block in 1u64..512,
+    ) {
+        let mut fs: Dfs<()> = Dfs::new(cfg(4, block, 3));
+        let meta = fs.create("/f", len, ()).unwrap();
+        let expect = if len == 0 { 1 } else { len.div_ceil(block) };
+        prop_assert_eq!(meta.blocks.len() as u64, expect);
+        // Block lengths sum to the file length and never exceed block size.
+        let total: u64 = meta.blocks.iter().map(|b| b.len).sum();
+        prop_assert_eq!(total, len);
+        for b in &meta.blocks {
+            prop_assert!(b.len <= block);
+        }
+    }
+
+    #[test]
+    fn replicas_are_distinct_nodes(
+        nodes in 1usize..12,
+        repl in 1u32..5,
+        len in 1u64..1000,
+    ) {
+        let mut fs: Dfs<()> = Dfs::new(cfg(nodes, 100, repl));
+        let meta = fs.create("/f", len, ()).unwrap();
+        for b in &meta.blocks {
+            let mut rs = b.replicas.clone();
+            rs.sort_unstable();
+            rs.dedup();
+            prop_assert_eq!(rs.len(), b.replicas.len(), "duplicate replica");
+            prop_assert_eq!(b.replicas.len(), (repl as usize).min(nodes));
+            for &n in &b.replicas {
+                prop_assert!(n < nodes);
+            }
+        }
+    }
+
+    #[test]
+    fn usage_returns_to_zero_after_deleting_everything(
+        files in proptest::collection::vec(1u64..5_000, 1..20),
+    ) {
+        let mut fs: Dfs<u32> = Dfs::new(cfg(8, 256, 3));
+        for (i, &len) in files.iter().enumerate() {
+            fs.create(format!("/f{i}"), len, i as u32).unwrap();
+        }
+        let used_mid = fs.total_used();
+        let expect: u64 = files.iter().map(|l| l * 3).sum();
+        prop_assert_eq!(used_mid, expect);
+        for i in 0..files.len() {
+            let payload = fs.delete(&format!("/f{i}")).unwrap();
+            prop_assert_eq!(payload, i as u32);
+        }
+        prop_assert_eq!(fs.total_used(), 0);
+    }
+
+    #[test]
+    fn capacity_is_never_exceeded(
+        files in proptest::collection::vec(1u64..400, 1..40),
+        cap in 200u64..2_000,
+    ) {
+        let mut fs: Dfs<()> = Dfs::new(DfsConfig {
+            block_size: 128,
+            replication: 2,
+            nodes: 4,
+            capacity_per_node: Some(cap),
+        });
+        for (i, &len) in files.iter().enumerate() {
+            match fs.create(format!("/f{i}"), len, ()) {
+                Ok(_) => {}
+                Err(DfsError::OutOfSpace { .. }) => {}
+                Err(other) => prop_assert!(false, "unexpected error {other:?}"),
+            }
+            for node in 0..4 {
+                prop_assert!(fs.used_bytes(node) <= cap, "node {node} over capacity");
+            }
+        }
+    }
+
+    #[test]
+    fn placement_spreads_load(
+        n_files in 16usize..64,
+    ) {
+        let mut fs: Dfs<()> = Dfs::new(cfg(8, 1000, 1));
+        for i in 0..n_files {
+            fs.create(format!("/f{i}"), 100, ()).unwrap();
+        }
+        let loads: Vec<u64> = (0..8).map(|n| fs.used_bytes(n)).collect();
+        let max = *loads.iter().max().unwrap();
+        let min = *loads.iter().min().unwrap();
+        // Round-robin placement: at most one file of difference.
+        prop_assert!(max - min <= 100, "skewed placement: {loads:?}");
+    }
+}

@@ -1,0 +1,92 @@
+//! A minimal BSON-style document codec, enough to measure real document
+//! sizes for the YCSB record shape (string key + ten 100-byte string
+//! fields). Layout per element: `type:u8, name:cstring, i32 len, bytes,
+//! NUL` (string elements only — all YCSB fields are strings).
+
+use bytes::{Buf, BufMut, BytesMut};
+
+/// One document: ordered (name, value) string pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Doc {
+    pub fields: Vec<(String, String)>,
+}
+
+impl Doc {
+    /// The YCSB record: `_id` = 24-byte key, `field0..field9` of
+    /// `field_len` bytes each.
+    pub fn ycsb(key: &str, field_len: usize) -> Doc {
+        let mut fields = vec![("_id".to_string(), key.to_string())];
+        for i in 0..10 {
+            fields.push((format!("field{i}"), "x".repeat(field_len)));
+        }
+        Doc { fields }
+    }
+
+    /// Encode to BSON-ish bytes: `i32 total_len, elements..., 0x00`.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = BytesMut::new();
+        for (name, value) in &self.fields {
+            body.put_u8(0x02); // string element
+            body.put_slice(name.as_bytes());
+            body.put_u8(0);
+            body.put_i32_le(value.len() as i32 + 1);
+            body.put_slice(value.as_bytes());
+            body.put_u8(0);
+        }
+        let total = body.len() as i32 + 5;
+        let mut out = Vec::with_capacity(total as usize);
+        out.extend_from_slice(&total.to_le_bytes());
+        out.extend_from_slice(&body);
+        out.push(0);
+        out
+    }
+
+    /// Decode (panics on malformed input — documents are only produced by
+    /// [`Doc::encode`] in this system).
+    pub fn decode(data: &[u8]) -> Doc {
+        let mut buf = data;
+        let total = buf.get_i32_le() as usize;
+        assert_eq!(total, data.len(), "length prefix mismatch");
+        let mut fields = Vec::new();
+        while buf.len() > 1 {
+            let ty = buf.get_u8();
+            assert_eq!(ty, 0x02, "only string elements supported");
+            let name_end = buf.iter().position(|&b| b == 0).expect("name NUL");
+            let name = String::from_utf8(buf[..name_end].to_vec()).expect("utf8 name");
+            buf.advance(name_end + 1);
+            let len = buf.get_i32_le() as usize;
+            let value = String::from_utf8(buf[..len - 1].to_vec()).expect("utf8 value");
+            buf.advance(len);
+            fields.push((name, value));
+        }
+        assert_eq!(buf.get_u8(), 0, "trailing NUL");
+        Doc { fields }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let d = Doc::ycsb("user000000000000000042", 100);
+        let bytes = d.encode();
+        assert_eq!(Doc::decode(&bytes), d);
+    }
+
+    #[test]
+    fn ycsb_record_is_about_1_kilobyte() {
+        // The paper: 1024-byte records (24-byte key + 10 × 100-byte
+        // fields). BSON overhead adds names and framing.
+        let d = Doc::ycsb(&format!("{:024}", 42), 100);
+        let len = d.encode().len();
+        assert!(
+            (1024..1200).contains(&len),
+            "encoded YCSB doc ≈ 1.1 KB, got {len}"
+        );
+        // 32 KB extents hold ~29-31 documents.
+        let per_extent = 32 * 1024 / len;
+        assert!((27..=32).contains(&per_extent));
+    }
+}

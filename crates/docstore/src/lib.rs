@@ -1,0 +1,33 @@
+//! # docstore — a MongoDB 1.8 stand-in
+//!
+//! The NoSQL contender on the data-serving side. Modelled per the paper:
+//!
+//! * **BSON documents** ([`bson`]): real encoding of the YCSB record shape
+//!   (24-byte key + 10 × 100-byte fields ≈ 1.1 KB on the wire),
+//! * **mmap-style storage**: the OS page cache holds 32 KB extents shared
+//!   by the 16 `mongod` processes of a node; a miss reads **32 KB** from
+//!   disk ("Mongo-AS and Mongo-CS read on average 32 KB from disk for each
+//!   read request ... wasting disk bandwidth"),
+//! * the **global per-`mongod` write lock** ([`rwlock`]): one writer blocks
+//!   every other operation of that process — and holds the lock across its
+//!   page faults (version 1.8; the 2.0 yield feature is the paper's
+//!   footnote ‡, and they found it unreliable). This is why the paper runs
+//!   16 mongods per node,
+//! * **auto-sharding** (Mongo-AS): order-preserving range partitioning into
+//!   128 chunks via `mongos` routers; appends of monotonically increasing
+//!   keys all route to the *last* chunk — the hotspot that melts workload D
+//!   (Mongo-AS crashes above a 20 k ops/s target) and the reason Mongo-AS
+//!   wins workload E's range scans,
+//! * **client-side hash sharding** (Mongo-CS): no mongos, no balancer,
+//!   scans must fan out to all 128 shards,
+//! * writes in "safe" mode (client awaits the server ack) with **no
+//!   journal** — the durability the SQL side pays for and MongoDB here
+//!   does not.
+
+pub mod bson;
+pub mod cluster;
+pub mod mongod;
+pub mod rwlock;
+
+pub use cluster::{MongoCluster, Sharding};
+pub use rwlock::RwLock;

@@ -1,0 +1,99 @@
+//! One `mongod` process: a shard's documents, its global lock, and its view
+//! of the node's shared page cache.
+
+use crate::rwlock::RwLock;
+use storage::BTree;
+
+/// Documents per 32 KB mmap extent (≈ 1.1 KB BSON documents; see
+/// `bson::tests::ycsb_record_is_about_1_kilobyte`).
+pub const DOCS_PER_EXTENT: u64 = 29;
+
+/// Per-process statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MongodStats {
+    pub reads: u64,
+    pub writes: u64,
+}
+
+/// One shard process. Sixteen of these run per server node (the paper's
+/// workaround for the global write lock).
+pub struct Mongod {
+    /// Shard id (0..128).
+    pub id: usize,
+    /// Server node hosting the process.
+    pub node: usize,
+    /// The global lock (one per process).
+    pub lock: RwLock,
+    /// key → version: this shard's documents, ordered (B-tree `_id` index).
+    pub docs: BTree<u64, u32>,
+    /// For range shards: the chunk's lower bound (local extent offsets are
+    /// relative to it). `None` for hash shards (ordinal = key / shards).
+    pub range_lo: Option<u64>,
+    pub stats: MongodStats,
+    /// Durable journal entries (written only when journaling is on, at
+    /// group-flush time). Without it — the paper's configuration — a crash
+    /// loses every write since the last mmap sync.
+    pub journal: Vec<(u64, u32)>,
+}
+
+impl Mongod {
+    pub fn new(id: usize, node: usize, range_lo: Option<u64>) -> Mongod {
+        Mongod {
+            id,
+            node,
+            lock: RwLock::new(),
+            docs: BTree::new(),
+            range_lo,
+            stats: MongodStats::default(),
+            journal: Vec::new(),
+        }
+    }
+
+    /// Local mmap extent index of a key (namespaced by shard id at the
+    /// cache level).
+    pub fn extent_of(&self, key: u64, total_shards: usize) -> u64 {
+        let ordinal = match self.range_lo {
+            Some(lo) => key.saturating_sub(lo),
+            None => key / total_shards as u64,
+        };
+        ordinal / DOCS_PER_EXTENT
+    }
+
+    /// Globally unique page id for the node-shared cache.
+    pub fn cache_page(&self, key: u64, total_shards: usize) -> u64 {
+        ((self.id as u64) << 40) | self.extent_of(key, total_shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_shard_extents_pack_local_ordinals() {
+        let m = Mongod::new(3, 0, None);
+        // Keys 3, 131, 259... (every 128th) share this shard; consecutive
+        // local ordinals pack into extents of DOCS_PER_EXTENT.
+        assert_eq!(m.extent_of(3, 128), 0);
+        assert_eq!(m.extent_of(3 + 128 * (DOCS_PER_EXTENT - 1), 128), 0);
+        assert_eq!(m.extent_of(3 + 128 * DOCS_PER_EXTENT, 128), 1);
+    }
+
+    #[test]
+    fn range_shard_extents_are_contiguous() {
+        let m = Mongod::new(7, 0, Some(70_000));
+        assert_eq!(m.extent_of(70_000, 128), 0);
+        assert_eq!(m.extent_of(70_000 + DOCS_PER_EXTENT, 128), 1);
+        // A 1000-record scan covers ~35 extents — sequential on one shard,
+        // which is why Mongo-AS wins workload E.
+        let extents = 1000 / DOCS_PER_EXTENT + 1;
+        assert!((30..40).contains(&extents));
+    }
+
+    #[test]
+    fn cache_pages_are_namespaced_per_shard() {
+        let a = Mongod::new(1, 0, None);
+        let b = Mongod::new(2, 0, None);
+        assert_ne!(a.cache_page(1, 128), b.cache_page(2, 128));
+    }
+}

@@ -1,0 +1,63 @@
+//! Property tests: BSON round trips and range-chunk routing.
+
+use docstore::bson::Doc;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bson_round_trips(
+        fields in proptest::collection::vec(
+            ("[a-zA-Z][a-zA-Z0-9]{0,10}", "[ -~&&[^\"]]{0,60}"),
+            0..12,
+        )
+    ) {
+        let doc = Doc { fields: fields.clone() };
+        let bytes = doc.encode();
+        let back = Doc::decode(&bytes);
+        prop_assert_eq!(back, doc);
+        // Length prefix is self-consistent.
+        let len = i32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+        prop_assert_eq!(len, bytes.len());
+    }
+
+    #[test]
+    fn encoded_size_grows_with_payload(extra in 1usize..500) {
+        let small = Doc::ycsb("k", 10).encode().len();
+        let big = Doc::ycsb("k", 10 + extra).encode().len();
+        prop_assert_eq!(big - small, extra * 10); // 10 fields
+    }
+}
+
+mod routing {
+    use cluster::Params;
+    use docstore::{MongoCluster, Sharding};
+    use proptest::prelude::*;
+    use simkit::Sim;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn range_routing_is_monotone_and_complete(n in 1_000u64..100_000) {
+            let params = Params::paper_ycsb().scaled_ycsb(100_000.0);
+            let mut sim: Sim<()> = Sim::new();
+            let m = MongoCluster::build(&mut sim, &params, Sharding::Range);
+            m.load(n);
+            let mut last = 0usize;
+            for key in (0..n).step_by((n as usize / 257).max(1)) {
+                let s = m.shard_of(key);
+                prop_assert!(s >= last, "range routing must be monotone");
+                prop_assert!(s < m.shards());
+                last = s;
+            }
+            // Hash routing spreads the same keys.
+            let mut sim2: Sim<()> = Sim::new();
+            let h = MongoCluster::build(&mut sim2, &params, Sharding::Hash);
+            h.load(n);
+            let mut used = std::collections::HashSet::new();
+            for key in 0..1_000.min(n) {
+                used.insert(h.shard_of(key));
+            }
+            prop_assert!(used.len() > 64, "hash should hit most shards");
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! The jobtracker: slot scheduling + phase simulation.
+
+use crate::spec::{JobReport, JobSpec};
+use cluster::{Cluster, Params};
+use simkit::{secs, Latch, Sim};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+type S = Sim<()>;
+type Thunk = Box<dyn FnOnce(&mut S)>;
+
+/// A per-node pool of task slots. A slot is held for a task's whole life
+/// (startup + read + cpu + spill), which is what produces map *waves*.
+struct SlotPool {
+    free: u32,
+    queue: VecDeque<Thunk>,
+}
+
+impl SlotPool {
+    fn new(slots: u32) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(SlotPool {
+            free: slots,
+            queue: VecDeque::new(),
+        }))
+    }
+
+    fn acquire(pool: &Rc<RefCell<Self>>, sim: &mut S, run: Thunk) {
+        let to_run = {
+            let mut p = pool.borrow_mut();
+            if p.free > 0 {
+                p.free -= 1;
+                Some(run)
+            } else {
+                p.queue.push_back(run);
+                None
+            }
+        };
+        if let Some(t) = to_run {
+            run_now(sim, t);
+        }
+    }
+
+    fn release(pool: &Rc<RefCell<Self>>, sim: &mut S) {
+        let next = {
+            let mut p = pool.borrow_mut();
+            match p.queue.pop_front() {
+                Some(t) => Some(t),
+                None => {
+                    p.free += 1;
+                    None
+                }
+            }
+        };
+        if let Some(t) = next {
+            run_now(sim, t);
+        }
+    }
+}
+
+fn run_now(sim: &mut S, t: Thunk) {
+    // Schedule at now to keep the event-loop borrow discipline simple.
+    sim.schedule_in(0, Box::new(move |sim, _| t(sim)));
+}
+
+/// Build one map task's execution chain. On injected failure the task
+/// burns its startup plus half its work, releases the slot, and re-enqueues
+/// a fresh (non-failing) attempt — Hadoop's retry path.
+#[allow(clippy::too_many_arguments)]
+fn map_task_body(
+    node: usize,
+    disk: usize,
+    read_bytes: u64,
+    cpu_secs: f64,
+    out_bytes: u64,
+    task_startup: f64,
+    hdfs_bw: f64,
+    cl: Rc<Cluster>,
+    hdfs: Rc<Vec<simkit::ResourceId>>,
+    pool: Rc<RefCell<SlotPool>>,
+    will_fail: bool,
+    report: Rc<RefCell<JobReport>>,
+    latch: Latch<()>,
+) -> Thunk {
+    Box::new(move |sim: &mut S| {
+        if will_fail {
+            // Half the read+cpu happens, then the JVM dies.
+            let wasted = secs(task_startup + cpu_secs / 2.0 + read_bytes as f64 / hdfs_bw / 2.0);
+            let retry_pool = pool.clone();
+            sim.after(wasted, move |sim, _| {
+                report.borrow_mut().map_retries += 1;
+                let retry = map_task_body(
+                    node, disk, read_bytes, cpu_secs, out_bytes, task_startup, hdfs_bw,
+                    cl.clone(), hdfs.clone(), retry_pool.clone(), false, report.clone(),
+                    latch.clone(),
+                );
+                SlotPool::release(&retry_pool, sim);
+                SlotPool::acquire(&retry_pool, sim, retry);
+            });
+            return;
+        }
+        sim.after(secs(task_startup), move |sim, _| {
+            let read_t = secs(read_bytes as f64 / hdfs_bw);
+            let cl2 = cl.clone();
+            let pool_rel = pool.clone();
+            sim.request(
+                hdfs[node],
+                read_t,
+                Box::new(move |sim, _| {
+                    let cl3 = cl2.clone();
+                    cl2.cpu(
+                        sim,
+                        node,
+                        cpu_secs,
+                        Box::new(move |sim, _| {
+                            cl3.disk_write_seq(
+                                sim,
+                                node,
+                                disk,
+                                out_bytes,
+                                Box::new(move |sim, _| {
+                                    SlotPool::release(&pool_rel, sim);
+                                    latch.count_down(sim);
+                                }),
+                            );
+                        }),
+                    );
+                }),
+            );
+        });
+    })
+}
+
+/// Simulate one job against fresh cluster resources; returns phase timings.
+pub fn run_job(spec: &JobSpec, params: &Params) -> JobReport {
+    let mut sim: S = Sim::new();
+    let cluster = Rc::new(Cluster::build(&mut sim, params.clone()));
+    // HDFS read bandwidth is a per-node shared pipe distinct from raw disks
+    // (the paper: testdfsio saw ~400 MB/s/node vs ~800 MB/s raw).
+    let hdfs_read: Vec<_> = (0..params.nodes)
+        .map(|n| sim.add_resource(format!("node{n}.hdfs_read"), 1))
+        .collect();
+    let hdfs_read = Rc::new(hdfs_read);
+
+    let report = Rc::new(RefCell::new(JobReport {
+        name: spec.name.clone(),
+        n_maps: spec.maps.len(),
+        n_reduces: spec.reduces.len(),
+        min_waves: (spec.maps.len() as u32).div_ceil(params.total_map_slots().max(1)),
+        ..JobReport::default()
+    }));
+
+    let map_pools: Vec<_> = (0..params.nodes)
+        .map(|_| SlotPool::new(params.map_slots_per_node))
+        .collect();
+    let reduce_pools: Vec<_> = (0..params.nodes)
+        .map(|_| SlotPool::new(params.reduce_slots_per_node))
+        .collect();
+
+    let setup = params.job_overhead + spec.setup_secs;
+    let task_startup = params.task_startup;
+    let hdfs_bw = params.hdfs_read_bw_per_node;
+    let nic_bw = params.nic_bw;
+    let repl = params.hdfs_replication as u64;
+    let nodes = params.nodes;
+
+    // ---- reduce phase (constructed first so the map latch can launch it) --
+    let reduces = spec.reduces.clone();
+    let report_r = report.clone();
+    let cluster_r = cluster.clone();
+    let reduce_pools_r: Vec<_> = reduce_pools.to_vec();
+    let launch_reduce: Thunk = Box::new(move |sim: &mut S| {
+        report_r.borrow_mut().shuffle_done = simkit::as_secs(sim.now());
+        let n_red = reduces.len() as u64;
+        let report_done = report_r.clone();
+        let done = Latch::with(n_red, move |sim: &mut S, _| {
+            report_done.borrow_mut().total = simkit::as_secs(sim.now());
+        });
+        if n_red == 0 {
+            report_r.borrow_mut().total = simkit::as_secs(sim.now());
+            return;
+        }
+        for (i, r) in reduces.iter().enumerate() {
+            let node = r.node % nodes;
+            let pool = reduce_pools_r[node].clone();
+            let pool_rel = pool.clone();
+            let cl = cluster_r.clone();
+            let done = done.clone();
+            let (cpu_secs, out_bytes) = (r.cpu_secs, r.output_bytes);
+            let disk = i % cl.params.disks_per_node as usize;
+            let body: Thunk = Box::new(move |sim: &mut S| {
+                sim.after(secs(task_startup), move |sim, _| {
+                    let cl2 = cl.clone();
+                    cl.cpu(
+                        sim,
+                        node,
+                        cpu_secs,
+                        Box::new(move |sim, _| {
+                            // HDFS output write: local disk + replication
+                            // traffic on the send NIC.
+                            let net_bytes = out_bytes.saturating_mul(repl - 1);
+                            let fin = Latch::with(2, move |sim: &mut S, _| {
+                                SlotPool::release(&pool_rel, sim);
+                                done.count_down(sim);
+                            });
+                            let f1 = fin.clone();
+                            cl2.disk_write_seq(
+                                sim,
+                                node,
+                                disk,
+                                out_bytes,
+                                Box::new(move |sim, _| f1.count_down(sim)),
+                            );
+                            let t = secs(net_bytes as f64 / nic_bw);
+                            let f2 = fin;
+                            sim.request(
+                                cl2.nodes[node].nic_send,
+                                t,
+                                Box::new(move |sim, _| f2.count_down(sim)),
+                            );
+                        }),
+                    );
+                });
+            });
+            SlotPool::acquire(&pool, sim, body);
+        }
+    });
+
+    // ---- shuffle phase --------------------------------------------------
+    let reduces_s = spec.reduces.clone();
+    let total_map_out = spec.total_map_output();
+    let cluster_s = cluster.clone();
+    let launch_shuffle: Thunk = Box::new(move |sim: &mut S| {
+        if reduces_s.is_empty() {
+            run_now(sim, launch_reduce);
+            return;
+        }
+        // Every map node pushes its share; every reducer node pulls its
+        // input. Both NIC directions are occupied; completion when all
+        // transfers drain.
+        let n_events = nodes as u64 + reduces_s.len() as u64;
+        let next = Rc::new(RefCell::new(Some(launch_reduce)));
+        let latch = Latch::with(n_events, move |sim: &mut S, _| {
+            let t = next.borrow_mut().take().expect("shuffle completion fired once");
+            run_now(sim, t);
+        });
+        let send_share = total_map_out / nodes as u64;
+        for n in 0..nodes {
+            let l = latch.clone();
+            let t = secs(send_share as f64 / nic_bw);
+            sim.request(
+                cluster_s.nodes[n].nic_send,
+                t,
+                Box::new(move |sim, _| l.count_down(sim)),
+            );
+        }
+        for r in &reduces_s {
+            let node = r.node % nodes;
+            let l = latch.clone();
+            let t = secs(r.shuffle_bytes as f64 / nic_bw);
+            sim.request(
+                cluster_s.nodes[node].nic_recv,
+                t,
+                Box::new(move |sim, _| l.count_down(sim)),
+            );
+        }
+    });
+
+    // ---- map phase ------------------------------------------------------
+    let report_m = report.clone();
+    let next_phase = Rc::new(RefCell::new(Some(launch_shuffle)));
+    let map_latch = Latch::with(spec.maps.len() as u64, move |sim: &mut S, _| {
+        report_m.borrow_mut().map_done = simkit::as_secs(sim.now());
+        let t = next_phase.borrow_mut().take().expect("map completion fired once");
+        run_now(sim, t);
+    });
+
+    let maps = spec.maps.clone();
+    let fail_every = if spec.map_failure_fraction > 0.0 {
+        (1.0 / spec.map_failure_fraction).round().max(1.0) as usize
+    } else {
+        usize::MAX
+    };
+    let report_retries = report.clone();
+    sim.after(secs(setup), move |sim, _| {
+        if maps.is_empty() {
+            map_latch.arm(sim);
+            return;
+        }
+        for (i, m) in maps.iter().enumerate() {
+            let node = m.node % nodes;
+            let pool = map_pools[node].clone();
+            let cl = cluster.clone();
+            let hdfs = hdfs_read.clone();
+            let latch = map_latch.clone();
+            let (read_bytes, cpu_secs, out_bytes) = (m.read_bytes, m.cpu_secs, m.output_bytes);
+            let disk = i % cl.params.disks_per_node as usize;
+            // Deterministic fault injection: the i-th task fails once
+            // mid-execution, releases its slot, and re-enqueues.
+            let will_fail = fail_every != usize::MAX && i % fail_every == fail_every - 1;
+            let report_retries = report_retries.clone();
+            let body = map_task_body(
+                node, disk, read_bytes, cpu_secs, out_bytes, task_startup, hdfs_bw, cl, hdfs,
+                pool.clone(), will_fail, report_retries, latch,
+            );
+            SlotPool::acquire(&pool, sim, body);
+        }
+    });
+
+    let mut world = ();
+    sim.run(&mut world);
+    Rc::try_unwrap(report)
+        .map(RefCell::into_inner)
+        .unwrap_or_else(|rc| rc.borrow().clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{MapTaskSpec, ReduceTaskSpec};
+    use cluster::params::MB;
+
+    fn params() -> Params {
+        Params::paper_dss()
+    }
+
+    fn uniform_maps(n: usize, read_mb: f64, cpu: f64, nodes: usize) -> Vec<MapTaskSpec> {
+        (0..n)
+            .map(|i| MapTaskSpec {
+                node: i % nodes,
+                read_bytes: (read_mb * MB as f64) as u64,
+                cpu_secs: cpu,
+                output_bytes: 0,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_file_tasks_cost_startup_only() {
+        // 128 empty-file tasks = exactly one wave of pure startup.
+        let p = params();
+        let mut spec = JobSpec::new("empties");
+        spec.maps = uniform_maps(128, 0.0, 0.0, p.nodes);
+        let r = run_job(&spec, &p);
+        let expect = p.job_overhead + p.task_startup;
+        assert!(
+            (r.map_done - expect).abs() < 0.5,
+            "one wave of startups: want ~{expect}, got {}",
+            r.map_done
+        );
+    }
+
+    #[test]
+    fn waves_scale_with_task_count() {
+        let p = params();
+        let mut one = JobSpec::new("one-wave");
+        one.maps = uniform_maps(128, 0.0, 10.0, p.nodes);
+        let mut four = JobSpec::new("four-waves");
+        four.maps = uniform_maps(512, 0.0, 10.0, p.nodes);
+        let r1 = run_job(&one, &p);
+        let r4 = run_job(&four, &p);
+        assert_eq!(r1.min_waves, 1);
+        assert_eq!(r4.min_waves, 4);
+        let work1 = r1.map_done - p.job_overhead;
+        let work4 = r4.map_done - p.job_overhead;
+        assert!(
+            (work4 / work1 - 4.0).abs() < 0.3,
+            "4 waves should take ~4x one wave: {work1} vs {work4}"
+        );
+    }
+
+    #[test]
+    fn q1_style_mixed_empty_and_full_files() {
+        // The paper's Q1 analysis: 512 bucket files, only 128 non-empty.
+        // Ideal would be 75s (full) + 3 waves of empties ≈ 93s, but FIFO
+        // dispatch mixes them so some slot runs two full tasks → ~150s.
+        let p = params();
+        let mut spec = JobSpec::new("q1-mix");
+        // Interleave: bucket b non-empty iff b % 4 == 0 (128 of 512).
+        // Node placement follows HDFS replica placement, which is
+        // decorrelated from the empty/full pattern (use a coprime stride).
+        spec.maps = (0..512usize)
+            .map(|b| MapTaskSpec {
+                node: (b + b / 4) % p.nodes,
+                read_bytes: 0,
+                cpu_secs: if b % 4 == 0 { 69.0 } else { 0.0 }, // +6s startup = 75s/6s
+                output_bytes: 0,
+            })
+            .collect();
+        let r = run_job(&spec, &p);
+        let t = r.map_done - p.job_overhead;
+        assert!(
+            t > 100.0 && t < 170.0,
+            "mixed dispatch should land between ideal 93s and 2x75s: got {t}"
+        );
+    }
+
+    #[test]
+    fn reduce_and_shuffle_phases_accounted() {
+        let p = params();
+        let mut spec = JobSpec::new("with-reduce");
+        spec.maps = (0..128)
+            .map(|i| MapTaskSpec {
+                node: i % p.nodes,
+                read_bytes: 64 * MB,
+                cpu_secs: 1.0,
+                output_bytes: 64 * MB,
+            })
+            .collect();
+        spec.reduces = (0..128)
+            .map(|i| ReduceTaskSpec {
+                node: i % p.nodes,
+                shuffle_bytes: 64 * MB,
+                cpu_secs: 2.0,
+                output_bytes: 8 * MB,
+            })
+            .collect();
+        let r = run_job(&spec, &p);
+        assert!(r.map_done > 0.0);
+        assert!(r.shuffle_done > r.map_done, "shuffle after maps");
+        assert!(r.total > r.shuffle_done, "reduce after shuffle");
+        // Shuffle: each node receives 8 reducers x 64MB = 512MB at 110MB/s
+        // ≈ 4.7s (plus send side overlap).
+        let shuffle_t = r.shuffle_done - r.map_done;
+        assert!(
+            shuffle_t > 3.0 && shuffle_t < 12.0,
+            "shuffle ≈ 5s, got {shuffle_t}"
+        );
+    }
+
+    #[test]
+    fn map_only_job_completes_at_map_done() {
+        let p = params();
+        let mut spec = JobSpec::new("map-only");
+        spec.maps = uniform_maps(10, 1.0, 0.5, p.nodes);
+        let r = run_job(&spec, &p);
+        assert_eq!(r.map_done, r.shuffle_done);
+        assert_eq!(r.total, r.map_done);
+    }
+
+    #[test]
+    fn hdfs_bandwidth_limits_read_heavy_maps() {
+        let p = params();
+        // One wave, each task reads 400MB: per node 8 tasks x 400MB =
+        // 3.2GB over 400MB/s ≈ 8s of read serialized per node.
+        let mut spec = JobSpec::new("read-heavy");
+        spec.maps = uniform_maps(128, 400.0, 0.0, p.nodes);
+        let r = run_job(&spec, &p);
+        let t = r.map_done - p.job_overhead - p.task_startup;
+        assert!(t > 7.0 && t < 11.0, "read-bound wave ≈ 8s, got {t}");
+    }
+
+    #[test]
+    fn failed_tasks_retry_and_extend_the_map_phase() {
+        let p = params();
+        let mk = |fail: f64| {
+            let mut spec = JobSpec::new("faults");
+            spec.maps = uniform_maps(128, 0.0, 10.0, p.nodes);
+            spec.map_failure_fraction = fail;
+            spec
+        };
+        let healthy = run_job(&mk(0.0), &p);
+        let faulty = run_job(&mk(0.25), &p);
+        assert_eq!(healthy.map_retries, 0);
+        assert_eq!(faulty.map_retries, 32, "every 4th of 128 tasks retries");
+        assert!(
+            faulty.map_done > healthy.map_done,
+            "retries cost time: {} vs {}",
+            faulty.map_done,
+            healthy.map_done
+        );
+        // Retrying 25% of one wave costs roughly one extra partial wave,
+        // not a restart of everything.
+        assert!(faulty.map_done < healthy.map_done * 2.5);
+    }
+
+    #[test]
+    fn setup_secs_adds_fixed_cost() {
+        let p = params();
+        let mut spec = JobSpec::new("distcache");
+        spec.maps = uniform_maps(1, 0.0, 0.0, p.nodes);
+        spec.setup_secs = 25.0;
+        let r = run_job(&spec, &p);
+        assert!(r.total >= 25.0 + p.job_overhead + p.task_startup - 0.1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # mapreduce — a Hadoop 0.20-style MapReduce engine simulation
+//!
+//! Faithfully models the scheduling behaviour the paper's Hive analysis
+//! hinges on:
+//!
+//! * per-node map/reduce **slots** (8 + 8 per node, 128 + 128 total) — a
+//!   slot is held for a task's entire life, so 512 map tasks over 128 slots
+//!   run in ~4 waves,
+//! * a fixed **task startup cost** (~6 s: JVM spawn + split fetch) that
+//!   dominates small tasks — the paper's "map tasks over empty buckets
+//!   finish in 6 seconds" and the Q22 sub-linear scaling,
+//! * FIFO task dispatch in input-file order, so a wave can mix empty and
+//!   non-empty buckets (the Q1 "148 s instead of 93 s" effect),
+//! * HDFS read bandwidth shared per node, CPU-bound decode charged to the
+//!   node's core pool, map output spilled to local disk,
+//! * shuffle modelled as sender/receiver NIC occupancy, reduce output
+//!   written back to HDFS with replication traffic.
+//!
+//! The *data* transformation (what map and reduce functions compute) is done
+//! by the caller (the `hive` crate) over real rows; this crate turns
+//! per-task **volume descriptors** into a simulated schedule and phase
+//! timings.
+
+pub mod engine;
+pub mod spec;
+
+pub use engine::run_job;
+pub use spec::{JobReport, JobSpec, MapTaskSpec, ReduceTaskSpec};

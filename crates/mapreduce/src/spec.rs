@@ -1,0 +1,78 @@
+//! Job descriptors and reports.
+
+use cluster::NodeId;
+
+/// Volume descriptor for one map task.
+#[derive(Clone, Debug, Default)]
+pub struct MapTaskSpec {
+    /// Node the task is scheduled on (the caller decides locality; HDFS
+    /// replication makes local placement the common case).
+    pub node: NodeId,
+    /// Bytes read from HDFS (compressed, for RCFile inputs).
+    pub read_bytes: u64,
+    /// CPU seconds of decode + map work (single core).
+    pub cpu_secs: f64,
+    /// Map output spilled to local disk.
+    pub output_bytes: u64,
+}
+
+/// Volume descriptor for one reduce task.
+#[derive(Clone, Debug, Default)]
+pub struct ReduceTaskSpec {
+    pub node: NodeId,
+    /// Bytes fetched from map outputs during shuffle.
+    pub shuffle_bytes: u64,
+    /// CPU seconds of sort/merge + reduce work.
+    pub cpu_secs: f64,
+    /// Bytes written to HDFS (before replication).
+    pub output_bytes: u64,
+}
+
+/// A MapReduce job: map tasks in dispatch order, then reduces.
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    pub name: String,
+    pub maps: Vec<MapTaskSpec>,
+    pub reduces: Vec<ReduceTaskSpec>,
+    /// Extra fixed setup time beyond the cluster-wide job overhead (e.g.
+    /// distributing a map-join hash table via the distributed cache).
+    pub setup_secs: f64,
+    /// Fault injection: every `1/f`-th map task fails once mid-flight and
+    /// is re-executed (Hadoop's task-level retry — the fault-tolerance
+    /// design point §1 credits the MapReduce systems with). 0.0 = off.
+    pub map_failure_fraction: f64,
+}
+
+impl JobSpec {
+    pub fn new(name: impl Into<String>) -> JobSpec {
+        JobSpec {
+            name: name.into(),
+            maps: Vec::new(),
+            reduces: Vec::new(),
+            setup_secs: 0.0,
+            map_failure_fraction: 0.0,
+        }
+    }
+
+    pub fn total_map_output(&self) -> u64 {
+        self.maps.iter().map(|m| m.output_bytes).sum()
+    }
+}
+
+/// Simulated phase timings for one job, all in seconds from job start.
+#[derive(Clone, Debug, Default)]
+pub struct JobReport {
+    pub name: String,
+    /// When the last map task finished.
+    pub map_done: f64,
+    /// When the shuffle completed (== `map_done` for map-only jobs).
+    pub shuffle_done: f64,
+    /// Job completion (includes reduce phase and output writes).
+    pub total: f64,
+    pub n_maps: usize,
+    pub n_reduces: usize,
+    /// Lower bound on map waves: ceil(maps / total map slots).
+    pub min_waves: u32,
+    /// Map tasks that failed once and were retried.
+    pub map_retries: u32,
+}

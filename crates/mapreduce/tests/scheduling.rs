@@ -1,0 +1,125 @@
+//! Scheduling-behaviour tests for the MapReduce engine beyond the unit
+//! suite: reduce waves, slot fairness, and phase ordering invariants.
+
+use cluster::{params::MB, Params};
+use mapreduce::{run_job, JobSpec, MapTaskSpec, ReduceTaskSpec};
+use proptest::prelude::*;
+
+fn p() -> Params {
+    Params::paper_dss()
+}
+
+#[test]
+fn reduce_tasks_also_run_in_waves() {
+    // 256 reducers over 128 reduce slots = 2 waves.
+    let params = p();
+    let mk = |n_red: usize| {
+        let mut spec = JobSpec::new("waves");
+        spec.maps = vec![MapTaskSpec {
+            node: 0,
+            read_bytes: 0,
+            cpu_secs: 0.0,
+            output_bytes: 0,
+        }];
+        spec.reduces = (0..n_red)
+            .map(|i| ReduceTaskSpec {
+                node: i % params.nodes,
+                shuffle_bytes: 0,
+                cpu_secs: 10.0,
+                output_bytes: 0,
+            })
+            .collect();
+        spec
+    };
+    let one = run_job(&mk(128), &params);
+    let two = run_job(&mk(256), &params);
+    let reduce_time = |r: &mapreduce::JobReport| r.total - r.shuffle_done;
+    let ratio = reduce_time(&two) / reduce_time(&one);
+    assert!(
+        (1.7..=2.3).contains(&ratio),
+        "2x reducers over fixed slots ≈ 2x reduce time, got {ratio}"
+    );
+}
+
+#[test]
+fn phases_are_ordered_for_every_job_shape() {
+    for (n_maps, n_reds) in [(1, 0), (1, 1), (200, 128), (600, 128)] {
+        let params = p();
+        let mut spec = JobSpec::new("order");
+        spec.maps = (0..n_maps)
+            .map(|i| MapTaskSpec {
+                node: i % params.nodes,
+                read_bytes: 8 * MB,
+                cpu_secs: 0.5,
+                output_bytes: MB,
+            })
+            .collect();
+        spec.reduces = (0..n_reds)
+            .map(|i| ReduceTaskSpec {
+                node: i % params.nodes,
+                shuffle_bytes: MB,
+                cpu_secs: 0.5,
+                output_bytes: MB,
+            })
+            .collect();
+        let r = run_job(&spec, &params);
+        assert!(r.map_done > 0.0);
+        assert!(r.shuffle_done >= r.map_done);
+        assert!(r.total >= r.shuffle_done);
+        assert_eq!(r.n_maps, n_maps);
+        assert_eq!(r.n_reduces, n_reds);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Map-phase makespan is bounded below by per-slot serial work and
+    /// above by fully serial execution.
+    #[test]
+    fn map_makespan_bounds(
+        n_tasks in 1usize..300,
+        cpu_ds in 1u32..50, // deciseconds
+    ) {
+        let params = p();
+        let cpu = cpu_ds as f64 / 10.0;
+        let mut spec = JobSpec::new("bounds");
+        spec.maps = (0..n_tasks)
+            .map(|i| MapTaskSpec {
+                node: i % params.nodes,
+                read_bytes: 0,
+                cpu_secs: cpu,
+                output_bytes: 0,
+            })
+            .collect();
+        let r = run_job(&spec, &params);
+        let work = r.map_done - params.job_overhead;
+        let per_task = params.task_startup + cpu;
+        let slots = params.total_map_slots() as f64;
+        let lower = (n_tasks as f64 / slots).ceil() * per_task;
+        let upper = n_tasks as f64 * per_task;
+        prop_assert!(work >= lower - 0.5, "work {work} < lower bound {lower}");
+        prop_assert!(work <= upper + 0.5, "work {work} > serial bound {upper}");
+    }
+
+    /// Total simulated time grows monotonically with per-task work.
+    #[test]
+    fn more_cpu_never_runs_faster(base_ds in 1u32..30, extra_ds in 1u32..30) {
+        let params = p();
+        let mk = |cpu: f64| {
+            let mut spec = JobSpec::new("mono");
+            spec.maps = (0..128)
+                .map(|i| MapTaskSpec {
+                    node: i % params.nodes,
+                    read_bytes: 0,
+                    cpu_secs: cpu,
+                    output_bytes: 0,
+                })
+                .collect();
+            spec
+        };
+        let a = run_job(&mk(base_ds as f64 / 10.0), &params);
+        let b = run_job(&mk((base_ds + extra_ds) as f64 / 10.0), &params);
+        prop_assert!(b.total >= a.total);
+    }
+}

@@ -1,0 +1,235 @@
+//! PDW's physical catalog: hash-distributed and replicated tables, plus the
+//! dwloader load path (Table 2 timings).
+
+use cluster::Params;
+use relational::value::row_bytes;
+use relational::{ops, Catalog, Row, Schema};
+use std::collections::HashMap;
+use tpch::layout::layout_of;
+
+/// Physical distribution of a table.
+pub enum PdwTable {
+    /// Hash-partitioned on a column into `parts.len()` distributions.
+    Hash {
+        schema: Schema,
+        col: usize,
+        parts: Vec<Vec<Row>>,
+    },
+    /// Full copy on every node.
+    Replicated { schema: Schema, rows: Vec<Row> },
+}
+
+impl PdwTable {
+    pub fn schema(&self) -> &Schema {
+        match self {
+            PdwTable::Hash { schema, .. } => schema,
+            PdwTable::Replicated { schema, .. } => schema,
+        }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        match self {
+            PdwTable::Hash { parts, .. } => parts.iter().map(Vec::len).sum(),
+            PdwTable::Replicated { rows, .. } => rows.len(),
+        }
+    }
+
+    pub fn data_bytes(&self) -> u64 {
+        match self {
+            PdwTable::Hash { parts, .. } => parts
+                .iter()
+                .flat_map(|p| p.iter())
+                .map(|r| row_bytes(r))
+                .sum(),
+            PdwTable::Replicated { rows, .. } => rows.iter().map(|r| row_bytes(r)).sum(),
+        }
+    }
+}
+
+/// The PDW database.
+pub struct PdwCatalog {
+    pub tables: HashMap<String, PdwTable>,
+    pub params: Params,
+    pub distributions: usize,
+}
+
+impl PdwCatalog {
+    pub fn table(&self, name: &str) -> &PdwTable {
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("no PDW table `{name}`"))
+    }
+
+    /// TPC-H RF1: bulk-insert rows through the landing node (dwloader
+    /// path), routing each to its hash distribution. Returns simulated
+    /// seconds.
+    pub fn refresh_insert(&mut self, name: &str, rows: Vec<Row>) -> f64 {
+        let bytes: u64 = rows.iter().map(|r| row_bytes(r)).sum();
+        let d = self.distributions;
+        let t = self
+            .tables
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no PDW table `{name}`"));
+        match t {
+            PdwTable::Hash { col, parts, .. } => {
+                let routed = ops::hash_partition(rows, &[*col], d);
+                for (p, new) in parts.iter_mut().zip(routed) {
+                    p.extend(new);
+                }
+            }
+            PdwTable::Replicated { rows: all, .. } => all.extend(rows),
+        }
+        bytes as f64 / self.params.pdw_load_bw_per_node + self.params.pdw_step_overhead
+    }
+
+    /// TPC-H RF2: delete rows whose `key_col` value is in `keys`. The
+    /// paper's configuration has **no indexes** (§3.3.2), so the delete
+    /// scans the table. Returns simulated seconds.
+    pub fn refresh_delete(
+        &mut self,
+        name: &str,
+        key_col: usize,
+        keys: &std::collections::HashSet<i64>,
+    ) -> f64 {
+        let p = self.params.clone();
+        let t = self
+            .tables
+            .get_mut(name)
+            .unwrap_or_else(|| panic!("no PDW table `{name}`"));
+        let total_bytes = match &*t {
+            PdwTable::Hash { parts, .. } => parts
+                .iter()
+                .flat_map(|x| x.iter())
+                .map(|r| row_bytes(r))
+                .sum::<u64>(),
+            PdwTable::Replicated { rows, .. } => {
+                rows.iter().map(|r| row_bytes(r)).sum::<u64>()
+            }
+        };
+        let matches = |r: &Row| {
+            r[key_col]
+                .as_i64()
+                .map(|k| keys.contains(&k))
+                .unwrap_or(false)
+        };
+        match t {
+            PdwTable::Hash { parts, .. } => {
+                for p in parts.iter_mut() {
+                    p.retain(|r| !matches(r));
+                }
+            }
+            PdwTable::Replicated { rows, .. } => rows.retain(|r| !matches(r)),
+        }
+        // Full scan across the distributions to find the victims.
+        total_bytes as f64 / (p.nodes as f64 * p.pdw_scan_bw_per_node) + p.pdw_step_overhead
+    }
+}
+
+impl relational::plan::SchemaProvider for PdwCatalog {
+    fn table_schema(&self, name: &str) -> &Schema {
+        self.table(name).schema()
+    }
+}
+
+/// dwloader timing (Table 2): data is generated on the landing node, split,
+/// and pushed to the compute nodes through the landing node's pipe.
+#[derive(Clone, Debug, Default)]
+pub struct PdwLoadReport {
+    pub total_secs: f64,
+    pub text_bytes: u64,
+}
+
+/// Build the PDW database from a generated TPC-H catalog using the paper's
+/// Table 1 layouts.
+pub fn load_pdw(catalog: &Catalog, params: &Params) -> (PdwCatalog, PdwLoadReport) {
+    let distributions = params.total_distributions() as usize;
+    let mut tables = HashMap::new();
+    let mut report = PdwLoadReport::default();
+
+    for name in tpch::schema::TABLE_NAMES {
+        let table = catalog.get(name);
+        report.text_bytes += table.byte_size();
+        let layout = layout_of(name).pdw;
+        let t = match layout.distribution_col {
+            Some(col) => {
+                let c = table.schema.col(col);
+                let parts = ops::hash_partition(table.rows.clone(), &[c], distributions);
+                PdwTable::Hash {
+                    schema: table.schema.clone(),
+                    col: c,
+                    parts,
+                }
+            }
+            None => PdwTable::Replicated {
+                schema: table.schema.clone(),
+                rows: table.rows.clone(),
+            },
+        };
+        tables.insert(name.to_string(), t);
+    }
+
+    // Landing-node pipe is the bottleneck; dwloader also sorts/validates,
+    // folded into the effective rate.
+    report.total_secs = report.text_bytes as f64 / params.pdw_load_bw_per_node;
+    (
+        PdwCatalog {
+            tables,
+            params: params.clone(),
+            distributions,
+        },
+        report,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpch::{generate, GenConfig};
+
+    #[test]
+    fn layouts_match_table1() {
+        let cat = generate(&GenConfig::new(0.01));
+        let params = Params::paper_dss().scaled(25_000.0);
+        let (pdw, report) = load_pdw(&cat, &params);
+        assert!(matches!(pdw.table("lineitem"), PdwTable::Hash { .. }));
+        assert!(matches!(pdw.table("nation"), PdwTable::Replicated { .. }));
+        assert!(matches!(pdw.table("region"), PdwTable::Replicated { .. }));
+        if let PdwTable::Hash { parts, col, .. } = pdw.table("lineitem") {
+            assert_eq!(parts.len(), 128);
+            assert_eq!(*col, 0); // l_orderkey
+            let total: usize = parts.iter().map(Vec::len).sum();
+            assert_eq!(total, cat.get("lineitem").len());
+        }
+        assert!(report.total_secs > 0.0);
+    }
+
+    #[test]
+    fn hash_distribution_has_no_pathological_skew() {
+        // Unlike Hive's identity-modulo bucketing, PDW's hash function does
+        // not leave distributions empty under sparse order keys.
+        let cat = generate(&GenConfig::new(0.01));
+        let params = Params::paper_dss().scaled(25_000.0);
+        let (pdw, _) = load_pdw(&cat, &params);
+        if let PdwTable::Hash { parts, .. } = pdw.table("lineitem") {
+            let non_empty = parts.iter().filter(|p| !p.is_empty()).count();
+            assert_eq!(non_empty, 128, "every distribution should hold rows");
+            let max = parts.iter().map(Vec::len).max().unwrap();
+            let min = parts.iter().map(Vec::len).min().unwrap();
+            assert!(
+                (max as f64) < (min.max(1) as f64) * 2.5,
+                "skew too high: {min}..{max}"
+            );
+        } else {
+            panic!("lineitem should be hash distributed");
+        }
+    }
+
+    #[test]
+    fn pdw_load_slower_than_hive_at_same_scale() {
+        // Table 2: PDW ~79 min vs Hive ~38 min at 250 GB.
+        let cat = generate(&GenConfig::new(0.01));
+        let params = Params::paper_dss().scaled(25_000.0);
+        let (_, pdw_report) = load_pdw(&cat, &params);
+        assert!(pdw_report.total_secs > 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! In-memory tables and a catalog, used directly by the reference executor
+//! and as the staging area engines load from.
+
+use crate::plan::SchemaProvider;
+use crate::schema::Schema;
+use crate::value::{row_bytes, Row};
+use std::collections::HashMap;
+
+/// A fully materialized table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    pub schema: Schema,
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    pub fn new(schema: Schema, rows: Vec<Row>) -> Self {
+        debug_assert!(
+            rows.iter().all(|r| r.len() == schema.len()),
+            "row arity mismatch"
+        );
+        Table { schema, rows }
+    }
+
+    /// Approximate uncompressed byte size (drives load/scan volume models).
+    pub fn byte_size(&self) -> u64 {
+        self.rows.iter().map(|r| row_bytes(r)).sum()
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Name -> table map.
+#[derive(Default, Clone, Debug)]
+pub struct Catalog {
+    tables: HashMap<String, Table>,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    pub fn add(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    pub fn get(&self, name: &str) -> &Table {
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("no table `{name}` in catalog"))
+    }
+
+    pub fn try_get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+}
+
+impl SchemaProvider for Catalog {
+    fn table_schema(&self, name: &str) -> &Schema {
+        &self.get(name).schema
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::DataType;
+    use crate::value::Value;
+
+    #[test]
+    fn catalog_round_trip() {
+        let mut c = Catalog::new();
+        let schema = Schema::of(&[("a", DataType::I64)]);
+        c.add("t", Table::new(schema, vec![vec![Value::I64(1)]]));
+        assert_eq!(c.get("t").len(), 1);
+        assert_eq!(c.get("t").byte_size(), 8);
+        assert!(c.try_get("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no table `zz`")]
+    fn missing_table_panics() {
+        Catalog::new().get("zz");
+    }
+}

@@ -1,0 +1,126 @@
+//! Civil date arithmetic on "days since 1970-01-01" (proleptic Gregorian).
+//!
+//! Uses Howard Hinnant's `days_from_civil` / `civil_from_days` algorithms.
+//! TPC-H needs: date literals, `+/- interval day`, `+ interval month/year`
+//! (Q4, Q5, Q10, Q20 use month/year arithmetic) and `extract(year ...)`.
+
+/// Days since 1970-01-01 for a civil date.
+pub fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    debug_assert!((1..=12).contains(&m) && (1..=31).contains(&d));
+    let y = y - (m <= 2) as i32;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // Mar=0 .. Feb=11
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Civil date (year, month, day) from days since 1970-01-01.
+pub fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (y + (m <= 2) as i32, m, d)
+}
+
+/// Shorthand date constructor.
+pub fn date(y: i32, m: u32, d: u32) -> i32 {
+    days_from_civil(y, m, d)
+}
+
+/// Extract the year.
+pub fn year(days: i32) -> i32 {
+    civil_from_days(days).0
+}
+
+/// Extract the month (1-12).
+pub fn month(days: i32) -> u32 {
+    civil_from_days(days).1
+}
+
+fn days_in_month(y: i32, m: u32) -> u32 {
+    match m {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (y % 4 == 0 && y % 100 != 0) || y % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("bad month {m}"),
+    }
+}
+
+/// SQL `date + interval 'n' month`: clamps the day to the target month's
+/// length (1999-01-31 + 1 month = 1999-02-28).
+pub fn add_months(days: i32, n: i32) -> i32 {
+    let (y, m, d) = civil_from_days(days);
+    let total = y * 12 + (m as i32 - 1) + n;
+    let (ny, nm) = (total.div_euclid(12), total.rem_euclid(12) as u32 + 1);
+    let nd = d.min(days_in_month(ny, nm));
+    days_from_civil(ny, nm, nd)
+}
+
+/// SQL `date + interval 'n' year`.
+pub fn add_years(days: i32, n: i32) -> i32 {
+    add_months(days, n * 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn round_trip_many_days() {
+        for z in (-200_000..200_000).step_by(37) {
+            let (y, m, d) = civil_from_days(z);
+            assert_eq!(days_from_civil(y, m, d), z);
+        }
+    }
+
+    #[test]
+    fn tpch_interval_arithmetic() {
+        // Q1: date '1998-12-01' - interval '90' day
+        let d = date(1998, 12, 1) - 90;
+        assert_eq!(civil_from_days(d), (1998, 9, 2));
+        // Q4: date '1993-07-01' + interval '3' month
+        assert_eq!(civil_from_days(add_months(date(1993, 7, 1), 3)), (1993, 10, 1));
+        // Q5: date '1994-01-01' + interval '1' year
+        assert_eq!(civil_from_days(add_years(date(1994, 1, 1), 1)), (1995, 1, 1));
+    }
+
+    #[test]
+    fn month_end_clamping() {
+        assert_eq!(civil_from_days(add_months(date(1999, 1, 31), 1)), (1999, 2, 28));
+        assert_eq!(civil_from_days(add_months(date(2000, 1, 31), 1)), (2000, 2, 29));
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(days_in_month(1996, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        assert_eq!(days_in_month(2000, 2), 29);
+    }
+
+    #[test]
+    fn extracts() {
+        let d = date(1995, 6, 17);
+        assert_eq!(year(d), 1995);
+        assert_eq!(month(d), 6);
+    }
+}

@@ -1,0 +1,155 @@
+//! Single-node reference executor: the ground truth every distributed
+//! engine's answers are checked against. Executes a [`LogicalPlan`] by
+//! materializing each operator with the shared kernels in [`crate::ops`].
+
+use crate::catalog::Catalog;
+use crate::ops;
+use crate::plan::LogicalPlan;
+use crate::schema::Schema;
+use crate::value::Row;
+
+/// Execute a plan against a catalog, returning `(schema, rows)`.
+pub fn execute(plan: &LogicalPlan, catalog: &Catalog) -> (Schema, Vec<Row>) {
+    let schema = plan.schema(catalog);
+    let rows = run(plan, catalog);
+    (schema, rows)
+}
+
+fn run(plan: &LogicalPlan, catalog: &Catalog) -> Vec<Row> {
+    match plan {
+        LogicalPlan::Scan { table } => catalog.get(table).rows.clone(),
+        LogicalPlan::Filter { input, pred } => ops::filter(run(input, catalog), pred),
+        LogicalPlan::Project { input, exprs } => ops::project(&run(input, catalog), exprs),
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            residual,
+            ..
+        } => {
+            let l = run(left, catalog);
+            let r = run(right, catalog);
+            let right_width = right.schema(catalog).len();
+            ops::hash_join(&l, &r, on, *kind, residual.as_ref(), right_width)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => ops::hash_aggregate(&run(input, catalog), group_by, aggs),
+        LogicalPlan::Sort { input, keys } => ops::sort(run(input, catalog), keys),
+        LogicalPlan::Limit { input, n } => ops::limit(run(input, catalog), *n),
+        LogicalPlan::Materialize { input, .. } => run(input, catalog),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::Table;
+    use crate::expr::{col, lit_i64};
+    use crate::plan::{AggCall, JoinKind, SortKey};
+    use crate::schema::DataType;
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            "orders",
+            Table::new(
+                Schema::of(&[("o_id", DataType::I64), ("o_cust", DataType::I64)]),
+                vec![
+                    vec![Value::I64(1), Value::I64(10)],
+                    vec![Value::I64(2), Value::I64(10)],
+                    vec![Value::I64(3), Value::I64(20)],
+                ],
+            ),
+        );
+        c.add(
+            "cust",
+            Table::new(
+                Schema::of(&[("c_id", DataType::I64), ("c_name", DataType::Str)]),
+                vec![
+                    vec![Value::I64(10), Value::str("alice")],
+                    vec![Value::I64(20), Value::str("bob")],
+                    vec![Value::I64(30), Value::str("carol")],
+                ],
+            ),
+        );
+        c
+    }
+
+    #[test]
+    fn join_group_sort_pipeline() {
+        let c = catalog();
+        // SELECT c_name, count(*) FROM cust JOIN orders ON c_id=o_cust
+        // GROUP BY c_name ORDER BY count DESC, name ASC
+        let plan = LogicalPlan::scan("cust")
+            .join(LogicalPlan::scan("orders"), vec![(0, 1)])
+            .aggregate(
+                vec![(col(1), "c_name")],
+                vec![AggCall::count_star("n")],
+            )
+            .sort(vec![SortKey::desc(col(1)), SortKey::asc(col(0))]);
+        let (schema, rows) = execute(&plan, &c);
+        assert_eq!(schema.col("n"), 1);
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::str("alice"), Value::I64(2)],
+                vec![Value::str("bob"), Value::I64(1)],
+            ]
+        );
+    }
+
+    #[test]
+    fn anti_join_finds_customers_without_orders() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("cust").join_kind(
+            LogicalPlan::scan("orders"),
+            JoinKind::LeftAnti,
+            vec![(0, 1)],
+            None,
+        );
+        let (_, rows) = execute(&plan, &c);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][1], Value::str("carol"));
+    }
+
+    #[test]
+    fn scalar_subquery_via_cross_join() {
+        let c = catalog();
+        // SELECT o_id FROM orders WHERE o_id > (SELECT avg(o_id) FROM orders)
+        let scalar = LogicalPlan::scan("orders")
+            .aggregate(vec![], vec![AggCall::avg(col(0), "a")]);
+        let plan = LogicalPlan::scan("orders")
+            .join_kind(
+                scalar,
+                JoinKind::Inner,
+                vec![],
+                Some(col(0).gt(col(2))),
+            )
+            .project(vec![(col(0), "o_id")]);
+        let (_, rows) = execute(&plan, &c);
+        assert_eq!(rows, vec![vec![Value::I64(3)]]);
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("orders")
+            .sort(vec![SortKey::desc(col(0))])
+            .limit(1);
+        let (_, rows) = execute(&plan, &c);
+        assert_eq!(rows, vec![vec![Value::I64(3), Value::I64(20)]]);
+    }
+
+    #[test]
+    fn filter_with_literal() {
+        let c = catalog();
+        let plan = LogicalPlan::scan("orders").filter(col(1).eq(lit_i64(10)));
+        let (_, rows) = execute(&plan, &c);
+        assert_eq!(rows.len(), 2);
+    }
+}

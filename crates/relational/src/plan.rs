@@ -1,0 +1,533 @@
+//! The logical relational algebra shared by every engine.
+//!
+//! TPC-H queries are built once as `LogicalPlan`s (in the `tpch` crate);
+//! the PDW engine lowers them with a cost-based optimizer, the Hive engine
+//! lowers them syntax-directed into MapReduce DAGs, and the reference
+//! executor in [`crate::exec`] runs them directly as ground truth.
+//!
+//! Correlated / scalar subqueries are expressed structurally: semi/anti
+//! joins for EXISTS / NOT EXISTS / IN, and joins against aggregated subplans
+//! for scalar comparisons (standard manual decorrelation, mirroring how the
+//! Hive team hand-split the TPC-H scripts).
+
+use crate::expr::Expr;
+use crate::schema::{DataType, Field, Schema};
+
+/// Join variants used by TPC-H.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JoinKind {
+    Inner,
+    /// Left outer (Q13 needs it).
+    Left,
+    /// EXISTS / IN.
+    LeftSemi,
+    /// NOT EXISTS / NOT IN.
+    LeftAnti,
+}
+
+/// Aggregate functions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+    CountDistinct,
+}
+
+/// One aggregate call, e.g. `sum(l_extendedprice * (1 - l_discount))`.
+#[derive(Clone, Debug)]
+pub struct AggCall {
+    pub func: AggFunc,
+    /// `None` only for `COUNT(*)`.
+    pub arg: Option<Expr>,
+    /// Output column name.
+    pub name: String,
+}
+
+impl AggCall {
+    pub fn new(func: AggFunc, arg: Option<Expr>, name: impl Into<String>) -> Self {
+        AggCall {
+            func,
+            arg,
+            name: name.into(),
+        }
+    }
+    pub fn count_star(name: impl Into<String>) -> Self {
+        Self::new(AggFunc::Count, None, name)
+    }
+    pub fn sum(arg: Expr, name: impl Into<String>) -> Self {
+        Self::new(AggFunc::Sum, Some(arg), name)
+    }
+    pub fn avg(arg: Expr, name: impl Into<String>) -> Self {
+        Self::new(AggFunc::Avg, Some(arg), name)
+    }
+    pub fn min(arg: Expr, name: impl Into<String>) -> Self {
+        Self::new(AggFunc::Min, Some(arg), name)
+    }
+    pub fn max(arg: Expr, name: impl Into<String>) -> Self {
+        Self::new(AggFunc::Max, Some(arg), name)
+    }
+    pub fn count_distinct(arg: Expr, name: impl Into<String>) -> Self {
+        Self::new(AggFunc::CountDistinct, Some(arg), name)
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Clone, Debug)]
+pub struct SortKey {
+    pub expr: Expr,
+    pub desc: bool,
+}
+
+impl SortKey {
+    pub fn asc(expr: Expr) -> Self {
+        SortKey { expr, desc: false }
+    }
+    pub fn desc(expr: Expr) -> Self {
+        SortKey { expr, desc: true }
+    }
+}
+
+/// A logical plan node.
+#[derive(Clone, Debug)]
+pub enum LogicalPlan {
+    Scan {
+        table: String,
+    },
+    Filter {
+        input: Box<LogicalPlan>,
+        pred: Expr,
+    },
+    Project {
+        input: Box<LogicalPlan>,
+        exprs: Vec<(Expr, String)>,
+    },
+    /// Equi-join on `on` column pairs (left idx, right idx) plus an optional
+    /// residual predicate over the concatenated `[left ++ right]` row.
+    /// An empty `on` list is a nested-loop cross join (used for joining a
+    /// single-row scalar-aggregate subplan).
+    Join {
+        left: Box<LogicalPlan>,
+        right: Box<LogicalPlan>,
+        kind: JoinKind,
+        on: Vec<(usize, usize)>,
+        residual: Option<Expr>,
+        /// A `/*+ MAPJOIN */` hint (the hand-written Hive scripts carry
+        /// these). Hive attempts a map-side join even when the size
+        /// heuristics are pessimistic — and may fail at runtime (Q22).
+        /// Other engines ignore it.
+        mapjoin_hint: bool,
+    },
+    /// Hash aggregate. An empty `group_by` is a global aggregate producing
+    /// exactly one row (even over empty input).
+    Aggregate {
+        input: Box<LogicalPlan>,
+        group_by: Vec<(Expr, String)>,
+        aggs: Vec<AggCall>,
+    },
+    Sort {
+        input: Box<LogicalPlan>,
+        keys: Vec<SortKey>,
+    },
+    Limit {
+        input: Box<LogicalPlan>,
+        n: usize,
+    },
+    /// An explicit materialization boundary: the Hive TPC-H scripts write
+    /// intermediate results into temp tables (`INSERT OVERWRITE ... tmp`),
+    /// which forces a job boundary and loses physical properties like
+    /// bucketing. The reference executor and the PDW optimizer treat this
+    /// as a pass-through; the Hive lowering honours it.
+    Materialize {
+        input: Box<LogicalPlan>,
+        label: String,
+    },
+}
+
+/// Resolves table names to schemas during plan-schema derivation.
+pub trait SchemaProvider {
+    fn table_schema(&self, name: &str) -> &Schema;
+}
+
+impl LogicalPlan {
+    pub fn scan(table: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Scan {
+            table: table.into(),
+        }
+    }
+
+    pub fn filter(self, pred: Expr) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            pred,
+        }
+    }
+
+    pub fn project(self, exprs: Vec<(Expr, &str)>) -> LogicalPlan {
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs: exprs
+                .into_iter()
+                .map(|(e, n)| (e, n.to_string()))
+                .collect(),
+        }
+    }
+
+    pub fn join(self, right: LogicalPlan, on: Vec<(usize, usize)>) -> LogicalPlan {
+        self.join_kind(right, JoinKind::Inner, on, None)
+    }
+
+    pub fn join_kind(
+        self,
+        right: LogicalPlan,
+        kind: JoinKind,
+        on: Vec<(usize, usize)>,
+        residual: Option<Expr>,
+    ) -> LogicalPlan {
+        LogicalPlan::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+            kind,
+            on,
+            residual,
+            mapjoin_hint: false,
+        }
+    }
+
+    /// Attach a MAPJOIN hint to this node (must be a Join).
+    pub fn hint_mapjoin(mut self) -> LogicalPlan {
+        match &mut self {
+            LogicalPlan::Join { mapjoin_hint, .. } => *mapjoin_hint = true,
+            other => panic!("hint_mapjoin on non-join plan {other:?}"),
+        }
+        self
+    }
+
+    pub fn aggregate(self, group_by: Vec<(Expr, &str)>, aggs: Vec<AggCall>) -> LogicalPlan {
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by: group_by
+                .into_iter()
+                .map(|(e, n)| (e, n.to_string()))
+                .collect(),
+            aggs,
+        }
+    }
+
+    pub fn sort(self, keys: Vec<SortKey>) -> LogicalPlan {
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            keys,
+        }
+    }
+
+    pub fn limit(self, n: usize) -> LogicalPlan {
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            n,
+        }
+    }
+
+    /// Mark a temp-table boundary (see [`LogicalPlan::Materialize`]).
+    pub fn materialize(self, label: impl Into<String>) -> LogicalPlan {
+        LogicalPlan::Materialize {
+            input: Box::new(self),
+            label: label.into(),
+        }
+    }
+
+    /// Derive the output schema against a catalog.
+    pub fn schema(&self, provider: &dyn SchemaProvider) -> Schema {
+        match self {
+            LogicalPlan::Scan { table } => provider.table_schema(table).clone(),
+            LogicalPlan::Filter { input, .. } => input.schema(provider),
+            LogicalPlan::Project { input, exprs } => {
+                let in_schema = input.schema(provider);
+                Schema::new(
+                    exprs
+                        .iter()
+                        .map(|(e, n)| Field::new(n.clone(), infer_type(e, &in_schema)))
+                        .collect(),
+                )
+            }
+            LogicalPlan::Join {
+                left, right, kind, ..
+            } => {
+                let ls = left.schema(provider);
+                match kind {
+                    JoinKind::LeftSemi | JoinKind::LeftAnti => ls,
+                    _ => ls.join(&right.schema(provider)),
+                }
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let in_schema = input.schema(provider);
+                let mut fields: Vec<Field> = group_by
+                    .iter()
+                    .map(|(e, n)| Field::new(n.clone(), infer_type(e, &in_schema)))
+                    .collect();
+                for a in aggs {
+                    let ty = match a.func {
+                        AggFunc::Count | AggFunc::CountDistinct => DataType::I64,
+                        AggFunc::Sum | AggFunc::Avg => DataType::F64,
+                        AggFunc::Min | AggFunc::Max => a
+                            .arg
+                            .as_ref()
+                            .map(|e| infer_type(e, &in_schema))
+                            .unwrap_or(DataType::F64),
+                    };
+                    fields.push(Field::new(a.name.clone(), ty));
+                }
+                Schema::new(fields)
+            }
+            LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Materialize { input, .. } => input.schema(provider),
+        }
+    }
+
+    /// All base tables referenced by the plan (deduplicated, in first-use
+    /// order). Engines use this for data-placement decisions.
+    pub fn tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        match self {
+            LogicalPlan::Scan { table } => {
+                if !out.contains(table) {
+                    out.push(table.clone());
+                }
+            }
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Materialize { input, .. } => input.collect_tables(out),
+            LogicalPlan::Join { left, right, .. } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+        }
+    }
+}
+
+impl LogicalPlan {
+    /// Validate that every column reference in the plan is in range for
+    /// its input schema — a structural check for hand-built plans. Returns
+    /// a description of the first violation.
+    pub fn validate(&self, provider: &dyn SchemaProvider) -> Result<(), String> {
+        fn check_expr(e: &Expr, width: usize, at: &str) -> Result<(), String> {
+            let mut cols = std::collections::BTreeSet::new();
+            e.referenced_cols(&mut cols);
+            match cols.iter().find(|&&c| c >= width) {
+                Some(c) => Err(format!("{at}: column #{c} out of range (width {width})")),
+                None => Ok(()),
+            }
+        }
+        match self {
+            LogicalPlan::Scan { .. } => Ok(()),
+            LogicalPlan::Filter { input, pred } => {
+                input.validate(provider)?;
+                check_expr(pred, input.schema(provider).len(), "Filter")
+            }
+            LogicalPlan::Project { input, exprs } => {
+                input.validate(provider)?;
+                let w = input.schema(provider).len();
+                for (e, n) in exprs {
+                    check_expr(e, w, &format!("Project {n}"))?;
+                }
+                Ok(())
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                kind,
+                on,
+                residual,
+                ..
+            } => {
+                left.validate(provider)?;
+                right.validate(provider)?;
+                let lw = left.schema(provider).len();
+                let rw = right.schema(provider).len();
+                for &(l, r) in on {
+                    if l >= lw {
+                        return Err(format!("Join: left key #{l} out of range ({lw})"));
+                    }
+                    if r >= rw {
+                        return Err(format!("Join: right key #{r} out of range ({rw})"));
+                    }
+                }
+                if let Some(res) = residual {
+                    check_expr(res, lw + rw, "Join residual")?;
+                }
+                if matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti) && on.is_empty() {
+                    return Err("semi/anti join needs at least one key".to_string());
+                }
+                Ok(())
+            }
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
+                input.validate(provider)?;
+                let w = input.schema(provider).len();
+                for (e, n) in group_by {
+                    check_expr(e, w, &format!("Aggregate key {n}"))?;
+                }
+                for a in aggs {
+                    if let Some(e) = &a.arg {
+                        check_expr(e, w, &format!("Aggregate {}", a.name))?;
+                    }
+                }
+                Ok(())
+            }
+            LogicalPlan::Sort { input, keys } => {
+                input.validate(provider)?;
+                let w = input.schema(provider).len();
+                for k in keys {
+                    check_expr(&k.expr, w, "Sort key")?;
+                }
+                Ok(())
+            }
+            LogicalPlan::Limit { input, .. } | LogicalPlan::Materialize { input, .. } => {
+                input.validate(provider)
+            }
+        }
+    }
+}
+
+/// Best-effort static type of an expression over a schema. Only needs to be
+/// right enough for schema derivation (column name resolution + display).
+pub fn infer_type(e: &Expr, schema: &Schema) -> DataType {
+    use crate::expr::ArithOp;
+    match e {
+        Expr::Col(i) => schema.field(*i).ty,
+        Expr::Lit(v) => match v {
+            crate::value::Value::Null => DataType::Str,
+            crate::value::Value::Bool(_) => DataType::Bool,
+            crate::value::Value::I64(_) => DataType::I64,
+            crate::value::Value::F64(_) => DataType::F64,
+            crate::value::Value::Decimal(_) => DataType::Decimal,
+            crate::value::Value::Date(_) => DataType::Date,
+            crate::value::Value::Str(_) => DataType::Str,
+        },
+        Expr::Cmp(..)
+        | Expr::And(_)
+        | Expr::Or(_)
+        | Expr::Not(_)
+        | Expr::Like(..)
+        | Expr::NotLike(..)
+        | Expr::InList(..)
+        | Expr::Between(..)
+        | Expr::IsNull(_) => DataType::Bool,
+        Expr::Arith(op, a, _) => {
+            // date +/- days stays a date
+            if matches!(op, ArithOp::Add | ArithOp::Sub)
+                && infer_type(a, schema) == DataType::Date
+            {
+                DataType::Date
+            } else {
+                DataType::F64
+            }
+        }
+        Expr::Case { whens, otherwise } => whens
+            .first()
+            .map(|(_, out)| infer_type(out, schema))
+            .unwrap_or_else(|| infer_type(otherwise, schema)),
+        Expr::Substr(..) => DataType::Str,
+        Expr::ExtractYear(_) => DataType::I64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit_i64};
+    use std::collections::HashMap;
+
+    struct P(HashMap<String, Schema>);
+    impl SchemaProvider for P {
+        fn table_schema(&self, name: &str) -> &Schema {
+            &self.0[name]
+        }
+    }
+
+    fn provider() -> P {
+        let mut m = HashMap::new();
+        m.insert(
+            "t".to_string(),
+            Schema::of(&[("a", DataType::I64), ("b", DataType::Str)]),
+        );
+        m.insert(
+            "u".to_string(),
+            Schema::of(&[("c", DataType::I64), ("d", DataType::Date)]),
+        );
+        P(m)
+    }
+
+    #[test]
+    fn schema_flows_through_operators() {
+        let p = provider();
+        let plan = LogicalPlan::scan("t")
+            .filter(col(0).gt(lit_i64(1)))
+            .join(LogicalPlan::scan("u"), vec![(0, 0)])
+            .project(vec![(col(1), "b"), (col(3), "d")]);
+        let s = plan.schema(&p);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.field(0).ty, DataType::Str);
+        assert_eq!(s.field(1).ty, DataType::Date);
+    }
+
+    #[test]
+    fn semi_join_keeps_left_schema() {
+        let p = provider();
+        let plan = LogicalPlan::scan("t").join_kind(
+            LogicalPlan::scan("u"),
+            JoinKind::LeftSemi,
+            vec![(0, 0)],
+            None,
+        );
+        assert_eq!(plan.schema(&p).len(), 2);
+    }
+
+    #[test]
+    fn aggregate_schema() {
+        let p = provider();
+        let plan = LogicalPlan::scan("t").aggregate(
+            vec![(col(1), "b")],
+            vec![AggCall::count_star("cnt"), AggCall::sum(col(0), "total")],
+        );
+        let s = plan.schema(&p);
+        assert_eq!(s.col("cnt"), 1);
+        assert_eq!(s.field(1).ty, DataType::I64);
+        assert_eq!(s.field(2).ty, DataType::F64);
+    }
+
+    #[test]
+    fn tables_deduplicated_in_order() {
+        let plan = LogicalPlan::scan("t")
+            .join(LogicalPlan::scan("u"), vec![(0, 0)])
+            .join(LogicalPlan::scan("t"), vec![(0, 0)]);
+        assert_eq!(plan.tables(), vec!["t".to_string(), "u".to_string()]);
+    }
+
+    #[test]
+    fn date_arith_infers_date() {
+        let p = provider();
+        let s = LogicalPlan::scan("u")
+            .project(vec![(col(1).add(lit_i64(30)), "d30")])
+            .schema(&p);
+        assert_eq!(s.field(0).ty, DataType::Date);
+    }
+}

@@ -1,0 +1,158 @@
+//! Named, typed column schemas.
+
+use crate::value::Value;
+use std::fmt;
+
+/// Column data types (the subset TPC-H and YCSB need).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DataType {
+    Bool,
+    I64,
+    F64,
+    Decimal,
+    Date,
+    Str,
+}
+
+impl DataType {
+    /// Does a concrete value inhabit this type (NULL inhabits all)?
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (DataType::Bool, Value::Bool(_))
+                | (DataType::I64, Value::I64(_))
+                | (DataType::F64, Value::F64(_))
+                | (DataType::Decimal, Value::Decimal(_))
+                | (DataType::Date, Value::Date(_))
+                | (DataType::Str, Value::Str(_))
+        )
+    }
+}
+
+/// A named column.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Field {
+    pub name: String,
+    pub ty: DataType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, ty: DataType) -> Self {
+        Field {
+            name: name.into(),
+            ty,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(cols: &[(&str, DataType)]) -> Self {
+        Schema {
+            fields: cols.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
+        }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a column by name; panics with a clear message if missing
+    /// (schemas are fixed at plan-construction time, so this is a
+    /// programming error, not a runtime condition).
+    pub fn col(&self, name: &str) -> usize {
+        self.index_of(name)
+            .unwrap_or_else(|| panic!("no column `{name}` in schema {self}"))
+    }
+
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// Concatenate two schemas (join output).
+    pub fn join(&self, other: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        fields.extend(other.fields.iter().cloned());
+        Schema { fields }
+    }
+
+    /// Keep a subset of columns by index (projection).
+    pub fn project(&self, indices: &[usize]) -> Schema {
+        Schema {
+            fields: indices.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, fld) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{:?}", fld.name, fld.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_and_project() {
+        let s = Schema::of(&[("a", DataType::I64), ("b", DataType::Str)]);
+        assert_eq!(s.col("b"), 1);
+        assert_eq!(s.index_of("zz"), None);
+        let p = s.project(&[1]);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p.field(0).name, "b");
+    }
+
+    #[test]
+    #[should_panic(expected = "no column `zz`")]
+    fn missing_column_panics() {
+        Schema::of(&[("a", DataType::I64)]).col("zz");
+    }
+
+    #[test]
+    fn join_concatenates() {
+        let a = Schema::of(&[("x", DataType::I64)]);
+        let b = Schema::of(&[("y", DataType::Date)]);
+        let j = a.join(&b);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.col("y"), 1);
+    }
+
+    #[test]
+    fn admits_checks_types() {
+        assert!(DataType::I64.admits(&Value::I64(1)));
+        assert!(DataType::I64.admits(&Value::Null));
+        assert!(!DataType::I64.admits(&Value::str("x")));
+    }
+}

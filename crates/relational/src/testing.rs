@@ -1,0 +1,121 @@
+//! Helpers for cross-engine answer-equality tests: canonical row ordering
+//! and tolerant comparison (distributed engines sum floats in different
+//! orders, so exact equality of `F64` cells is too strict).
+
+use crate::value::{Row, Value};
+
+/// Relative tolerance used when comparing float cells across engines.
+pub const DEFAULT_TOLERANCE: f64 = 1e-9;
+
+/// Sort rows into a canonical order (total order on `Value`).
+pub fn normalize(rows: &mut [Row]) {
+    rows.sort();
+}
+
+/// Compare two cells: floats within relative tolerance, everything else
+/// exactly. Numeric representations that compare equal under `Value`'s
+/// total order are equal here too.
+pub fn value_approx_eq(a: &Value, b: &Value, tol: f64) -> bool {
+    match (a.as_f64(), b.as_f64()) {
+        (Some(x), Some(y)) => {
+            if x == y {
+                return true;
+            }
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= tol * scale
+        }
+        _ => a == b,
+    }
+}
+
+/// Compare two result sets ignoring row order.
+pub fn rows_approx_eq(a: &[Row], b: &[Row], tol: f64) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut a: Vec<Row> = a.to_vec();
+    let mut b: Vec<Row> = b.to_vec();
+    normalize(&mut a);
+    normalize(&mut b);
+    a.iter().zip(&b).all(|(ra, rb)| {
+        ra.len() == rb.len()
+            && ra
+                .iter()
+                .zip(rb)
+                .all(|(va, vb)| value_approx_eq(va, vb, tol))
+    })
+}
+
+/// Compare two result sets *respecting* row order (for ORDER BY outputs).
+pub fn rows_approx_eq_ordered(a: &[Row], b: &[Row], tol: f64) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.len() == rb.len()
+                && ra
+                    .iter()
+                    .zip(rb)
+                    .all(|(va, vb)| value_approx_eq(va, vb, tol))
+        })
+}
+
+/// Panic with a readable diff if the result sets differ (unordered).
+pub fn assert_rows_match(label: &str, got: &[Row], want: &[Row]) {
+    if !rows_approx_eq(got, want, DEFAULT_TOLERANCE) {
+        let render = |rows: &[Row]| -> String {
+            let mut rows = rows.to_vec();
+            normalize(&mut rows);
+            rows.iter()
+                .take(12)
+                .map(|r| {
+                    r.iter()
+                        .map(Value::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" | ")
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        panic!(
+            "{label}: result mismatch\n-- got ({} rows) --\n{}\n-- want ({} rows) --\n{}",
+            got.len(),
+            render(got),
+            want.len(),
+            render(want)
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_tolerance() {
+        let a = vec![vec![Value::F64(1.0), Value::str("x")]];
+        let b = vec![vec![Value::F64(1.0 + 1e-12), Value::str("x")]];
+        assert!(rows_approx_eq(&a, &b, 1e-9));
+        let c = vec![vec![Value::F64(1.01), Value::str("x")]];
+        assert!(!rows_approx_eq(&a, &c, 1e-9));
+    }
+
+    #[test]
+    fn order_insensitive() {
+        let a = vec![vec![Value::I64(1)], vec![Value::I64(2)]];
+        let b = vec![vec![Value::I64(2)], vec![Value::I64(1)]];
+        assert!(rows_approx_eq(&a, &b, 1e-9));
+        assert!(!rows_approx_eq_ordered(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn mixed_numeric_reprs_compare_equal() {
+        let a = vec![vec![Value::I64(3)]];
+        let b = vec![vec![Value::Decimal(300)]];
+        assert!(rows_approx_eq(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let a = vec![vec![Value::I64(1)]];
+        assert!(!rows_approx_eq(&a, &[], 1e-9));
+    }
+}

@@ -1,0 +1,252 @@
+//! The dynamic value type shared by all engines.
+//!
+//! `Value` implements a *total* order (NULL sorts first, floats via
+//! `total_cmp`) so it can serve as a grouping / sort / join key everywhere.
+//! Decimals are fixed-point with two fractional digits (TPC-H money and
+//! percentage columns); arithmetic that would lose precision is promoted to
+//! `F64`, matching how both engines in the paper compute aggregate
+//! expressions like `sum(l_extendedprice * (1 - l_discount))`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single column value.
+#[derive(Clone, Debug)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    I64(i64),
+    F64(f64),
+    /// Fixed-point decimal with 2 fractional digits, stored as hundredths
+    /// (`Decimal(12345)` is `123.45`).
+    Decimal(i64),
+    /// Days since 1970-01-01 (proleptic Gregorian).
+    Date(i32),
+    Str(Arc<str>),
+}
+
+/// A materialized row.
+pub type Row = Vec<Value>;
+
+impl Value {
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build a decimal from a float (rounded to hundredths).
+    pub fn decimal(v: f64) -> Value {
+        Value::Decimal((v * 100.0).round() as i64)
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view for arithmetic (decimals as their real value).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            Value::Decimal(v) => Some(*v as f64 / 100.0),
+            Value::Date(v) => Some(*v as f64),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::I64(v) => Some(*v),
+            Value::Date(v) => Some(*v as i64),
+            Value::Bool(b) => Some(*b as i64),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            Value::Null => None,
+            _ => None,
+        }
+    }
+
+    /// Approximate serialized width in bytes; drives the I/O volume model.
+    pub fn byte_width(&self) -> u64 {
+        match self {
+            Value::Null => 1,
+            Value::Bool(_) => 1,
+            Value::I64(_) => 8,
+            Value::F64(_) => 8,
+            Value::Decimal(_) => 8,
+            Value::Date(_) => 4,
+            Value::Str(s) => 4 + s.len() as u64,
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::I64(_) | Value::F64(_) | Value::Decimal(_) => 2,
+            Value::Date(_) => 3,
+            Value::Str(_) => 4,
+        }
+    }
+}
+
+/// Approximate serialized width of a whole row.
+pub fn row_bytes(row: &[Value]) -> u64 {
+    row.iter().map(Value::byte_width).sum()
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (I64(a), I64(b)) => a.cmp(b),
+            (Decimal(a), Decimal(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (Str(a), Str(b)) => a.as_ref().cmp(b.as_ref()),
+            (F64(a), F64(b)) => a.total_cmp(b),
+            // Mixed numerics compare by real value (I64 vs Decimal vs F64).
+            (a, b) if a.rank() == 2 && b.rank() == 2 => {
+                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                x.total_cmp(&y)
+            }
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // All numerics hash through their f64 bits so that values that
+            // compare equal across representations hash identically.
+            Value::I64(_) | Value::F64(_) | Value::Decimal(_) => {
+                2u8.hash(state);
+                let f = self.as_f64().unwrap();
+                // Normalize -0.0 to 0.0 for hash/eq coherence under total_cmp?
+                // total_cmp distinguishes -0.0 and 0.0, so bit hashing is
+                // coherent with Ord as-is.
+                f.to_bits().hash(state);
+            }
+            Value::Date(d) => {
+                3u8.hash(state);
+                d.hash(state);
+            }
+            Value::Str(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v:.4}"),
+            Value::Decimal(v) => {
+                let sign = if *v < 0 { "-" } else { "" };
+                let a = v.unsigned_abs();
+                write!(f, "{sign}{}.{:02}", a / 100, a % 100)
+            }
+            Value::Date(d) => {
+                let (y, m, dd) = crate::date::civil_from_days(*d);
+                write!(f, "{y:04}-{m:02}-{dd:02}")
+            }
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(v: &Value) -> u64 {
+        let mut s = DefaultHasher::new();
+        v.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn total_order_with_nulls_first() {
+        let mut vals = [Value::I64(5),
+            Value::Null,
+            Value::str("abc"),
+            Value::I64(-1),
+            Value::Bool(true)];
+        vals.sort();
+        assert_eq!(vals[0], Value::Null);
+        assert_eq!(vals[1], Value::Bool(true));
+        assert_eq!(vals[2], Value::I64(-1));
+        assert_eq!(vals[3], Value::I64(5));
+    }
+
+    #[test]
+    fn mixed_numeric_equality_and_hash_coherent() {
+        let a = Value::I64(3);
+        let b = Value::Decimal(300);
+        let c = Value::F64(3.0);
+        assert_eq!(a, b);
+        assert_eq!(b, c);
+        assert_eq!(h(&a), h(&b));
+        assert_eq!(h(&b), h(&c));
+    }
+
+    #[test]
+    fn decimal_display() {
+        assert_eq!(Value::Decimal(12345).to_string(), "123.45");
+        assert_eq!(Value::Decimal(-7).to_string(), "-0.07");
+        assert_eq!(Value::decimal(0.1), Value::Decimal(10));
+    }
+
+    #[test]
+    fn byte_widths() {
+        assert_eq!(Value::I64(1).byte_width(), 8);
+        assert_eq!(Value::str("hello").byte_width(), 9);
+        assert_eq!(row_bytes(&[Value::I64(1), Value::str("xy")]), 14);
+    }
+
+    #[test]
+    fn date_display() {
+        let d = crate::date::date(1998, 12, 1);
+        assert_eq!(Value::Date(d).to_string(), "1998-12-01");
+    }
+}

@@ -1,0 +1,180 @@
+//! Property-based tests: operator kernels against naive reference
+//! implementations, and the invariants distributed execution relies on.
+
+use proptest::prelude::*;
+use relational::expr::{col, like_match};
+use relational::{ops, AggCall, JoinKind, Row, Value};
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    (0i64..50, 0i64..20, -100i64..100).prop_map(|(a, b, c)| {
+        vec![Value::I64(a), Value::I64(b), Value::I64(c)]
+    })
+}
+
+fn arb_rows(max: usize) -> impl Strategy<Value = Vec<Row>> {
+    proptest::collection::vec(arb_row(), 0..max)
+}
+
+// ---- hash join vs nested loop ---------------------------------------------
+
+fn nested_loop_inner(l: &[Row], r: &[Row], lc: usize, rc: usize) -> Vec<Row> {
+    let mut out = Vec::new();
+    for a in l {
+        for b in r {
+            if !a[lc].is_null() && a[lc] == b[rc] {
+                let mut row = a.clone();
+                row.extend(b.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn hash_join_matches_nested_loop(l in arb_rows(60), r in arb_rows(60)) {
+        let mut got = ops::hash_join(&l, &r, &[(0, 0)], JoinKind::Inner, None, 3);
+        let mut want = nested_loop_inner(&l, &r, 0, 0);
+        got.sort();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn semi_plus_anti_partition_the_left(l in arb_rows(60), r in arb_rows(60)) {
+        let semi = ops::hash_join(&l, &r, &[(0, 0)], JoinKind::LeftSemi, None, 3);
+        let anti = ops::hash_join(&l, &r, &[(0, 0)], JoinKind::LeftAnti, None, 3);
+        prop_assert_eq!(semi.len() + anti.len(), l.len());
+        let mut both = semi;
+        both.extend(anti);
+        both.sort();
+        let mut left = l.clone();
+        left.sort();
+        prop_assert_eq!(both, left);
+    }
+
+    #[test]
+    fn left_join_keeps_every_left_row(l in arb_rows(40), r in arb_rows(40)) {
+        let out = ops::hash_join(&l, &r, &[(0, 0)], JoinKind::Left, None, 3);
+        // Each left row appears max(1, matches) times.
+        prop_assert!(out.len() >= l.len());
+        let inner = ops::hash_join(&l, &r, &[(0, 0)], JoinKind::Inner, None, 3);
+        let unmatched = out.iter().filter(|row| row[3].is_null()).count();
+        prop_assert_eq!(inner.len() + unmatched, out.len());
+    }
+}
+
+// ---- distributed aggregation invariant --------------------------------------
+
+proptest! {
+    #[test]
+    fn partial_merge_equals_oneshot_for_any_split(
+        rows in arb_rows(120),
+        split in 0usize..120,
+    ) {
+        let gb = [(col(0), "g".to_string())];
+        let aggs = [
+            AggCall::sum(col(2), "s"),
+            AggCall::count_star("n"),
+            AggCall::min(col(2), "lo"),
+            AggCall::max(col(2), "hi"),
+            AggCall::avg(col(2), "a"),
+            AggCall::count_distinct(col(1), "d"),
+        ];
+        let split = split.min(rows.len());
+        let p1 = ops::aggregate_partial(&rows[..split], &gb, &aggs);
+        let p2 = ops::aggregate_partial(&rows[split..], &gb, &aggs);
+        let mut merged = ops::aggregate_finish(ops::aggregate_merge(p1, p2));
+        let mut oneshot = ops::hash_aggregate(&rows, &gb, &aggs);
+        merged.sort();
+        oneshot.sort();
+        prop_assert!(relational::testing::rows_approx_eq(&merged, &oneshot, 1e-9));
+    }
+
+    #[test]
+    fn hash_partition_is_a_partition(rows in arb_rows(150), n in 1usize..20) {
+        let parts = ops::hash_partition(rows.clone(), &[0], n);
+        prop_assert_eq!(parts.len(), n);
+        let total: usize = parts.iter().map(Vec::len).sum();
+        prop_assert_eq!(total, rows.len());
+        // Same key never lands in two partitions.
+        for (i, p) in parts.iter().enumerate() {
+            for row in p {
+                prop_assert_eq!(ops::bucket_of(row, &[0], n), i);
+            }
+        }
+        // Co-partitioned join equals global join.
+        let parts_b = ops::hash_partition(rows.clone(), &[0], n);
+        let mut partitioned: Vec<Row> = Vec::new();
+        for i in 0..n {
+            partitioned.extend(ops::hash_join(
+                &parts[i], &parts_b[i], &[(0, 0)], JoinKind::Inner, None, 3,
+            ));
+        }
+        let mut global = ops::hash_join(&rows, &rows, &[(0, 0)], JoinKind::Inner, None, 3);
+        partitioned.sort();
+        global.sort();
+        prop_assert_eq!(partitioned, global);
+    }
+}
+
+// ---- LIKE matcher vs naive backtracking reference ----------------------------
+
+fn naive_like(s: &[char], p: &[char]) -> bool {
+    match (s.first(), p.first()) {
+        (_, None) => s.is_empty(),
+        (_, Some('%')) => naive_like(s, &p[1..]) || (!s.is_empty() && naive_like(&s[1..], p)),
+        (Some(c), Some(pc)) if *pc == '_' || pc == c => naive_like(&s[1..], &p[1..]),
+        _ => false,
+    }
+}
+
+proptest! {
+    #[test]
+    fn like_matches_reference(s in "[abc]{0,12}", p in "[abc%_]{0,8}") {
+        let sc: Vec<char> = s.chars().collect();
+        let pc: Vec<char> = p.chars().collect();
+        prop_assert_eq!(like_match(&s, &p), naive_like(&sc, &pc));
+    }
+}
+
+// ---- value total order ---------------------------------------------------------
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i32>().prop_map(|v| Value::I64(v as i64)),
+        (-1000i64..1000).prop_map(Value::Decimal),
+        (-10000i32..10000).prop_map(Value::Date),
+        any::<f32>().prop_filter("finite", |f| f.is_finite())
+            .prop_map(|f| Value::F64(f as f64)),
+        "[a-z]{0,6}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn value_order_is_total_and_consistent(
+        a in arb_value(), b in arb_value(), c in arb_value()
+    ) {
+        use std::cmp::Ordering;
+        // Antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity (of <=).
+        if a.cmp(&b) != Ordering::Greater && b.cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.cmp(&c), Ordering::Greater);
+        }
+        // Eq ⇒ equal hashes.
+        if a == b {
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Countdown latches: fire a continuation when N contributing activities
+//! have all completed (e.g., "reduce phase starts when every map task is
+//! done", "query finishes when every compute node reports").
+
+use crate::sim::{Event, Sim};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// A countdown latch. Cheap to clone; all clones share the same counter.
+pub struct Latch<W> {
+    inner: Rc<RefCell<Inner<W>>>,
+}
+
+struct Inner<W> {
+    remaining: u64,
+    action: Option<Event<W>>,
+}
+
+impl<W> Clone for Latch<W> {
+    fn clone(&self) -> Self {
+        Latch {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<W: 'static> Latch<W> {
+    /// Create a latch expecting `count` completions; `action` is scheduled
+    /// (immediately, at the current sim time) when the count reaches zero.
+    /// A `count` of zero fires on the first [`Sim`] interaction via
+    /// [`Latch::arm`].
+    pub fn new(count: u64, action: Event<W>) -> Self {
+        Latch {
+            inner: Rc::new(RefCell::new(Inner {
+                remaining: count,
+                action: Some(action),
+            })),
+        }
+    }
+
+    /// Like [`Latch::new`] but takes a closure.
+    pub fn with(count: u64, action: impl FnOnce(&mut Sim<W>, &mut W) + 'static) -> Self {
+        Self::new(count, Box::new(action))
+    }
+
+    /// If the latch was created with count 0, fire it now.
+    pub fn arm(&self, sim: &mut Sim<W>) {
+        let mut inner = self.inner.borrow_mut();
+        if inner.remaining == 0 {
+            if let Some(action) = inner.action.take() {
+                sim.schedule_in(0, action);
+            }
+        }
+    }
+
+    /// Record one completion; schedules the action when the last arrives.
+    pub fn count_down(&self, sim: &mut Sim<W>) {
+        let mut inner = self.inner.borrow_mut();
+        assert!(inner.remaining > 0, "latch counted down too many times");
+        inner.remaining -= 1;
+        if inner.remaining == 0 {
+            if let Some(action) = inner.action.take() {
+                sim.schedule_in(0, action);
+            }
+        }
+    }
+
+    /// Completions still outstanding.
+    pub fn remaining(&self) -> u64 {
+        self.inner.borrow().remaining
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::secs;
+
+    #[derive(Default)]
+    struct World {
+        fired_at: Option<crate::SimTime>,
+    }
+
+    #[test]
+    fn latch_fires_after_all_countdowns() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let latch = Latch::with(3, |s, w: &mut World| w.fired_at = Some(s.now()));
+        for i in 1..=3u64 {
+            let l = latch.clone();
+            sim.after(secs(i as f64), move |s, _| l.count_down(s));
+        }
+        sim.run(&mut w);
+        assert_eq!(w.fired_at, Some(secs(3.0)));
+        assert_eq!(latch.remaining(), 0);
+    }
+
+    #[test]
+    fn zero_latch_fires_on_arm() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let latch = Latch::with(0, |s, w: &mut World| w.fired_at = Some(s.now()));
+        latch.arm(&mut sim);
+        sim.run(&mut w);
+        assert_eq!(w.fired_at, Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "counted down too many times")]
+    fn over_countdown_panics() {
+        let mut sim: Sim<World> = Sim::new();
+        let latch: Latch<World> = Latch::with(1, |_, _| {});
+        latch.count_down(&mut sim);
+        latch.count_down(&mut sim);
+    }
+}

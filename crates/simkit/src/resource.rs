@@ -1,0 +1,131 @@
+//! k-server FIFO resources.
+//!
+//! A resource models a contended piece of hardware or a pool of slots:
+//! a disk (1 server), a NIC direction (1 server), a CPU (k cores), the
+//! cluster-wide map-slot pool (128 servers), a mongod global write lock
+//! (1 server). Requests carry a pre-computed *service time*; requests queue
+//! FIFO when all servers are busy.
+
+use crate::sim::{Event, Sim, SimTime};
+use std::collections::VecDeque;
+
+/// Handle to a resource registered with a [`Sim`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ResourceId(pub(crate) usize);
+
+pub(crate) struct ResourceState<W> {
+    name: String,
+    servers: u32,
+    busy: u32,
+    queue: VecDeque<Pending<W>>,
+    completions: u64,
+    busy_integral: SimTime,
+    last_change: SimTime,
+    total_queue_wait: SimTime,
+}
+
+struct Pending<W> {
+    enqueued_at: SimTime,
+    service: SimTime,
+    done: Event<W>,
+}
+
+impl<W> ResourceState<W> {
+    pub(crate) fn new(name: String, servers: u32) -> Self {
+        ResourceState {
+            name,
+            servers,
+            busy: 0,
+            queue: VecDeque::new(),
+            completions: 0,
+            busy_integral: 0,
+            last_change: 0,
+            total_queue_wait: 0,
+        }
+    }
+
+    fn account(&mut self, now: SimTime) {
+        self.busy_integral += (now - self.last_change) * self.busy as SimTime;
+        self.last_change = now;
+    }
+
+    /// Enqueue a request. Returns true if a server is free so service can
+    /// start immediately.
+    pub(crate) fn enqueue(&mut self, now: SimTime, service: SimTime, done: Event<W>) -> bool {
+        self.queue.push_back(Pending {
+            enqueued_at: now,
+            service,
+            done,
+        });
+        self.busy < self.servers
+    }
+
+    /// Pop the next queued request and mark one server busy.
+    pub(crate) fn start_next(&mut self, now: SimTime) -> Option<(SimTime, Event<W>)> {
+        if self.busy >= self.servers {
+            return None;
+        }
+        let p = self.queue.pop_front()?;
+        self.account(now);
+        self.busy += 1;
+        self.total_queue_wait += now - p.enqueued_at;
+        Some((p.service, p.done))
+    }
+
+    /// A service completed. Returns true if more work is queued.
+    pub(crate) fn finish_one(&mut self, now: SimTime) -> bool {
+        self.account(now);
+        debug_assert!(self.busy > 0);
+        self.busy -= 1;
+        self.completions += 1;
+        !self.queue.is_empty()
+    }
+
+    pub(crate) fn busy_time(&self, now: SimTime) -> SimTime {
+        self.busy_integral + (now - self.last_change) * self.busy as SimTime
+    }
+
+    pub(crate) fn completions(&self) -> u64 {
+        self.completions
+    }
+
+    pub(crate) fn total_queue_wait(&self) -> SimTime {
+        self.total_queue_wait
+    }
+
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// Utilization summary for reporting.
+#[derive(Clone, Debug)]
+pub struct ResourceReport {
+    pub name: String,
+    pub busy_secs: f64,
+    pub completions: u64,
+    pub mean_queue_wait_secs: f64,
+}
+
+/// Snapshot utilization of a set of resources at the current sim time.
+pub fn report<W: 'static>(sim: &Sim<W>, ids: &[ResourceId]) -> Vec<ResourceReport> {
+    ids.iter()
+        .map(|&id| {
+            let completions = sim.resource_completions(id);
+            ResourceReport {
+                name: sim.resource_name(id).to_string(),
+                busy_secs: crate::as_secs(sim.resource_busy_time(id)),
+                completions,
+                mean_queue_wait_secs: if completions == 0 {
+                    0.0
+                } else {
+                    crate::as_secs(sim.resource_queue_wait(id)) / completions as f64
+                },
+            }
+        })
+        .collect()
+}

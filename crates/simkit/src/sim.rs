@@ -1,0 +1,328 @@
+//! The event loop: virtual clock, event heap, resource dispatch.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::resource::{ResourceId, ResourceState};
+
+/// Virtual time in nanoseconds since simulation start.
+pub type SimTime = u64;
+
+/// A scheduled action. Receives the simulator (to schedule more work) and the
+/// caller's world state.
+pub type Event<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+
+/// Heap key: earliest time first; FIFO among equal times via `seq`.
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: SimTime,
+    seq: u64,
+}
+
+struct Scheduled<W> {
+    key: Reverse<Key>,
+    event: Event<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// A discrete-event simulator over world type `W`.
+///
+/// Resources live inside the simulator so that event handlers (which hold
+/// `&mut Sim<W>`) can request service without interior mutability.
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<W>>,
+    resources: Vec<ResourceState<W>>,
+    executed: u64,
+}
+
+impl<W: 'static> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: 'static> Sim<W> {
+    pub fn new() -> Self {
+        Sim {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            resources: Vec::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far (diagnostics).
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedule `event` to fire at absolute time `at` (clamped to `now`).
+    pub fn schedule_at(&mut self, at: SimTime, event: Event<W>) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            key: Reverse(Key { at, seq }),
+            event,
+        });
+    }
+
+    /// Schedule `event` to fire after `delay`.
+    pub fn schedule_in(&mut self, delay: SimTime, event: Event<W>) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Schedule a closure after `delay` (avoids `Box::new` at call sites).
+    pub fn after(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim<W>, &mut W) + 'static) {
+        self.schedule_in(delay, Box::new(f));
+    }
+
+    /// Create a k-server FIFO resource (see [`crate::resource`]).
+    pub fn add_resource(&mut self, name: impl Into<String>, servers: u32) -> ResourceId {
+        assert!(servers > 0, "resource must have at least one server");
+        let id = ResourceId(self.resources.len());
+        self.resources.push(ResourceState::new(name.into(), servers));
+        id
+    }
+
+    /// Request `service` time on resource `r`; `done` fires when service
+    /// completes (after any FIFO queueing delay).
+    pub fn request(&mut self, r: ResourceId, service: SimTime, done: Event<W>) {
+        let now = self.now;
+        let start = {
+            let rs = &mut self.resources[r.0];
+            rs.enqueue(now, service, done)
+        };
+        if start {
+            self.begin_service(r);
+        }
+    }
+
+    /// Convenience: request with a closure completion.
+    pub fn use_resource(
+        &mut self,
+        r: ResourceId,
+        service: SimTime,
+        done: impl FnOnce(&mut Sim<W>, &mut W) + 'static,
+    ) {
+        self.request(r, service, Box::new(done));
+    }
+
+    fn begin_service(&mut self, r: ResourceId) {
+        let now = self.now;
+        let Some((service, done)) = self.resources[r.0].start_next(now) else {
+            return;
+        };
+        self.schedule_in(
+            service,
+            Box::new(move |sim: &mut Sim<W>, w: &mut W| {
+                done(sim, w);
+                let more = sim.resources[r.0].finish_one(sim.now);
+                if more {
+                    sim.begin_service(r);
+                }
+            }),
+        );
+    }
+
+    /// Drain every event. Returns the final clock value.
+    pub fn run(&mut self, w: &mut W) -> SimTime {
+        while let Some(s) = self.heap.pop() {
+            let Reverse(Key { at, .. }) = s.key;
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.executed += 1;
+            (s.event)(self, w);
+        }
+        self.now
+    }
+
+    /// Run until the clock would pass `deadline`; events at exactly
+    /// `deadline` still fire. Returns true if the queue drained.
+    pub fn run_until(&mut self, w: &mut W, deadline: SimTime) -> bool {
+        loop {
+            let Some(top) = self.heap.peek() else {
+                return true;
+            };
+            let Reverse(Key { at, .. }) = top.key;
+            if at > deadline {
+                self.now = deadline;
+                return false;
+            }
+            let s = self.heap.pop().expect("peeked");
+            let Reverse(Key { at, .. }) = s.key;
+            self.now = at;
+            self.executed += 1;
+            (s.event)(self, w);
+        }
+    }
+
+    /// Busy-time integral of a resource (for utilization reporting).
+    pub fn resource_busy_time(&self, r: ResourceId) -> SimTime {
+        self.resources[r.0].busy_time(self.now)
+    }
+
+    /// Total completed services on a resource.
+    pub fn resource_completions(&self, r: ResourceId) -> u64 {
+        self.resources[r.0].completions()
+    }
+
+    /// Time spent queued (not being served) summed over all requests.
+    pub fn resource_queue_wait(&self, r: ResourceId) -> SimTime {
+        self.resources[r.0].total_queue_wait()
+    }
+
+    /// Resource name (diagnostics).
+    pub fn resource_name(&self, r: ResourceId) -> &str {
+        self.resources[r.0].name()
+    }
+
+    /// Current queue length of a resource.
+    pub fn resource_queue_len(&self, r: ResourceId) -> usize {
+        self.resources[r.0].queue_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{secs, SECOND};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(SimTime, &'static str)>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.after(secs(2.0), |s, w| w.log.push((s.now(), "b")));
+        sim.after(secs(1.0), |s, w| w.log.push((s.now(), "a")));
+        sim.after(secs(3.0), |s, w| w.log.push((s.now(), "c")));
+        sim.run(&mut w);
+        assert_eq!(
+            w.log,
+            vec![(SECOND, "a"), (2 * SECOND, "b"), (3 * SECOND, "c")]
+        );
+    }
+
+    #[test]
+    fn equal_times_fire_fifo() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        for name in ["x", "y", "z"] {
+            sim.after(secs(1.0), move |s, w| w.log.push((s.now(), name)));
+        }
+        sim.run(&mut w);
+        let names: Vec<_> = w.log.iter().map(|(_, n)| *n).collect();
+        assert_eq!(names, vec!["x", "y", "z"]);
+    }
+
+    #[test]
+    fn nested_scheduling_works() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.after(secs(1.0), |s, w| {
+            w.log.push((s.now(), "outer"));
+            s.after(secs(1.0), |s, w| w.log.push((s.now(), "inner")));
+        });
+        let end = sim.run(&mut w);
+        assert_eq!(end, 2 * SECOND);
+        assert_eq!(w.log.len(), 2);
+        assert_eq!(w.log[1], (2 * SECOND, "inner"));
+    }
+
+    #[test]
+    fn single_server_resource_serializes() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let disk = sim.add_resource("disk", 1);
+        // Three 1s requests issued at t=0 should finish at 1,2,3s.
+        for name in ["r1", "r2", "r3"] {
+            sim.use_resource(disk, SECOND, move |s, w| w.log.push((s.now(), name)));
+        }
+        sim.run(&mut w);
+        assert_eq!(
+            w.log,
+            vec![(SECOND, "r1"), (2 * SECOND, "r2"), (3 * SECOND, "r3")]
+        );
+        assert_eq!(sim.resource_completions(disk), 3);
+        assert_eq!(sim.resource_busy_time(disk), 3 * SECOND);
+        // r2 waited 1s, r3 waited 2s.
+        assert_eq!(sim.resource_queue_wait(disk), 3 * SECOND);
+    }
+
+    #[test]
+    fn multi_server_resource_runs_in_parallel() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let cpu = sim.add_resource("cpu", 2);
+        for name in ["a", "b", "c"] {
+            sim.use_resource(cpu, SECOND, move |s, w| w.log.push((s.now(), name)));
+        }
+        sim.run(&mut w);
+        // a,b finish at 1s; c queued behind and finishes at 2s.
+        assert_eq!(w.log[0].0, SECOND);
+        assert_eq!(w.log[1].0, SECOND);
+        assert_eq!(w.log[2], (2 * SECOND, "c"));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.after(secs(1.0), |s, w| w.log.push((s.now(), "early")));
+        sim.after(secs(10.0), |s, w| w.log.push((s.now(), "late")));
+        let drained = sim.run_until(&mut w, secs(5.0));
+        assert!(!drained);
+        assert_eq!(w.log.len(), 1);
+        assert_eq!(sim.now(), secs(5.0));
+        sim.run(&mut w);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn resource_requests_issued_later_queue_behind_earlier() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let disk = sim.add_resource("disk", 1);
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let (o1, o2) = (order.clone(), order.clone());
+        sim.use_resource(disk, secs(5.0), move |_, _| o1.borrow_mut().push("long"));
+        sim.after(secs(1.0), move |s, _| {
+            let o2 = o2.clone();
+            s.use_resource(disk, secs(1.0), move |_, _| o2.borrow_mut().push("short"));
+        });
+        sim.run(&mut w);
+        assert_eq!(*order.borrow(), vec!["long", "short"]);
+        assert_eq!(sim.now(), secs(6.0));
+    }
+}

@@ -1,0 +1,261 @@
+//! Online statistics used by the benchmark harnesses: streaming mean /
+//! variance (Welford), and a log-bucketed histogram for latency percentiles
+//! (HdrHistogram-style, coarse but allocation-free and O(1) insert).
+
+use crate::SimTime;
+
+/// Streaming mean / variance / min / max (Welford's algorithm).
+#[derive(Clone, Debug, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean (the paper reports this for YCSB points).
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.n as f64).sqrt()
+        }
+    }
+
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Log-bucketed latency histogram over [`SimTime`] values.
+///
+/// Buckets have ~4.5% relative width (16 sub-buckets per power of two),
+/// which is plenty for reporting p50/p95/p99 of operation latencies.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: SimTime,
+}
+
+const SUB_BITS: u32 = 4; // 16 sub-buckets per octave
+const SUB: u64 = 1 << SUB_BITS;
+
+fn bucket_index(v: SimTime) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let shift = msb - SUB_BITS;
+    let sub = ((v >> shift) - SUB) as usize;
+    ((msb - SUB_BITS + 1) as usize) * SUB as usize + sub
+}
+
+fn bucket_upper_bound(idx: usize) -> SimTime {
+    let s = SUB as usize;
+    if idx < s {
+        return idx as SimTime;
+    }
+    // Inverse of `bucket_index`: bucket idx covers
+    // [(SUB+sub) << octave, (SUB+sub+1) << octave - 1] with octave = idx/SUB - 1.
+    let octave = ((idx / s) as u32 - 1).min(48);
+    let sub = (idx % s) as u64;
+    ((SUB + sub + 1) << octave) - 1
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: vec![0; 64 * SUB as usize],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    pub fn record(&mut self, v: SimTime) {
+        let idx = bucket_index(v).min(self.buckets.len() - 1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v as u128;
+        self.max = self.max.max(v);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn max(&self) -> SimTime {
+        self.max
+    }
+
+    /// Approximate quantile (0.0..=1.0) in [`SimTime`] units.
+    pub fn quantile(&self, q: f64) -> SimTime {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return bucket_upper_bound(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.max = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{millis, MILLISECOND};
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample std-dev of that classic dataset is ~2.138.
+        assert!((s.std_dev() - 2.138089935).abs() < 1e-6);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty_is_zero() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+        assert_eq!(s.min(), 0.0);
+    }
+
+    #[test]
+    fn histogram_mean_exact() {
+        let mut h = LatencyHistogram::new();
+        h.record(10 * MILLISECOND);
+        h.record(20 * MILLISECOND);
+        h.record(30 * MILLISECOND);
+        assert_eq!(h.count(), 3);
+        assert!((h.mean() - 20.0 * MILLISECOND as f64).abs() < 1.0);
+        assert_eq!(h.max(), 30 * MILLISECOND);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(i * MILLISECOND);
+        }
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // ~4.5% relative-error buckets.
+        let rel = |got: SimTime, want: SimTime| {
+            (got as f64 - want as f64).abs() / want as f64
+        };
+        assert!(rel(p50, millis(500.0)) < 0.10, "p50={p50}");
+        assert!(rel(p99, millis(990.0)) < 0.10, "p99={p99}");
+        assert!(h.quantile(1.0) >= millis(990.0));
+    }
+
+    #[test]
+    fn histogram_clear_resets() {
+        let mut h = LatencyHistogram::new();
+        h.record(123);
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn bucket_index_monotone() {
+        let mut last = 0usize;
+        for v in [0u64, 1, 5, 15, 16, 17, 31, 32, 100, 1000, 1 << 20, 1 << 40] {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            last = idx;
+        }
+    }
+}

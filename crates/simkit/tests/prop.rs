@@ -1,0 +1,93 @@
+//! Property-based tests of the DES kernel: causal ordering, FIFO resource
+//! algebra, and latch counting.
+
+use proptest::prelude::*;
+use simkit::{Latch, Sim, SimTime};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+type S = Sim<()>;
+
+proptest! {
+    /// Events fire in non-decreasing time order, with FIFO tie-breaking.
+    #[test]
+    fn events_fire_in_causal_order(delays in proptest::collection::vec(0u64..1_000, 1..100)) {
+        let mut sim: S = Sim::new();
+        let fired: Rc<RefCell<Vec<(SimTime, usize)>>> = Rc::default();
+        for (i, &d) in delays.iter().enumerate() {
+            let f = fired.clone();
+            sim.after(d, move |s, _| f.borrow_mut().push((s.now(), i)));
+        }
+        sim.run(&mut ());
+        let log = fired.borrow();
+        prop_assert_eq!(log.len(), delays.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time went backwards");
+            if w[0].0 == w[1].0 {
+                // Same instant → scheduling (index) order.
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// A single-server resource is work-conserving: makespan == total work
+    /// when all requests arrive at t=0, and completions preserve order.
+    #[test]
+    fn single_server_is_work_conserving(services in proptest::collection::vec(1u64..1_000, 1..60)) {
+        let mut sim: S = Sim::new();
+        let r = sim.add_resource("r", 1);
+        let completions: Rc<RefCell<Vec<(usize, SimTime)>>> = Rc::default();
+        for (i, &svc) in services.iter().enumerate() {
+            let c = completions.clone();
+            sim.use_resource(r, svc, move |s, _| c.borrow_mut().push((i, s.now())));
+        }
+        let end = sim.run(&mut ());
+        let total: u64 = services.iter().sum();
+        prop_assert_eq!(end, total);
+        let log = completions.borrow();
+        // FIFO: completion order == submission order, at prefix sums.
+        let mut acc = 0;
+        for (pos, &(idx, at)) in log.iter().enumerate() {
+            prop_assert_eq!(idx, pos);
+            acc += services[pos];
+            prop_assert_eq!(at, acc);
+        }
+    }
+
+    /// k servers: makespan within [total/k, total/k + max] (list scheduling
+    /// bound) and never less than the longest single request.
+    #[test]
+    fn multi_server_makespan_bounds(
+        services in proptest::collection::vec(1u64..1_000, 1..60),
+        k in 1u32..8,
+    ) {
+        let mut sim: S = Sim::new();
+        let r = sim.add_resource("r", k);
+        for &svc in &services {
+            sim.use_resource(r, svc, |_, _| {});
+        }
+        let end = sim.run(&mut ());
+        let total: u64 = services.iter().sum();
+        let max = *services.iter().max().unwrap();
+        let lower = (total / k as u64).max(max);
+        prop_assert!(end >= lower.min(total), "makespan {end} below bound {lower}");
+        prop_assert!(end <= total, "makespan {end} above serial time {total}");
+    }
+
+    /// A latch fires exactly when the last of n contributors finishes.
+    #[test]
+    fn latch_fires_at_max_delay(delays in proptest::collection::vec(1u64..10_000, 1..50)) {
+        let mut sim: S = Sim::new();
+        let fired: Rc<RefCell<Option<SimTime>>> = Rc::default();
+        let f = fired.clone();
+        let latch = Latch::with(delays.len() as u64, move |s: &mut S, _| {
+            *f.borrow_mut() = Some(s.now());
+        });
+        for &d in &delays {
+            let l = latch.clone();
+            sim.after(d, move |s, _| l.count_down(s));
+        }
+        sim.run(&mut ());
+        prop_assert_eq!(*fired.borrow(), Some(*delays.iter().max().unwrap()));
+    }
+}

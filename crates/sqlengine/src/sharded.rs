@@ -1,0 +1,557 @@
+//! SQL-CS: client-side hash sharding over 8 SQL Server nodes, with the full
+//! simulated operation pipelines (network hop → CPU → locks → buffer pool →
+//! disks → log).
+
+use crate::node::{SqlNode, SqlNodeConfig};
+use cluster::{Cluster, Params};
+use simkit::{secs, Latch, ResourceId, Sim, SimTime};
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+type S = Sim<()>;
+/// Completion callback carrying a small result (version read / records
+/// scanned) for correctness checks.
+pub type Done = Box<dyn FnOnce(&mut S, u64)>;
+
+/// Isolation level for reads (the paper's §3.4.3 ablation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IsolationLevel {
+    ReadCommitted,
+    ReadUncommitted,
+}
+
+/// Approximate WAL record size per write.
+const LOG_BYTES: u64 = 256;
+/// Minimum latency of a commit's log flush (sequential write, no seek).
+const LOG_WRITE_LATENCY: f64 = 0.000_4;
+
+/// The client-sharded SQL Server cluster.
+pub struct SqlCluster {
+    pub nodes: Vec<Rc<RefCell<SqlNode>>>,
+    pub cluster: Rc<Cluster>,
+    pub log_disks: Vec<ResourceId>,
+    pub params: Params,
+    pub isolation: IsolationLevel,
+    rr_disk: Cell<usize>,
+    loaded_records: Cell<u64>,
+}
+
+/// FNV-1a over the key (the client-side sharding hash).
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in key.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    (h % shards as u64) as usize
+}
+
+impl SqlCluster {
+    /// Register resources and build empty nodes (read committed).
+    pub fn build(sim: &mut S, params: &Params) -> Rc<SqlCluster> {
+        Self::build_with_isolation(sim, params, IsolationLevel::ReadCommitted)
+    }
+
+    /// Build with an explicit isolation level (the §3.4.3 read-uncommitted
+    /// ablation).
+    pub fn build_with_isolation(
+        sim: &mut S,
+        params: &Params,
+        isolation: IsolationLevel,
+    ) -> Rc<SqlCluster> {
+        let cluster = Rc::new(Cluster::build(sim, params.clone()));
+        // Group commit: one physical flush carries every commit that
+        // arrived while the previous flush was in flight, so commits see
+        // the flush *latency* but throughput is far above 1/latency.
+        // Modelled as parallel flush slots.
+        let log_disks = (0..params.nodes)
+            .map(|n| sim.add_resource(format!("node{n}.logdisk"), 32))
+            .collect();
+        let cfg = SqlNodeConfig {
+            bufpool_pages: (params.bufpool_bytes() / 8192).max(1) as usize,
+            records_per_page: 7,
+            page_bytes: 8192,
+        };
+        let nodes = (0..params.nodes)
+            .map(|_| Rc::new(RefCell::new(SqlNode::new(cfg.clone()))))
+            .collect();
+        Rc::new(SqlCluster {
+            nodes,
+            cluster,
+            log_disks,
+            params: params.clone(),
+            isolation,
+            rr_disk: Cell::new(0),
+            loaded_records: Cell::new(0),
+        })
+    }
+
+    /// Bulk-populate keys `0..n` (untimed; the paper reloads between
+    /// workloads and flushes memory — so the pools start cold).
+    pub fn load(&self, n_records: u64) {
+        self.loaded_records.set(n_records);
+        for key in 0..n_records {
+            let node = shard_of(key, self.nodes.len());
+            self.nodes[node].borrow_mut().rows.insert(key, 0);
+        }
+    }
+
+    /// Simulate a hard crash followed by recovery: in-memory state is
+    /// wiped, the loaded base is restored, and the WAL is replayed. Every
+    /// *acknowledged* write survives — SQL Server's durability contract.
+    pub fn simulate_crash_and_recover(&self) {
+        let n = self.loaded_records.get();
+        for (node_id, node) in self.nodes.iter().enumerate() {
+            let mut node = node.borrow_mut();
+            let wal = std::mem::take(&mut node.wal);
+            node.rows = storage::BTree::new();
+            node.pool.clear();
+            for key in 0..n {
+                if shard_of(key, self.nodes.len()) == node_id {
+                    node.rows.insert(key, 0);
+                }
+            }
+            for &(key, version) in &wal {
+                node.rows.insert(key, version);
+            }
+            node.wal = wal;
+        }
+    }
+
+    /// Paper-scale load time (§3.4.2: 146 minutes — each insert was its own
+    /// transaction, no bulk path).
+    pub fn load_time_secs(&self, paper_records: u64, insert_rate_per_node: f64) -> f64 {
+        paper_records as f64 / (self.nodes.len() as f64 * insert_rate_per_node)
+    }
+
+    /// Local clustered ordinal of a key on its shard (hash spreading keeps
+    /// every `nodes`-th key on a shard, densely packed by the clustered
+    /// index).
+    fn local_ordinal(&self, key: u64) -> u64 {
+        key / self.nodes.len() as u64
+    }
+
+    fn next_disk(&self) -> usize {
+        let d = self.rr_disk.get();
+        self.rr_disk.set(d + 1);
+        d
+    }
+
+    // ---- operation pipelines ------------------------------------------
+
+    /// Point read: net → cpu → (S lock) → buffer pool → maybe 8 KB read.
+    pub fn read(self: &Rc<Self>, sim: &mut S, key: u64, done: Done) {
+        let this = self.clone();
+        let net = secs(self.params.net_latency);
+        sim.after(net, move |sim, _| {
+            let node = shard_of(key, this.nodes.len());
+            let cpu = this.params.oltp_cpu_per_op;
+            let t2 = this.clone();
+            this.cluster.clone().cpu(
+                sim,
+                node,
+                cpu,
+                Box::new(move |sim, _| {
+                    let t3 = t2.clone();
+                    let after_lock: simkit::Event<()> = Box::new(move |sim, _| {
+                        t3.finish_read(sim, node, key, done);
+                    });
+                    // Read committed: S lock at page granularity (latch
+                    // coupling / escalation under contention) — readers
+                    // wait for writers touching any row of the page.
+                    let page = {
+                        let n = t2.nodes[node].borrow();
+                        key / t2.nodes.len() as u64 / n.cfg.records_per_page
+                    };
+                    let cont = if t2.isolation == IsolationLevel::ReadCommitted {
+                        t2.nodes[node].borrow_mut().lock_s(page, after_lock)
+                    } else {
+                        Some(after_lock)
+                    };
+                    if let Some(c) = cont {
+                        sim.schedule_in(0, c);
+                    }
+                }),
+            );
+        });
+    }
+
+    fn finish_read(self: Rc<Self>, sim: &mut S, node: usize, key: u64, done: Done) {
+        let ordinal = self.local_ordinal(key);
+        let (miss, evicted) = {
+            let mut n = self.nodes[node].borrow_mut();
+            n.stats.reads += 1;
+            n.touch(ordinal, false)
+        };
+        self.writeback_if(sim, node, evicted);
+        let version = self.nodes[node]
+            .borrow()
+            .rows
+            .get(&key)
+            .copied()
+            .unwrap_or(u64::MAX as u32);
+        let net = secs(self.params.net_latency);
+        if miss {
+            let bytes = self.params.sql_read_per_miss;
+            let disk = self.next_disk();
+            self.cluster.clone().disk_read_rand(
+                sim,
+                node,
+                disk,
+                bytes,
+                Box::new(move |sim, _| {
+                    sim.after(net, move |sim, _| done(sim, version as u64));
+                }),
+            );
+        } else {
+            sim.after(net, move |sim, _| done(sim, version as u64));
+        }
+    }
+
+    /// Update: net → cpu → X lock → page (maybe read) → log flush → unlock.
+    pub fn update(self: &Rc<Self>, sim: &mut S, key: u64, done: Done) {
+        self.write_op(sim, key, false, done);
+    }
+
+    /// Insert of a fresh key (workloads D/E).
+    pub fn insert(self: &Rc<Self>, sim: &mut S, key: u64, done: Done) {
+        self.write_op(sim, key, true, done);
+    }
+
+    fn write_op(self: &Rc<Self>, sim: &mut S, key: u64, insert: bool, done: Done) {
+        let this = self.clone();
+        let net = secs(self.params.net_latency);
+        sim.after(net, move |sim, _| {
+            let node = shard_of(key, this.nodes.len());
+            let cpu = this.params.oltp_cpu_per_op;
+            let t2 = this.clone();
+            this.cluster.clone().cpu(
+                sim,
+                node,
+                cpu,
+                Box::new(move |sim, _| {
+                    let t3 = t2.clone();
+                    let body: simkit::Event<()> = Box::new(move |sim, _| {
+                        t3.locked_write(sim, node, key, insert, done);
+                    });
+                    let page = {
+                        let n = t2.nodes[node].borrow();
+                        key / t2.nodes.len() as u64 / n.cfg.records_per_page
+                    };
+                    if let Some(c) = t2.nodes[node].borrow_mut().lock_x(page, body) {
+                        sim.schedule_in(0, c);
+                    }
+                }),
+            );
+        });
+    }
+
+    fn locked_write(self: Rc<Self>, sim: &mut S, node: usize, key: u64, insert: bool, done: Done) {
+        let ordinal = self.local_ordinal(key);
+        let (miss, evicted) = {
+            let mut n = self.nodes[node].borrow_mut();
+            n.stats.writes += 1;
+            if insert {
+                n.rows.insert(key, 0);
+            } else if let Some(v) = n.rows.get_mut(&key) {
+                *v += 1;
+            }
+            n.touch(ordinal, true)
+        };
+        self.writeback_if(sim, node, evicted);
+        let this = self.clone();
+        let after_page: simkit::Event<()> = Box::new(move |sim, _| {
+            // Commit: flush the WAL record on the dedicated log disk.
+            let log_t = secs(
+                (LOG_BYTES as f64 / this.params.disk_seq_bw).max(LOG_WRITE_LATENCY),
+            );
+            let log = this.log_disks[node];
+            let t2 = this.clone();
+            sim.request(
+                log,
+                log_t,
+                Box::new(move |sim, _| {
+                    let page = {
+                        let n = t2.nodes[node].borrow();
+                        key / t2.nodes.len() as u64 / n.cfg.records_per_page
+                    };
+                    {
+                        // The flush made the write durable: WAL-record it.
+                        let mut n = t2.nodes[node].borrow_mut();
+                        let version = n.rows.get(&key).copied().unwrap_or(0);
+                        n.wal.push((key, version));
+                        n.unlock_x(page, sim);
+                    }
+                    let net = secs(t2.params.net_latency);
+                    sim.after(net, move |sim, _| done(sim, 0));
+                }),
+            );
+        });
+        if miss {
+            // Updating a non-resident page first reads it.
+            let bytes = self.params.sql_read_per_miss;
+            let disk = self.next_disk();
+            self.cluster.clone().disk_read_rand(sim, node, disk, bytes, after_page);
+        } else {
+            sim.schedule_in(0, after_page);
+        }
+    }
+
+    /// Range scan: the client must ask *every* shard for up to `len`
+    /// records from `start` (it cannot know where the records live under
+    /// hash sharding — the inefficiency §3.4.3 describes for workload E).
+    pub fn scan(self: &Rc<Self>, sim: &mut S, start: u64, len: usize, done: Done) {
+        let this = self.clone();
+        let net = secs(self.params.net_latency);
+        sim.after(net, move |sim, _| {
+            let shards = this.nodes.len();
+            let found = Rc::new(Cell::new(0u64));
+            let found_out = found.clone();
+            let net_back = secs(this.params.net_latency);
+            let latch = Latch::with(shards as u64, move |sim: &mut S, _| {
+                sim.after(net_back, move |sim, _| done(sim, found_out.get()));
+            });
+            for node in 0..shards {
+                let t2 = this.clone();
+                let latch = latch.clone();
+                let found = found.clone();
+                let cpu = this.params.oltp_cpu_per_op;
+                this.cluster.clone().cpu(
+                    sim,
+                    node,
+                    cpu,
+                    Box::new(move |sim, _| {
+                        // Each shard is asked for the key range
+                        // [start, start+len): it returns its local members
+                        // (≈ len / shards of them) by walking its clustered
+                        // index.
+                        let (n_local, miss_pages) = {
+                            let mut n = t2.nodes[node].borrow_mut();
+                            let end = start.saturating_add(len as u64);
+                            let keys: Vec<u64> = n
+                                .rows
+                                .scan_from(&start, len)
+                                .into_iter()
+                                .map(|(k, _)| *k)
+                                .take_while(|&k| k < end)
+                                .collect();
+                            let n_local = keys.len();
+                            let mut misses = 0;
+                            let mut last_page = u64::MAX;
+                            for k in keys {
+                                let ord = k / t2.nodes.len() as u64;
+                                let page = ord / n.cfg.records_per_page;
+                                if page == last_page {
+                                    continue;
+                                }
+                                last_page = page;
+                                let (miss, _) = n.touch(ord, false);
+                                if miss {
+                                    misses += 1;
+                                }
+                            }
+                            (n_local, misses)
+                        };
+                        found.set(found.get() + n_local as u64);
+                        if miss_pages > 0 {
+                            // Clustered pages: one seek + sequential read.
+                            let bytes = miss_pages as u64 * 8192;
+                            let disk = t2.next_disk();
+                            t2.cluster.clone().disk_read_rand(
+                                sim,
+                                node,
+                                disk,
+                                bytes,
+                                Box::new(move |sim, _| latch.count_down(sim)),
+                            );
+                        } else {
+                            latch.count_down(sim);
+                        }
+                    }),
+                );
+            }
+        });
+    }
+
+    /// Asynchronous write-back of an evicted dirty page (does not block the
+    /// requesting operation, but does occupy the disk).
+    fn writeback_if(&self, sim: &mut S, node: usize, evicted: Option<u64>) {
+        if evicted.is_some() {
+            let disk = self.next_disk();
+            self.cluster
+                .disk_write_seq(sim, node, disk, 8192, Box::new(|_, _| {}));
+        }
+    }
+
+    /// Periodic checkpoints until `horizon`: dirty pages are flushed
+    /// through the data disks, stealing bandwidth from user I/O (the
+    /// workload-B throughput dip).
+    pub fn start_checkpoints(self: &Rc<Self>, sim: &mut S, horizon: SimTime) {
+        let interval = secs(self.params.checkpoint_interval);
+        let mut t = interval;
+        while t <= horizon {
+            let this = self.clone();
+            sim.schedule_at(
+                t,
+                Box::new(move |sim, _| {
+                    for node in 0..this.nodes.len() {
+                        let dirty = this.nodes[node].borrow_mut().checkpoint_take();
+                        if dirty == 0 {
+                            continue;
+                        }
+                        let disks = this.params.disks_per_node as usize;
+                        let bytes = dirty as u64 * 8192 / disks as u64;
+                        for d in 0..disks {
+                            this.cluster
+                                .disk_write_seq(sim, node, d, bytes, Box::new(|_, _| {}));
+                        }
+                    }
+                }),
+            );
+            t += interval;
+        }
+    }
+
+    /// Aggregate buffer-pool hit rate (diagnostics).
+    pub fn hit_rate(&self) -> f64 {
+        let (mut h, mut m) = (0u64, 0u64);
+        for n in &self.nodes {
+            let n = n.borrow();
+            h += n.pool.hits();
+            m += n.pool.misses();
+        }
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_params() -> Params {
+        // Scale down hard so the pool is small and misses happen.
+        Params::paper_ycsb().scaled_ycsb(1_000_000.0)
+    }
+
+    #[test]
+    fn shard_of_spreads_keys() {
+        let mut counts = [0usize; 8];
+        for k in 0..8000u64 {
+            counts[shard_of(k, 8)] += 1;
+        }
+        for c in counts {
+            assert!((700..=1300).contains(&c), "skewed shard: {c}");
+        }
+    }
+
+    #[test]
+    fn read_returns_written_version() {
+        let mut sim: S = Sim::new();
+        let cl = SqlCluster::build(&mut sim, &small_params());
+        cl.load(1000);
+        let result: Rc<Cell<u64>> = Rc::default();
+        let r2 = result.clone();
+        let cl2 = cl.clone();
+        cl.update(
+            &mut sim,
+            42,
+            Box::new(move |sim, _| {
+                cl2.read(
+                    sim,
+                    42,
+                    Box::new(move |_, v| r2.set(v)),
+                );
+            }),
+        );
+        sim.run(&mut ());
+        assert_eq!(result.get(), 1, "read sees the update");
+    }
+
+    #[test]
+    fn cold_read_pays_a_disk_io() {
+        let mut sim: S = Sim::new();
+        let cl = SqlCluster::build(&mut sim, &small_params());
+        cl.load(1000);
+        let finish: Rc<Cell<SimTime>> = Rc::default();
+        let f = finish.clone();
+        cl.read(&mut sim, 7, Box::new(move |sim, _| f.set(sim.now())));
+        sim.run(&mut ());
+        let t = simkit::as_secs(finish.get());
+        // seek (5ms) dominates: net + cpu + seek + net ≈ 5.5ms.
+        assert!(t > 0.005 && t < 0.01, "cold read ≈ 5.5ms, got {t}");
+        // Second read of the same key hits the pool.
+        let mut sim2: S = Sim::new();
+        let cl2 = SqlCluster::build(&mut sim2, &small_params());
+        cl2.load(1000);
+        let f2: Rc<Cell<SimTime>> = Rc::default();
+        let (fa, fb) = (f2.clone(), f2.clone());
+        let cl3 = cl2.clone();
+        cl2.read(
+            &mut sim2,
+            7,
+            Box::new(move |sim, _| {
+                let t0 = sim.now();
+                let _ = fa;
+                cl3.read(
+                    sim,
+                    7,
+                    Box::new(move |sim, _| fb.set(sim.now() - t0)),
+                );
+            }),
+        );
+        sim2.run(&mut ());
+        let warm = simkit::as_secs(f2.get());
+        assert!(warm < 0.002, "warm read avoids the disk, got {warm}");
+    }
+
+    #[test]
+    fn writers_serialize_on_hot_keys() {
+        let mut sim: S = Sim::new();
+        let cl = SqlCluster::build(&mut sim, &small_params());
+        cl.load(100);
+        let done_count: Rc<Cell<u32>> = Rc::default();
+        for _ in 0..5 {
+            let d = done_count.clone();
+            cl.update(&mut sim, 1, Box::new(move |_, _| d.set(d.get() + 1)));
+        }
+        sim.run(&mut ());
+        assert_eq!(done_count.get(), 5);
+        let node = shard_of(1, cl.nodes.len());
+        assert!(
+            cl.nodes[node].borrow().stats.lock_waits >= 4,
+            "later writers must queue on the X lock"
+        );
+        let version = cl.nodes[node].borrow().rows.get(&1).copied();
+        assert_eq!(version, Some(5));
+    }
+
+    #[test]
+    fn scan_touches_every_shard_and_finds_records() {
+        let mut sim: S = Sim::new();
+        let cl = SqlCluster::build(&mut sim, &small_params());
+        cl.load(10_000);
+        let found: Rc<Cell<u64>> = Rc::default();
+        let f = found.clone();
+        cl.scan(&mut sim, 100, 50, Box::new(move |_, n| f.set(n)));
+        sim.run(&mut ());
+        // The shards jointly return exactly the keys in [100, 150).
+        assert_eq!(found.get(), 50);
+    }
+
+    #[test]
+    fn checkpoints_only_flush_dirty_pages() {
+        let mut sim: S = Sim::new();
+        let cl = SqlCluster::build(&mut sim, &small_params());
+        cl.load(1000);
+        cl.update(&mut sim, 3, Box::new(|_, _| {}));
+        cl.start_checkpoints(&mut sim, secs(130.0));
+        sim.run_until(&mut (), secs(130.0));
+        // After the checkpoint, no pages are dirty.
+        let node = shard_of(3, cl.nodes.len());
+        assert!(cl.nodes[node].borrow().pool.dirty_pages().is_empty());
+    }
+}

@@ -1,0 +1,407 @@
+//! An in-memory B+tree with configurable fanout and page accounting.
+//!
+//! Used as the primary-key index in the OLTP engine and as the `_id` index
+//! in the document store. Supports point get, upsert, ordered range scans
+//! (what YCSB workload E issues), and lazy delete (keys are removed from
+//! leaves without rebalancing — fine for the workloads here, where deletes
+//! only happen on table drop; documented so nobody mistakes it for a
+//! textbook delete).
+//!
+//! ```
+//! use storage::BTree;
+//!
+//! let mut t: BTree<u64, &str> = BTree::new();
+//! t.insert(10, "a");
+//! t.insert(5, "b");
+//! t.insert(20, "c");
+//! assert_eq!(t.get(&5), Some(&"b"));
+//! let scanned: Vec<u64> = t.scan_from(&6, 10).into_iter().map(|(k, _)| *k).collect();
+//! assert_eq!(scanned, vec![10, 20]);
+//! ```
+
+use std::borrow::Borrow;
+
+/// Default number of keys per node. With ~100-byte separators this makes a
+/// node roughly page-sized.
+pub const DEFAULT_ORDER: usize = 64;
+
+enum Node<K, V> {
+    Leaf { keys: Vec<K>, vals: Vec<V> },
+    Internal { keys: Vec<K>, children: Vec<Node<K, V>> },
+}
+
+/// B+tree map.
+pub struct BTree<K, V> {
+    root: Node<K, V>,
+    order: usize,
+    len: usize,
+}
+
+impl<K: Ord + Clone, V> Default for BTree<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord + Clone, V> BTree<K, V> {
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// `order` = max keys per node (min 4 to keep splits meaningful).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 4, "order must be >= 4");
+        BTree {
+            root: Node::Leaf {
+                keys: Vec::new(),
+                vals: Vec::new(),
+            },
+            order,
+            len: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Upsert. Returns the previous value if the key existed.
+    pub fn insert(&mut self, key: K, val: V) -> Option<V> {
+        let (prev, split) = insert_rec(&mut self.root, key, val, self.order);
+        if prev.is_none() {
+            self.len += 1;
+        }
+        if let Some((sep, right)) = split {
+            let old_root = std::mem::replace(
+                &mut self.root,
+                Node::Internal {
+                    keys: Vec::new(),
+                    children: Vec::new(),
+                },
+            );
+            if let Node::Internal { keys, children } = &mut self.root {
+                keys.push(sep);
+                children.push(old_root);
+                children.push(right);
+            }
+        }
+        prev
+    }
+
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys
+                        .binary_search_by(|k| k.borrow().cmp(key))
+                        .ok()
+                        .map(|i| &vals[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| k.borrow() <= key);
+                    node = &children[i];
+                }
+            }
+        }
+    }
+
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    return keys
+                        .binary_search_by(|k| k.borrow().cmp(key))
+                        .ok()
+                        .map(|i| &mut vals[i]);
+                }
+                Node::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| k.borrow() <= key);
+                    node = &mut children[i];
+                }
+            }
+        }
+    }
+
+    /// Lazy delete: removes the entry from its leaf without rebalancing.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut node = &mut self.root;
+        loop {
+            match node {
+                Node::Leaf { keys, vals } => {
+                    if let Ok(i) = keys.binary_search_by(|k| k.borrow().cmp(key)) {
+                        keys.remove(i);
+                        self.len -= 1;
+                        return Some(vals.remove(i));
+                    }
+                    return None;
+                }
+                Node::Internal { keys, children } => {
+                    let i = keys.partition_point(|k| k.borrow() <= key);
+                    node = &mut children[i];
+                }
+            }
+        }
+    }
+
+    /// Ordered scan of at most `limit` entries with key >= `start`
+    /// (YCSB workload E's short range scans).
+    pub fn scan_from<Q>(&self, start: &Q, limit: usize) -> Vec<(&K, &V)>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        let mut out = Vec::with_capacity(limit.min(1024));
+        scan_rec(&self.root, start, limit, &mut out);
+        out
+    }
+
+    /// In-order iteration over all entries.
+    pub fn iter(&self) -> Vec<(&K, &V)> {
+        let mut out = Vec::with_capacity(self.len);
+        collect_all(&self.root, &mut out);
+        out
+    }
+
+    /// Tree depth (1 = just a leaf). A 640 M-row index at order 64 is depth
+    /// ~5; the paper's analysis assumes upper levels stay cached.
+    pub fn depth(&self) -> usize {
+        let mut d = 1;
+        let mut node = &self.root;
+        while let Node::Internal { children, .. } = node {
+            d += 1;
+            node = &children[0];
+        }
+        d
+    }
+
+    /// Total node count (for index-size accounting).
+    pub fn node_count(&self) -> usize {
+        count_nodes(&self.root)
+    }
+}
+
+/// Result of a recursive insert: the replaced value (if any) and a split
+/// (separator key + new right sibling) to propagate upward.
+type InsertOutcome<K, V> = (Option<V>, Option<(K, Node<K, V>)>);
+
+fn insert_rec<K: Ord + Clone, V>(
+    node: &mut Node<K, V>,
+    key: K,
+    val: V,
+    order: usize,
+) -> InsertOutcome<K, V> {
+    match node {
+        Node::Leaf { keys, vals } => match keys.binary_search(&key) {
+            Ok(i) => (Some(std::mem::replace(&mut vals[i], val)), None),
+            Err(i) => {
+                keys.insert(i, key);
+                vals.insert(i, val);
+                if keys.len() > order {
+                    let mid = keys.len() / 2;
+                    let rkeys = keys.split_off(mid);
+                    let rvals = vals.split_off(mid);
+                    let sep = rkeys[0].clone();
+                    (
+                        None,
+                        Some((
+                            sep,
+                            Node::Leaf {
+                                keys: rkeys,
+                                vals: rvals,
+                            },
+                        )),
+                    )
+                } else {
+                    (None, None)
+                }
+            }
+        },
+        Node::Internal { keys, children } => {
+            let i = keys.partition_point(|k| *k <= key);
+            let (prev, split) = insert_rec(&mut children[i], key, val, order);
+            if let Some((sep, right)) = split {
+                keys.insert(i, sep);
+                children.insert(i + 1, right);
+                if keys.len() > order {
+                    let mid = keys.len() / 2;
+                    // Key at `mid` moves up as the separator.
+                    let rkeys = keys.split_off(mid + 1);
+                    let sep = keys.pop().expect("non-empty");
+                    let rchildren = children.split_off(mid + 1);
+                    return (
+                        prev,
+                        Some((
+                            sep,
+                            Node::Internal {
+                                keys: rkeys,
+                                children: rchildren,
+                            },
+                        )),
+                    );
+                }
+            }
+            (prev, None)
+        }
+    }
+}
+
+fn scan_rec<'a, K, V, Q>(node: &'a Node<K, V>, start: &Q, limit: usize, out: &mut Vec<(&'a K, &'a V)>)
+where
+    K: Ord + Borrow<Q>,
+    Q: Ord + ?Sized,
+{
+    if out.len() >= limit {
+        return;
+    }
+    match node {
+        Node::Leaf { keys, vals } => {
+            let from = keys.partition_point(|k| k.borrow() < start);
+            for i in from..keys.len() {
+                if out.len() >= limit {
+                    return;
+                }
+                out.push((&keys[i], &vals[i]));
+            }
+        }
+        Node::Internal { keys, children } => {
+            let from = keys.partition_point(|k| k.borrow() <= start);
+            for child in &children[from..] {
+                if out.len() >= limit {
+                    return;
+                }
+                scan_rec(child, start, limit, out);
+            }
+        }
+    }
+}
+
+fn collect_all<'a, K, V>(node: &'a Node<K, V>, out: &mut Vec<(&'a K, &'a V)>) {
+    match node {
+        Node::Leaf { keys, vals } => out.extend(keys.iter().zip(vals.iter())),
+        Node::Internal { children, .. } => {
+            for c in children {
+                collect_all(c, out);
+            }
+        }
+    }
+}
+
+fn count_nodes<K, V>(node: &Node<K, V>) -> usize {
+    match node {
+        Node::Leaf { .. } => 1,
+        Node::Internal { children, .. } => {
+            1 + children.iter().map(count_nodes).sum::<usize>()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_many() {
+        let mut t = BTree::with_order(8);
+        for i in (0..10_000).rev() {
+            assert!(t.insert(i, i * 2).is_none());
+        }
+        assert_eq!(t.len(), 10_000);
+        for i in 0..10_000 {
+            assert_eq!(t.get(&i), Some(&(i * 2)));
+        }
+        assert_eq!(t.get(&10_001), None);
+        assert!(t.depth() > 2, "tree should have split");
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut t: BTree<i32, &str> = BTree::new();
+        assert!(t.insert(1, "a").is_none());
+        assert_eq!(t.insert(1, "b"), Some("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&1), Some(&"b"));
+    }
+
+    #[test]
+    fn ordered_iteration() {
+        let mut t = BTree::with_order(4);
+        for i in [5, 1, 9, 3, 7, 2, 8, 4, 6, 0] {
+            t.insert(i, ());
+        }
+        let keys: Vec<i32> = t.iter().into_iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_scan_from_midpoint() {
+        let mut t = BTree::with_order(6);
+        for i in 0..1000 {
+            t.insert(i * 2, i);
+        }
+        // start between keys
+        let got: Vec<i64> = t.scan_from(&101i64, 5).into_iter().map(|(k, _)| *k).collect();
+        assert_eq!(got, vec![102, 104, 106, 108, 110]);
+        // scan off the end
+        let tail: Vec<i64> = t.scan_from(&1995i64, 10).into_iter().map(|(k, _)| *k).collect();
+        assert_eq!(tail, vec![1996, 1998]);
+    }
+
+    #[test]
+    fn remove_is_lazy_but_correct() {
+        let mut t = BTree::with_order(4);
+        for i in 0..100 {
+            t.insert(i, i);
+        }
+        assert_eq!(t.remove(&50), Some(50));
+        assert_eq!(t.remove(&50), None);
+        assert_eq!(t.len(), 99);
+        assert_eq!(t.get(&50), None);
+        assert_eq!(t.get(&51), Some(&51));
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut t: BTree<u64, u64> = BTree::new();
+        t.insert(7, 1);
+        *t.get_mut(&7).unwrap() += 10;
+        assert_eq!(t.get(&7), Some(&11));
+    }
+
+    #[test]
+    fn string_keys_with_borrowed_lookup() {
+        let mut t: BTree<String, u32> = BTree::new();
+        t.insert("user0000042".to_string(), 42);
+        assert_eq!(t.get("user0000042"), Some(&42));
+        let scanned = t.scan_from("user", 10);
+        assert_eq!(scanned.len(), 1);
+    }
+
+    #[test]
+    fn node_count_and_depth_grow() {
+        let mut t = BTree::with_order(4);
+        assert_eq!(t.depth(), 1);
+        for i in 0..500 {
+            t.insert(i, ());
+        }
+        assert!(t.node_count() > 100 / 4);
+        assert!(t.depth() >= 3);
+    }
+}

@@ -1,0 +1,284 @@
+//! An O(1) LRU buffer pool over abstract page ids, with dirty-page
+//! tracking. The OLTP engines consult it on every record access to decide
+//! whether a disk I/O must be charged; checkpoints drain the dirty set.
+//!
+//! Implementation: hash map + intrusive doubly-linked list over a slab, so
+//! `access` is O(1) with no per-access allocation after warm-up.
+//!
+//! ```
+//! use storage::bufpool::{Access, BufferPool};
+//!
+//! let mut pool = BufferPool::new(2);
+//! assert!(matches!(pool.access(1, true), Access::Miss { .. }));
+//! assert!(matches!(pool.access(2, false), Access::Miss { .. }));
+//! assert_eq!(pool.access(1, false), Access::Hit);
+//! // Page 1 (dirty) became MRU, so inserting page 3 evicts the clean
+//! // page 2 — no write-back needed.
+//! assert!(matches!(pool.access(3, false), Access::Miss { evicted_dirty: None }));
+//! ```
+
+use std::collections::HashMap;
+
+/// Abstract page identifier (the engines derive it from table + page no).
+pub type PageId = u64;
+
+const NIL: usize = usize::MAX;
+
+struct Entry {
+    page: PageId,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+/// Result of a page access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// Page was resident.
+    Hit,
+    /// Page had to be read; if eviction displaced a dirty page, it must be
+    /// written back (the engine charges a disk write).
+    Miss { evicted_dirty: Option<PageId> },
+}
+
+/// Fixed-capacity LRU pool.
+pub struct BufferPool {
+    capacity: usize,
+    map: HashMap<PageId, usize>,
+    slab: Vec<Entry>,
+    free: Vec<usize>,
+    head: usize, // MRU
+    tail: usize, // LRU
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// `capacity` in pages (>= 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1);
+        BufferPool {
+            capacity,
+            map: HashMap::with_capacity(capacity * 2),
+            slab: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn contains(&self, page: PageId) -> bool {
+        self.map.contains_key(&page)
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (p, n) = (self.slab[idx].prev, self.slab[idx].next);
+        if p != NIL {
+            self.slab[p].next = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.slab[n].prev = p;
+        } else {
+            self.tail = p;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Touch `page`; `dirty` marks it modified (write access).
+    pub fn access(&mut self, page: PageId, dirty: bool) -> Access {
+        if let Some(&idx) = self.map.get(&page) {
+            self.hits += 1;
+            self.slab[idx].dirty |= dirty;
+            if self.head != idx {
+                self.unlink(idx);
+                self.push_front(idx);
+            }
+            return Access::Hit;
+        }
+        self.misses += 1;
+        let mut evicted_dirty = None;
+        if self.map.len() >= self.capacity {
+            let lru = self.tail;
+            debug_assert_ne!(lru, NIL);
+            self.unlink(lru);
+            let e = &self.slab[lru];
+            if e.dirty {
+                evicted_dirty = Some(e.page);
+            }
+            self.map.remove(&e.page);
+            self.free.push(lru);
+        }
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slab[i] = Entry {
+                    page,
+                    dirty,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.slab.push(Entry {
+                    page,
+                    dirty,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.map.insert(page, idx);
+        self.push_front(idx);
+        Access::Miss { evicted_dirty }
+    }
+
+    /// Pages currently dirty (checkpoint working set).
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        self.map
+            .iter()
+            .filter(|(_, &idx)| self.slab[idx].dirty)
+            .map(|(&p, _)| p)
+            .collect()
+    }
+
+    /// Mark everything clean (checkpoint completed).
+    pub fn mark_all_clean(&mut self) {
+        for e in &mut self.slab {
+            e.dirty = false;
+        }
+    }
+
+    /// Drop all resident pages (the paper flushes memory between YCSB
+    /// workloads). Statistics are reset too.
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut p = BufferPool::new(2);
+        assert!(matches!(p.access(1, false), Access::Miss { .. }));
+        assert_eq!(p.access(1, false), Access::Hit);
+        assert!(matches!(p.access(2, false), Access::Miss { .. }));
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.hits(), 1);
+        assert_eq!(p.misses(), 2);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut p = BufferPool::new(2);
+        p.access(1, false);
+        p.access(2, false);
+        p.access(1, false); // 1 is now MRU, 2 is LRU
+        p.access(3, false); // evicts 2
+        assert!(p.contains(1));
+        assert!(!p.contains(2));
+        assert!(p.contains(3));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut p = BufferPool::new(1);
+        p.access(1, true);
+        match p.access(2, false) {
+            Access::Miss { evicted_dirty } => assert_eq!(evicted_dirty, Some(1)),
+            _ => panic!("expected miss"),
+        }
+        // Clean page eviction reports no write-back.
+        match p.access(3, false) {
+            Access::Miss { evicted_dirty } => assert_eq!(evicted_dirty, None),
+            _ => panic!("expected miss"),
+        }
+    }
+
+    #[test]
+    fn dirty_bit_sticks_until_checkpoint() {
+        let mut p = BufferPool::new(4);
+        p.access(1, true);
+        p.access(1, false); // read access must not clean it
+        assert_eq!(p.dirty_pages(), vec![1]);
+        p.mark_all_clean();
+        assert!(p.dirty_pages().is_empty());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut p = BufferPool::new(2);
+        p.access(1, true);
+        p.clear();
+        assert_eq!(p.len(), 0);
+        assert_eq!(p.hits() + p.misses(), 0);
+        assert!(matches!(p.access(1, false), Access::Miss { .. }));
+    }
+
+    #[test]
+    fn working_set_within_capacity_always_hits() {
+        let mut p = BufferPool::new(100);
+        for i in 0..100u64 {
+            p.access(i, false);
+        }
+        for round in 0..5 {
+            for i in 0..100u64 {
+                assert_eq!(p.access(i, false), Access::Hit, "round {round} page {i}");
+            }
+        }
+        assert_eq!(p.misses(), 100);
+    }
+}

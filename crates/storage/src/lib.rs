@@ -1,0 +1,24 @@
+//! # storage — file formats and storage structures
+//!
+//! Real (not modeled) implementations of the storage machinery the paper's
+//! systems rely on:
+//!
+//! * [`compress`] — an LZ77-family byte compressor (greedy, 64 KB window)
+//!   standing in for GZIP; real compressed sizes drive the I/O cost model,
+//! * [`text`] — delimited text files (`dbgen`-style `.tbl` rows),
+//! * [`rcfile`] — the RCFile layout \[He et al., ICDE 2011\]: row groups
+//!   holding compressed per-column chunks, with lazy column projection,
+//! * [`page`] — 8 KB slotted heap pages (SQL Server-style record storage),
+//! * [`btree`] — an in-memory B+tree with page accounting,
+//! * [`bufpool`] — an O(1) LRU buffer pool with dirty tracking.
+
+pub mod btree;
+pub mod bufpool;
+pub mod compress;
+pub mod page;
+pub mod rcfile;
+pub mod text;
+
+pub use btree::BTree;
+pub use bufpool::{BufferPool, PageId};
+pub use rcfile::RcFile;

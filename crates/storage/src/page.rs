@@ -1,0 +1,234 @@
+//! 8 KB slotted heap pages — SQL Server-style record storage.
+//!
+//! Layout: `[header | slot directory -> | ... free ... | <- record heap]`.
+//! Records grow downward from the end; the slot directory grows upward after
+//! the header. Deleting a record tombstones its slot; updating in place is
+//! allowed when the new record fits the old footprint, otherwise the record
+//! is moved within the page (or the update is rejected so the caller can
+//! relocate the row).
+
+/// Page capacity in bytes (SQL Server uses 8 KB pages; the paper's YCSB
+/// analysis leans on "SQL Server reads 8 KB from disk per miss").
+pub const PAGE_SIZE: usize = 8192;
+const HEADER: usize = 8; // n_slots: u16, free_lower: u16, free_upper: u16, pad
+const SLOT: usize = 4; // offset: u16, len: u16 (len 0 = tombstone)
+
+/// A slotted page over an owned 8 KB buffer.
+pub struct HeapPage {
+    buf: Box<[u8; PAGE_SIZE]>,
+}
+
+/// Slot number within a page.
+pub type SlotId = u16;
+
+impl Default for HeapPage {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HeapPage {
+    pub fn new() -> HeapPage {
+        let mut p = HeapPage {
+            buf: Box::new([0; PAGE_SIZE]),
+        };
+        p.set_n_slots(0);
+        p.set_free_lower(HEADER as u16);
+        p.set_free_upper(PAGE_SIZE as u16);
+        p
+    }
+
+    fn n_slots(&self) -> u16 {
+        u16::from_le_bytes([self.buf[0], self.buf[1]])
+    }
+    fn set_n_slots(&mut self, v: u16) {
+        self.buf[0..2].copy_from_slice(&v.to_le_bytes());
+    }
+    fn free_lower(&self) -> u16 {
+        u16::from_le_bytes([self.buf[2], self.buf[3]])
+    }
+    fn set_free_lower(&mut self, v: u16) {
+        self.buf[2..4].copy_from_slice(&v.to_le_bytes());
+    }
+    fn free_upper(&self) -> u16 {
+        u16::from_le_bytes([self.buf[4], self.buf[5]])
+    }
+    fn set_free_upper(&mut self, v: u16) {
+        self.buf[4..6].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn slot(&self, id: SlotId) -> (u16, u16) {
+        let base = HEADER + id as usize * SLOT;
+        (
+            u16::from_le_bytes([self.buf[base], self.buf[base + 1]]),
+            u16::from_le_bytes([self.buf[base + 2], self.buf[base + 3]]),
+        )
+    }
+    fn set_slot(&mut self, id: SlotId, offset: u16, len: u16) {
+        let base = HEADER + id as usize * SLOT;
+        self.buf[base..base + 2].copy_from_slice(&offset.to_le_bytes());
+        self.buf[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Contiguous free space available for one more insert (slot + record).
+    pub fn free_space(&self) -> usize {
+        (self.free_upper() as usize)
+            .saturating_sub(self.free_lower() as usize)
+            .saturating_sub(SLOT)
+    }
+
+    /// Number of live (non-tombstoned) records.
+    pub fn live_records(&self) -> usize {
+        (0..self.n_slots())
+            .filter(|&i| self.slot(i).1 != 0)
+            .count()
+    }
+
+    /// Insert a record; returns its slot, or `None` if it doesn't fit.
+    pub fn insert(&mut self, record: &[u8]) -> Option<SlotId> {
+        assert!(!record.is_empty() && record.len() < PAGE_SIZE - HEADER - SLOT);
+        if self.free_space() < record.len() {
+            return None;
+        }
+        let id = self.n_slots();
+        let new_upper = self.free_upper() - record.len() as u16;
+        self.buf[new_upper as usize..new_upper as usize + record.len()].copy_from_slice(record);
+        self.set_slot(id, new_upper, record.len() as u16);
+        self.set_free_upper(new_upper);
+        self.set_free_lower(self.free_lower() + SLOT as u16);
+        self.set_n_slots(id + 1);
+        Some(id)
+    }
+
+    /// Read a record by slot (`None` for tombstones / out-of-range).
+    pub fn get(&self, id: SlotId) -> Option<&[u8]> {
+        if id >= self.n_slots() {
+            return None;
+        }
+        let (off, len) = self.slot(id);
+        if len == 0 {
+            return None;
+        }
+        Some(&self.buf[off as usize..(off + len) as usize])
+    }
+
+    /// Update a record in place. Returns false if the new record is larger
+    /// than the original footprint (caller must delete + re-insert
+    /// elsewhere). Smaller updates shrink the slot length.
+    pub fn update(&mut self, id: SlotId, record: &[u8]) -> bool {
+        if id >= self.n_slots() {
+            return false;
+        }
+        let (off, len) = self.slot(id);
+        if len == 0 || record.len() > len as usize {
+            return false;
+        }
+        self.buf[off as usize..off as usize + record.len()].copy_from_slice(record);
+        self.set_slot(id, off, record.len() as u16);
+        true
+    }
+
+    /// Tombstone a record. Space is reclaimed only by [`HeapPage::compact`].
+    pub fn delete(&mut self, id: SlotId) -> bool {
+        if id >= self.n_slots() || self.slot(id).1 == 0 {
+            return false;
+        }
+        let (off, _) = self.slot(id);
+        self.set_slot(id, off, 0);
+        true
+    }
+
+    /// Rewrite the record heap to squeeze out tombstoned space. Slot ids
+    /// remain stable (a tombstone keeps its slot).
+    pub fn compact(&mut self) {
+        let n = self.n_slots();
+        let mut records: Vec<(SlotId, Vec<u8>)> = (0..n)
+            .filter_map(|i| self.get(i).map(|r| (i, r.to_vec())))
+            .collect();
+        // Re-pack from the top of the page downward.
+        let mut upper = PAGE_SIZE as u16;
+        records.sort_by_key(|(i, _)| *i);
+        for (i, rec) in records {
+            upper -= rec.len() as u16;
+            self.buf[upper as usize..upper as usize + rec.len()].copy_from_slice(&rec);
+            self.set_slot(i, upper, rec.len() as u16);
+        }
+        self.set_free_upper(upper);
+    }
+
+    /// Iterate live records as `(slot, bytes)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> {
+        (0..self.n_slots()).filter_map(move |i| self.get(i).map(|r| (i, r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = HeapPage::new();
+        let a = p.insert(b"hello").unwrap();
+        let b = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(a), Some(&b"hello"[..]));
+        assert_eq!(p.get(b), Some(&b"world!"[..]));
+        assert_eq!(p.live_records(), 2);
+    }
+
+    #[test]
+    fn fills_up_with_1kb_records() {
+        // The paper's YCSB records are 1 KB; 8 KB pages hold ~7 of them
+        // (header + slots eat a little).
+        let mut p = HeapPage::new();
+        let rec = vec![0xAB; 1024];
+        let mut n = 0;
+        while p.insert(&rec).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn delete_then_compact_reclaims() {
+        let mut p = HeapPage::new();
+        let rec = vec![1u8; 2500];
+        let a = p.insert(&rec).unwrap();
+        let _b = p.insert(&rec).unwrap();
+        let c = p.insert(&rec).unwrap();
+        assert!(p.insert(&rec).is_none()); // full: 3*2500 + overhead > 8192 - 2500
+        assert!(p.delete(a));
+        assert!(!p.delete(a), "double delete");
+        p.compact();
+        assert!(p.insert(&rec).is_some());
+        assert_eq!(p.get(c), Some(&rec[..]), "surviving record intact");
+    }
+
+    #[test]
+    fn update_in_place_and_too_big() {
+        let mut p = HeapPage::new();
+        let a = p.insert(b"0123456789").unwrap();
+        assert!(p.update(a, b"abcdefghij"));
+        assert_eq!(p.get(a), Some(&b"abcdefghij"[..]));
+        assert!(p.update(a, b"short"));
+        assert_eq!(p.get(a), Some(&b"short"[..]));
+        assert!(!p.update(a, b"this is far too long now"));
+    }
+
+    #[test]
+    fn get_out_of_range_is_none() {
+        let p = HeapPage::new();
+        assert_eq!(p.get(0), None);
+        assert_eq!(p.get(99), None);
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut p = HeapPage::new();
+        let a = p.insert(b"a").unwrap();
+        let _b = p.insert(b"b").unwrap();
+        p.delete(a);
+        let live: Vec<_> = p.iter().map(|(_, r)| r.to_vec()).collect();
+        assert_eq!(live, vec![b"b".to_vec()]);
+    }
+}

@@ -1,0 +1,133 @@
+//! Delimited text encoding — the `dbgen .tbl` wire format (`|`-separated
+//! fields, one row per line). This is what gets bulk-loaded into HDFS before
+//! the RCFile conversion, and what `dwloader` ships to PDW compute nodes.
+
+use relational::date;
+use relational::{DataType, Row, Schema, Value};
+
+/// Encode rows as `|`-delimited lines.
+pub fn encode(rows: &[Row]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for row in rows {
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(b'|');
+            }
+            out.extend_from_slice(v.to_string().as_bytes());
+        }
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Decode `|`-delimited lines against a schema.
+///
+/// Panics on malformed input: this format is only produced by [`encode`]
+/// and the data generator, so corruption is a bug, not an input condition.
+pub fn decode(data: &[u8], schema: &Schema) -> Vec<Row> {
+    let text = std::str::from_utf8(data).expect("text file is not UTF-8");
+    text.lines()
+        .filter(|l| !l.is_empty())
+        .map(|line| {
+            let fields: Vec<&str> = line.split('|').collect();
+            assert_eq!(
+                fields.len(),
+                schema.len(),
+                "arity mismatch decoding line `{line}`"
+            );
+            fields
+                .iter()
+                .zip(schema.fields())
+                .map(|(f, fld)| parse_field(f, fld.ty))
+                .collect()
+        })
+        .collect()
+}
+
+fn parse_field(s: &str, ty: DataType) -> Value {
+    if s == "NULL" {
+        return Value::Null;
+    }
+    match ty {
+        DataType::Bool => Value::Bool(s == "true"),
+        DataType::I64 => Value::I64(s.parse().expect("bad i64")),
+        DataType::F64 => Value::F64(s.parse().expect("bad f64")),
+        DataType::Decimal => {
+            let neg = s.starts_with('-');
+            let t = s.trim_start_matches('-');
+            let (whole, frac) = match t.split_once('.') {
+                Some((w, f)) => (w, f),
+                None => (t, "0"),
+            };
+            let whole: i64 = whole.parse().expect("bad decimal");
+            let frac2 = format!("{:0<2}", frac);
+            let frac: i64 = frac2[..2].parse().expect("bad decimal fraction");
+            let cents = whole * 100 + frac;
+            Value::Decimal(if neg { -cents } else { cents })
+        }
+        DataType::Date => {
+            let mut it = s.split('-');
+            let y: i32 = it.next().unwrap().parse().expect("bad year");
+            let m: u32 = it.next().unwrap().parse().expect("bad month");
+            let d: u32 = it.next().unwrap().parse().expect("bad day");
+            Value::Date(date::date(y, m, d))
+        }
+        DataType::Str => Value::str(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("k", DataType::I64),
+            ("price", DataType::Decimal),
+            ("ship", DataType::Date),
+            ("comment", DataType::Str),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let rows = vec![
+            vec![
+                Value::I64(42),
+                Value::Decimal(123456),
+                Value::Date(date::date(1995, 3, 15)),
+                Value::str("quick brown fox"),
+            ],
+            vec![
+                Value::I64(-7),
+                Value::Decimal(-5),
+                Value::Date(date::date(1992, 1, 1)),
+                Value::str(""),
+            ],
+        ];
+        let data = encode(&rows);
+        let back = decode(&data, &schema());
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn null_round_trip() {
+        let s = Schema::of(&[("a", DataType::I64)]);
+        let rows = vec![vec![Value::Null]];
+        assert_eq!(decode(&encode(&rows), &s), rows);
+    }
+
+    #[test]
+    fn decimal_edge_cases() {
+        assert_eq!(parse_field("0.07", DataType::Decimal), Value::Decimal(7));
+        assert_eq!(parse_field("-0.07", DataType::Decimal), Value::Decimal(-7));
+        assert_eq!(parse_field("10", DataType::Decimal), Value::Decimal(1000));
+        assert_eq!(parse_field("10.5", DataType::Decimal), Value::Decimal(1050));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        decode(b"1|2\n", &Schema::of(&[("a", DataType::I64)]));
+    }
+}

@@ -1,0 +1,527 @@
+//! The data generator (`dbgen` re-implementation).
+//!
+//! Follows the TPC-H 2.x population rules for every column a query predicate
+//! or the paper's analysis depends on: key formulae, sparse order keys,
+//! date windows, the customers-without-orders rule, the partsupp/lineitem
+//! supplier formula, retail-price formula, and comment-pattern injection
+//! for Q13 ("%special%requests%") and Q16 ("%Customer%Complaints%").
+
+use crate::random::{sparse_orderkey, RandomMode, TpchRandom};
+use crate::schema;
+use crate::textpool as tp;
+use relational::date::date;
+use relational::{Catalog, Row, Table, Value};
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// TPC-H scale factor (1.0 = 1 GB-ish; fractional values supported).
+    pub scale: f64,
+    /// RANDOM arithmetic width (the paper's 16 TB bug vs the RANDOM64 fix).
+    pub mode: RandomMode,
+    pub seed: i64,
+}
+
+impl GenConfig {
+    pub fn new(scale: f64) -> GenConfig {
+        GenConfig {
+            scale,
+            mode: RandomMode::Bit64,
+            seed: 19920101,
+        }
+    }
+
+    pub fn suppliers(&self) -> i64 {
+        ((10_000.0 * self.scale) as i64).max(10)
+    }
+    pub fn parts(&self) -> i64 {
+        ((200_000.0 * self.scale) as i64).max(40)
+    }
+    pub fn customers(&self) -> i64 {
+        ((150_000.0 * self.scale) as i64).max(30)
+    }
+    pub fn orders(&self) -> i64 {
+        self.customers() * 10
+    }
+}
+
+/// dbgen's p_retailprice formula, in cents.
+pub fn retail_price_cents(partkey: i64) -> i64 {
+    90_000 + ((partkey / 10) % 20_001) + 100 * (partkey % 1_000)
+}
+
+/// dbgen's partsupp supplier formula: the `i`-th (0..4) supplier of a part.
+pub fn part_supplier(partkey: i64, i: i64, supplier_count: i64) -> i64 {
+    let s = supplier_count;
+    (partkey + i * (s / 4 + (partkey - 1) / s)) % s + 1
+}
+
+const START_DATE: (i32, u32, u32) = (1992, 1, 1);
+/// Last order date: 1998-12-31 minus 151 days = 1998-08-02.
+const END_ORDER_OFFSET: i64 = 2405; // days from 1992-01-01 to 1998-08-02
+/// dbgen's CURRENTDATE = 1995-06-17.
+fn current_date() -> i32 {
+    date(1995, 6, 17)
+}
+
+fn comment(r: &mut TpchRandom, min_words: i64, max_words: i64) -> Value {
+    let n = r.uniform(min_words, max_words);
+    let mut s = String::new();
+    for i in 0..n {
+        if i > 0 {
+            s.push(' ');
+        }
+        s.push_str(r.pick(tp::COMMENT_WORDS) as &str);
+    }
+    Value::str(s)
+}
+
+/// Order comment with the Q13 pattern injected at dbgen's rate (the spec
+/// scatters "special ... requests" so that ~1% of orders match).
+fn order_comment(r: &mut TpchRandom) -> Value {
+    if r.chance(1, 100) {
+        let mut s = String::new();
+        s.push_str(r.pick(tp::COMMENT_WORDS) as &str);
+        s.push_str(" special ");
+        s.push_str(r.pick(tp::COMMENT_WORDS) as &str);
+        s.push_str(" requests ");
+        s.push_str(r.pick(tp::COMMENT_WORDS) as &str);
+        Value::str(s)
+    } else {
+        comment(r, 4, 8)
+    }
+}
+
+/// Supplier comment with Q16's "Customer ... Complaints" pattern (spec:
+/// 5 per 10 000 suppliers).
+fn supplier_comment(r: &mut TpchRandom) -> Value {
+    if r.chance(5, 10_000) {
+        Value::str("the Customer of record files Complaints about deliveries")
+    } else {
+        comment(r, 6, 12)
+    }
+}
+
+fn phone(r: &mut TpchRandom, nationkey: i64) -> Value {
+    Value::str(format!(
+        "{}-{:03}-{:03}-{:04}",
+        nationkey + 10,
+        r.uniform(100, 999),
+        r.uniform(100, 999),
+        r.uniform(1000, 9999)
+    ))
+}
+
+fn gen_region(cfg: &GenConfig) -> Table {
+    let mut r = TpchRandom::new(cfg.seed + 1, cfg.mode);
+    let rows: Vec<Row> = tp::REGIONS
+        .iter()
+        .enumerate()
+        .map(|(i, name)| {
+            vec![
+                Value::I64(i as i64),
+                Value::str(*name),
+                comment(&mut r, 4, 8),
+            ]
+        })
+        .collect();
+    Table::new(schema::region(), rows)
+}
+
+fn gen_nation(cfg: &GenConfig) -> Table {
+    let mut r = TpchRandom::new(cfg.seed + 2, cfg.mode);
+    let rows: Vec<Row> = tp::NATIONS
+        .iter()
+        .enumerate()
+        .map(|(i, (name, region))| {
+            vec![
+                Value::I64(i as i64),
+                Value::str(*name),
+                Value::I64(*region),
+                comment(&mut r, 4, 8),
+            ]
+        })
+        .collect();
+    Table::new(schema::nation(), rows)
+}
+
+fn gen_supplier(cfg: &GenConfig) -> Table {
+    let mut r = TpchRandom::new(cfg.seed + 3, cfg.mode);
+    let n = cfg.suppliers();
+    let rows: Vec<Row> = (1..=n)
+        .map(|k| {
+            let nation = r.uniform(0, 24);
+            vec![
+                Value::I64(k),
+                Value::str(format!("Supplier#{k:09}")),
+                comment(&mut r, 2, 4),
+                Value::I64(nation),
+                phone(&mut r, nation),
+                Value::Decimal(r.decimal(-99_999, 999_999)),
+                supplier_comment(&mut r),
+            ]
+        })
+        .collect();
+    Table::new(schema::supplier(), rows)
+}
+
+fn gen_part(cfg: &GenConfig) -> Table {
+    let mut r = TpchRandom::new(cfg.seed + 4, cfg.mode);
+    let n = cfg.parts();
+    let rows: Vec<Row> = (1..=n)
+        .map(|k| {
+            let mfgr = r.uniform(1, 5);
+            let brand = mfgr * 10 + r.uniform(1, 5);
+            let ty = format!(
+                "{} {} {}",
+                r.pick(tp::TYPE_SYLLABLE1),
+                r.pick(tp::TYPE_SYLLABLE2),
+                r.pick(tp::TYPE_SYLLABLE3)
+            );
+            let container = format!("{} {}", r.pick(tp::CONTAINER1), r.pick(tp::CONTAINER2));
+            let name = (0..5)
+                .map(|_| *r.pick(tp::PART_NAME_WORDS))
+                .collect::<Vec<_>>()
+                .join(" ");
+            vec![
+                Value::I64(k),
+                Value::str(name),
+                Value::str(format!("Manufacturer#{mfgr}")),
+                Value::str(format!("Brand#{brand}")),
+                Value::str(ty),
+                Value::I64(r.uniform(1, 50)),
+                Value::str(container),
+                Value::Decimal(retail_price_cents(k)),
+                comment(&mut r, 2, 5),
+            ]
+        })
+        .collect();
+    Table::new(schema::part(), rows)
+}
+
+fn gen_partsupp(cfg: &GenConfig) -> Table {
+    let mut r = TpchRandom::new(cfg.seed + 5, cfg.mode);
+    let parts = cfg.parts();
+    let suppliers = cfg.suppliers();
+    let mut rows = Vec::with_capacity((parts * 4) as usize);
+    for pk in 1..=parts {
+        for i in 0..4 {
+            rows.push(vec![
+                Value::I64(pk),
+                Value::I64(part_supplier(pk, i, suppliers)),
+                Value::I64(r.uniform(1, 9_999)),
+                Value::Decimal(r.decimal(100, 100_000)),
+                comment(&mut r, 4, 10),
+            ]);
+        }
+    }
+    Table::new(schema::partsupp(), rows)
+}
+
+fn gen_customer(cfg: &GenConfig) -> Table {
+    let mut r = TpchRandom::new(cfg.seed + 6, cfg.mode);
+    let n = cfg.customers();
+    let rows: Vec<Row> = (1..=n)
+        .map(|k| {
+            let nation = r.uniform(0, 24);
+            vec![
+                Value::I64(k),
+                Value::str(format!("Customer#{k:09}")),
+                comment(&mut r, 2, 4),
+                Value::I64(nation),
+                phone(&mut r, nation),
+                Value::Decimal(r.decimal(-99_999, 999_999)),
+                Value::str(*r.pick(tp::SEGMENTS)),
+                comment(&mut r, 4, 8),
+            ]
+        })
+        .collect();
+    Table::new(schema::customer(), rows)
+}
+
+/// Orders and lineitem are generated together (status/totalprice derive
+/// from the line items).
+fn gen_orders_lineitem(cfg: &GenConfig) -> (Table, Table) {
+    let mut r = TpchRandom::new(cfg.seed + 7, cfg.mode);
+    let n_orders = cfg.orders();
+    let customers = cfg.customers();
+    let parts = cfg.parts();
+    let suppliers = cfg.suppliers();
+    let start = date(START_DATE.0, START_DATE.1, START_DATE.2);
+    let today = current_date();
+
+    let mut orders = Vec::with_capacity(n_orders as usize);
+    let mut lines = Vec::with_capacity(n_orders as usize * 4);
+
+    for ord in 0..n_orders {
+        let okey = sparse_orderkey(ord);
+        // Customers with custkey % 3 == 0 never place orders (spec rule
+        // behind Q13/Q22's customers-without-orders).
+        let ckey = {
+            let mut c = r.uniform(1, customers);
+            if c % 3 == 0 {
+                c = (c % customers) + 1;
+                if c % 3 == 0 {
+                    c = (c % customers) + 1;
+                }
+            }
+            c
+        };
+        let odate = start + r.uniform(0, END_ORDER_OFFSET) as i32;
+        let n_lines = r.uniform(1, 7);
+        let mut total = 0f64;
+        let mut all_f = true;
+        let mut all_o = true;
+        for ln in 1..=n_lines {
+            // NOTE: this is the draw the paper's RANDOM overflow corrupted
+            // (mk_order's partkey/custkey at SF 16000).
+            let pkey = r.uniform(1, parts);
+            let skey = part_supplier(pkey.max(1), r.uniform(0, 3), suppliers);
+            let qty = r.uniform(1, 50);
+            let price = qty * retail_price_cents(pkey.max(1));
+            let discount = r.uniform(0, 10);
+            let tax = r.uniform(0, 8);
+            let shipdate = odate + r.uniform(1, 121) as i32;
+            let commitdate = odate + r.uniform(30, 90) as i32;
+            let receiptdate = shipdate + r.uniform(1, 30) as i32;
+            let returnflag = if receiptdate <= today {
+                if r.chance(1, 2) {
+                    "R"
+                } else {
+                    "A"
+                }
+            } else {
+                "N"
+            };
+            let linestatus = if shipdate > today { "O" } else { "F" };
+            if linestatus == "O" {
+                all_f = false;
+            } else {
+                all_o = false;
+            }
+            total += price as f64 * (1.0 + tax as f64 / 100.0) * (1.0 - discount as f64 / 100.0);
+            lines.push(vec![
+                Value::I64(okey),
+                Value::I64(pkey),
+                Value::I64(skey),
+                Value::I64(ln),
+                Value::Decimal(qty * 100),
+                Value::Decimal(price),
+                Value::Decimal(discount),
+                Value::Decimal(tax),
+                Value::str(returnflag),
+                Value::str(linestatus),
+                Value::Date(shipdate),
+                Value::Date(commitdate),
+                Value::Date(receiptdate),
+                Value::str(*r.pick(tp::INSTRUCTIONS)),
+                Value::str(*r.pick(tp::MODES)),
+                comment(&mut r, 2, 6),
+            ]);
+        }
+        let status = if all_f {
+            "F"
+        } else if all_o {
+            "O"
+        } else {
+            "P"
+        };
+        orders.push(vec![
+            Value::I64(okey),
+            Value::I64(ckey),
+            Value::str(status),
+            Value::Decimal(total.round() as i64),
+            Value::Date(odate),
+            Value::str(*r.pick(tp::PRIORITIES)),
+            Value::str(format!("Clerk#{:09}", r.uniform(1, (cfg.scale * 1000.0).max(10.0) as i64))),
+            Value::I64(0),
+            order_comment(&mut r),
+        ]);
+    }
+    (
+        Table::new(schema::orders(), orders),
+        Table::new(schema::lineitem(), lines),
+    )
+}
+
+/// Generate the full database at `cfg.scale` into a catalog.
+pub fn generate(cfg: &GenConfig) -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add("region", gen_region(cfg));
+    cat.add("nation", gen_nation(cfg));
+    cat.add("supplier", gen_supplier(cfg));
+    cat.add("part", gen_part(cfg));
+    cat.add("partsupp", gen_partsupp(cfg));
+    cat.add("customer", gen_customer(cfg));
+    let (orders, lineitem) = gen_orders_lineitem(cfg);
+    cat.add("orders", orders);
+    cat.add("lineitem", lineitem);
+    cat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::Schema;
+
+    fn small() -> Catalog {
+        generate(&GenConfig::new(0.01))
+    }
+
+    #[test]
+    fn row_counts_scale() {
+        let cat = small();
+        assert_eq!(cat.get("region").len(), 5);
+        assert_eq!(cat.get("nation").len(), 25);
+        assert_eq!(cat.get("supplier").len(), 100);
+        assert_eq!(cat.get("part").len(), 2000);
+        assert_eq!(cat.get("partsupp").len(), 8000);
+        assert_eq!(cat.get("customer").len(), 1500);
+        assert_eq!(cat.get("orders").len(), 15_000);
+        let l = cat.get("lineitem").len();
+        assert!((45_000..=75_000).contains(&l), "lineitem count {l}");
+    }
+
+    #[test]
+    fn orderkeys_are_sparse() {
+        let cat = small();
+        let orders = cat.get("orders");
+        let max_key = orders
+            .rows
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .max()
+            .unwrap();
+        // Max key ≈ 4x row count because only 8 of every 32 values are used.
+        let n = orders.len() as i64;
+        assert!(max_key > 3 * n && max_key <= 4 * n, "max {max_key} for {n} rows");
+        // Every key's position within its 32-group is < 8.
+        for row in orders.rows.iter().take(1000) {
+            let k = row[0].as_i64().unwrap();
+            assert!((k - 1) % 32 < 8, "key {k} outside first-8-of-32");
+        }
+    }
+
+    #[test]
+    fn no_customer_divisible_by_3_has_orders() {
+        let cat = small();
+        for row in &cat.get("orders").rows {
+            let c = row[1].as_i64().unwrap();
+            assert_ne!(c % 3, 0, "custkey {c} should not place orders");
+        }
+    }
+
+    #[test]
+    fn some_customers_have_no_orders() {
+        let cat = small();
+        let with_orders: std::collections::HashSet<i64> = cat
+            .get("orders")
+            .rows
+            .iter()
+            .map(|r| r[1].as_i64().unwrap())
+            .collect();
+        let total = cat.get("customer").len();
+        assert!(
+            with_orders.len() < total,
+            "Q13/Q22 need customers without orders"
+        );
+    }
+
+    #[test]
+    fn lineitem_dates_consistent() {
+        let cat = small();
+        let s = schema::lineitem();
+        let (ship, commit, receipt) = (s.col("l_shipdate"), s.col("l_commitdate"), s.col("l_receiptdate"));
+        for row in cat.get("lineitem").rows.iter().take(2000) {
+            let sd = row[ship].as_i64().unwrap();
+            let rd = row[receipt].as_i64().unwrap();
+            let _cd = row[commit].as_i64().unwrap();
+            assert!(rd > sd, "receipt after ship");
+        }
+    }
+
+    #[test]
+    fn returnflag_linestatus_rules() {
+        let cat = small();
+        let s = schema::lineitem();
+        let today = current_date() as i64;
+        for row in cat.get("lineitem").rows.iter().take(2000) {
+            let rf = row[s.col("l_returnflag")].as_str().unwrap().to_string();
+            let ls = row[s.col("l_linestatus")].as_str().unwrap().to_string();
+            let ship = row[s.col("l_shipdate")].as_i64().unwrap();
+            let receipt = row[s.col("l_receiptdate")].as_i64().unwrap();
+            if receipt <= today {
+                assert!(rf == "R" || rf == "A");
+            } else {
+                assert_eq!(rf, "N");
+            }
+            assert_eq!(ls == "O", ship > today);
+        }
+    }
+
+    #[test]
+    fn q13_and_q16_patterns_occur() {
+        let cat = generate(&GenConfig::new(0.02));
+        let o = cat.get("orders");
+        let oc = schema::orders().col("o_comment");
+        let matches = o
+            .rows
+            .iter()
+            .filter(|r| {
+                relational::expr::like_match(r[oc].as_str().unwrap(), "%special%requests%")
+            })
+            .count();
+        let rate = matches as f64 / o.len() as f64;
+        assert!(rate > 0.002 && rate < 0.05, "Q13 pattern rate {rate}");
+    }
+
+    #[test]
+    fn rows_conform_to_schema() {
+        let cat = small();
+        for t in crate::schema::TABLE_NAMES {
+            let table = cat.get(t);
+            let s: &Schema = &table.schema;
+            for row in table.rows.iter().take(100) {
+                for (i, v) in row.iter().enumerate() {
+                    assert!(
+                        s.field(i).ty.admits(v),
+                        "{t}.{} got {v:?}",
+                        s.field(i).name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&GenConfig::new(0.005));
+        let b = generate(&GenConfig::new(0.005));
+        assert_eq!(a.get("lineitem").rows, b.get("lineitem").rows);
+    }
+
+    #[test]
+    fn totalprice_matches_lineitems() {
+        let cat = small();
+        let li = cat.get("lineitem");
+        let key0 = cat.get("orders").rows[0][0].clone();
+        let expect: f64 = li
+            .rows
+            .iter()
+            .filter(|r| r[0] == key0)
+            .map(|r| {
+                // as_f64 on decimals yields real values: price in dollars,
+                // tax/discount as fractions (0.08 = 8%).
+                let price_cents = r[5].as_f64().unwrap() * 100.0;
+                let disc = r[6].as_f64().unwrap();
+                let tax = r[7].as_f64().unwrap();
+                price_cents * (1.0 + tax) * (1.0 - disc)
+            })
+            .sum();
+        let got = cat.get("orders").rows[0][3].as_f64().unwrap() * 100.0;
+        assert!(
+            (got - expect).abs() / expect.max(1.0) < 0.01,
+            "totalprice {got} vs {expect}"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! Table 1 of the paper: the physical data layouts used in Hive and PDW.
+
+/// How one table is laid out in each system.
+#[derive(Clone, Debug)]
+pub struct TableLayout {
+    pub table: &'static str,
+    pub hive: HiveLayout,
+    pub pdw: PdwLayout,
+}
+
+/// Hive layout: optional partition column + optional bucketing.
+#[derive(Clone, Debug)]
+pub struct HiveLayout {
+    /// Partition column: one HDFS directory per distinct value.
+    pub partition_col: Option<&'static str>,
+    /// Bucketing: `(column, bucket count)` — files within each partition
+    /// (or the table directory), sorted on the bucket column.
+    pub buckets: Option<(&'static str, usize)>,
+}
+
+/// PDW layout: hash-distributed on a column, or replicated to every node.
+#[derive(Clone, Debug)]
+pub struct PdwLayout {
+    /// `None` means the table is replicated.
+    pub distribution_col: Option<&'static str>,
+}
+
+/// The paper's Table 1, verbatim.
+pub fn paper_layouts() -> Vec<TableLayout> {
+    vec![
+        TableLayout {
+            table: "customer",
+            hive: HiveLayout {
+                partition_col: Some("c_nationkey"),
+                buckets: Some(("c_custkey", 8)),
+            },
+            pdw: PdwLayout {
+                distribution_col: Some("c_custkey"),
+            },
+        },
+        TableLayout {
+            table: "lineitem",
+            hive: HiveLayout {
+                partition_col: None,
+                buckets: Some(("l_orderkey", 512)),
+            },
+            pdw: PdwLayout {
+                distribution_col: Some("l_orderkey"),
+            },
+        },
+        TableLayout {
+            table: "nation",
+            hive: HiveLayout {
+                partition_col: None,
+                buckets: None,
+            },
+            pdw: PdwLayout {
+                distribution_col: None,
+            },
+        },
+        TableLayout {
+            table: "orders",
+            hive: HiveLayout {
+                partition_col: None,
+                buckets: Some(("o_orderkey", 512)),
+            },
+            pdw: PdwLayout {
+                distribution_col: Some("o_orderkey"),
+            },
+        },
+        TableLayout {
+            table: "part",
+            hive: HiveLayout {
+                partition_col: None,
+                buckets: Some(("p_partkey", 8)),
+            },
+            pdw: PdwLayout {
+                distribution_col: Some("p_partkey"),
+            },
+        },
+        TableLayout {
+            table: "partsupp",
+            hive: HiveLayout {
+                partition_col: None,
+                buckets: Some(("ps_partkey", 8)),
+            },
+            pdw: PdwLayout {
+                distribution_col: Some("ps_partkey"),
+            },
+        },
+        TableLayout {
+            table: "region",
+            hive: HiveLayout {
+                partition_col: None,
+                buckets: None,
+            },
+            pdw: PdwLayout {
+                distribution_col: None,
+            },
+        },
+        TableLayout {
+            table: "supplier",
+            hive: HiveLayout {
+                partition_col: Some("s_nationkey"),
+                buckets: Some(("s_suppkey", 8)),
+            },
+            pdw: PdwLayout {
+                distribution_col: Some("s_suppkey"),
+            },
+        },
+    ]
+}
+
+/// Lookup by table name.
+pub fn layout_of(table: &str) -> TableLayout {
+    paper_layouts()
+        .into_iter()
+        .find(|l| l.table == table)
+        .unwrap_or_else(|| panic!("no layout for table `{table}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_table1() {
+        let l = layout_of("lineitem");
+        assert_eq!(l.hive.buckets, Some(("l_orderkey", 512)));
+        assert_eq!(l.pdw.distribution_col, Some("l_orderkey"));
+        assert!(layout_of("nation").pdw.distribution_col.is_none());
+        assert_eq!(layout_of("customer").hive.partition_col, Some("c_nationkey"));
+        assert_eq!(paper_layouts().len(), 8);
+    }
+
+    #[test]
+    fn bucket_columns_exist_in_schemas() {
+        for l in paper_layouts() {
+            let s = crate::schema::table_schema(l.table);
+            if let Some((col, _)) = l.hive.buckets {
+                assert!(s.index_of(col).is_some(), "{} bucket col {col}", l.table);
+            }
+            if let Some(col) = l.pdw.distribution_col {
+                assert!(s.index_of(col).is_some(), "{} dist col {col}", l.table);
+            }
+        }
+    }
+}

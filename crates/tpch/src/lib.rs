@@ -1,0 +1,40 @@
+//! # tpch — TPC-H data generator and the 22 benchmark queries
+//!
+//! A from-scratch `dbgen` re-implementation producing the distributions the
+//! paper's analysis depends on:
+//!
+//! * **sparse order keys** — only the first 8 of every 32 key values are
+//!   used, which is why 384 of Hive's 512 `lineitem`/`orders` buckets end
+//!   up empty (the paper's Q1 and Q22 scaling analysis),
+//! * the **`RANDOM` 32-bit overflow** at the 16 TB scale factor that the
+//!   authors had to patch with a 64-bit generator ([`random::TpchRandom`]
+//!   emulates both; the overflow is kept as an injectable fault),
+//! * the word pools behind every predicate the queries filter on
+//!   (`p_type` syllables, containers, segments, priorities, ship modes,
+//!   nations/regions, and the comment patterns of Q13/Q16).
+//!
+//! The 22 queries are built once as [`relational::LogicalPlan`]s, written in
+//! the same join order as the Hive team's hand-written TPC-H scripts
+//! (HIVE-600) — the Hive engine lowers them *as written* (no cost-based
+//! reordering), the PDW engine optimizes them, exactly as in the paper.
+
+//! ```
+//! use tpch::{generate, GenConfig};
+//!
+//! let catalog = generate(&GenConfig::new(0.001));
+//! let plan = tpch::query(6);
+//! let (_, rows) = relational::execute(&plan, &catalog);
+//! assert_eq!(rows.len(), 1); // Q6 is a scalar query
+//! ```
+
+pub mod gen;
+pub mod layout;
+pub mod queries;
+pub mod random;
+pub mod refresh;
+pub mod schema;
+pub mod textpool;
+
+pub use gen::{generate, GenConfig};
+pub use layout::{HiveLayout, PdwLayout, TableLayout};
+pub use queries::{query, query_names, QUERY_COUNT};

@@ -1,0 +1,424 @@
+//! TPC-H queries 1–8.
+
+use super::Base;
+use relational::expr::{and, col, lit_f64, lit_i64, lit_str, lit_date, or, Expr};
+use relational::{AggCall, JoinKind, LogicalPlan, SortKey, Value};
+
+/// Q1 — pricing summary report.
+pub fn q1() -> LogicalPlan {
+    let l = Base::new("lineitem");
+    // layout: 0 rf, 1 ls, 2 qty, 3 price, 4 disc, 5 tax
+    let base = l.select(
+        Some(l.c("l_shipdate").le(lit_date(1998, 12, 1).sub(lit_i64(90)))),
+        &[
+            "l_returnflag",
+            "l_linestatus",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_tax",
+        ],
+    );
+    let disc_price = col(3).mul(lit_f64(1.0).sub(col(4)));
+    let charge = col(3)
+        .mul(lit_f64(1.0).sub(col(4)))
+        .mul(lit_f64(1.0).add(col(5)));
+    base.aggregate(
+        vec![(col(0), "l_returnflag"), (col(1), "l_linestatus")],
+        vec![
+            AggCall::sum(col(2), "sum_qty"),
+            AggCall::sum(col(3), "sum_base_price"),
+            AggCall::sum(disc_price, "sum_disc_price"),
+            AggCall::sum(charge, "sum_charge"),
+            AggCall::avg(col(2), "avg_qty"),
+            AggCall::avg(col(3), "avg_price"),
+            AggCall::avg(col(4), "avg_disc"),
+            AggCall::count_star("count_order"),
+        ],
+    )
+    .sort(vec![SortKey::asc(col(0)), SortKey::asc(col(1))])
+}
+
+/// Q2 — minimum cost supplier. Hive splits this into tmp1 (the 5-way join)
+/// and tmp2 (min cost per part), then joins them back.
+pub fn q2() -> LogicalPlan {
+    let p = Base::new("part");
+    let ps = Base::new("partsupp");
+    let s = Base::new("supplier");
+    let n = Base::new("nation");
+    let r = Base::new("region");
+
+    // part: 0 p_partkey, 1 p_mfgr
+    let part = p.select(
+        Some(and(vec![
+            p.c("p_size").eq(lit_i64(15)),
+            p.c("p_type").like("%BRASS"),
+        ])),
+        &["p_partkey", "p_mfgr"],
+    );
+    // partsupp: 0 ps_partkey, 1 ps_suppkey, 2 ps_supplycost
+    let partsupp = ps.select(None, &["ps_partkey", "ps_suppkey", "ps_supplycost"]);
+    // supplier: 0 s_suppkey, 1 s_name, 2 s_address, 3 s_nationkey, 4 s_phone,
+    //           5 s_acctbal, 6 s_comment
+    let supplier = s.select(
+        None,
+        &[
+            "s_suppkey",
+            "s_name",
+            "s_address",
+            "s_nationkey",
+            "s_phone",
+            "s_acctbal",
+            "s_comment",
+        ],
+    );
+    // nation: 0 n_nationkey, 1 n_name, 2 n_regionkey
+    let nation = n.select(None, &["n_nationkey", "n_name", "n_regionkey"]);
+    // region: 0 r_regionkey
+    let region = r.select(
+        Some(r.c("r_name").eq(lit_str("EUROPE"))),
+        &["r_regionkey"],
+    );
+
+    // tmp1 join chain (as the Hive script orders it):
+    // part ⋈ partsupp: 0 p_partkey,1 p_mfgr,2 ps_partkey,3 ps_suppkey,4 ps_supplycost
+    let t = part.join(partsupp, vec![(0, 0)]);
+    // ⋈ supplier: +5 s_suppkey,6 s_name,7 s_address,8 s_nationkey,9 s_phone,10 s_acctbal,11 s_comment
+    let t = t.join(supplier, vec![(3, 0)]);
+    // ⋈ nation: +12 n_nationkey,13 n_name,14 n_regionkey
+    let t = t.join(nation, vec![(8, 0)]);
+    // ⋈ region: +15 r_regionkey
+    let t = t.join(region, vec![(14, 0)]);
+    // tmp1: 0 p_partkey,1 p_mfgr,2 cost,3 s_acctbal,4 s_name,5 s_address,
+    //       6 s_phone,7 s_comment,8 n_name
+    let tmp1 = t.project(vec![
+        (col(0), "p_partkey"),
+        (col(1), "p_mfgr"),
+        (col(4), "ps_supplycost"),
+        (col(10), "s_acctbal"),
+        (col(6), "s_name"),
+        (col(7), "s_address"),
+        (col(9), "s_phone"),
+        (col(11), "s_comment"),
+        (col(13), "n_name"),
+    ])
+    .materialize("q2_tmp1");
+
+    // tmp2: min cost per part over tmp1.
+    let tmp2 = tmp1
+        .clone()
+        .aggregate(
+            vec![(col(0), "p_partkey")],
+            vec![AggCall::min(col(2), "min_cost")],
+        )
+        .materialize("q2_tmp2");
+
+    // tmp1 ⋈ tmp2 on partkey where cost = min_cost.
+    // combined: tmp1(0..=8), 9 p_partkey(tmp2), 10 min_cost
+    tmp1.join_kind(
+        tmp2,
+        JoinKind::Inner,
+        vec![(0, 0)],
+        Some(col(2).eq(col(10))),
+    )
+    .project(vec![
+        (col(3), "s_acctbal"),
+        (col(4), "s_name"),
+        (col(8), "n_name"),
+        (col(0), "p_partkey"),
+        (col(1), "p_mfgr"),
+        (col(5), "s_address"),
+        (col(6), "s_phone"),
+        (col(7), "s_comment"),
+    ])
+    .sort(vec![
+        SortKey::desc(col(0)),
+        SortKey::asc(col(2)),
+        SortKey::asc(col(1)),
+        SortKey::asc(col(3)),
+    ])
+    .limit(100)
+}
+
+/// Q3 — shipping priority.
+pub fn q3() -> LogicalPlan {
+    let c = Base::new("customer");
+    let o = Base::new("orders");
+    let l = Base::new("lineitem");
+    // customer: 0 c_custkey
+    let cust = c.select(
+        Some(c.c("c_mktsegment").eq(lit_str("BUILDING"))),
+        &["c_custkey"],
+    );
+    // orders: 0 o_orderkey, 1 o_custkey, 2 o_orderdate, 3 o_shippriority
+    let orders = o.select(
+        Some(o.c("o_orderdate").lt(lit_date(1995, 3, 15))),
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+    );
+    // lineitem: 0 l_orderkey, 1 l_extendedprice, 2 l_discount
+    let line = l.select(
+        Some(l.c("l_shipdate").gt(lit_date(1995, 3, 15))),
+        &["l_orderkey", "l_extendedprice", "l_discount"],
+    );
+    // cust ⋈ orders: 0 c_custkey, 1 o_orderkey, 2 o_custkey, 3 o_orderdate, 4 o_shippriority
+    let t = cust.join(orders, vec![(0, 1)]);
+    // ⋈ lineitem: +5 l_orderkey, 6 price, 7 disc
+    let t = t.join(line, vec![(1, 0)]);
+    t.aggregate(
+        vec![
+            (col(1), "l_orderkey"),
+            (col(3), "o_orderdate"),
+            (col(4), "o_shippriority"),
+        ],
+        vec![AggCall::sum(col(6).mul(lit_f64(1.0).sub(col(7))), "revenue")],
+    )
+    // 0 orderkey, 1 orderdate, 2 shippriority, 3 revenue
+    .sort(vec![SortKey::desc(col(3)), SortKey::asc(col(1))])
+    .limit(10)
+    .project(vec![
+        (col(0), "l_orderkey"),
+        (col(3), "revenue"),
+        (col(1), "o_orderdate"),
+        (col(2), "o_shippriority"),
+    ])
+}
+
+/// Q4 — order priority checking. The Hive script rewrites the EXISTS as a
+/// materialized DISTINCT temp table (`q4_order_priority_tmp`: the late
+/// order keys) joined back against orders — a full extra MapReduce round
+/// compared to a direct semi join.
+pub fn q4() -> LogicalPlan {
+    let o = Base::new("orders");
+    let l = Base::new("lineitem");
+    let orders = o.select(
+        Some(and(vec![
+            o.c("o_orderdate").ge(lit_date(1993, 7, 1)),
+            o.c("o_orderdate").lt(lit_date(1993, 10, 1)),
+        ])),
+        &["o_orderkey", "o_orderpriority"],
+    );
+    // SELECT DISTINCT l_orderkey FROM lineitem WHERE commit < receipt.
+    let late_keys = l
+        .select(
+            Some(l.c("l_commitdate").lt(l.c("l_receiptdate"))),
+            &["l_orderkey"],
+        )
+        .aggregate(vec![(col(0), "l_orderkey")], vec![])
+        .materialize("q4_tmp");
+    orders
+        .join_kind(late_keys, JoinKind::LeftSemi, vec![(0, 0)], None)
+        .aggregate(
+            vec![(col(1), "o_orderpriority")],
+            vec![AggCall::count_star("order_count")],
+        )
+        .sort(vec![SortKey::asc(col(0))])
+}
+
+/// Q5 — local supplier volume. Hive's script joins nation⋈region first,
+/// then supplier, then the big lineitem common join, then orders, then
+/// customer (the order the paper's analysis walks through).
+pub fn q5() -> LogicalPlan {
+    let c = Base::new("customer");
+    let o = Base::new("orders");
+    let l = Base::new("lineitem");
+    let s = Base::new("supplier");
+    let n = Base::new("nation");
+    let r = Base::new("region");
+
+    // nation: 0 n_nationkey, 1 n_name, 2 n_regionkey
+    let nation = n.select(None, &["n_nationkey", "n_name", "n_regionkey"]);
+    // region: 0 r_regionkey
+    let region = r.select(Some(r.c("r_name").eq(lit_str("ASIA"))), &["r_regionkey"]);
+    // n ⋈ r: 0 n_nationkey, 1 n_name, 2 n_regionkey, 3 r_regionkey
+    let nr = nation.join(region, vec![(2, 0)]);
+    // supplier: 0 s_suppkey, 1 s_nationkey
+    let supplier = s.select(None, &["s_suppkey", "s_nationkey"]);
+    // nr ⋈ s (on nationkey): + 4 s_suppkey, 5 s_nationkey
+    let nrs = nr.join(supplier, vec![(0, 1)]);
+    // lineitem: 0 l_orderkey, 1 l_suppkey, 2 l_extendedprice, 3 l_discount
+    let line = l.select(
+        None,
+        &["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+    );
+    // nrs ⋈ lineitem (the expensive common join): + 6 l_orderkey, 7 l_suppkey, 8 price, 9 disc
+    let t = nrs.join(line, vec![(4, 1)]);
+    // orders: 0 o_orderkey, 1 o_custkey
+    let orders = o.select(
+        Some(and(vec![
+            o.c("o_orderdate").ge(lit_date(1994, 1, 1)),
+            o.c("o_orderdate").lt(lit_date(1995, 1, 1)),
+        ])),
+        &["o_orderkey", "o_custkey"],
+    );
+    // t ⋈ orders: + 10 o_orderkey, 11 o_custkey
+    let t = t.join(orders, vec![(6, 0)]);
+    // customer: 0 c_custkey, 1 c_nationkey
+    let customer = c.select(None, &["c_custkey", "c_nationkey"]);
+    // ⋈ customer on custkey, with residual c_nationkey = s_nationkey:
+    // + 12 c_custkey, 13 c_nationkey
+    let t = t.join_kind(
+        customer,
+        JoinKind::Inner,
+        vec![(11, 0)],
+        Some(col(13).eq(col(5))),
+    );
+    t.aggregate(
+        vec![(col(1), "n_name")],
+        vec![AggCall::sum(col(8).mul(lit_f64(1.0).sub(col(9))), "revenue")],
+    )
+    .sort(vec![SortKey::desc(col(1))])
+}
+
+/// Q6 — forecasting revenue change.
+pub fn q6() -> LogicalPlan {
+    let l = Base::new("lineitem");
+    l.select(
+        Some(and(vec![
+            l.c("l_shipdate").ge(lit_date(1994, 1, 1)),
+            l.c("l_shipdate").lt(lit_date(1995, 1, 1)),
+            l.c("l_discount")
+                .between(Value::decimal(0.05), Value::decimal(0.07)),
+            l.c("l_quantity").lt(lit_i64(24)),
+        ])),
+        &["l_extendedprice", "l_discount"],
+    )
+    .aggregate(vec![], vec![AggCall::sum(col(0).mul(col(1)), "revenue")])
+}
+
+/// Q7 — volume shipping between FRANCE and GERMANY.
+pub fn q7() -> LogicalPlan {
+    let s = Base::new("supplier");
+    let l = Base::new("lineitem");
+    let o = Base::new("orders");
+    let c = Base::new("customer");
+    let n = Base::new("nation");
+
+    // supplier: 0 s_suppkey, 1 s_nationkey
+    let supplier = s.select(None, &["s_suppkey", "s_nationkey"]);
+    // lineitem: 0 l_orderkey, 1 l_suppkey, 2 price, 3 disc, 4 shipdate
+    let line = l.select(
+        Some(and(vec![
+            l.c("l_shipdate").ge(lit_date(1995, 1, 1)),
+            l.c("l_shipdate").le(lit_date(1996, 12, 31)),
+        ])),
+        &[
+            "l_orderkey",
+            "l_suppkey",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipdate",
+        ],
+    );
+    // s ⋈ l: 0 s_suppkey,1 s_nationkey,2 l_orderkey,3 l_suppkey,4 price,5 disc,6 shipdate
+    let t = supplier.join(line, vec![(0, 1)]);
+    // orders: 0 o_orderkey, 1 o_custkey
+    let orders = o.select(None, &["o_orderkey", "o_custkey"]);
+    // + 7 o_orderkey, 8 o_custkey
+    let t = t.join(orders, vec![(2, 0)]);
+    // customer: 0 c_custkey, 1 c_nationkey
+    let customer = c.select(None, &["c_custkey", "c_nationkey"]);
+    // + 9 c_custkey, 10 c_nationkey
+    let t = t.join(customer, vec![(8, 0)]);
+    // n1 (supplier nation): 0 n_nationkey, 1 n_name
+    let n1 = n.select(None, &["n_nationkey", "n_name"]);
+    // + 11 n_nationkey, 12 n1_name
+    let t = t.join(n1, vec![(1, 0)]);
+    // n2 (customer nation) with the FRANCE/GERMANY pair filter as residual.
+    let n2 = n.select(None, &["n_nationkey", "n_name"]);
+    // + 13 n_nationkey, 14 n2_name
+    let pair = or(vec![
+        and(vec![
+            col(12).eq(lit_str("FRANCE")),
+            col(14).eq(lit_str("GERMANY")),
+        ]),
+        and(vec![
+            col(12).eq(lit_str("GERMANY")),
+            col(14).eq(lit_str("FRANCE")),
+        ]),
+    ]);
+    let t = t.join_kind(n2, JoinKind::Inner, vec![(10, 0)], Some(pair));
+    t.aggregate(
+        vec![
+            (col(12), "supp_nation"),
+            (col(14), "cust_nation"),
+            (col(6).extract_year(), "l_year"),
+        ],
+        vec![AggCall::sum(col(4).mul(lit_f64(1.0).sub(col(5))), "revenue")],
+    )
+    .sort(vec![
+        SortKey::asc(col(0)),
+        SortKey::asc(col(1)),
+        SortKey::asc(col(2)),
+    ])
+}
+
+/// Q8 — national market share.
+pub fn q8() -> LogicalPlan {
+    let p = Base::new("part");
+    let l = Base::new("lineitem");
+    let s = Base::new("supplier");
+    let o = Base::new("orders");
+    let c = Base::new("customer");
+    let n = Base::new("nation");
+    let r = Base::new("region");
+
+    // part: 0 p_partkey
+    let part = p.select(
+        Some(p.c("p_type").eq(lit_str("ECONOMY ANODIZED STEEL"))),
+        &["p_partkey"],
+    );
+    // lineitem: 0 l_orderkey,1 l_partkey,2 l_suppkey,3 price,4 disc
+    let line = l.select(
+        None,
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_extendedprice",
+            "l_discount",
+        ],
+    );
+    // part ⋈ line: 0 p_partkey, 1..5 line
+    let t = part.join(line, vec![(0, 1)]);
+    // supplier: 0 s_suppkey, 1 s_nationkey → + 6, 7
+    let t = t.join(s.select(None, &["s_suppkey", "s_nationkey"]), vec![(3, 0)]);
+    // orders (1995..1996): 0 o_orderkey, 1 o_custkey, 2 o_orderdate → + 8, 9, 10
+    let orders = o.select(
+        Some(and(vec![
+            o.c("o_orderdate").ge(lit_date(1995, 1, 1)),
+            o.c("o_orderdate").le(lit_date(1996, 12, 31)),
+        ])),
+        &["o_orderkey", "o_custkey", "o_orderdate"],
+    );
+    let t = t.join(orders, vec![(1, 0)]);
+    // customer: 0 c_custkey, 1 c_nationkey → + 11, 12
+    let t = t.join(c.select(None, &["c_custkey", "c_nationkey"]), vec![(9, 0)]);
+    // n1 = customer nation (for region filter): 0 n_nationkey, 1 n_regionkey → + 13, 14
+    let n1 = n.select(None, &["n_nationkey", "n_regionkey"]);
+    let t = t.join(n1, vec![(12, 0)]);
+    // region AMERICA: 0 r_regionkey → + 15
+    let region = r.select(Some(r.c("r_name").eq(lit_str("AMERICA"))), &["r_regionkey"]);
+    let t = t.join(region, vec![(14, 0)]);
+    // n2 = supplier nation: 0 n_nationkey, 1 n_name → + 16, 17
+    let n2 = n.select(None, &["n_nationkey", "n_name"]);
+    let t = t.join(n2, vec![(7, 0)]);
+
+    let volume = col(4).mul(lit_f64(1.0).sub(col(5)));
+    let brazil_volume = Expr::Case {
+        whens: vec![(col(17).eq(lit_str("BRAZIL")), volume.clone())],
+        otherwise: Box::new(lit_f64(0.0)),
+    };
+    t.aggregate(
+        vec![(col(10).extract_year(), "o_year")],
+        vec![
+            AggCall::sum(brazil_volume, "brazil_vol"),
+            AggCall::sum(volume, "total_vol"),
+        ],
+    )
+    // 0 o_year, 1 brazil, 2 total
+    .project(vec![
+        (col(0), "o_year"),
+        (col(1).div(col(2)), "mkt_share"),
+    ])
+    .sort(vec![SortKey::asc(col(0))])
+}

@@ -1,0 +1,361 @@
+//! TPC-H queries 9–16.
+
+use super::Base;
+use relational::expr::{and, col, lit_f64, lit_i64, lit_str, lit_date, Expr};
+use relational::{AggCall, JoinKind, LogicalPlan, SortKey, Value};
+
+/// Q9 — product type profit measure (the query that ran Hive out of disk
+/// at the 16 TB scale factor: its intermediates are huge).
+pub fn q9() -> LogicalPlan {
+    let p = Base::new("part");
+    let l = Base::new("lineitem");
+    let s = Base::new("supplier");
+    let ps = Base::new("partsupp");
+    let o = Base::new("orders");
+    let n = Base::new("nation");
+
+    // As in the HIVE-600 script, the '%green%' predicate sits in the WHERE
+    // clause *above* the join chain. Hive 0.7 executes it exactly there
+    // (materializing the full part ⋈ lineitem intermediate — what runs it
+    // out of disk at 16 TB); PDW's optimizer pushes it into the part scan.
+    // part: 0 p_partkey, 1 p_name
+    let part = p.select(None, &["p_partkey", "p_name"]);
+    // lineitem: 0 l_orderkey,1 l_partkey,2 l_suppkey,3 qty,4 price,5 disc
+    let line = l.select(
+        None,
+        &[
+            "l_orderkey",
+            "l_partkey",
+            "l_suppkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+        ],
+    );
+    // part ⋈ line: 0 p_partkey, 1 p_name + 2..7
+    let t = part.join(line, vec![(0, 1)]);
+    // supplier: 0 s_suppkey, 1 s_nationkey → + 8, 9
+    let t = t.join(s.select(None, &["s_suppkey", "s_nationkey"]), vec![(4, 0)]);
+    // partsupp on (partkey, suppkey): 0 ps_partkey,1 ps_suppkey,2 ps_supplycost → + 10,11,12
+    let t = t.join(
+        ps.select(None, &["ps_partkey", "ps_suppkey", "ps_supplycost"]),
+        vec![(3, 0), (4, 1)],
+    );
+    // orders: 0 o_orderkey, 1 o_orderdate → + 13, 14
+    let t = t.join(o.select(None, &["o_orderkey", "o_orderdate"]), vec![(2, 0)]);
+    // nation: 0 n_nationkey, 1 n_name → + 15, 16
+    let t = t.join(n.select(None, &["n_nationkey", "n_name"]), vec![(9, 0)]);
+    // WHERE p_name like '%green%' (kept above the joins, see note).
+    let t = t.filter(col(1).like("%green%"));
+
+    // amount = price*(1-disc) - supplycost*qty
+    let amount = col(6)
+        .mul(lit_f64(1.0).sub(col(7)))
+        .sub(col(12).mul(col(5)));
+    t.aggregate(
+        vec![
+            (col(16), "nation"),
+            (col(14).extract_year(), "o_year"),
+        ],
+        vec![AggCall::sum(amount, "sum_profit")],
+    )
+    .sort(vec![SortKey::asc(col(0)), SortKey::desc(col(1))])
+}
+
+/// Q10 — returned item reporting.
+pub fn q10() -> LogicalPlan {
+    let c = Base::new("customer");
+    let o = Base::new("orders");
+    let l = Base::new("lineitem");
+    let n = Base::new("nation");
+
+    // customer: 0 c_custkey,1 c_name,2 c_acctbal,3 c_phone,4 c_address,5 c_comment,6 c_nationkey
+    let cust = c.select(
+        None,
+        &[
+            "c_custkey",
+            "c_name",
+            "c_acctbal",
+            "c_phone",
+            "c_address",
+            "c_comment",
+            "c_nationkey",
+        ],
+    );
+    // orders: 0 o_orderkey, 1 o_custkey → + 7, 8
+    let orders = o.select(
+        Some(and(vec![
+            o.c("o_orderdate").ge(lit_date(1993, 10, 1)),
+            o.c("o_orderdate").lt(lit_date(1994, 1, 1)),
+        ])),
+        &["o_orderkey", "o_custkey"],
+    );
+    let t = cust.join(orders, vec![(0, 1)]);
+    // lineitem (returned): 0 l_orderkey, 1 price, 2 disc → + 9, 10, 11
+    let line = l.select(
+        Some(l.c("l_returnflag").eq(lit_str("R"))),
+        &["l_orderkey", "l_extendedprice", "l_discount"],
+    );
+    let t = t.join(line, vec![(7, 0)]);
+    // nation: 0 n_nationkey, 1 n_name → + 12, 13
+    let t = t.join(n.select(None, &["n_nationkey", "n_name"]), vec![(6, 0)]);
+
+    t.aggregate(
+        vec![
+            (col(0), "c_custkey"),
+            (col(1), "c_name"),
+            (col(2), "c_acctbal"),
+            (col(3), "c_phone"),
+            (col(13), "n_name"),
+            (col(4), "c_address"),
+            (col(5), "c_comment"),
+        ],
+        vec![AggCall::sum(col(10).mul(lit_f64(1.0).sub(col(11))), "revenue")],
+    )
+    // sort by revenue (index 7) desc
+    .sort(vec![SortKey::desc(col(7)), SortKey::asc(col(0))])
+    .limit(20)
+}
+
+/// Q11 — important stock identification (scalar subquery → cross join).
+pub fn q11() -> LogicalPlan {
+    let ps = Base::new("partsupp");
+    let s = Base::new("supplier");
+    let n = Base::new("nation");
+
+    let base = {
+        // partsupp: 0 ps_partkey, 1 ps_suppkey, 2 cost, 3 qty
+        let partsupp = ps.select(
+            None,
+            &["ps_partkey", "ps_suppkey", "ps_supplycost", "ps_availqty"],
+        );
+        // supplier: 0 s_suppkey, 1 s_nationkey → + 4, 5
+        let t = partsupp.join(s.select(None, &["s_suppkey", "s_nationkey"]), vec![(1, 0)]);
+        // nation GERMANY: 0 n_nationkey → + 6
+        let nation = n.select(Some(n.c("n_name").eq(lit_str("GERMANY"))), &["n_nationkey"]);
+        // The script materializes this join once (q11_part_tmp) and feeds
+        // both aggregations from it.
+        t.join(nation, vec![(5, 0)]).materialize("q11_tmp")
+    };
+
+    // value per part: 0 ps_partkey, 1 value
+    let per_part = base.clone().aggregate(
+        vec![(col(0), "ps_partkey")],
+        vec![AggCall::sum(col(2).mul(col(3)), "value")],
+    );
+    // threshold: 0 total → project total * 0.0001
+    let threshold = base
+        .aggregate(vec![], vec![AggCall::sum(col(2).mul(col(3)), "total")])
+        .project(vec![(col(0).mul(lit_f64(0.0001)), "threshold")]);
+
+    per_part
+        .join_kind(
+            threshold,
+            JoinKind::Inner,
+            vec![],
+            Some(col(1).gt(col(2))),
+        )
+        .project(vec![(col(0), "ps_partkey"), (col(1), "value")])
+        .sort(vec![SortKey::desc(col(1))])
+}
+
+/// Q12 — shipping modes and order priority.
+pub fn q12() -> LogicalPlan {
+    let o = Base::new("orders");
+    let l = Base::new("lineitem");
+
+    // lineitem: 0 l_orderkey, 1 l_shipmode
+    let line = l.select(
+        Some(and(vec![
+            l.c("l_shipmode")
+                .in_list(vec![Value::str("MAIL"), Value::str("SHIP")]),
+            l.c("l_commitdate").lt(l.c("l_receiptdate")),
+            l.c("l_shipdate").lt(l.c("l_commitdate")),
+            l.c("l_receiptdate").ge(lit_date(1994, 1, 1)),
+            l.c("l_receiptdate").lt(lit_date(1995, 1, 1)),
+        ])),
+        &["l_orderkey", "l_shipmode"],
+    );
+    // orders: 0 o_orderkey, 1 o_orderpriority
+    let orders = o.select(None, &["o_orderkey", "o_orderpriority"]);
+    // orders ⋈ line: 0 o_orderkey, 1 o_orderpriority, 2 l_orderkey, 3 l_shipmode
+    let t = orders.join(line, vec![(0, 0)]);
+    let high = Expr::Case {
+        whens: vec![(
+            col(1).in_list(vec![Value::str("1-URGENT"), Value::str("2-HIGH")]),
+            lit_i64(1),
+        )],
+        otherwise: Box::new(lit_i64(0)),
+    };
+    let low = Expr::Case {
+        whens: vec![(
+            col(1).in_list(vec![Value::str("1-URGENT"), Value::str("2-HIGH")]),
+            lit_i64(0),
+        )],
+        otherwise: Box::new(lit_i64(1)),
+    };
+    t.aggregate(
+        vec![(col(3), "l_shipmode")],
+        vec![
+            AggCall::sum(high, "high_line_count"),
+            AggCall::sum(low, "low_line_count"),
+        ],
+    )
+    .sort(vec![SortKey::asc(col(0))])
+}
+
+/// Q13 — customer distribution (left outer join with a join-time filter).
+pub fn q13() -> LogicalPlan {
+    let c = Base::new("customer");
+    let o = Base::new("orders");
+    // customer: 0 c_custkey
+    let cust = c.select(None, &["c_custkey"]);
+    // orders: 0 o_orderkey, 1 o_custkey, 2 o_comment
+    let orders = o.select(None, &["o_orderkey", "o_custkey", "o_comment"]);
+    // left join on custkey with comment filter as join condition:
+    // 0 c_custkey, 1 o_orderkey, 2 o_custkey, 3 o_comment
+    let t = cust.join_kind(
+        orders,
+        JoinKind::Left,
+        vec![(0, 1)],
+        Some(col(3).not_like("%special%requests%")),
+    );
+    // per-customer order count (COUNT(o_orderkey) skips NULLs)
+    let per_cust = t.aggregate(
+        vec![(col(0), "c_custkey")],
+        vec![AggCall::new(
+            relational::AggFunc::Count,
+            Some(col(1)),
+            "c_count",
+        )],
+    );
+    // distribution: 0 c_count, 1 custdist
+    per_cust
+        .aggregate(
+            vec![(col(1), "c_count")],
+            vec![AggCall::count_star("custdist")],
+        )
+        .sort(vec![SortKey::desc(col(1)), SortKey::desc(col(0))])
+}
+
+/// Q14 — promotion effect.
+pub fn q14() -> LogicalPlan {
+    let l = Base::new("lineitem");
+    let p = Base::new("part");
+    // lineitem: 0 l_partkey, 1 price, 2 disc
+    let line = l.select(
+        Some(and(vec![
+            l.c("l_shipdate").ge(lit_date(1995, 9, 1)),
+            l.c("l_shipdate").lt(lit_date(1995, 10, 1)),
+        ])),
+        &["l_partkey", "l_extendedprice", "l_discount"],
+    );
+    // part: 0 p_partkey, 1 p_type → + 3, 4
+    let t = line.join(p.select(None, &["p_partkey", "p_type"]), vec![(0, 0)]);
+    let revenue = col(1).mul(lit_f64(1.0).sub(col(2)));
+    let promo = Expr::Case {
+        whens: vec![(col(4).like("PROMO%"), revenue.clone())],
+        otherwise: Box::new(lit_f64(0.0)),
+    };
+    t.aggregate(
+        vec![],
+        vec![
+            AggCall::sum(promo, "promo"),
+            AggCall::sum(revenue, "total"),
+        ],
+    )
+    .project(vec![(
+        lit_f64(100.0).mul(col(0)).div(col(1)),
+        "promo_revenue",
+    )])
+}
+
+/// Q15 — top supplier (view + scalar max → joins).
+pub fn q15() -> LogicalPlan {
+    let l = Base::new("lineitem");
+    let s = Base::new("supplier");
+    // revenue view: 0 supplier_no, 1 total_revenue
+    let revenue = l
+        .select(
+            Some(and(vec![
+                l.c("l_shipdate").ge(lit_date(1996, 1, 1)),
+                l.c("l_shipdate").lt(lit_date(1996, 4, 1)),
+            ])),
+            &["l_suppkey", "l_extendedprice", "l_discount"],
+        )
+        .aggregate(
+            vec![(col(0), "supplier_no")],
+            vec![AggCall::sum(col(1).mul(lit_f64(1.0).sub(col(2))), "total_revenue")],
+        )
+        // The script materializes the `revenue` view as a table.
+        .materialize("q15_revenue");
+    // max revenue: 0 max_rev
+    let max_rev = revenue
+        .clone()
+        .aggregate(vec![], vec![AggCall::max(col(1), "max_rev")]);
+    // supplier: 0 s_suppkey, 1 s_name, 2 s_address, 3 s_phone
+    let supplier = s.select(None, &["s_suppkey", "s_name", "s_address", "s_phone"]);
+    // supplier ⋈ revenue: + 4 supplier_no, 5 total_revenue
+    let t = supplier.join(revenue, vec![(0, 0)]);
+    // cross ⋈ max_rev with equality residual: + 6 max_rev
+    t.join_kind(max_rev, JoinKind::Inner, vec![], Some(col(5).eq(col(6))))
+        .project(vec![
+            (col(0), "s_suppkey"),
+            (col(1), "s_name"),
+            (col(2), "s_address"),
+            (col(3), "s_phone"),
+            (col(5), "total_revenue"),
+        ])
+        .sort(vec![SortKey::asc(col(0))])
+}
+
+/// Q16 — parts/supplier relationship (NOT IN → anti join, count distinct).
+pub fn q16() -> LogicalPlan {
+    let ps = Base::new("partsupp");
+    let p = Base::new("part");
+    let s = Base::new("supplier");
+
+    // part: 0 p_partkey, 1 p_brand, 2 p_type, 3 p_size
+    let part = p.select(
+        Some(and(vec![
+            p.c("p_brand").ne(lit_str("Brand#45")),
+            p.c("p_type").not_like("MEDIUM POLISHED%"),
+            p.c("p_size").in_list(
+                [49, 14, 23, 45, 19, 3, 36, 9]
+                    .into_iter()
+                    .map(Value::I64)
+                    .collect(),
+            ),
+        ])),
+        &["p_partkey", "p_brand", "p_type", "p_size"],
+    );
+    // partsupp: 0 ps_partkey, 1 ps_suppkey
+    let partsupp = ps.select(None, &["ps_partkey", "ps_suppkey"]);
+    // complainers: 0 s_suppkey
+    let complainers = s
+        .select(
+            Some(s.c("s_comment").like("%Customer%Complaints%")),
+            &["s_suppkey"],
+        )
+        // q16_tmp in the script.
+        .materialize("q16_tmp");
+    // partsupp anti⋈ complainers, then ⋈ part:
+    // 0 ps_partkey, 1 ps_suppkey, 2 p_partkey, 3 brand, 4 type, 5 size
+    let t = partsupp
+        .join_kind(complainers, JoinKind::LeftAnti, vec![(1, 0)], None)
+        .join(part, vec![(0, 0)]);
+    t.aggregate(
+        vec![
+            (col(3), "p_brand"),
+            (col(4), "p_type"),
+            (col(5), "p_size"),
+        ],
+        vec![AggCall::count_distinct(col(1), "supplier_cnt")],
+    )
+    .sort(vec![
+        SortKey::desc(col(3)),
+        SortKey::asc(col(0)),
+        SortKey::asc(col(1)),
+        SortKey::asc(col(2)),
+    ])
+}

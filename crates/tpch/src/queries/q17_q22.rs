@@ -1,0 +1,308 @@
+//! TPC-H queries 17–22.
+
+use super::Base;
+use relational::expr::{and, col, lit_f64, lit_i64, lit_str, or};
+use relational::{AggCall, JoinKind, LogicalPlan, SortKey, Value};
+
+/// Q17 — small-quantity-order revenue (correlated avg → join on an
+/// aggregated subplan, exactly how the Hive script decorrelates it).
+pub fn q17() -> LogicalPlan {
+    let l = Base::new("lineitem");
+    let p = Base::new("part");
+
+    // avg quantity per part: 0 l_partkey, 1 avg_qty_x02 (= 0.2 * avg)
+    let avg_qty = l
+        .select(None, &["l_partkey", "l_quantity"])
+        .aggregate(
+            vec![(col(0), "l_partkey")],
+            vec![AggCall::avg(col(1), "avg_qty")],
+        )
+        .project(vec![
+            (col(0), "l_partkey"),
+            (col(1).mul(lit_f64(0.2)), "qty_threshold"),
+        ])
+        // lineitem_tmp in the script.
+        .materialize("q17_tmp");
+
+    // part filter: 0 p_partkey
+    let part = p.select(
+        Some(and(vec![
+            p.c("p_brand").eq(lit_str("Brand#23")),
+            p.c("p_container").eq(lit_str("MED BOX")),
+        ])),
+        &["p_partkey"],
+    );
+    // lineitem: 0 l_partkey, 1 l_quantity, 2 l_extendedprice
+    let line = l.select(None, &["l_partkey", "l_quantity", "l_extendedprice"]);
+    // part ⋈ line: 0 p_partkey, 1 l_partkey, 2 qty, 3 price
+    let t = part.join(line, vec![(0, 0)]);
+    // ⋈ avg_qty on partkey with qty < threshold: + 4 l_partkey, 5 threshold
+    let t = t.join_kind(
+        avg_qty,
+        JoinKind::Inner,
+        vec![(0, 0)],
+        Some(col(2).lt(col(5))),
+    );
+    t.aggregate(vec![], vec![AggCall::sum(col(3), "sum_price")])
+        .project(vec![(col(0).div(lit_f64(7.0)), "avg_yearly")])
+}
+
+/// Q18 — large volume customers.
+pub fn q18() -> LogicalPlan {
+    let c = Base::new("customer");
+    let o = Base::new("orders");
+    let l = Base::new("lineitem");
+
+    // big orders: group lineitem by orderkey, keep sum(qty) > 300
+    // 0 l_orderkey, 1 sum_qty
+    let big = l
+        .select(None, &["l_orderkey", "l_quantity"])
+        .aggregate(
+            vec![(col(0), "l_orderkey")],
+            vec![AggCall::sum(col(1), "sum_qty")],
+        )
+        .filter(col(1).gt(lit_i64(300)))
+        .materialize("q18_tmp");
+
+    // customer: 0 c_custkey, 1 c_name
+    let cust = c.select(None, &["c_custkey", "c_name"]);
+    // orders: 0 o_orderkey, 1 o_custkey, 2 o_orderdate, 3 o_totalprice
+    let orders = o.select(
+        None,
+        &["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"],
+    );
+    // cust ⋈ orders: 0 c_custkey, 1 c_name, 2 o_orderkey, 3 o_custkey, 4 date, 5 total
+    let t = cust.join(orders, vec![(0, 1)]);
+    // semi-join against big orders keeps only qualifying orders... but the
+    // output needs sum(l_quantity), so join (not semi) and reuse its sum:
+    // + 6 l_orderkey, 7 sum_qty
+    let t = t.join(big, vec![(2, 0)]);
+    t.aggregate(
+        vec![
+            (col(1), "c_name"),
+            (col(0), "c_custkey"),
+            (col(2), "o_orderkey"),
+            (col(4), "o_orderdate"),
+            (col(5), "o_totalprice"),
+        ],
+        vec![AggCall::sum(col(7), "sum_qty")],
+    )
+    .sort(vec![SortKey::desc(col(4)), SortKey::asc(col(3))])
+    .limit(100)
+}
+
+/// Q19 — discounted revenue: the complex AND/OR predicate spanning both
+/// join inputs that the paper's analysis of Hive's common join highlights.
+pub fn q19() -> LogicalPlan {
+    let l = Base::new("lineitem");
+    let p = Base::new("part");
+
+    // lineitem: 0 l_partkey, 1 qty, 2 price, 3 disc, 4 shipinstruct, 5 shipmode
+    let line = l.select(
+        None,
+        &[
+            "l_partkey",
+            "l_quantity",
+            "l_extendedprice",
+            "l_discount",
+            "l_shipinstruct",
+            "l_shipmode",
+        ],
+    );
+    // part: 0 p_partkey, 1 p_brand, 2 p_container, 3 p_size → + 6, 7, 8, 9
+    let part = p.select(None, &["p_partkey", "p_brand", "p_container", "p_size"]);
+
+    let air = col(5).in_list(vec![Value::str("AIR"), Value::str("AIR REG")]);
+    let in_person = col(4).eq(lit_str("DELIVER IN PERSON"));
+    let branch = |brand: &str, containers: &[&str], qlo: i64, qhi: i64, size_hi: i64| {
+        and(vec![
+            col(7).eq(lit_str(brand)),
+            col(8).in_list(containers.iter().map(|c| Value::str(*c)).collect()),
+            col(1).ge(lit_i64(qlo)),
+            col(1).le(lit_i64(qhi)),
+            col(9).between(Value::I64(1), Value::I64(size_hi)),
+            air.clone(),
+            in_person.clone(),
+        ])
+    };
+    let pred = or(vec![
+        branch("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5),
+        branch("Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10, 20, 10),
+        branch("Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20, 30, 15),
+    ]);
+
+    line.join_kind(part, JoinKind::Inner, vec![(0, 0)], Some(pred))
+        .aggregate(
+            vec![],
+            vec![AggCall::sum(col(2).mul(lit_f64(1.0).sub(col(3))), "revenue")],
+        )
+}
+
+/// Q20 — potential part promotion.
+pub fn q20() -> LogicalPlan {
+    let s = Base::new("supplier");
+    let n = Base::new("nation");
+    let ps = Base::new("partsupp");
+    let p = Base::new("part");
+    let l = Base::new("lineitem");
+    use relational::expr::lit_date;
+
+    // half the 1994 shipped quantity per (part, supp):
+    // 0 l_partkey, 1 l_suppkey, 2 half_qty
+    let shipped = l
+        .select(
+            Some(and(vec![
+                l.c("l_shipdate").ge(lit_date(1994, 1, 1)),
+                l.c("l_shipdate").lt(lit_date(1995, 1, 1)),
+            ])),
+            &["l_partkey", "l_suppkey", "l_quantity"],
+        )
+        .aggregate(
+            vec![(col(0), "l_partkey"), (col(1), "l_suppkey")],
+            vec![AggCall::sum(col(2), "sum_qty")],
+        )
+        .project(vec![
+            (col(0), "l_partkey"),
+            (col(1), "l_suppkey"),
+            (col(2).mul(lit_f64(0.5)), "half_qty"),
+        ])
+        // q20_tmp2 in the script.
+        .materialize("q20_tmp2");
+
+    // forest parts: 0 p_partkey
+    let forest = p.select(Some(p.c("p_name").like("forest%")), &["p_partkey"]);
+
+    // partsupp: 0 ps_partkey, 1 ps_suppkey, 2 ps_availqty
+    let eligible_ps = ps
+        .select(None, &["ps_partkey", "ps_suppkey", "ps_availqty"])
+        .join_kind(forest, JoinKind::LeftSemi, vec![(0, 0)], None)
+        // ⋈ shipped on (partkey, suppkey) with availqty > half_qty:
+        // + 3 l_partkey, 4 l_suppkey, 5 half_qty
+        .join_kind(
+            shipped,
+            JoinKind::Inner,
+            vec![(0, 0), (1, 1)],
+            Some(col(2).gt(col(5))),
+        )
+        .project(vec![(col(1), "ps_suppkey")]);
+
+    // supplier: 0 s_suppkey, 1 s_name, 2 s_address, 3 s_nationkey
+    let supplier = s.select(None, &["s_suppkey", "s_name", "s_address", "s_nationkey"]);
+    let canada = n.select(Some(n.c("n_name").eq(lit_str("CANADA"))), &["n_nationkey"]);
+    supplier
+        .join_kind(eligible_ps, JoinKind::LeftSemi, vec![(0, 0)], None)
+        .join(canada, vec![(3, 0)])
+        .project(vec![(col(1), "s_name"), (col(2), "s_address")])
+        .sort(vec![SortKey::asc(col(0))])
+}
+
+/// Q21 — suppliers who kept orders waiting (EXISTS + NOT EXISTS with
+/// inequality correlation → semi/anti joins with residuals).
+pub fn q21() -> LogicalPlan {
+    let s = Base::new("supplier");
+    let l = Base::new("lineitem");
+    let o = Base::new("orders");
+    let n = Base::new("nation");
+
+    // l1 (late lines): 0 l_orderkey, 1 l_suppkey
+    let l1 = l.select(
+        Some(l.c("l_receiptdate").gt(l.c("l_commitdate"))),
+        &["l_orderkey", "l_suppkey"],
+    );
+    // supplier: 0 s_suppkey, 1 s_name, 2 s_nationkey
+    let supplier = s.select(None, &["s_suppkey", "s_name", "s_nationkey"]);
+    // supplier ⋈ l1: 0 s_suppkey, 1 s_name, 2 s_nationkey, 3 l_orderkey, 4 l_suppkey
+    let t = supplier.join(l1, vec![(0, 1)]);
+    // ⋈ orders (status F): + 5 o_orderkey
+    let orders = o.select(
+        Some(o.c("o_orderstatus").eq(lit_str("F"))),
+        &["o_orderkey"],
+    );
+    let t = t.join(orders, vec![(3, 0)]);
+    // ⋈ nation (SAUDI ARABIA): + 6 n_nationkey
+    let nation = n.select(
+        Some(n.c("n_name").eq(lit_str("SAUDI ARABIA"))),
+        &["n_nationkey"],
+    );
+    let t = t.join(nation, vec![(2, 0)]);
+
+    // EXISTS another supplier's line on the same order:
+    // l2: 0 l_orderkey, 1 l_suppkey; residual other-supplier (l2.supp != s_suppkey)
+    let l2 = l.select(None, &["l_orderkey", "l_suppkey"]);
+    let t = t.join_kind(
+        l2,
+        JoinKind::LeftSemi,
+        vec![(3, 0)],
+        Some(col(8).ne(col(0))), // combined row: t(0..=6) ++ l2(7,8)
+    );
+    // NOT EXISTS another supplier's *late* line on the same order:
+    let l3 = l.select(
+        Some(l.c("l_receiptdate").gt(l.c("l_commitdate"))),
+        &["l_orderkey", "l_suppkey"],
+    );
+    let t = t.join_kind(
+        l3,
+        JoinKind::LeftAnti,
+        vec![(3, 0)],
+        Some(col(8).ne(col(0))),
+    );
+    t.aggregate(
+        vec![(col(1), "s_name")],
+        vec![AggCall::count_star("numwait")],
+    )
+    .sort(vec![SortKey::desc(col(1)), SortKey::asc(col(0))])
+    .limit(100)
+}
+
+/// Q22 — global sales opportunity. The Hive script's four sub-queries:
+/// (1) customers in the seven country codes, (2) the average balance,
+/// (3) order custkeys, (4) the anti-join + aggregation.
+pub fn q22() -> LogicalPlan {
+    let c = Base::new("customer");
+    let o = Base::new("orders");
+    let codes: Vec<Value> = ["13", "31", "23", "29", "30", "18", "17"]
+        .into_iter()
+        .map(Value::str)
+        .collect();
+
+    // Sub-query 1: 0 c_custkey, 1 cntrycode, 2 c_acctbal
+    let sub1 = c
+        .scan()
+        .project(vec![
+            (c.c("c_custkey"), "c_custkey"),
+            (c.c("c_phone").substr(1, 2), "cntrycode"),
+            (c.c("c_acctbal"), "c_acctbal"),
+        ])
+        .filter(col(1).in_list(codes))
+        .materialize("q22_sub1");
+
+    // Sub-query 2: avg positive balance (scalar).
+    let sub2 = sub1
+        .clone()
+        .filter(col(2).gt(lit_f64(0.0)))
+        .aggregate(vec![], vec![AggCall::avg(col(2), "avg_bal")])
+        .materialize("q22_sub2");
+
+    // Sub-query 3: custkeys that have orders (the script's
+    // `SELECT o_custkey FROM orders GROUP BY o_custkey` — this is the
+    // full orders scan whose 384 empty buckets dominate Table 5).
+    let sub3 = o
+        .select(None, &["o_custkey"])
+        .aggregate(vec![(col(0), "o_custkey")], vec![])
+        .materialize("q22_sub3");
+
+    // Sub-query 4: rich customers with no orders, grouped by country code.
+    sub1
+        // cross ⋈ scalar: 0 custkey, 1 code, 2 bal, 3 avg_bal
+        .join_kind(sub2, JoinKind::Inner, vec![], Some(col(2).gt(col(3))))
+        .join_kind(sub3, JoinKind::LeftAnti, vec![(0, 0)], None)
+        .hint_mapjoin()
+        .aggregate(
+            vec![(col(1), "cntrycode")],
+            vec![
+                AggCall::count_star("numcust"),
+                AggCall::sum(col(2), "totacctbal"),
+            ],
+        )
+        .sort(vec![SortKey::asc(col(0))])
+}

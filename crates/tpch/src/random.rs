@@ -1,0 +1,182 @@
+//! The TPC-H `dbgen` random number generator, including the 32-bit overflow
+//! bug the paper hit at the 16 TB scale factor (§3.3.1):
+//!
+//! > "the values generated for the partkey and custkey fields in the
+//! > mk_order function are negative numbers. These numbers are produced
+//! > using the RANDOM function, which overflows at the 16TB scale. Hence,
+//! > we modified the generator code to use a 64-bit random number generator
+//! > (RANDOM64)."
+//!
+//! `dbgen`'s RANDOM draws a uniform value in `[lo, hi]` by computing
+//! `lo + rand() % (hi - lo + 1)` where the span arithmetic happens in a
+//! 32-bit signed register. When `hi` exceeds `i32::MAX` (partkey at
+//! SF 16000 reaches 3.2e9), the span wraps negative and so do the outputs.
+
+/// Linear congruential generator matching dbgen's constants.
+const MULT: i64 = 16807;
+const MODULUS: i64 = 2147483647; // 2^31 - 1 (Lehmer / MINSTD)
+
+/// Which arithmetic width RANDOM uses for span computation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RandomMode {
+    /// dbgen's original 32-bit RANDOM: overflows for spans > 2^31-1.
+    Bit32,
+    /// The RANDOM64 fix the paper applied.
+    Bit64,
+}
+
+/// A seedable dbgen-style stream.
+#[derive(Clone, Debug)]
+pub struct TpchRandom {
+    state: i64,
+    pub mode: RandomMode,
+}
+
+impl TpchRandom {
+    pub fn new(seed: i64, mode: RandomMode) -> Self {
+        TpchRandom {
+            state: if seed <= 0 { 1 } else { seed % MODULUS },
+            mode,
+        }
+    }
+
+    /// Next raw Lehmer value in `[1, 2^31-2]`.
+    fn next_raw(&mut self) -> i64 {
+        self.state = (self.state * MULT) % MODULUS;
+        self.state
+    }
+
+    /// Uniform integer in `[lo, hi]`. In `Bit32` mode the span arithmetic
+    /// wraps like a C `int`, reproducing dbgen's negative keys when
+    /// `hi - lo + 1` exceeds `i32::MAX`.
+    pub fn uniform(&mut self, lo: i64, hi: i64) -> i64 {
+        debug_assert!(hi >= lo);
+        match self.mode {
+            RandomMode::Bit64 => {
+                let span = (hi - lo + 1) as u64;
+                // Two raw draws give 62 bits, enough for 16 TB key spaces.
+                let r = ((self.next_raw() as u64) << 31) | (self.next_raw() as u64);
+                lo + (r % span) as i64
+            }
+            RandomMode::Bit32 => {
+                // On a 32-bit `long` the *bound itself* wraps: partkey's
+                // upper bound 3.2e9 becomes negative, UnifInt's range goes
+                // negative, and the generated keys come out negative.
+                let hi32 = hi as i32;
+                let lo32 = lo as i32;
+                let range = (hi32 as i64) - (lo32 as i64) + 1;
+                let frac = self.next_raw() as f64 / MODULUS as f64;
+                lo32 as i64 + (frac * range as f64) as i64
+            }
+        }
+    }
+
+    /// Uniform decimal with two fraction digits in `[lo, hi]` (inputs in
+    /// hundredths), returned in hundredths.
+    pub fn decimal(&mut self, lo_cents: i64, hi_cents: i64) -> i64 {
+        self.uniform(lo_cents, hi_cents)
+    }
+
+    /// Pick an element of a slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        let i = self.uniform(0, items.len() as i64 - 1) as usize;
+        &items[i]
+    }
+
+    /// Bernoulli draw with probability `num/den`.
+    pub fn chance(&mut self, num: i64, den: i64) -> bool {
+        self.uniform(1, den) <= num
+    }
+}
+
+/// The sparse-key mapping for order keys: only the first 8 of every 32 key
+/// values are used, so `ordinal` 0,1,...  maps to 1,2,...,8, 33,34,...
+/// (dbgen's `mk_sparse`).
+pub fn sparse_orderkey(ordinal: i64) -> i64 {
+    let group = ordinal / 8;
+    let within = ordinal % 8;
+    group * 32 + within + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lehmer_sequence_is_deterministic() {
+        let mut a = TpchRandom::new(42, RandomMode::Bit64);
+        let mut b = TpchRandom::new(42, RandomMode::Bit64);
+        for _ in 0..100 {
+            assert_eq!(a.uniform(0, 1000), b.uniform(0, 1000));
+        }
+    }
+
+    #[test]
+    fn uniform_stays_in_range_64bit() {
+        let mut r = TpchRandom::new(7, RandomMode::Bit64);
+        for _ in 0..10_000 {
+            let v = r.uniform(10, 20);
+            assert!((10..=20).contains(&v));
+        }
+        // Large span: partkey range at SF 16000 is [1, 3.2e9].
+        for _ in 0..10_000 {
+            let v = r.uniform(1, 3_200_000_000);
+            assert!((1..=3_200_000_000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bit32_overflows_on_16tb_key_ranges() {
+        // This is the bug the paper reports: at SF 16000 partkey spans
+        // 3.2e9 > i32::MAX, so RANDOM's span wraps and keys go negative.
+        let mut r = TpchRandom::new(7, RandomMode::Bit32);
+        let mut saw_negative = false;
+        for _ in 0..10_000 {
+            if r.uniform(1, 3_200_000_000) < 0 {
+                saw_negative = true;
+                break;
+            }
+        }
+        assert!(saw_negative, "32-bit RANDOM must reproduce dbgen's overflow");
+        // Small ranges are unaffected.
+        let mut r = TpchRandom::new(7, RandomMode::Bit32);
+        for _ in 0..1000 {
+            let v = r.uniform(1, 50);
+            assert!((1..=50).contains(&v));
+        }
+    }
+
+    #[test]
+    fn uniform_covers_range_roughly() {
+        let mut r = TpchRandom::new(123, RandomMode::Bit64);
+        let mut counts = [0u32; 10];
+        for _ in 0..10_000 {
+            counts[r.uniform(0, 9) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (700..=1300).contains(&c),
+                "bucket {i} count {c} far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_orderkeys_use_first_8_of_32() {
+        assert_eq!(sparse_orderkey(0), 1);
+        assert_eq!(sparse_orderkey(7), 8);
+        assert_eq!(sparse_orderkey(8), 33);
+        assert_eq!(sparse_orderkey(15), 40);
+        assert_eq!(sparse_orderkey(16), 65);
+        // Max orderkey is 4x the order count.
+        let n = 1_500_000i64;
+        assert_eq!(sparse_orderkey(n - 1), 6_000_000 - 24);
+    }
+
+    #[test]
+    fn chance_probability_sane() {
+        let mut r = TpchRandom::new(9, RandomMode::Bit64);
+        let hits = (0..10_000).filter(|_| r.chance(1, 10)).count();
+        assert!((800..=1200).contains(&hits), "p=0.1 got {hits}/10000");
+    }
+}

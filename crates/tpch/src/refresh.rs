@@ -1,0 +1,163 @@
+//! The TPC-H refresh functions RF1 (insert new orders + lineitems) and RF2
+//! (delete old ones).
+//!
+//! The paper skipped them because Hive 0.7 "does not support deletes and
+//! inserts into existing tables or partitions (the newer Hive versions
+//! 0.8.0 and 0.8.1 do support INSERT INTO statements)" — §3.3.1. The
+//! engines implement them to the extent each system can (PDW fully; Hive
+//! 0.8 inserts only), as an extension experiment.
+
+use crate::gen::GenConfig;
+use crate::random::{sparse_orderkey, TpchRandom};
+use crate::{gen, textpool as tp};
+use relational::date::date;
+use relational::{Row, Value};
+
+/// One refresh batch: new orders plus their lineitems (RF1), and the order
+/// keys an RF2 run would delete.
+#[derive(Clone, Debug)]
+pub struct RefreshSet {
+    pub orders: Vec<Row>,
+    pub lineitems: Vec<Row>,
+    /// Order keys targeted by RF2 (the oldest `pairs` existing orders).
+    pub delete_keys: Vec<i64>,
+}
+
+/// Rows inserted/deleted per refresh = SF × 1500 (TPC-H clause 2.27).
+pub fn refresh_pairs(cfg: &GenConfig) -> usize {
+    ((cfg.scale * 1500.0) as usize).max(8)
+}
+
+/// Build RF1's new rows (order keys continue beyond the populated sparse
+/// key space) and RF2's victim keys.
+pub fn generate_refresh(cfg: &GenConfig, stream: u64) -> RefreshSet {
+    let pairs = refresh_pairs(cfg);
+    let mut r = TpchRandom::new(cfg.seed + 100 + stream as i64, cfg.mode);
+    let customers = cfg.customers();
+    let parts = cfg.parts();
+    let suppliers = cfg.suppliers();
+    let n_orders = cfg.orders();
+    let start = date(1992, 1, 1);
+    let today = date(1995, 6, 17);
+
+    let mut orders = Vec::with_capacity(pairs);
+    let mut lineitems = Vec::with_capacity(pairs * 4);
+    for i in 0..pairs {
+        // Fresh ordinals continue past the base population.
+        let okey = sparse_orderkey(n_orders + (stream as i64 * pairs as i64) + i as i64);
+        let mut ckey = r.uniform(1, customers);
+        if ckey % 3 == 0 {
+            ckey = (ckey % customers) + 1;
+        }
+        let odate = start + r.uniform(0, 2405) as i32;
+        let n_lines = r.uniform(1, 7);
+        let mut total = 0f64;
+        for ln in 1..=n_lines {
+            let pkey = r.uniform(1, parts);
+            let skey = gen::part_supplier(pkey, r.uniform(0, 3), suppliers);
+            let qty = r.uniform(1, 50);
+            let price = qty * gen::retail_price_cents(pkey);
+            let discount = r.uniform(0, 10);
+            let tax = r.uniform(0, 8);
+            let shipdate = odate + r.uniform(1, 121) as i32;
+            total += price as f64 * (1.0 + tax as f64 / 100.0) * (1.0 - discount as f64 / 100.0);
+            lineitems.push(vec![
+                Value::I64(okey),
+                Value::I64(pkey),
+                Value::I64(skey),
+                Value::I64(ln),
+                Value::Decimal(qty * 100),
+                Value::Decimal(price),
+                Value::Decimal(discount),
+                Value::Decimal(tax),
+                Value::str(if shipdate <= today { "A" } else { "N" }),
+                Value::str(if shipdate > today { "O" } else { "F" }),
+                Value::Date(shipdate),
+                Value::Date(odate + r.uniform(30, 90) as i32),
+                Value::Date(shipdate + r.uniform(1, 30) as i32),
+                Value::str(*r.pick(tp::INSTRUCTIONS)),
+                Value::str(*r.pick(tp::MODES)),
+                Value::str("refresh"),
+            ]);
+        }
+        orders.push(vec![
+            Value::I64(okey),
+            Value::I64(ckey),
+            Value::str("O"),
+            Value::Decimal(total.round() as i64),
+            Value::Date(odate),
+            Value::str(*r.pick(tp::PRIORITIES)),
+            Value::str(format!("Clerk#{:09}", r.uniform(1, 1000))),
+            Value::I64(0),
+            Value::str("refresh"),
+        ]);
+    }
+
+    // RF2 deletes the oldest `pairs` order keys of the base population.
+    let delete_keys = (0..pairs as i64).map(sparse_orderkey).collect();
+    RefreshSet {
+        orders,
+        lineitems,
+        delete_keys,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+    use crate::schema;
+
+    #[test]
+    fn refresh_rows_conform_to_schemas() {
+        let cfg = GenConfig::new(0.01);
+        let rf = generate_refresh(&cfg, 0);
+        assert_eq!(rf.orders.len(), refresh_pairs(&cfg));
+        assert!(rf.lineitems.len() >= rf.orders.len());
+        let os = schema::orders();
+        for row in &rf.orders {
+            for (i, v) in row.iter().enumerate() {
+                assert!(os.field(i).ty.admits(v));
+            }
+        }
+        let ls = schema::lineitem();
+        for row in rf.lineitems.iter().take(50) {
+            for (i, v) in row.iter().enumerate() {
+                assert!(ls.field(i).ty.admits(v));
+            }
+        }
+    }
+
+    #[test]
+    fn new_keys_do_not_collide_with_base_population() {
+        let cfg = GenConfig::new(0.01);
+        let cat = generate(&cfg);
+        let existing: std::collections::HashSet<i64> = cat
+            .get("orders")
+            .rows
+            .iter()
+            .map(|r| r[0].as_i64().unwrap())
+            .collect();
+        let rf = generate_refresh(&cfg, 0);
+        for row in &rf.orders {
+            let k = row[0].as_i64().unwrap();
+            assert!(!existing.contains(&k), "RF1 key {k} already exists");
+        }
+        // RF2 victims must exist.
+        for k in &rf.delete_keys {
+            assert!(existing.contains(k), "RF2 key {k} missing from base");
+        }
+    }
+
+    #[test]
+    fn streams_are_disjoint() {
+        let cfg = GenConfig::new(0.01);
+        let a = generate_refresh(&cfg, 0);
+        let b = generate_refresh(&cfg, 1);
+        let ka: std::collections::HashSet<i64> =
+            a.orders.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        for row in &b.orders {
+            assert!(!ka.contains(&row[0].as_i64().unwrap()));
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The eight TPC-H table schemas.
+
+use relational::{DataType as T, Schema};
+
+pub fn region() -> Schema {
+    Schema::of(&[
+        ("r_regionkey", T::I64),
+        ("r_name", T::Str),
+        ("r_comment", T::Str),
+    ])
+}
+
+pub fn nation() -> Schema {
+    Schema::of(&[
+        ("n_nationkey", T::I64),
+        ("n_name", T::Str),
+        ("n_regionkey", T::I64),
+        ("n_comment", T::Str),
+    ])
+}
+
+pub fn supplier() -> Schema {
+    Schema::of(&[
+        ("s_suppkey", T::I64),
+        ("s_name", T::Str),
+        ("s_address", T::Str),
+        ("s_nationkey", T::I64),
+        ("s_phone", T::Str),
+        ("s_acctbal", T::Decimal),
+        ("s_comment", T::Str),
+    ])
+}
+
+pub fn part() -> Schema {
+    Schema::of(&[
+        ("p_partkey", T::I64),
+        ("p_name", T::Str),
+        ("p_mfgr", T::Str),
+        ("p_brand", T::Str),
+        ("p_type", T::Str),
+        ("p_size", T::I64),
+        ("p_container", T::Str),
+        ("p_retailprice", T::Decimal),
+        ("p_comment", T::Str),
+    ])
+}
+
+pub fn partsupp() -> Schema {
+    Schema::of(&[
+        ("ps_partkey", T::I64),
+        ("ps_suppkey", T::I64),
+        ("ps_availqty", T::I64),
+        ("ps_supplycost", T::Decimal),
+        ("ps_comment", T::Str),
+    ])
+}
+
+pub fn customer() -> Schema {
+    Schema::of(&[
+        ("c_custkey", T::I64),
+        ("c_name", T::Str),
+        ("c_address", T::Str),
+        ("c_nationkey", T::I64),
+        ("c_phone", T::Str),
+        ("c_acctbal", T::Decimal),
+        ("c_mktsegment", T::Str),
+        ("c_comment", T::Str),
+    ])
+}
+
+pub fn orders() -> Schema {
+    Schema::of(&[
+        ("o_orderkey", T::I64),
+        ("o_custkey", T::I64),
+        ("o_orderstatus", T::Str),
+        ("o_totalprice", T::Decimal),
+        ("o_orderdate", T::Date),
+        ("o_orderpriority", T::Str),
+        ("o_clerk", T::Str),
+        ("o_shippriority", T::I64),
+        ("o_comment", T::Str),
+    ])
+}
+
+pub fn lineitem() -> Schema {
+    Schema::of(&[
+        ("l_orderkey", T::I64),
+        ("l_partkey", T::I64),
+        ("l_suppkey", T::I64),
+        ("l_linenumber", T::I64),
+        ("l_quantity", T::Decimal),
+        ("l_extendedprice", T::Decimal),
+        ("l_discount", T::Decimal),
+        ("l_tax", T::Decimal),
+        ("l_returnflag", T::Str),
+        ("l_linestatus", T::Str),
+        ("l_shipdate", T::Date),
+        ("l_commitdate", T::Date),
+        ("l_receiptdate", T::Date),
+        ("l_shipinstruct", T::Str),
+        ("l_shipmode", T::Str),
+        ("l_comment", T::Str),
+    ])
+}
+
+/// All table names in load order (referenced tables first).
+pub const TABLE_NAMES: &[&str] = &[
+    "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+];
+
+/// Schema by table name.
+pub fn table_schema(name: &str) -> Schema {
+    match name {
+        "region" => region(),
+        "nation" => nation(),
+        "supplier" => supplier(),
+        "part" => part(),
+        "partsupp" => partsupp(),
+        "customer" => customer(),
+        "orders" => orders(),
+        "lineitem" => lineitem(),
+        other => panic!("unknown TPC-H table `{other}`"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_schemas_resolve() {
+        for t in TABLE_NAMES {
+            let s = table_schema(t);
+            assert!(!s.is_empty(), "{t}");
+        }
+        assert_eq!(lineitem().len(), 16);
+        assert_eq!(orders().len(), 9);
+        assert_eq!(lineitem().col("l_shipdate"), 10);
+    }
+}

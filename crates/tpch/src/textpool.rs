@@ -1,0 +1,117 @@
+//! The word pools of the TPC-H specification (clause 4.2.2.13 and
+//! appendix). The queries' predicates select against these exact strings,
+//! so they are reproduced verbatim where a query depends on them.
+
+/// p_type = syllable1 + ' ' + syllable2 + ' ' + syllable3 (150 combos).
+pub const TYPE_SYLLABLE1: &[&str] = &["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_SYLLABLE2: &[&str] = &["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_SYLLABLE3: &[&str] = &["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+/// p_container = container1 + ' ' + container2 (40 combos).
+pub const CONTAINER1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
+pub const CONTAINER2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+
+/// c_mktsegment (5 values).
+pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+/// o_orderpriority (5 values).
+pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+/// l_shipinstruct (4 values).
+pub const INSTRUCTIONS: &[&str] = &[
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
+
+/// l_shipmode (7 values).
+pub const MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+/// The 92-word pool p_name draws 5 words from (Q9 filters '%green%',
+/// Q20 'forest%').
+pub const PART_NAME_WORDS: &[&str] = &[
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
+    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
+    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime",
+    "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
+    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru", "pink",
+    "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
+    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+];
+
+/// The 25 nations with their region keys (spec appendix A).
+pub const NATIONS: &[(&str, i64)] = &[
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("VIETNAM", 2),
+    ("CHINA", 2),
+    ("SAUDI ARABIA", 4),
+];
+
+/// The 5 regions.
+pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Filler vocabulary for comments (a small sample of dbgen's grammar
+/// output; exact text doesn't matter except for the injected patterns).
+pub const COMMENT_WORDS: &[&str] = &[
+    "carefully", "furiously", "quickly", "slyly", "blithely", "ironic", "final", "bold",
+    "regular", "express", "silent", "pending", "even", "special", "unusual", "deposits",
+    "requests", "packages", "accounts", "theodolites", "instructions", "foxes", "ideas",
+    "dependencies", "pinto", "beans", "platelets", "asymptotes", "somas", "dugouts", "realms",
+    "dolphins", "sheaves", "sauternes", "warthogs", "frets", "dinos",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_sizes_match_spec() {
+        assert_eq!(TYPE_SYLLABLE1.len() * TYPE_SYLLABLE2.len() * TYPE_SYLLABLE3.len(), 150);
+        assert_eq!(CONTAINER1.len() * CONTAINER2.len(), 40);
+        assert_eq!(SEGMENTS.len(), 5);
+        assert_eq!(PRIORITIES.len(), 5);
+        assert_eq!(MODES.len(), 7);
+        assert_eq!(NATIONS.len(), 25);
+        assert_eq!(REGIONS.len(), 5);
+        assert!(PART_NAME_WORDS.len() >= 90);
+    }
+
+    #[test]
+    fn query_predicate_tokens_present() {
+        assert!(TYPE_SYLLABLE3.contains(&"BRASS")); // Q2
+        assert!(TYPE_SYLLABLE1.contains(&"ECONOMY")); // Q8
+        assert!(TYPE_SYLLABLE2.contains(&"POLISHED")); // Q16
+        assert!(PART_NAME_WORDS.contains(&"green")); // Q9
+        assert!(PART_NAME_WORDS.contains(&"forest")); // Q20
+        assert!(SEGMENTS.contains(&"BUILDING")); // Q3
+        assert!(MODES.contains(&"MAIL")); // Q12
+        assert!(COMMENT_WORDS.contains(&"special") && COMMENT_WORDS.contains(&"requests"));
+        // Q13
+        assert!(NATIONS.iter().any(|(n, _)| *n == "GERMANY")); // Q11
+    }
+}

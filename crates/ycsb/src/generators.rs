@@ -1,0 +1,192 @@
+//! YCSB key-choice distributions.
+//!
+//! ```
+//! use rand::SeedableRng;
+//! use ycsb::generators::{scramble, Zipfian};
+//!
+//! let z = Zipfian::new(1_000);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let rank = z.next(&mut rng);
+//! assert!(rank < 1_000);
+//! assert!(scramble(rank, 1_000) < 1_000);
+//! ```
+
+use rand::Rng;
+
+/// Zipfian over `[0, n)` with the YCSB constant θ = 0.99, using the
+/// Gray et al. rejection-free method (as in YCSB's `ZipfianGenerator`).
+pub struct Zipfian {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipfian {
+    pub fn new(n: u64) -> Zipfian {
+        Self::with_theta(n, 0.99)
+    }
+
+    pub fn with_theta(n: u64, theta: f64) -> Zipfian {
+        assert!(n > 0);
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipfian {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+            zeta2,
+        }
+    }
+
+    /// Draw a rank in `[0, n)` (0 is the hottest item).
+    pub fn next(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Grow the item space (used by the "latest" distribution as records
+    /// are appended). Incremental zeta update keeps this O(delta).
+    pub fn grow(&mut self, new_n: u64) {
+        if new_n <= self.n {
+            return;
+        }
+        for i in self.n + 1..=new_n {
+            self.zetan += 1.0 / (i as f64).powf(self.theta);
+        }
+        self.n = new_n;
+        self.eta = (1.0 - (2.0 / new_n as f64).powf(1.0 - self.theta))
+            / (1.0 - self.zeta2 / self.zetan);
+    }
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // For the huge key spaces YCSB uses, sample-based approximation would
+    // drift; n here is bounded by the scaled record count, so direct
+    // summation is fine (capped for safety).
+    let cap = n.min(50_000_000);
+    let mut sum = 0.0;
+    for i in 1..=cap {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+/// FNV-1a scramble, so zipfian *ranks* map to scattered keys
+/// (YCSB's `ScrambledZipfianGenerator`).
+pub fn scramble(rank: u64, n: u64) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in rank.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h % n
+}
+
+/// The "latest" distribution: zipfian over recency, so the most recently
+/// inserted keys are the hottest (workload D).
+pub struct Latest {
+    zipf: Zipfian,
+}
+
+impl Latest {
+    pub fn new(n: u64) -> Latest {
+        Latest {
+            zipf: Zipfian::new(n),
+        }
+    }
+
+    /// Draw a key given the current maximum key (exclusive).
+    pub fn next(&mut self, rng: &mut impl Rng, max_key: u64) -> u64 {
+        self.zipf.grow(max_key);
+        let back = self.zipf.next(rng);
+        max_key - 1 - back.min(max_key - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipfian_is_skewed_and_in_range() {
+        let z = Zipfian::new(10_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0u32; 10_000];
+        for _ in 0..100_000 {
+            let v = z.next(&mut rng) as usize;
+            counts[v] += 1;
+        }
+        // Rank 0 should be far hotter than the median rank.
+        assert!(counts[0] > 5_000, "rank0={}", counts[0]);
+        assert!(counts[0] > 50 * counts[5000].max(1));
+        // All draws in range (checked by indexing above).
+    }
+
+    #[test]
+    fn zipfian_theta_zero_is_uniformish() {
+        let z = Zipfian::with_theta(100, 0.01);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.next(&mut rng) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min.max(1.0) < 3.0, "θ≈0 should be near uniform");
+    }
+
+    #[test]
+    fn scramble_spreads_hot_ranks() {
+        let a = scramble(0, 1_000_000);
+        let b = scramble(1, 1_000_000);
+        assert_ne!(a, b);
+        assert!(a < 1_000_000 && b < 1_000_000);
+    }
+
+    #[test]
+    fn latest_prefers_recent_keys() {
+        let mut l = Latest::new(1_000);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut recent = 0;
+        const DRAWS: usize = 10_000;
+        for _ in 0..DRAWS {
+            let k = l.next(&mut rng, 100_000);
+            assert!(k < 100_000);
+            if k >= 99_000 {
+                recent += 1;
+            }
+        }
+        // The top 1% of keys should draw far more than 1% of requests.
+        assert!(
+            recent > DRAWS / 3,
+            "latest distribution too flat: {recent}/{DRAWS}"
+        );
+    }
+
+    #[test]
+    fn grow_keeps_distribution_valid() {
+        let mut z = Zipfian::new(100);
+        z.grow(200);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            assert!(z.next(&mut rng) < 200);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # ycsb — the Yahoo! Cloud Serving Benchmark (Cooper et al., SoCC 2010)
+//!
+//! Everything §3.4 of the paper uses:
+//!
+//! * [`generators`] — the YCSB request distributions: scrambled zipfian
+//!   (θ = 0.99), "latest", and uniform,
+//! * [`workload`] — Table 6's five workloads (A: 50/50 update-heavy,
+//!   B: 95/5 read-heavy, C: read-only, D: read-latest + appends,
+//!   E: short scans + appends),
+//! * [`driver`] — the client harness: 800 client threads (100 per client
+//!   node), each throttled to its share of the target throughput; the
+//!   benchmark reports *achieved* throughput and per-operation-type
+//!   latency, measured after a warm-up window — exactly the
+//!   latency-vs-throughput methodology behind Figures 2–6.
+//!
+//! The driver talks to any [`driver::Store`] — adapters for the
+//! `sqlengine` (SQL-CS) and `docstore` (Mongo-AS / Mongo-CS) clusters are
+//! provided in [`stores`].
+
+pub mod driver;
+pub mod generators;
+pub mod stores;
+pub mod workload;
+
+pub use driver::{run_workload, RunConfig, RunResult, Store};
+pub use workload::{Op, OpType, Workload};

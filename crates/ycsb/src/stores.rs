@@ -1,0 +1,118 @@
+//! [`Store`] adapters for the three systems of §3.4: SQL-CS, Mongo-AS,
+//! Mongo-CS.
+
+use crate::driver::{Done, Store};
+use crate::workload::{Op, OpType};
+use docstore::MongoCluster;
+use simkit::Sim;
+use sqlengine::SqlCluster;
+use std::rc::Rc;
+
+type S = Sim<()>;
+
+impl Store for SqlCluster {
+    fn do_op(self: Rc<Self>, sim: &mut S, op: Op, done: Done) {
+        match op.ty {
+            OpType::Read => self.read(sim, op.key, done),
+            OpType::Update => self.update(sim, op.key, done),
+            OpType::Insert => self.insert(sim, op.key, done),
+            OpType::Scan => self.scan(sim, op.key, op.scan_len, done),
+        }
+    }
+}
+
+impl Store for MongoCluster {
+    fn do_op(self: Rc<Self>, sim: &mut S, op: Op, done: Done) {
+        match op.ty {
+            OpType::Read => self.read(sim, op.key, done),
+            OpType::Update => self.write(sim, op.key, false, done),
+            OpType::Insert => self.write(sim, op.key, true, done),
+            OpType::Scan => self.scan(sim, op.key, op.scan_len, done),
+        }
+    }
+
+    fn crashed(&self) -> bool {
+        self.crashed.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run_workload, RunConfig};
+    use crate::workload::Workload;
+    use cluster::Params;
+    use docstore::Sharding;
+
+    fn cfg(target: f64, n: u64) -> RunConfig {
+        RunConfig {
+            target_ops_per_sec: target,
+            threads: 100,
+            warmup_secs: 1.0,
+            measure_secs: 3.0,
+            n_records: n,
+            ..RunConfig::default()
+        }
+    }
+
+    fn params() -> Params {
+        // 640 M records / 2500 = 256 k records; 32 GB / 2500 ≈ 13 MB/node.
+        Params::paper_ycsb().scaled_ycsb(2_500.0)
+    }
+
+    #[test]
+    fn sql_cs_runs_workload_c() {
+        let mut sim: S = Sim::new();
+        let sql = SqlCluster::build(&mut sim, &params());
+        let n = 256_000;
+        sql.load(n);
+        let r = run_workload(&mut sim, sql.clone(), Workload::C, &cfg(2_000.0, n));
+        assert!(r.achieved_ops > 1_000.0, "achieved {}", r.achieved_ops);
+        assert!(r.latencies[&OpType::Read].mean_ms > 0.0);
+        assert!(!r.crashed);
+    }
+
+    #[test]
+    fn mongo_reads_are_slower_than_sql_under_load() {
+        // Figure 2's core claim: at the same disk-bound read-only load,
+        // Mongo's 32 KB reads waste bandwidth → lower peak, higher latency.
+        let n = 256_000;
+        let target = 12_000.0;
+
+        let mut sim1: S = Sim::new();
+        let sql = SqlCluster::build(&mut sim1, &params());
+        sql.load(n);
+        let rs = run_workload(&mut sim1, sql.clone(), Workload::C, &cfg(target, n));
+
+        let mut sim2: S = Sim::new();
+        let mongo = MongoCluster::build(&mut sim2, &params(), Sharding::Range);
+        mongo.load(n);
+        let rm = run_workload(&mut sim2, mongo.clone(), Workload::C, &cfg(target, n));
+
+        assert!(
+            rs.achieved_ops >= rm.achieved_ops,
+            "SQL {} vs Mongo {}",
+            rs.achieved_ops,
+            rm.achieved_ops
+        );
+    }
+
+    #[test]
+    fn mongo_as_crashes_on_workload_d_flood() {
+        let n = 256_000;
+        let mut sim: S = Sim::new();
+        let mongo = MongoCluster::build(&mut sim, &params(), Sharding::Range);
+        mongo.load(n);
+        mongo.split_docs.set(2_000);
+        // Hammer appends way past what the last chunk's mongod can absorb.
+        let mut c = cfg(400_000.0, n);
+        c.threads = 800;
+        c.warmup_secs = 2.0;
+        c.measure_secs = 6.0;
+        let r = run_workload(&mut sim, mongo.clone(), Workload::D, &c);
+        assert!(
+            r.crashed || mongo.migrations.get() > 0,
+            "append storm should at least trigger migrations"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! Table 6: the five YCSB workloads.
+
+use crate::generators::{scramble, Latest, Zipfian};
+use rand::Rng;
+
+/// Operation types across all workloads.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpType {
+    Read,
+    Update,
+    /// Append of the next-greater key (the paper's D/E insert semantics).
+    Insert,
+    Scan,
+}
+
+impl OpType {
+    pub fn label(&self) -> &'static str {
+        match self {
+            OpType::Read => "read",
+            OpType::Update => "update",
+            OpType::Insert => "append",
+            OpType::Scan => "scan",
+        }
+    }
+}
+
+/// One generated request.
+#[derive(Clone, Copy, Debug)]
+pub struct Op {
+    pub ty: OpType,
+    pub key: u64,
+    pub scan_len: usize,
+}
+
+/// A workload definition (operation mix + request distribution).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// 50% reads, 50% updates, zipfian.
+    A,
+    /// 95% reads, 5% updates, zipfian.
+    B,
+    /// 100% reads, zipfian.
+    C,
+    /// 95% reads (latest), 5% appends.
+    D,
+    /// 95% scans, 5% appends.
+    E,
+}
+
+impl Workload {
+    pub fn all() -> [Workload; 5] {
+        [Workload::A, Workload::B, Workload::C, Workload::D, Workload::E]
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Workload::A => "A",
+            Workload::B => "B",
+            Workload::C => "C",
+            Workload::D => "D",
+            Workload::E => "E",
+        }
+    }
+
+    /// Paper description (Table 6).
+    pub fn description(&self) -> &'static str {
+        match self {
+            Workload::A => "Update heavy: Read 50%, Update 50%",
+            Workload::B => "Read heavy: Read 95%, Update 5%",
+            Workload::C => "Read only: Read 100%",
+            Workload::D => "Read latest: Read 95%, Append 5%",
+            Workload::E => "Short ranges: Scan 95%, Append 5%",
+        }
+    }
+
+    /// Does this workload mutate the key space (drop + reload after)?
+    pub fn appends(&self) -> bool {
+        matches!(self, Workload::D | Workload::E)
+    }
+}
+
+/// Stateful request generator for one benchmark run.
+pub struct OpGenerator {
+    workload: Workload,
+    zipf: Zipfian,
+    latest: Latest,
+    n_initial: u64,
+    appended: u64,
+    max_scan_len: usize,
+}
+
+impl OpGenerator {
+    pub fn new(workload: Workload, n_records: u64, max_scan_len: usize) -> OpGenerator {
+        OpGenerator {
+            workload,
+            zipf: Zipfian::new(n_records),
+            latest: Latest::new(n_records),
+            n_initial: n_records,
+            appended: 0,
+            max_scan_len,
+        }
+    }
+
+    /// Total records currently in the store.
+    pub fn current_records(&self) -> u64 {
+        self.n_initial + self.appended
+    }
+
+    /// Generate the next request.
+    pub fn next_op(&mut self, rng: &mut impl Rng) -> Op {
+        let n = self.current_records();
+        let roll: f64 = rng.gen();
+        match self.workload {
+            Workload::A | Workload::B | Workload::C => {
+                let read_frac = match self.workload {
+                    Workload::A => 0.5,
+                    Workload::B => 0.95,
+                    _ => 1.0,
+                };
+                let key = scramble(self.zipf.next(rng), self.n_initial);
+                Op {
+                    ty: if roll < read_frac {
+                        OpType::Read
+                    } else {
+                        OpType::Update
+                    },
+                    key,
+                    scan_len: 0,
+                }
+            }
+            Workload::D => {
+                if roll < 0.95 {
+                    Op {
+                        ty: OpType::Read,
+                        key: self.latest.next(rng, n),
+                        scan_len: 0,
+                    }
+                } else {
+                    self.appended += 1;
+                    Op {
+                        ty: OpType::Insert,
+                        key: n,
+                        scan_len: 0,
+                    }
+                }
+            }
+            Workload::E => {
+                if roll < 0.95 {
+                    let start = scramble(self.zipf.next(rng), self.n_initial);
+                    Op {
+                        ty: OpType::Scan,
+                        key: start,
+                        scan_len: rng.gen_range(1..=self.max_scan_len),
+                    }
+                } else {
+                    self.appended += 1;
+                    Op {
+                        ty: OpType::Insert,
+                        key: n,
+                        scan_len: 0,
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn mix_of(w: Workload, draws: usize) -> HashMap<OpType, usize> {
+        let mut g = OpGenerator::new(w, 10_000, 1000);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut m = HashMap::new();
+        for _ in 0..draws {
+            let op = g.next_op(&mut rng);
+            *m.entry(op.ty).or_insert(0) += 1;
+        }
+        m
+    }
+
+    #[test]
+    fn workload_mixes_match_table6() {
+        let a = mix_of(Workload::A, 20_000);
+        let reads = a[&OpType::Read] as f64 / 20_000.0;
+        assert!((reads - 0.5).abs() < 0.02, "A is 50/50, got {reads}");
+
+        let b = mix_of(Workload::B, 20_000);
+        let reads = b[&OpType::Read] as f64 / 20_000.0;
+        assert!((reads - 0.95).abs() < 0.01);
+
+        let c = mix_of(Workload::C, 5_000);
+        assert_eq!(c[&OpType::Read], 5_000);
+
+        let d = mix_of(Workload::D, 20_000);
+        assert!(d.contains_key(&OpType::Insert) && d.contains_key(&OpType::Read));
+
+        let e = mix_of(Workload::E, 20_000);
+        let scans = e[&OpType::Scan] as f64 / 20_000.0;
+        assert!((scans - 0.95).abs() < 0.01);
+    }
+
+    #[test]
+    fn appends_use_monotonically_increasing_keys() {
+        let mut g = OpGenerator::new(Workload::D, 1_000, 1000);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut last = 999;
+        let mut seen_append = false;
+        for _ in 0..5_000 {
+            let op = g.next_op(&mut rng);
+            if op.ty == OpType::Insert {
+                assert!(op.key > last, "append keys must increase");
+                last = op.key;
+                seen_append = true;
+            } else {
+                assert!(op.key < g.current_records());
+            }
+        }
+        assert!(seen_append);
+    }
+
+    #[test]
+    fn scan_lengths_bounded_by_1000() {
+        let mut g = OpGenerator::new(Workload::E, 10_000, 1000);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..2_000 {
+            let op = g.next_op(&mut rng);
+            if op.ty == OpType::Scan {
+                assert!((1..=1000).contains(&op.scan_len));
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Property tests for the workload generators: bounds, skew, and mix.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use ycsb::generators::{scramble, Latest, Zipfian};
+use ycsb::workload::{OpGenerator, OpType, Workload};
+
+proptest! {
+    #[test]
+    fn zipfian_stays_in_range(n in 1u64..1_000_000, seed in any::<u64>()) {
+        let z = Zipfian::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            prop_assert!(z.next(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn zipfian_rank0_is_modal(n in 100u64..100_000, seed in any::<u64>()) {
+        let z = Zipfian::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rank0 = 0u32;
+        let mut above_half = 0u32;
+        for _ in 0..2_000 {
+            let v = z.next(&mut rng);
+            if v == 0 { rank0 += 1; }
+            if v >= n / 2 { above_half += 1; }
+        }
+        // θ=0.99: the single hottest rank draws on the same order as the
+        // entire cold half of the keyspace.
+        prop_assert!(rank0 * 2 > above_half, "rank0={rank0} cold-half={above_half}");
+    }
+
+    #[test]
+    fn scramble_is_bounded_and_deterministic(rank in any::<u64>(), n in 1u64..1_000_000) {
+        let a = scramble(rank, n);
+        prop_assert!(a < n);
+        prop_assert_eq!(a, scramble(rank, n));
+    }
+
+    #[test]
+    fn latest_is_bounded_and_recent_heavy(seed in any::<u64>(), max in 1_000u64..100_000) {
+        let mut l = Latest::new(1_000);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut recent = 0u32;
+        const DRAWS: u32 = 500;
+        for _ in 0..DRAWS {
+            let k = l.next(&mut rng, max);
+            prop_assert!(k < max);
+            if k >= max - max / 100 - 1 { recent += 1; }
+        }
+        // The newest 1% draws far more than 1% of requests.
+        prop_assert!(recent > DRAWS / 10, "recent={recent}");
+    }
+
+    #[test]
+    fn op_generator_respects_keyspace(seed in any::<u64>(), n in 100u64..50_000) {
+        for w in Workload::all() {
+            let mut g = OpGenerator::new(w, n, 1000);
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..300 {
+                let op = g.next_op(&mut rng);
+                match op.ty {
+                    OpType::Insert => prop_assert!(op.key >= n, "appends beyond keyspace"),
+                    _ => prop_assert!(op.key < g.current_records()),
+                }
+                if op.ty == OpType::Scan {
+                    prop_assert!((1..=1000).contains(&op.scan_len));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Quickstart: generate a tiny TPC-H database, run one query on both
+//! engines at an emulated 250 GB scale, and run a burst of YCSB operations
+//! against all three serving systems.
+//!
+//!     cargo run --release --example quickstart
+
+use elephants::core::serving::{run_point, ServingConfig, SystemKind};
+use elephants::hive::{load_warehouse, HiveEngine};
+use elephants::pdw::{load_pdw, PdwEngine};
+use elephants::relational::execute;
+use elephants::tpch::{generate, GenConfig};
+use elephants::ycsb::workload::{OpType, Workload};
+
+fn main() {
+    // ---- DSS side: TPC-H Q6 on Hive and PDW --------------------------
+    println!("== generating TPC-H at sim scale 0.005 (a few MB) ==");
+    let catalog = generate(&GenConfig::new(0.005));
+    // Emulate the paper's 250 GB run: k = 250 / 0.005.
+    let params = elephants::cluster::Params::paper_dss().scaled(50_000.0);
+
+    let (warehouse, hive_load) = load_warehouse(&catalog, &params, None).expect("load");
+    let hive = HiveEngine::new(warehouse);
+    let (pdw_cat, pdw_load) = load_pdw(&catalog, &params);
+    let pdw = PdwEngine::new(pdw_cat);
+    println!(
+        "loaded: hive {:.0} min, pdw {:.0} min (simulated)",
+        hive_load.total_secs / 60.0,
+        pdw_load.total_secs / 60.0
+    );
+
+    let plan = elephants::tpch::query(6);
+    let hive_run = hive.run_query(&plan).expect("hive q6");
+    let pdw_run = pdw.run_query(&plan);
+    let (_, reference) = execute(&plan, &catalog);
+    assert!(elephants::relational::testing::rows_approx_eq(
+        &hive_run.rows,
+        &reference,
+        1e-9
+    ));
+    assert!(elephants::relational::testing::rows_approx_eq(
+        &pdw_run.rows,
+        &reference,
+        1e-9
+    ));
+    println!(
+        "Q6 @ '250 GB': hive {:.0}s, pdw {:.1}s ({:.1}x) — answers match the reference",
+        hive_run.total_secs,
+        pdw_run.total_secs,
+        hive_run.total_secs / pdw_run.total_secs
+    );
+
+    // ---- serving side: one YCSB workload-C point ----------------------
+    println!("\n== YCSB workload C, target 10k ops/s ==");
+    let cfg = ServingConfig {
+        k: 20_000.0,
+        warmup_secs: 1.0,
+        measure_secs: 3.0,
+        threads: 200,
+        seed: 1,
+    };
+    for system in SystemKind::all() {
+        let p = run_point(&cfg, system, Workload::C, 10_000.0);
+        println!(
+            "{:>9}: achieved {:>6.0} ops/s, read latency {:.2} ms",
+            system.label(),
+            p.achieved_ops,
+            p.latency(OpType::Read).unwrap_or(0.0)
+        );
+    }
+    println!("\ndone — see crates/bench/src/bin/ for the full paper reproduction.");
+}

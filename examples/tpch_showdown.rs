@@ -1,0 +1,62 @@
+//! TPC-H showdown: run chosen queries on Hive and PDW at a chosen emulated
+//! scale factor, print the per-query times, speedups, and the PDW plan's
+//! data-movement steps (the §3.3.4.1 narrative).
+//!
+//!     cargo run --release --example tpch_showdown -- [sim_sf] [paper_gb] [queries...]
+//!     cargo run --release --example tpch_showdown -- 0.01 16000 5 19
+
+use elephants::cluster::Params;
+use elephants::hive::{load_warehouse, HiveEngine};
+use elephants::pdw::{load_pdw, PdwEngine};
+use elephants::tpch::{generate, GenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let sim_sf: f64 = args.first().and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let paper: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000.0);
+    let queries: Vec<usize> = if args.len() > 2 {
+        args[2..].iter().filter_map(|s| s.parse().ok()).collect()
+    } else {
+        vec![1, 5, 19]
+    };
+
+    println!("generating TPC-H at sim SF {sim_sf} (emulating {paper:.0} GB)...");
+    let catalog = generate(&GenConfig::new(sim_sf));
+    let params = Params::paper_dss().scaled(paper / sim_sf);
+    let (warehouse, _) = load_warehouse(&catalog, &params, None).expect("hive load");
+    let hive = HiveEngine::new(warehouse);
+    let (pdw_cat, _) = load_pdw(&catalog, &params);
+    let pdw = PdwEngine::new(pdw_cat);
+
+    for q in queries {
+        let plan = elephants::tpch::query(q);
+        let h = hive.run_query(&plan).expect("hive");
+        let p = pdw.run_query(&plan);
+        assert!(
+            elephants::relational::testing::rows_approx_eq(&h.rows, &p.rows, 1e-6),
+            "engines disagree on Q{q}"
+        );
+        println!(
+            "\nQ{q}: hive {:.0}s vs pdw {:.0}s  (speedup {:.1}x, {} rows)",
+            h.total_secs,
+            p.total_secs,
+            h.total_secs / p.total_secs,
+            p.rows.len()
+        );
+        println!("  hive jobs:");
+        for j in &h.jobs {
+            if j.report.total > 1.0 {
+                println!(
+                    "    {:>7.0}s  {} ({} maps, {} reduces)",
+                    j.report.total, j.label, j.report.n_maps, j.report.n_reduces
+                );
+            }
+        }
+        println!("  pdw steps:");
+        for s in &p.steps {
+            if s.secs > 1.0 {
+                println!("    {:>7.0}s  {}", s.secs, s.name);
+            }
+        }
+    }
+}

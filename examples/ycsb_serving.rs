@@ -1,0 +1,60 @@
+//! YCSB latency-vs-throughput curve for one workload across the three
+//! serving systems — a miniature of Figures 2-6.
+//!
+//!     cargo run --release --example ycsb_serving -- [workload] [k]
+//!     cargo run --release --example ycsb_serving -- B 5000
+
+use elephants::core::serving::{run_point, ServingConfig, SystemKind};
+use elephants::ycsb::workload::{OpType, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let workload = match args.first().map(String::as_str).unwrap_or("C") {
+        "A" | "a" => Workload::A,
+        "B" | "b" => Workload::B,
+        "D" | "d" => Workload::D,
+        "E" | "e" => Workload::E,
+        _ => Workload::C,
+    };
+    let k: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5_000.0);
+
+    let cfg = ServingConfig {
+        k,
+        warmup_secs: 2.0,
+        measure_secs: 4.0,
+        threads: 400,
+        seed: 7,
+    };
+    println!(
+        "workload {} ({}) over {} records",
+        workload.name(),
+        workload.description(),
+        cfg.n_records()
+    );
+
+    let targets = match workload {
+        Workload::E => vec![500.0, 2_000.0, 8_000.0],
+        Workload::A => vec![2_000.0, 10_000.0, 40_000.0],
+        _ => vec![5_000.0, 20_000.0, 80_000.0],
+    };
+    for system in SystemKind::all() {
+        println!("\n{}:", system.label());
+        for &t in &targets {
+            let p = run_point(&cfg, system, workload, t);
+            let lat: Vec<String> = [OpType::Read, OpType::Update, OpType::Insert, OpType::Scan]
+                .iter()
+                .filter_map(|op| p.latency(*op).map(|l| format!("{} {:.1}ms", op.label(), l)))
+                .collect();
+            println!(
+                "  target {:>7.0} → achieved {:>7.0} ops/s   {}{}",
+                t,
+                p.achieved_ops,
+                lat.join(", "),
+                if p.crashed { "   ** CRASHED **" } else { "" }
+            );
+            if p.crashed {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Regenerate every table, figure, ablation and extension experiment of the
+# reproduction into results/ (markdown). Takes a few minutes in release.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results
+
+bins=(
+  repro_table1 repro_table2 repro_table4 repro_table5 repro_table6
+  repro_load_ycsb repro_refresh
+  repro_fig2 repro_fig3 repro_fig4 repro_fig5 repro_fig6
+  ablation_join_order ablation_rcfile ablation_readsize ablation_mongods
+  ablation_isolation ablation_presplit ablation_pdw_indexes
+  ablation_durability ablation_fault_tolerance sensitivity_k
+)
+for b in "${bins[@]}"; do
+  echo "== $b"
+  cargo run --release -p bench --bin "$b" > "results/$b.txt"
+done
+echo "== repro_table3 (the full 22x4 suite)"
+cargo run --release -p bench --bin repro_table3 -- --sf 0.02 > results/repro_table3.txt
+echo "== repro_fig1"
+cargo run --release -p bench --bin repro_fig1 -- --sf 0.02 > results/repro_fig1.txt
+echo "done — see results/ and EXPERIMENTS.md"

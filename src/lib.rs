@@ -1,0 +1,15 @@
+//! Root facade for the Elephants-vs-NoSQL reproduction. Re-exports the
+//! workspace crates so `examples/` and `tests/` can use one import root.
+pub use cluster;
+pub use dfs;
+pub use docstore;
+pub use elephants_core as core;
+pub use hive;
+pub use mapreduce;
+pub use pdw;
+pub use relational;
+pub use simkit;
+pub use sqlengine;
+pub use storage;
+pub use tpch;
+pub use ycsb;

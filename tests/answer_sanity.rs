@@ -1,0 +1,247 @@
+//! Independent answer verification: several TPC-H queries recomputed
+//! naively, straight off the base tables with hand-rolled loops — no shared
+//! operator kernels, no plan machinery. Guards against a bug common to the
+//! engines *and* the reference executor.
+
+use elephants::relational::date::date;
+use elephants::relational::{execute, Catalog, Value};
+use elephants::tpch::{generate, schema, GenConfig};
+use std::collections::{HashMap, HashSet};
+
+fn catalog() -> Catalog {
+    generate(&GenConfig::new(0.01))
+}
+
+#[test]
+fn q4_matches_naive_exists_count() {
+    let cat = catalog();
+    let (out_schema, rows) = execute(&elephants::tpch::query(4), &cat);
+
+    // Naive: orders in [1993-07-01, 1993-10-01) with any late lineitem.
+    let ls = schema::lineitem();
+    let (l_ok, l_cd, l_rd) = (
+        ls.col("l_orderkey"),
+        ls.col("l_commitdate"),
+        ls.col("l_receiptdate"),
+    );
+    let late_orders: HashSet<i64> = cat
+        .get("lineitem")
+        .rows
+        .iter()
+        .filter(|r| r[l_cd].as_i64().unwrap() < r[l_rd].as_i64().unwrap())
+        .map(|r| r[l_ok].as_i64().unwrap())
+        .collect();
+    let os = schema::orders();
+    let (o_ok, o_od, o_pr) = (
+        os.col("o_orderkey"),
+        os.col("o_orderdate"),
+        os.col("o_orderpriority"),
+    );
+    let (lo, hi) = (date(1993, 7, 1) as i64, date(1993, 10, 1) as i64);
+    let mut want: HashMap<String, i64> = HashMap::new();
+    for r in &cat.get("orders").rows {
+        let d = r[o_od].as_i64().unwrap();
+        if d >= lo && d < hi && late_orders.contains(&r[o_ok].as_i64().unwrap()) {
+            *want
+                .entry(r[o_pr].as_str().unwrap().to_string())
+                .or_default() += 1;
+        }
+    }
+
+    let (p_col, c_col) = (
+        out_schema.col("o_orderpriority"),
+        out_schema.col("order_count"),
+    );
+    assert_eq!(rows.len(), want.len());
+    for r in &rows {
+        let pri = r[p_col].as_str().unwrap();
+        assert_eq!(
+            r[c_col].as_i64().unwrap(),
+            want[pri],
+            "Q4 count for priority {pri}"
+        );
+    }
+}
+
+#[test]
+fn q12_matches_naive_mode_counts() {
+    let cat = catalog();
+    let (out_schema, rows) = execute(&elephants::tpch::query(12), &cat);
+
+    let ls = schema::lineitem();
+    let os = schema::orders();
+    let pri_of: HashMap<i64, String> = cat
+        .get("orders")
+        .rows
+        .iter()
+        .map(|r| {
+            (
+                r[os.col("o_orderkey")].as_i64().unwrap(),
+                r[os.col("o_orderpriority")].as_str().unwrap().to_string(),
+            )
+        })
+        .collect();
+    let (lo, hi) = (date(1994, 1, 1) as i64, date(1995, 1, 1) as i64);
+    let mut want: HashMap<String, (i64, i64)> = HashMap::new();
+    for r in &cat.get("lineitem").rows {
+        let mode = r[ls.col("l_shipmode")].as_str().unwrap();
+        if mode != "MAIL" && mode != "SHIP" {
+            continue;
+        }
+        let commit = r[ls.col("l_commitdate")].as_i64().unwrap();
+        let receipt = r[ls.col("l_receiptdate")].as_i64().unwrap();
+        let ship = r[ls.col("l_shipdate")].as_i64().unwrap();
+        if !(commit < receipt && ship < commit && receipt >= lo && receipt < hi) {
+            continue;
+        }
+        let pri = &pri_of[&r[ls.col("l_orderkey")].as_i64().unwrap()];
+        let slot = want.entry(mode.to_string()).or_default();
+        if pri == "1-URGENT" || pri == "2-HIGH" {
+            slot.0 += 1;
+        } else {
+            slot.1 += 1;
+        }
+    }
+
+    let (m, h, l) = (
+        out_schema.col("l_shipmode"),
+        out_schema.col("high_line_count"),
+        out_schema.col("low_line_count"),
+    );
+    for r in &rows {
+        let mode = r[m].as_str().unwrap();
+        let (wh, wl) = want[mode];
+        assert_eq!(r[h].as_f64().unwrap() as i64, wh, "Q12 high for {mode}");
+        assert_eq!(r[l].as_f64().unwrap() as i64, wl, "Q12 low for {mode}");
+    }
+}
+
+#[test]
+fn q14_promo_fraction_matches_naive() {
+    let cat = catalog();
+    let (_, rows) = execute(&elephants::tpch::query(14), &cat);
+    let got = rows[0][0].as_f64().unwrap();
+
+    let ls = schema::lineitem();
+    let type_of: HashMap<i64, String> = {
+        let ps = schema::part();
+        cat.get("part")
+            .rows
+            .iter()
+            .map(|r| {
+                (
+                    r[ps.col("p_partkey")].as_i64().unwrap(),
+                    r[ps.col("p_type")].as_str().unwrap().to_string(),
+                )
+            })
+            .collect()
+    };
+    let (lo, hi) = (date(1995, 9, 1) as i64, date(1995, 10, 1) as i64);
+    let (mut promo, mut total) = (0f64, 0f64);
+    for r in &cat.get("lineitem").rows {
+        let d = r[ls.col("l_shipdate")].as_i64().unwrap();
+        if d < lo || d >= hi {
+            continue;
+        }
+        let rev = r[ls.col("l_extendedprice")].as_f64().unwrap()
+            * (1.0 - r[ls.col("l_discount")].as_f64().unwrap());
+        total += rev;
+        let pk = r[ls.col("l_partkey")].as_i64().unwrap();
+        if type_of[&pk].starts_with("PROMO") {
+            promo += rev;
+        }
+    }
+    let want = 100.0 * promo / total;
+    assert!(
+        (got - want).abs() < 1e-6 * want.abs().max(1.0),
+        "Q14 {got} vs naive {want}"
+    );
+    assert!((0.0..=100.0).contains(&got));
+}
+
+#[test]
+fn q18_only_reports_orders_over_300_units() {
+    let cat = catalog();
+    let (out_schema, rows) = execute(&elephants::tpch::query(18), &cat);
+    let qty_col = out_schema.col("sum_qty");
+    let ls = schema::lineitem();
+    // Recompute each reported order's quantity from the base table.
+    let ok_col = out_schema.col("o_orderkey");
+    for r in &rows {
+        let okey = r[ok_col].as_i64().unwrap();
+        let naive: f64 = cat
+            .get("lineitem")
+            .rows
+            .iter()
+            .filter(|lr| lr[ls.col("l_orderkey")].as_i64().unwrap() == okey)
+            .map(|lr| lr[ls.col("l_quantity")].as_f64().unwrap())
+            .sum();
+        assert!(naive > 300.0, "Q18 order {okey} has only {naive} units");
+        assert!(
+            (r[qty_col].as_f64().unwrap() - naive).abs() < 1e-9,
+            "Q18 quantity mismatch for {okey}"
+        );
+    }
+}
+
+#[test]
+fn q22_balances_match_naive() {
+    let cat = catalog();
+    let (out_schema, rows) = execute(&elephants::tpch::query(22), &cat);
+
+    let cs = schema::customer();
+    let os = schema::orders();
+    let codes = ["13", "31", "23", "29", "30", "18", "17"];
+    let has_orders: HashSet<i64> = cat
+        .get("orders")
+        .rows
+        .iter()
+        .map(|r| r[os.col("o_custkey")].as_i64().unwrap())
+        .collect();
+    // Average positive balance among code-matching customers.
+    let mut bal_sum = 0f64;
+    let mut bal_n = 0f64;
+    for r in &cat.get("customer").rows {
+        let phone = r[cs.col("c_phone")].as_str().unwrap();
+        if !codes.contains(&&phone[..2]) {
+            continue;
+        }
+        let b = r[cs.col("c_acctbal")].as_f64().unwrap();
+        if b > 0.0 {
+            bal_sum += b;
+            bal_n += 1.0;
+        }
+    }
+    let avg = bal_sum / bal_n;
+    let mut want: HashMap<String, (i64, f64)> = HashMap::new();
+    for r in &cat.get("customer").rows {
+        let phone = r[cs.col("c_phone")].as_str().unwrap();
+        let code = &phone[..2];
+        if !codes.contains(&code) {
+            continue;
+        }
+        let b = r[cs.col("c_acctbal")].as_f64().unwrap();
+        let k = r[cs.col("c_custkey")].as_i64().unwrap();
+        if b > avg && !has_orders.contains(&k) {
+            let slot = want.entry(code.to_string()).or_default();
+            slot.0 += 1;
+            slot.1 += b;
+        }
+    }
+
+    let (code_col, n_col, tot_col) = (
+        out_schema.col("cntrycode"),
+        out_schema.col("numcust"),
+        out_schema.col("totacctbal"),
+    );
+    assert_eq!(rows.len(), want.len(), "country-code group count");
+    for r in &rows {
+        let code = r[code_col].as_str().unwrap();
+        let (wn, wb) = want[code];
+        assert_eq!(r[n_col], Value::I64(wn), "Q22 numcust for {code}");
+        assert!(
+            (r[tot_col].as_f64().unwrap() - wb).abs() < 1e-6 * wb.abs().max(1.0),
+            "Q22 balance for {code}"
+        );
+    }
+}

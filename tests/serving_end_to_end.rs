@@ -1,0 +1,180 @@
+//! End-to-end YCSB sanity across all systems and workloads, plus the
+//! qualitative relationships Figures 2-6 rest on.
+
+use elephants::core::serving::{run_point, ServingConfig, SystemKind};
+use elephants::ycsb::workload::{OpType, Workload};
+
+fn cfg() -> ServingConfig {
+    ServingConfig {
+        k: 10_000.0,
+        warmup_secs: 1.5,
+        measure_secs: 4.0,
+        threads: 200,
+        seed: 11,
+    }
+}
+
+#[test]
+fn every_system_serves_every_workload_at_modest_load() {
+    let cfg = cfg();
+    for system in SystemKind::all() {
+        for w in Workload::all() {
+            // Scans are drastically more expensive (Mongo-CS touches all
+            // 128 shards per scan), so "modest" differs per workload.
+            let target = if w == Workload::E { 100.0 } else { 4_000.0 };
+            let p = run_point(&cfg, system, w, target);
+            assert!(
+                p.achieved_ops > target * 0.5,
+                "{} on workload {} achieved only {:.0}/{}",
+                system.label(),
+                w.name(),
+                p.achieved_ops,
+                target
+            );
+            assert!(!p.crashed, "{} crashed on {}", system.label(), w.name());
+            for (ty, lat) in &p.latency_ms {
+                assert!(*lat > 0.0, "{:?} latency must be positive", ty);
+                assert!(*lat < 5_000.0, "{:?} latency insane: {lat} ms", ty);
+            }
+        }
+    }
+}
+
+/// Figure 2's relationship: on the disk-bound read-only workload, SQL-CS
+/// sustains at least as much as either MongoDB flavour at a saturating
+/// target, with lower read latency.
+#[test]
+fn sql_cs_wins_read_only_saturation() {
+    let cfg = cfg();
+    let target = 100_000.0;
+    let sql = run_point(&cfg, SystemKind::SqlCs, Workload::C, target);
+    let mas = run_point(&cfg, SystemKind::MongoAs, Workload::C, target);
+    let mcs = run_point(&cfg, SystemKind::MongoCs, Workload::C, target);
+    assert!(
+        sql.achieved_ops >= mas.achieved_ops && sql.achieved_ops >= mcs.achieved_ops,
+        "SQL {} vs Mongo-AS {} vs Mongo-CS {}",
+        sql.achieved_ops,
+        mas.achieved_ops,
+        mcs.achieved_ops
+    );
+    let rl = |p: &elephants::core::serving::SweepPoint| p.latency(OpType::Read).unwrap();
+    assert!(
+        rl(&sql) <= rl(&mas) && rl(&sql) <= rl(&mcs),
+        "SQL reads must be cheapest at saturation: {} vs {} vs {}",
+        rl(&sql),
+        rl(&mas),
+        rl(&mcs)
+    );
+}
+
+/// Figure 6's relationship: range partitioning gives Mongo-AS the scan
+/// crown — higher achieved scan throughput than both hash-sharded systems
+/// at a saturating target.
+#[test]
+fn mongo_as_wins_scans() {
+    let cfg = cfg();
+    let target = 6_000.0;
+    let mas = run_point(&cfg, SystemKind::MongoAs, Workload::E, target);
+    let sql = run_point(&cfg, SystemKind::SqlCs, Workload::E, target);
+    let mcs = run_point(&cfg, SystemKind::MongoCs, Workload::E, target);
+    assert!(
+        mas.achieved_ops > sql.achieved_ops && mas.achieved_ops > mcs.achieved_ops,
+        "Mongo-AS {} vs SQL {} vs Mongo-CS {}",
+        mas.achieved_ops,
+        sql.achieved_ops,
+        mcs.achieved_ops
+    );
+}
+
+/// All three systems agree on what a range scan returns (the range
+/// semantics of workload E), whatever their sharding scheme.
+#[test]
+fn scan_results_agree_across_systems() {
+    use elephants::docstore::{MongoCluster, Sharding};
+    use elephants::simkit::Sim;
+    use elephants::sqlengine::SqlCluster;
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    let cfg = cfg();
+    let n = cfg.n_records();
+    let params = cfg.params();
+    let cases: Vec<(&str, u64)> = vec![("mid", n / 2), ("near-end", n - 10), ("start", 0)];
+    for (label, start) in cases {
+        let len = 100usize;
+        let expect = (n - start).min(len as u64);
+
+        let mut sim: Sim<()> = Sim::new();
+        let sql = SqlCluster::build(&mut sim, &params);
+        sql.load(n);
+        let got: Rc<Cell<u64>> = Rc::default();
+        let g = got.clone();
+        sql.scan(&mut sim, start, len, Box::new(move |_, v| g.set(v)));
+        sim.run(&mut ());
+        assert_eq!(got.get(), expect, "SQL-CS scan {label}");
+
+        for sharding in [Sharding::Range, Sharding::Hash] {
+            let mut sim2: Sim<()> = Sim::new();
+            let m = MongoCluster::build(&mut sim2, &params, sharding);
+            m.load(n);
+            let got2: Rc<Cell<u64>> = Rc::default();
+            let g2 = got2.clone();
+            m.scan(&mut sim2, start, len, Box::new(move |_, v| g2.set(v)));
+            sim2.run(&mut ());
+            assert_eq!(got2.get(), expect, "{sharding:?} scan {label}");
+        }
+    }
+}
+
+/// The whole pipeline is a deterministic simulation: identical configs
+/// yield bit-identical results (the property resumable research depends
+/// on).
+#[test]
+fn runs_are_deterministic() {
+    let cfg = cfg();
+    let a = run_point(&cfg, SystemKind::SqlCs, Workload::A, 20_000.0);
+    let b = run_point(&cfg, SystemKind::SqlCs, Workload::A, 20_000.0);
+    assert_eq!(a.achieved_ops, b.achieved_ops);
+    for (ty, lat) in &a.latency_ms {
+        assert_eq!(Some(lat), b.latency_ms.get(ty), "{ty:?} latency differs");
+    }
+    let m1 = run_point(&cfg, SystemKind::MongoAs, Workload::E, 2_000.0);
+    let m2 = run_point(&cfg, SystemKind::MongoAs, Workload::E, 2_000.0);
+    assert_eq!(m1.achieved_ops, m2.achieved_ops);
+}
+
+/// §3.4.3's lock observation: under the update-heavy workload A the
+/// mongods spend a sizable fraction of time holding the global write lock;
+/// under read-heavy B the fraction is much smaller.
+#[test]
+fn write_lock_fraction_tracks_update_share() {
+    use elephants::docstore::{MongoCluster, Sharding};
+    use elephants::simkit::Sim;
+    use elephants::ycsb::driver::{run_workload, RunConfig};
+
+    let cfg = cfg();
+    let mut fractions = Vec::new();
+    for w in [Workload::A, Workload::B] {
+        let params = cfg.params();
+        let mut sim: Sim<()> = Sim::new();
+        let m = MongoCluster::build(&mut sim, &params, Sharding::Hash);
+        m.load(cfg.n_records());
+        let rc = RunConfig {
+            target_ops_per_sec: 20_000.0,
+            threads: cfg.threads,
+            warmup_secs: cfg.warmup_secs,
+            measure_secs: cfg.measure_secs,
+            seed: cfg.seed,
+            n_records: cfg.n_records(),
+            max_scan_len: 1000,
+        };
+        run_workload(&mut sim, m.clone(), w, &rc);
+        fractions.push(m.write_lock_fraction(cfg.warmup_secs + cfg.measure_secs));
+    }
+    assert!(
+        fractions[0] > fractions[1] * 3.0,
+        "A's lock time {:.3} should dwarf B's {:.3}",
+        fractions[0],
+        fractions[1]
+    );
+}

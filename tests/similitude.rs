@@ -1,0 +1,76 @@
+//! The similitude property behind the whole methodology: simulated times
+//! for a given *paper* scale factor are (approximately) invariant to the
+//! choice of the real generated scale — running SF 0.005 with k = 50000
+//! and SF 0.01 with k = 25000 must produce close times for "250 GB".
+//! Fixed overheads (task startup, job setup) are exactly invariant;
+//! bandwidth terms carry small quantization noise from file/block counts.
+
+use elephants::cluster::Params;
+use elephants::hive::{load_warehouse, HiveEngine};
+use elephants::pdw::{load_pdw, PdwEngine};
+use elephants::tpch::{generate, GenConfig};
+
+fn hive_time(sim_scale: f64, paper: f64, q: usize) -> f64 {
+    let catalog = generate(&GenConfig::new(sim_scale));
+    let params = Params::paper_dss().scaled(paper / sim_scale);
+    let (w, _) = load_warehouse(&catalog, &params, None).expect("load");
+    HiveEngine::new(w)
+        .run_query(&elephants::tpch::query(q))
+        .expect("query")
+        .total_secs
+}
+
+fn pdw_time(sim_scale: f64, paper: f64, q: usize) -> f64 {
+    let catalog = generate(&GenConfig::new(sim_scale));
+    let params = Params::paper_dss().scaled(paper / sim_scale);
+    let (c, _) = load_pdw(&catalog, &params);
+    PdwEngine::new(c)
+        .run_query(&elephants::tpch::query(q))
+        .total_secs
+}
+
+#[test]
+fn hive_q1_time_invariant_to_sim_scale() {
+    let a = hive_time(0.005, 250.0, 1);
+    let b = hive_time(0.01, 250.0, 1);
+    let rel = (a - b).abs() / a.max(b);
+    assert!(
+        rel < 0.25,
+        "Q1@250GB from different sim scales: {a:.0}s vs {b:.0}s ({rel:.2} apart)"
+    );
+}
+
+#[test]
+fn hive_q6_time_invariant_to_sim_scale() {
+    let a = hive_time(0.005, 1000.0, 6);
+    let b = hive_time(0.02, 1000.0, 6);
+    let rel = (a - b).abs() / a.max(b);
+    assert!(
+        rel < 0.25,
+        "Q6@1TB from different sim scales: {a:.0}s vs {b:.0}s"
+    );
+}
+
+#[test]
+fn pdw_q6_time_invariant_to_sim_scale() {
+    let a = pdw_time(0.005, 1000.0, 6);
+    let b = pdw_time(0.02, 1000.0, 6);
+    let rel = (a - b).abs() / a.max(b);
+    assert!(
+        rel < 0.25,
+        "PDW Q6@1TB from different sim scales: {a:.1}s vs {b:.1}s"
+    );
+}
+
+#[test]
+fn bandwidth_bound_work_scales_linearly_with_paper_sf() {
+    // Q6 at 4 TB should take ~4x its 1 TB time on Hive once past the
+    // overhead-dominated regime (Table 3's right columns).
+    let t1 = hive_time(0.01, 4000.0, 6);
+    let t2 = hive_time(0.01, 16000.0, 6);
+    let factor = t2 / t1;
+    assert!(
+        (2.8..=4.6).contains(&factor),
+        "4x data should be ~3-4x time, got {factor:.2}"
+    );
+}
