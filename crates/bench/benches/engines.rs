@@ -2,8 +2,8 @@
 //! (regression tracking for the reproduction itself, not the simulated
 //! times it produces).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use cluster::Params;
+use criterion::{criterion_group, criterion_main, Criterion};
 use hive::{load_warehouse, HiveEngine};
 use pdw::{load_pdw, PdwEngine};
 use tpch::{generate, GenConfig};

@@ -41,9 +41,7 @@ fn bench_compress(c: &mut Criterion) {
         .collect();
     let mut g = c.benchmark_group("compress");
     g.throughput(Throughput::Bytes(data.len() as u64));
-    g.bench_function("lz_compress_256k", |b| {
-        b.iter(|| compress::compress(&data))
-    });
+    g.bench_function("lz_compress_256k", |b| b.iter(|| compress::compress(&data)));
     let packed = compress::compress(&data);
     g.bench_function("lz_decompress_256k", |b| {
         b.iter(|| compress::decompress(&packed))

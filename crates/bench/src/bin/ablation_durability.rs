@@ -2,9 +2,9 @@
 //! paper ran Mongo without journaling or replica sets and *still* lost to
 //! the fully-ACID SQL Server. This ablation turns the safety features on.
 
+use docstore::{MongoCluster, Sharding};
 use elephants_core::report::TableBuilder;
 use elephants_core::serving::ServingConfig;
-use docstore::{MongoCluster, Sharding};
 use simkit::Sim;
 use ycsb::driver::{run_workload, RunConfig};
 use ycsb::workload::{OpType, Workload};

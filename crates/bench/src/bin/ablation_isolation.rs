@@ -13,7 +13,12 @@ fn main() {
     let cfg = ServingConfig::default();
     let mut t = TableBuilder::new(
         "Ablation: SQL-CS isolation level (workload A, saturating target)",
-        &["Isolation", "Achieved", "Read latency (ms)", "Update latency (ms)"],
+        &[
+            "Isolation",
+            "Achieved",
+            "Read latency (ms)",
+            "Update latency (ms)",
+        ],
     );
     for (label, iso) in [
         ("read committed", IsolationLevel::ReadCommitted),

@@ -7,7 +7,7 @@
 use cluster::Params;
 use elephants_core::report::TableBuilder;
 use hive::{load_warehouse, HiveEngine};
-use relational::expr::{and, col, lit_f64, lit_str, lit_date};
+use relational::expr::{and, col, lit_date, lit_f64, lit_str};
 use relational::{AggCall, JoinKind, LogicalPlan, SortKey};
 use tpch::{generate, GenConfig};
 
@@ -37,7 +37,10 @@ fn q5_optimized() -> LogicalPlan {
             ])
     };
     // customer: 0 c_custkey, 1 c_nationkey → orders ⋈ customer
-    let t = orders.join(scan("customer", &["c_custkey", "c_nationkey"]), vec![(1, 0)]);
+    let t = orders.join(
+        scan("customer", &["c_custkey", "c_nationkey"]),
+        vec![(1, 0)],
+    );
     // nation(⋈ region ASIA): 0 n_nationkey, 1 n_name, 2 n_regionkey, 3 r_regionkey
     let nr = scan("nation", &["n_nationkey", "n_name", "n_regionkey"]).join(
         {
@@ -67,7 +70,10 @@ fn q5_optimized() -> LogicalPlan {
     );
     t.aggregate(
         vec![(col(5), "n_name")],
-        vec![AggCall::sum(col(10).mul(lit_f64(1.0).sub(col(11))), "revenue")],
+        vec![AggCall::sum(
+            col(10).mul(lit_f64(1.0).sub(col(11))),
+            "revenue",
+        )],
     )
     .sort(vec![SortKey::desc(col(1))])
 }
@@ -104,9 +110,7 @@ fn main() {
     let ratio = script.total_secs / optimized.total_secs;
     println!("script/optimized = {ratio:.2}x");
     if ratio > 1.1 {
-        println!(
-            "join order alone recovers part of PDW's Q5 win (§3.3.4.3 point 2)."
-        );
+        println!("join order alone recovers part of PDW's Q5 win (§3.3.4.3 point 2).");
     } else {
         println!(
             "join order alone does NOT close the gap: every order still shuffles\n\

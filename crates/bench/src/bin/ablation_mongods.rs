@@ -2,9 +2,9 @@
 //! because one global write lock per process strangles update concurrency;
 //! their single-node tests found 16 > 8 > 1).
 
+use docstore::{MongoCluster, Sharding};
 use elephants_core::report::TableBuilder;
 use elephants_core::serving::ServingConfig;
-use docstore::{MongoCluster, Sharding};
 use simkit::Sim;
 use ycsb::driver::{run_workload, RunConfig};
 use ycsb::workload::{OpType, Workload};
@@ -13,7 +13,12 @@ fn main() {
     let cfg = ServingConfig::default();
     let mut t = TableBuilder::new(
         "Ablation: mongod processes per node (workload A, target 40k ops/s)",
-        &["Processes/node", "Achieved", "Update latency (ms)", "Write-lock fraction"],
+        &[
+            "Processes/node",
+            "Achieved",
+            "Update latency (ms)",
+            "Write-lock fraction",
+        ],
     );
     for per_node in [1usize, 8, 16] {
         let params = cfg.params();

@@ -2,9 +2,9 @@
 //! defining chunk bounds up front avoids balancer migrations during the
 //! load.
 
+use docstore::{MongoCluster, Sharding};
 use elephants_core::report::TableBuilder;
 use elephants_core::serving::ServingConfig;
-use docstore::{MongoCluster, Sharding};
 use simkit::Sim;
 
 fn main() {

@@ -18,7 +18,10 @@ fn main() {
         format!("Ablation: RCFile vs text @ {paper:.0} GB (Hive seconds)"),
         &["Query", "RCFile", "Text", "Text/RCFile"],
     );
-    for fmtpair in [("rcfile", StorageFormat::RcFile), ("text", StorageFormat::Text)] {
+    for fmtpair in [
+        ("rcfile", StorageFormat::RcFile),
+        ("text", StorageFormat::Text),
+    ] {
         let _ = fmtpair;
     }
     let (wr, _) = load_warehouse_fmt(&cat, &params, None, StorageFormat::RcFile).unwrap();

@@ -2,9 +2,9 @@
 //! (the paper: "Mongo-AS and Mongo-CS waste disk bandwidth by reading in
 //! data that is not needed", workload C).
 
+use docstore::{MongoCluster, Sharding};
 use elephants_core::report::TableBuilder;
 use elephants_core::serving::ServingConfig;
-use docstore::{MongoCluster, Sharding};
 use simkit::Sim;
 use ycsb::driver::{run_workload, RunConfig};
 use ycsb::workload::{OpType, Workload};

@@ -117,7 +117,9 @@ fn main() {
         };
         t.row(vec![
             format!("Q{}", cell.query),
-            cell.hive_secs.map(|v| format!("{v:.0}")).unwrap_or("--".into()),
+            cell.hive_secs
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or("--".into()),
             paper_h.map(|v| format!("{v:.0}")).unwrap_or("--".into()),
             h_ratio.map(|v| format!("{v:.2}")).unwrap_or("--".into()),
             format!("{:.0}", cell.pdw_secs),
@@ -131,5 +133,22 @@ fn main() {
         "geometric-mean ratio: HIVE {:.2}, PDW {:.2} (1.00 = perfect calibration)",
         (h_sum / n as f64).exp(),
         (p_sum / n as f64).exp()
+    );
+
+    let mut pdw_u = simkit::trace::UtilSummary::default();
+    let mut hive_u = simkit::trace::UtilSummary::default();
+    for c in &run.cells {
+        pdw_u.merge(&c.pdw_util);
+        if let Some(u) = &c.hive_util {
+            hive_u.merge(u);
+        }
+    }
+    println!(
+        "cluster totals @ {scale:.0} GB: HIVE {}",
+        elephants_core::report::util_line(&hive_u)
+    );
+    println!(
+        "cluster totals @ {scale:.0} GB: PDW  {}",
+        elephants_core::report::util_line(&pdw_u)
     );
 }

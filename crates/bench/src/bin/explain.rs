@@ -13,10 +13,7 @@ use tpch::{generate, GenConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let q: usize = args
-        .get(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let q: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
     let sf = bench::arg_f64(&args, "--sf", 0.01);
     let paper = bench::arg_f64(&args, "--paper", 16000.0);
 
@@ -40,6 +37,11 @@ fn main() {
             j.report.total, j.label, j.report.n_maps, j.report.n_reduces, j.report.map_done
         );
     }
+    let hu = hrun.util();
+    println!(
+        "\n  resource totals: {}",
+        elephants_core::report::util_line(&hu)
+    );
 
     let (pc, _) = load_pdw(&cat, &params);
     let pdw = PdwEngine::new(pc);
@@ -49,9 +51,22 @@ fn main() {
         prun.total_secs,
         hrun.total_secs / prun.total_secs
     );
-    for s in &prun.steps {
-        println!("  {:>8.1}s  {}", s.secs, s.name);
+    for s in &prun.trace.spans {
+        let u = s.util();
+        println!(
+            "  {:>8.1}s  {:<28} disk {:>7.1}s  cpu {:>7.1}s  net {:>7.1}s  wait {:.3}s",
+            s.secs(),
+            s.name,
+            u.disk_busy,
+            u.cpu_busy,
+            u.net_busy,
+            u.mean_wait()
+        );
     }
+    println!(
+        "\n  resource totals: {}",
+        elephants_core::report::util_line(&prun.trace.util())
+    );
 
     assert!(
         relational::testing::rows_approx_eq(&hrun.rows, &prun.rows, 1e-6),

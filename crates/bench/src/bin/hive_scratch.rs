@@ -15,10 +15,18 @@ fn main() {
     let (w, report) = load_warehouse(&cat, &params, None).unwrap();
     let base_per_node = report.stored_bytes * params.hdfs_replication as u64 / params.nodes as u64;
     let engine = HiveEngine::new(w);
-    println!("base/node: {:.1} (paper-scale GB: {:.0})", base_per_node as f64, base_per_node as f64 * k / 1e9);
+    println!(
+        "base/node: {:.1} (paper-scale GB: {:.0})",
+        base_per_node as f64,
+        base_per_node as f64 * k / 1e9
+    );
     for q in 1..=22 {
         let run = engine.run_query(&tpch::query(q)).unwrap();
         let per_node = run.scratch_bytes / params.nodes as u64;
-        println!("Q{q:02}: scratch/node {:>12} (paper-scale GB: {:>8.0})", per_node, per_node as f64 * k / 1e9);
+        println!(
+            "Q{q:02}: scratch/node {:>12} (paper-scale GB: {:>8.0})",
+            per_node,
+            per_node as f64 * k / 1e9
+        );
     }
 }

@@ -1,7 +1,10 @@
 //! Diagnostic: print the PDW step breakdown for chosen queries (the Q5/Q19
-//! plan narratives of §3.3.4.1).
+//! plan narratives of §3.3.4.1), with per-step disk/CPU/NIC busy time and
+//! queue waits from the DES trace, plus the busiest cluster resources from
+//! the simkit resource reports.
 
 use cluster::Params;
+use elephants_core::report::span_table;
 use pdw::{load_pdw, PdwEngine};
 use tpch::{generate, GenConfig};
 
@@ -21,11 +24,36 @@ fn main() {
     let engine = PdwEngine::new(pdwcat);
     for q in queries {
         let run = engine.run_query(&tpch::query(q));
-        println!("== Q{q} @ paper SF {paper}: total {:.1}s", run.total_secs);
-        for s in &run.steps {
-            if s.secs > 0.05 {
-                println!("   {:>8.1}s  {}", s.secs, s.name);
-            }
+        let spans: Vec<_> = run
+            .trace
+            .spans
+            .iter()
+            .filter(|s| s.secs() > 0.05)
+            .cloned()
+            .collect();
+        println!(
+            "{}",
+            span_table(
+                format!("Q{q} @ paper SF {paper} — total {:.1}s", run.total_secs),
+                &spans
+            )
+            .to_markdown()
+        );
+
+        let mut res: Vec<_> = run
+            .resources
+            .iter()
+            .filter(|r| r.busy_secs > 0.0)
+            .cloned()
+            .collect();
+        res.sort_by(|a, b| b.busy_secs.total_cmp(&a.busy_secs));
+        println!("busiest resources (simkit resource report):");
+        for r in res.iter().take(6) {
+            println!(
+                "  {:>8.1}s busy  {:<16} {:>5} reqs  mean queue wait {:.3}s",
+                r.busy_secs, r.name, r.completions, r.mean_queue_wait_secs
+            );
         }
+        println!();
     }
 }

@@ -21,16 +21,24 @@ fn main() {
     let base_gm = results.runs[0].means("pdw", true).unwrap().1;
     let mut t = TableBuilder::new(
         "Figure 1 — normalized AM-9 / GM-9 (PDW @ SF 250 = 1)",
-        &["SF", "HIVE norm AM", "PDW norm AM", "HIVE norm GM", "PDW norm GM"],
+        &[
+            "SF",
+            "HIVE norm AM",
+            "PDW norm AM",
+            "HIVE norm GM",
+            "PDW norm GM",
+        ],
     );
     for run in &results.runs {
         let hive = run.means("hive", true);
         let pdw = run.means("pdw", true).unwrap();
         t.row(vec![
             format!("{:.0}", run.paper_scale),
-            hive.map(|m| format!("{:.0}", m.0 / base_am)).unwrap_or("--".into()),
+            hive.map(|m| format!("{:.0}", m.0 / base_am))
+                .unwrap_or("--".into()),
             format!("{:.0}", pdw.0 / base_am),
-            hive.map(|m| format!("{:.0}", m.1 / base_gm)).unwrap_or("--".into()),
+            hive.map(|m| format!("{:.0}", m.1 / base_gm))
+                .unwrap_or("--".into()),
             format!("{:.0}", pdw.1 / base_gm),
         ]);
     }

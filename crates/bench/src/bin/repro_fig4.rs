@@ -16,5 +16,7 @@ fn main() {
         &cfg,
     );
     println!("{out}");
-    println!("paper: lock contention dominates — mongods spend 25-45% of time in the global write lock");
+    println!(
+        "paper: lock contention dominates — mongods spend 25-45% of time in the global write lock"
+    );
 }

@@ -19,7 +19,14 @@ fn main() {
 
     let mut t = TableBuilder::new(
         "TPC-H refresh functions (seconds; the paper skipped these)",
-        &["SF (GB)", "PDW RF1", "PDW RF2", "Hive 0.7", "Hive 0.8 RF1", "Hive RF2"],
+        &[
+            "SF (GB)",
+            "PDW RF1",
+            "PDW RF2",
+            "Hive 0.7",
+            "Hive 0.8 RF1",
+            "Hive RF2",
+        ],
     );
     for paper in [250.0, 1000.0, 4000.0, 16000.0] {
         let params = Params::paper_dss().scaled(paper / sf);
@@ -48,7 +55,11 @@ fn main() {
         let mut hive8 = HiveEngine::new(w8);
         let h8_rf1 = hive8
             .refresh_insert("orders", rf.orders.clone())
-            .and_then(|a| hive8.refresh_insert("lineitem", rf.lineitems.clone()).map(|b| a + b))
+            .and_then(|a| {
+                hive8
+                    .refresh_insert("lineitem", rf.lineitems.clone())
+                    .map(|b| a + b)
+            })
             .expect("hive 0.8 supports INSERT INTO");
         let h_rf2 = match hive8.refresh_delete("orders") {
             Err(HiveError::Unsupported(_)) => "unsupported".to_string(),

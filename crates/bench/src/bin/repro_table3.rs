@@ -47,6 +47,27 @@ fn main() {
         println!("{}", table.to_csv());
     } else {
         println!("{}", table.to_markdown());
+        print_utilization(&results);
+    }
+}
+
+/// Per-resource busy time and queue waits per engine per scale, summed
+/// over all queries (from the DES traces backing every cell).
+fn print_utilization(results: &DssResults) {
+    use elephants_core::report::util_line;
+    use simkit::trace::UtilSummary;
+    println!("Cluster resource totals per scale (summed over queries):\n");
+    for run in &results.runs {
+        let mut pdw = UtilSummary::default();
+        let mut hive = UtilSummary::default();
+        for c in &run.cells {
+            pdw.merge(&c.pdw_util);
+            if let Some(u) = &c.hive_util {
+                hive.merge(u);
+            }
+        }
+        println!("  @{:>6.0} GB  HIVE  {}", run.paper_scale, util_line(&hive));
+        println!("  @{:>6.0} GB  PDW   {}", run.paper_scale, util_line(&pdw));
     }
 }
 

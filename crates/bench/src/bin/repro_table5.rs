@@ -15,7 +15,13 @@ fn main() {
 
     let mut t = TableBuilder::new(
         "Table 5 — Time breakdown for Query 22 (seconds)",
-        &["Sub-query", "SF = 250 GB", "SF = 1 TB", "SF = 4 TB", "SF = 16 TB"],
+        &[
+            "Sub-query",
+            "SF = 250 GB",
+            "SF = 1 TB",
+            "SF = 4 TB",
+            "SF = 16 TB",
+        ],
     );
     let mut rows: Vec<Vec<String>> = vec![
         vec!["Sub-query 1".into()],

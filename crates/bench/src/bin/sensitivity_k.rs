@@ -16,7 +16,14 @@ fn main() {
     let target = bench::arg_f64(&args, "--target", 160e3);
     let mut t = TableBuilder::new(
         format!("Sensitivity: workload C saturation vs similitude factor k (target {target:.0})"),
-        &["k", "records", "SQL-CS ops/s", "Mongo-AS ops/s", "SQL read ms", "SQL/Mongo ratio"],
+        &[
+            "k",
+            "records",
+            "SQL-CS ops/s",
+            "Mongo-AS ops/s",
+            "SQL read ms",
+            "SQL/Mongo ratio",
+        ],
     );
     for k in [10_000.0, 2_500.0, 1_000.0] {
         let cfg = ServingConfig {

@@ -31,7 +31,11 @@ pub fn run_figure_table(
     ops: &[OpType],
     cfg: &ServingConfig,
 ) -> TableBuilder {
-    let mut header = vec!["System".to_string(), "Target ops/s".to_string(), "Achieved".to_string()];
+    let mut header = vec![
+        "System".to_string(),
+        "Target ops/s".to_string(),
+        "Achieved".to_string(),
+    ];
     for op in ops {
         header.push(format!("{} latency (ms)", op.label()));
     }
@@ -57,7 +61,11 @@ pub fn run_figure_table(
                     None => "--".to_string(),
                 });
             }
-            row.push(if p.crashed { "CRASH".into() } else { String::new() });
+            row.push(if p.crashed {
+                "CRASH".into()
+            } else {
+                String::new()
+            });
             t.row(row);
             // Once a system crashes at a target, higher targets only crash
             // harder (the paper stops plotting Mongo-AS there too).

@@ -18,8 +18,10 @@
 //! latency) retain their true magnitude — exactly the property that
 //! produces the paper's sub-linear scaling observations.
 
+pub mod exec;
 pub mod params;
 pub mod topo;
 
+pub use exec::{ClusterExec, Phase};
 pub use params::Params;
 pub use topo::{Cluster, NodeId};

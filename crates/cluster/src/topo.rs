@@ -165,7 +165,10 @@ mod tests {
         );
         sim.run(&mut w);
         let t = simkit::as_secs(w.finished[0].1);
-        assert!((t - 1.0).abs() < 0.01, "100MB at 100MB/s should be ~1s, got {t}");
+        assert!(
+            (t - 1.0).abs() < 0.01,
+            "100MB at 100MB/s should be ~1s, got {t}"
+        );
     }
 
     #[test]
@@ -182,7 +185,10 @@ mod tests {
         );
         sim.run(&mut w);
         let t = simkit::as_secs(w.finished[0].1);
-        assert!(t > 0.005 && t < 0.006, "8KB random read ≈ seek-dominated, got {t}");
+        assert!(
+            t > 0.005 && t < 0.006,
+            "8KB random read ≈ seek-dominated, got {t}"
+        );
     }
 
     #[test]
@@ -232,7 +238,10 @@ mod tests {
         sim.run(&mut w);
         // Receiver RX is the bottleneck: second transfer completes ~2s.
         let t_last = simkit::as_secs(w.finished.iter().map(|(_, t)| *t).max().unwrap());
-        assert!((t_last - 2.0).abs() < 0.05, "RX serialization expected, got {t_last}");
+        assert!(
+            (t_last - 2.0).abs() < 0.05,
+            "RX serialization expected, got {t_last}"
+        );
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub struct QueryCell {
     /// `None` = failed (Hive Q9 at 16 TB: out of disk).
     pub hive_secs: Option<f64>,
     pub pdw_secs: f64,
+    /// Per-resource busy/queue-wait totals from the Hive run's spans.
+    pub hive_util: Option<simkit::trace::UtilSummary>,
+    /// Per-resource busy/queue-wait totals from the PDW run's trace.
+    pub pdw_util: simkit::trace::UtilSummary,
 }
 
 impl QueryCell {
@@ -99,22 +103,21 @@ pub fn run_dss(config: &DssConfig) -> DssResults {
     } else {
         config.queries.clone()
     };
-    let runs = crossbeam::thread::scope(|scope| {
+    let runs = std::thread::scope(|scope| {
         let handles: Vec<_> = config
             .paper_scales
             .iter()
             .map(|&ps| {
                 let catalog = &catalog;
                 let queries = &queries;
-                scope.spawn(move |_| run_one_scale(config, catalog, queries, ps))
+                scope.spawn(move || run_one_scale(config, catalog, queries, ps))
             })
             .collect();
         handles
             .into_iter()
             .map(|h| h.join().expect("scale-factor worker panicked"))
             .collect::<Vec<_>>()
-    })
-    .expect("scoped threads");
+    });
     DssResults {
         config: config.clone(),
         runs,
@@ -149,6 +152,8 @@ fn run_one_scale(
             query: q,
             hive_secs: hive_run.as_ref().map(|r| r.total_secs),
             pdw_secs: pdw_run.total_secs,
+            hive_util: hive_run.as_ref().map(|r| r.util()),
+            pdw_util: pdw_run.trace.util(),
         });
         hive_runs.push((q, hive_run));
     }

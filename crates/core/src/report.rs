@@ -31,10 +31,7 @@ impl TableBuilder {
             out.push_str(&format!("### {}\n\n", self.title));
         }
         out.push_str(&format!("| {} |\n", self.header.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.header.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.header.len())));
         for r in &self.rows {
             out.push_str(&format!("| {} |\n", r.join(" | ")));
         }
@@ -51,7 +48,14 @@ impl TableBuilder {
             }
         };
         let mut out = String::new();
-        out.push_str(&self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
         for r in &self.rows {
             out.push_str(&r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
@@ -59,6 +63,55 @@ impl TableBuilder {
         }
         out
     }
+}
+
+/// Render a span list (PDW steps or MapReduce job phases) as a table with
+/// per-resource busy time and mean queue wait alongside the makespan.
+pub fn span_table(title: impl Into<String>, spans: &[simkit::trace::Span]) -> TableBuilder {
+    let mut t = TableBuilder::new(
+        title,
+        &[
+            "step",
+            "secs",
+            "disk busy (s)",
+            "cpu busy (s)",
+            "net busy (s)",
+            "mean queue wait (s)",
+        ],
+    );
+    let mut total = simkit::trace::UtilSummary::default();
+    let mut total_secs = 0.0;
+    for s in spans {
+        let u = s.util();
+        total.merge(&u);
+        total_secs += s.secs();
+        t.row(vec![
+            s.name.clone(),
+            fmt_secs(Some(s.secs())),
+            fmt_secs(Some(u.disk_busy)),
+            fmt_secs(Some(u.cpu_busy)),
+            fmt_secs(Some(u.net_busy)),
+            format!("{:.3}", u.mean_wait()),
+        ]);
+    }
+    t.row(vec![
+        "TOTAL".to_string(),
+        fmt_secs(Some(total_secs)),
+        fmt_secs(Some(total.disk_busy)),
+        fmt_secs(Some(total.cpu_busy)),
+        fmt_secs(Some(total.net_busy)),
+        format!("{:.3}", total.mean_wait()),
+    ]);
+    t
+}
+
+/// One-line utilization summary for a run: busy seconds per resource kind
+/// plus total queue wait.
+pub fn util_line(u: &simkit::trace::UtilSummary) -> String {
+    format!(
+        "busy: disk {:.1}s cpu {:.1}s net {:.1}s | queue wait: disk {:.1}s cpu {:.1}s net {:.1}s ({} requests)",
+        u.disk_busy, u.cpu_busy, u.net_busy, u.disk_wait, u.cpu_wait, u.net_wait, u.requests
+    )
 }
 
 /// Format seconds compactly ("--" for failures).

@@ -66,7 +66,9 @@ struct FileEntry<P> {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum DfsError {
     /// Per-node capacity exhausted (the Q9-at-16TB failure).
-    OutOfSpace { node: NodeId },
+    OutOfSpace {
+        node: NodeId,
+    },
     NotFound(String),
     AlreadyExists(String),
 }
@@ -113,7 +115,12 @@ impl<P> Dfs<P> {
     /// blocks and places `replication` replicas round-robin. A zero-length
     /// file still gets one (empty) block — Hadoop launches a map task for
     /// it, which is the Q1 empty-bucket phenomenon.
-    pub fn create(&mut self, path: impl Into<String>, len: u64, payload: P) -> Result<&FileMeta, DfsError> {
+    pub fn create(
+        &mut self,
+        path: impl Into<String>,
+        len: u64,
+        payload: P,
+    ) -> Result<&FileMeta, DfsError> {
         let path = path.into();
         if self.files.contains_key(&path) {
             return Err(DfsError::AlreadyExists(path));

@@ -348,7 +348,10 @@ impl MongoCluster {
                 t2.mongods[shard].borrow_mut().lock.release_write(sim);
             });
         });
-        self.mongods[shard].borrow_mut().lock.acquire_write(sim, body);
+        self.mongods[shard]
+            .borrow_mut()
+            .lock
+            .acquire_write(sim, body);
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -741,7 +744,12 @@ mod tests {
         cl.load(10_000);
         let t_plain: Rc<Cell<u64>> = Rc::default();
         let tp = t_plain.clone();
-        cl.write(&mut sim, 10, false, Box::new(move |sim, _| tp.set(sim.now())));
+        cl.write(
+            &mut sim,
+            10,
+            false,
+            Box::new(move |sim, _| tp.set(sim.now())),
+        );
         sim.run(&mut ());
         let plain = simkit::as_secs(t_plain.get());
 
@@ -751,7 +759,12 @@ mod tests {
         cl2.journaled.set(true);
         let t_j: Rc<Cell<u64>> = Rc::default();
         let tj = t_j.clone();
-        cl2.write(&mut sim2, 10, false, Box::new(move |sim, _| tj.set(sim.now())));
+        cl2.write(
+            &mut sim2,
+            10,
+            false,
+            Box::new(move |sim, _| tj.set(sim.now())),
+        );
         sim2.run(&mut ());
         let journaled = simkit::as_secs(t_j.get());
         // The write waits for the next 100 ms flush boundary.
@@ -771,7 +784,12 @@ mod tests {
         cl.replica_ack.set(true);
         let t: Rc<Cell<u64>> = Rc::default();
         let tt = t.clone();
-        cl.write(&mut sim, 10, false, Box::new(move |sim, _| tt.set(sim.now())));
+        cl.write(
+            &mut sim,
+            10,
+            false,
+            Box::new(move |sim, _| tt.set(sim.now())),
+        );
         sim.run(&mut ());
         let with_ack = simkit::as_secs(t.get());
 
@@ -781,7 +799,12 @@ mod tests {
         cl2.replicas.set(1); // async: no ack wait
         let t2: Rc<Cell<u64>> = Rc::default();
         let tt2 = t2.clone();
-        cl2.write(&mut sim2, 10, false, Box::new(move |sim, _| tt2.set(sim.now())));
+        cl2.write(
+            &mut sim2,
+            10,
+            false,
+            Box::new(move |sim, _| tt2.set(sim.now())),
+        );
         sim2.run(&mut ());
         let async_repl = simkit::as_secs(t2.get());
         assert!(
@@ -797,8 +820,8 @@ mod tests {
         cl.load(128_000);
         let last = cl.shards() - 1;
         cl.split_docs.set(500); // small chunks so the test floods quickly
-        // Flood appends at 4 k/s: the hot chunk splits, migrations seize
-        // the write lock, the queue explodes, clients see socket errors.
+                                // Flood appends at 4 k/s: the hot chunk splits, migrations seize
+                                // the write lock, the queue explodes, clients see socket errors.
         let failed: Rc<Cell<u64>> = Rc::default();
         for i in 0..4000u64 {
             let key = cl.next_append_key();

@@ -176,7 +176,9 @@ mod tests {
             &mut sim,
             Box::new(move |sim, _| {
                 let l2 = l.clone();
-                sim.after(secs(100.0), move |sim, _| l2.borrow_mut().release_write(sim));
+                sim.after(secs(100.0), move |sim, _| {
+                    l2.borrow_mut().release_write(sim)
+                });
             }),
         );
         sim.run_until(&mut (), secs(0.1));

@@ -4,6 +4,7 @@ use crate::lower::{Lowering, NamedJob, Staged};
 use crate::meta::HiveWarehouse;
 use relational::plan::SchemaProvider;
 use relational::{LogicalPlan, Row, Schema};
+use simkit::trace::{Span, UtilSummary};
 
 pub use crate::lower::HiveError;
 
@@ -27,6 +28,32 @@ impl QueryRun {
             .filter(|j| j.label.contains(needle))
             .map(|j| j.report.total)
             .sum()
+    }
+
+    /// Every phase span in the job DAG, names qualified by job label
+    /// (`"q5-join/map"`) — the same record type PDW steps emit.
+    pub fn spans(&self) -> Vec<Span> {
+        self.jobs
+            .iter()
+            .flat_map(|j| {
+                j.report.spans.iter().map(|s| Span {
+                    name: format!("{}/{}", j.label, s.name),
+                    ..s.clone()
+                })
+            })
+            .collect()
+    }
+
+    /// Aggregate disk/CPU/NIC service and queue-wait totals over the whole
+    /// query (all jobs, all phases).
+    pub fn util(&self) -> UtilSummary {
+        let mut u = UtilSummary::default();
+        for j in &self.jobs {
+            for s in &j.report.spans {
+                u.merge(&s.util());
+            }
+        }
+        u
     }
 }
 
@@ -75,8 +102,7 @@ impl HiveEngine {
         let bucket_col = layout.buckets.map(|(c, _)| schema.col(c));
         // Bucket the new rows and append one extra file per non-empty
         // bucket (INSERT INTO adds files; it does not rewrite).
-        let mut buckets: Vec<Vec<relational::Row>> =
-            (0..n_buckets).map(|_| Vec::new()).collect();
+        let mut buckets: Vec<Vec<relational::Row>> = (0..n_buckets).map(|_| Vec::new()).collect();
         for r in rows {
             let b = bucket_col
                 .map(|c| crate::hive_bucket(&r[c], n_buckets))
@@ -124,11 +150,7 @@ impl HiveEngine {
             }
             new_files.push(path);
         }
-        let meta = self
-            .warehouse
-            .tables
-            .get_mut(table)
-            .expect("table exists");
+        let meta = self.warehouse.tables.get_mut(table).expect("table exists");
         meta.files.extend(new_files);
         // Map-only INSERT job: encode + replicated HDFS write.
         let encode = total_bytes as f64

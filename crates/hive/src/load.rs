@@ -32,7 +32,12 @@ pub fn load_warehouse(
     params: &Params,
     capacity_per_node: Option<u64>,
 ) -> Result<(HiveWarehouse, LoadReport), DfsError> {
-    load_warehouse_fmt(catalog, params, capacity_per_node, crate::meta::StorageFormat::RcFile)
+    load_warehouse_fmt(
+        catalog,
+        params,
+        capacity_per_node,
+        crate::meta::StorageFormat::RcFile,
+    )
 }
 
 /// Like [`load_warehouse`] but choosing the storage format (the RCFile

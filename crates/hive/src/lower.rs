@@ -98,7 +98,10 @@ impl Staged {
 /// Lowering error (disk exhaustion is the one the paper hits).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum HiveError {
-    OutOfDisk { node: usize, job: String },
+    OutOfDisk {
+        node: usize,
+        job: String,
+    },
     /// The running Hive release lacks the statement (0.7 has no INSERT
     /// INTO existing tables; no release here supports DELETE) — §3.3.1.
     Unsupported(String),
@@ -337,8 +340,11 @@ impl<'a> Lowering<'a> {
             needed = (0..base_schema.len()).collect();
         }
         let cols: Vec<usize> = needed.iter().copied().collect();
-        let remap: HashMap<usize, usize> =
-            cols.iter().enumerate().map(|(new, &old)| (old, new)).collect();
+        let remap: HashMap<usize, usize> = cols
+            .iter()
+            .enumerate()
+            .map(|(new, &old)| (old, new))
+            .collect();
 
         // Partition pruning from base-level equality filters.
         let keep_part = chain.partition_filter(base_schema, meta.layout.partition_col);
@@ -347,43 +353,32 @@ impl<'a> Lowering<'a> {
             .pruned_files(chain.table, |p| keep_part.as_ref().is_none_or(|f| f(p)));
 
         // Bucket column tracking through the op stack.
-        let mut bucket_pos: Option<usize> = meta
-            .layout
-            .buckets
-            .and_then(|(c, _)| {
-                let base_idx = base_schema.col(c);
-                remap.get(&base_idx).copied()
-            });
+        let mut bucket_pos: Option<usize> = meta.layout.buckets.and_then(|(c, _)| {
+            let base_idx = base_schema.col(c);
+            remap.get(&base_idx).copied()
+        });
 
         let mut segments = Vec::with_capacity(files.len());
         for path in &files {
             // Decode per stored format: RCFile reads only the projected
             // columns (but pays the decompress CPU); text reads everything
             // at the cheap scan rate.
-            let (mut rows, read_bytes, decode_bw) = match self
-                .w
-                .dfs
-                .payload(path)
-                .expect("file registered")
-            {
-                crate::meta::HiveFile::Rc(rc) => (
-                    rc.read_columns(&cols),
-                    rc.compressed_size_of(&cols),
-                    self.params().rcfile_decode_bw,
-                ),
-                crate::meta::HiveFile::Text(bytes) => {
-                    let full = storage::text::decode(bytes, base_schema);
-                    let projected: Vec<Row> = full
-                        .iter()
-                        .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
-                        .collect();
-                    (
-                        projected,
-                        bytes.len() as u64,
-                        self.params().text_scan_bw,
-                    )
-                }
-            };
+            let (mut rows, read_bytes, decode_bw) =
+                match self.w.dfs.payload(path).expect("file registered") {
+                    crate::meta::HiveFile::Rc(rc) => (
+                        rc.read_columns(&cols),
+                        rc.compressed_size_of(&cols),
+                        self.params().rcfile_decode_bw,
+                    ),
+                    crate::meta::HiveFile::Text(bytes) => {
+                        let full = storage::text::decode(bytes, base_schema);
+                        let projected: Vec<Row> = full
+                            .iter()
+                            .map(|r| cols.iter().map(|&c| r[c].clone()).collect())
+                            .collect();
+                        (projected, bytes.len() as u64, self.params().text_scan_bw)
+                    }
+                };
             let mut level_map = Some(&remap);
             let mut cur_bucket = bucket_pos;
             for op in &chain.ops {
@@ -433,8 +428,10 @@ impl<'a> Lowering<'a> {
             });
         }
         let width = if chain.ops.iter().any(|o| matches!(o, ScanOp::Project(_))) {
-            segments.first().and_then(|s| s.rows.first().map(|r| r.len())).unwrap_or_else(
-                || {
+            segments
+                .first()
+                .and_then(|s| s.rows.first().map(|r| r.len()))
+                .unwrap_or_else(|| {
                     // Empty result: width from the last projection.
                     chain
                         .ops
@@ -445,8 +442,7 @@ impl<'a> Lowering<'a> {
                             _ => None,
                         })
                         .unwrap_or(cols.len())
-                },
-            )
+                })
         } else {
             base_schema.len()
         };
@@ -456,12 +452,7 @@ impl<'a> Lowering<'a> {
         Staged {
             segments,
             width,
-            bucketing: bucket_pos.map(|c| {
-                (
-                    c,
-                    meta.layout.buckets.map(|(_, n)| n).unwrap_or(1),
-                )
-            }),
+            bucketing: bucket_pos.map(|c| (c, meta.layout.buckets.map(|(_, n)| n).unwrap_or(1))),
             reservation: Vec::new(),
             fixed_size,
         }
@@ -487,7 +478,11 @@ impl<'a> Lowering<'a> {
         if std::env::var("HIVE_JOIN_DEBUG").is_ok() {
             eprintln!(
                 "join decision: l={} rows/{}B r={} rows/{}B small={}B mem_limit={}B",
-                left.n_rows(), lb, right.n_rows(), rb, small_bytes,
+                left.n_rows(),
+                lb,
+                right.n_rows(),
+                rb,
+                small_bytes,
                 (self.params().task_mem as f64 * MAPJOIN_MEM_FRAC) as u64
             );
         }
@@ -500,7 +495,11 @@ impl<'a> Lowering<'a> {
         }
 
         // Fixed-size dimension tables and scalar subplans are broadcast.
-        let small_is_fixed = if lb <= rb { left.fixed_size } else { right.fixed_size };
+        let small_is_fixed = if lb <= rb {
+            left.fixed_size
+        } else {
+            right.fixed_size
+        };
         if small_is_fixed && small_rows <= MAPJOIN_TINY_ROWS {
             return self.map_join(left, right, kind, on, residual, right_width, false);
         }
@@ -562,7 +561,11 @@ impl<'a> Lowering<'a> {
         let result = ops::hash_join(&lrows, &rrows, on, kind, residual, right_width);
 
         let streamed = if stream_left { &left } else { &right };
-        let kind_name = if bucketed { "bucket-mapjoin" } else { "mapjoin" };
+        let kind_name = if bucketed {
+            "bucket-mapjoin"
+        } else {
+            "mapjoin"
+        };
         let mut spec = JobSpec::new(format!("{}:{}", self.label(), kind_name));
         // Distributing the hash table via the distributed cache.
         if !bucketed {
@@ -594,9 +597,7 @@ impl<'a> Lowering<'a> {
                 spec.maps.push(MapTaskSpec {
                     node: seg.node,
                     read_bytes: seg.read_bytes / seg.blocks.max(1) as u64,
-                    cpu_secs: seg.read_bytes as f64
-                        / seg.blocks.max(1) as f64
-                        / seg.decode_bw
+                    cpu_secs: seg.read_bytes as f64 / seg.blocks.max(1) as f64 / seg.decode_bw
                         + rows / p.hive_rows_per_sec
                         + per_task_load
                         + (out_rows as f64 * rows / in_rows as f64) / p.hive_rows_per_sec,
@@ -689,8 +690,8 @@ impl<'a> Lowering<'a> {
         }
         // The materialized intermediate occupies HDFS until the query ends:
         // replicated, with SequenceFile overhead.
-        let store = (out_total as f64 * INTERMEDIATE_STORE_FACTOR) as u64
-            * p.hdfs_replication as u64;
+        let store =
+            (out_total as f64 * INTERMEDIATE_STORE_FACTOR) as u64 * p.hdfs_replication as u64;
         let label2 = format!("{}:intermediate", self.label());
         self.run(spec);
         // The shuffle spill is cleaned up at job end; the inputs were
@@ -837,8 +838,8 @@ impl<'a> Lowering<'a> {
         let mut spec = JobSpec::new(format!("{}:order-by", self.label()));
         for seg in &input.segments {
             let blocks = seg.blocks.max(1);
-            let out = (seg.rows.iter().map(|r| row_bytes(r)).sum::<u64>() as f64
-                * LZO_FACTOR) as u64;
+            let out =
+                (seg.rows.iter().map(|r| row_bytes(r)).sum::<u64>() as f64 * LZO_FACTOR) as u64;
             for _ in 0..blocks {
                 spec.maps.push(MapTaskSpec {
                     node: seg.node,

@@ -200,7 +200,13 @@ mod tests {
 
     fn rows(n: i64) -> Vec<Row> {
         (0..n)
-            .map(|i| vec![Value::I64(i), Value::I64(i % 25), Value::str(format!("r{i}"))])
+            .map(|i| {
+                vec![
+                    Value::I64(i),
+                    Value::I64(i % 25),
+                    Value::str(format!("r{i}")),
+                ]
+            })
             .collect()
     }
 
@@ -222,11 +228,7 @@ mod tests {
         w.create_table("t", &schema(), &layout, rows(100)).unwrap();
         let meta = w.table("t");
         assert_eq!(meta.files.len(), 8);
-        let total: usize = meta
-            .files
-            .iter()
-            .map(|p| w.rcfile(p).n_rows())
-            .sum();
+        let total: usize = meta.files.iter().map(|p| w.rcfile(p).n_rows()).sum();
         assert_eq!(total, 100);
         // Buckets are sorted on the bucket column.
         let f0 = w.rcfile(&meta.files[0]).read_all();
@@ -243,7 +245,8 @@ mod tests {
             partition_col: Some("nat"),
             buckets: Some(("k", 8)),
         };
-        w.create_table("cust", &schema(), &layout, rows(1000)).unwrap();
+        w.create_table("cust", &schema(), &layout, rows(1000))
+            .unwrap();
         // 25 partitions x 8 buckets = 200 files — the paper's customer
         // table map-task count.
         assert_eq!(w.table("cust").files.len(), 200);

@@ -2,13 +2,88 @@
 
 use crate::spec::{JobReport, JobSpec};
 use cluster::{Cluster, Params};
-use simkit::{secs, Latch, Sim};
+use simkit::trace::{Contrib, ResKind, Span};
+use simkit::{secs, Latch, ResourceId, Sim, SimTime};
 use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
 type S = Sim<()>;
 type Thunk = Box<dyn FnOnce(&mut S)>;
+
+/// Snapshots cluster-wide resource counters at phase boundaries and turns
+/// the deltas into [`Span`]s (one `Contrib` per resource kind).
+struct PhaseTracker {
+    disk: Vec<ResourceId>,
+    cpu: Vec<ResourceId>,
+    net: Vec<ResourceId>,
+    last_t: SimTime,
+    last: [f64; 6],
+}
+
+impl PhaseTracker {
+    fn new(cluster: &Cluster, hdfs_read: &[ResourceId]) -> Rc<RefCell<PhaseTracker>> {
+        let mut disk: Vec<ResourceId> = hdfs_read.to_vec();
+        let mut cpu = Vec::new();
+        let mut net = Vec::new();
+        for n in &cluster.nodes {
+            disk.extend(&n.disks);
+            cpu.push(n.cpu);
+            net.push(n.nic_send);
+            net.push(n.nic_recv);
+        }
+        Rc::new(RefCell::new(PhaseTracker {
+            disk,
+            cpu,
+            net,
+            last_t: 0,
+            last: [0.0; 6],
+        }))
+    }
+
+    /// Cumulative [disk, cpu, net] busy then wait seconds at `sim.now()`.
+    fn totals(&self, sim: &S) -> [f64; 6] {
+        let sum = |ids: &[ResourceId], f: &dyn Fn(ResourceId) -> SimTime| -> f64 {
+            ids.iter().map(|&id| simkit::as_secs(f(id))).sum()
+        };
+        [
+            sum(&self.disk, &|id| sim.resource_busy_time(id)),
+            sum(&self.cpu, &|id| sim.resource_busy_time(id)),
+            sum(&self.net, &|id| sim.resource_busy_time(id)),
+            sum(&self.disk, &|id| sim.resource_queue_wait(id)),
+            sum(&self.cpu, &|id| sim.resource_queue_wait(id)),
+            sum(&self.net, &|id| sim.resource_queue_wait(id)),
+        ]
+    }
+
+    /// Close the phase that ran since the previous boundary.
+    fn mark(&mut self, sim: &S, name: &str) -> Span {
+        let cur = self.totals(sim);
+        let mut contribs = Vec::new();
+        for (i, kind) in ResKind::ALL.iter().enumerate() {
+            let service = cur[i] - self.last[i];
+            let queue_wait = cur[i + 3] - self.last[i + 3];
+            if service > 0.0 || queue_wait > 0.0 {
+                contribs.push(Contrib {
+                    kind: *kind,
+                    node: None,
+                    service,
+                    queue_wait,
+                });
+            }
+        }
+        let span = Span {
+            name: name.to_string(),
+            node: None,
+            start: self.last_t,
+            end: sim.now(),
+            contribs,
+        };
+        self.last_t = sim.now();
+        self.last = cur;
+        span
+    }
+}
 
 /// A per-node pool of task slots. A slot is held for a task's whole life
 /// (startup + read + cpu + spill), which is what produces map *waves*.
@@ -90,8 +165,18 @@ fn map_task_body(
             sim.after(wasted, move |sim, _| {
                 report.borrow_mut().map_retries += 1;
                 let retry = map_task_body(
-                    node, disk, read_bytes, cpu_secs, out_bytes, task_startup, hdfs_bw,
-                    cl.clone(), hdfs.clone(), retry_pool.clone(), false, report.clone(),
+                    node,
+                    disk,
+                    read_bytes,
+                    cpu_secs,
+                    out_bytes,
+                    task_startup,
+                    hdfs_bw,
+                    cl.clone(),
+                    hdfs.clone(),
+                    retry_pool.clone(),
+                    false,
+                    report.clone(),
                     latch.clone(),
                 );
                 SlotPool::release(&retry_pool, sim);
@@ -141,6 +226,7 @@ pub fn run_job(spec: &JobSpec, params: &Params) -> JobReport {
         .map(|n| sim.add_resource(format!("node{n}.hdfs_read"), 1))
         .collect();
     let hdfs_read = Rc::new(hdfs_read);
+    let tracker = PhaseTracker::new(&cluster, &hdfs_read);
 
     let report = Rc::new(RefCell::new(JobReport {
         name: spec.name.clone(),
@@ -168,16 +254,29 @@ pub fn run_job(spec: &JobSpec, params: &Params) -> JobReport {
     let reduces = spec.reduces.clone();
     let report_r = report.clone();
     let cluster_r = cluster.clone();
+    let tracker_r = tracker.clone();
     let reduce_pools_r: Vec<_> = reduce_pools.to_vec();
     let launch_reduce: Thunk = Box::new(move |sim: &mut S| {
-        report_r.borrow_mut().shuffle_done = simkit::as_secs(sim.now());
+        {
+            let mut rep = report_r.borrow_mut();
+            rep.shuffle_done = simkit::as_secs(sim.now());
+            let span = tracker_r.borrow_mut().mark(sim, "shuffle");
+            rep.spans.push(span);
+        }
         let n_red = reduces.len() as u64;
         let report_done = report_r.clone();
+        let tracker_done = tracker_r.clone();
         let done = Latch::with(n_red, move |sim: &mut S, _| {
-            report_done.borrow_mut().total = simkit::as_secs(sim.now());
+            let mut rep = report_done.borrow_mut();
+            rep.total = simkit::as_secs(sim.now());
+            let span = tracker_done.borrow_mut().mark(sim, "reduce");
+            rep.spans.push(span);
         });
         if n_red == 0 {
-            report_r.borrow_mut().total = simkit::as_secs(sim.now());
+            let mut rep = report_r.borrow_mut();
+            rep.total = simkit::as_secs(sim.now());
+            let span = tracker_r.borrow_mut().mark(sim, "reduce");
+            rep.spans.push(span);
             return;
         }
         for (i, r) in reduces.iter().enumerate() {
@@ -241,7 +340,10 @@ pub fn run_job(spec: &JobSpec, params: &Params) -> JobReport {
         let n_events = nodes as u64 + reduces_s.len() as u64;
         let next = Rc::new(RefCell::new(Some(launch_reduce)));
         let latch = Latch::with(n_events, move |sim: &mut S, _| {
-            let t = next.borrow_mut().take().expect("shuffle completion fired once");
+            let t = next
+                .borrow_mut()
+                .take()
+                .expect("shuffle completion fired once");
             run_now(sim, t);
         });
         let send_share = total_map_out / nodes as u64;
@@ -268,10 +370,19 @@ pub fn run_job(spec: &JobSpec, params: &Params) -> JobReport {
 
     // ---- map phase ------------------------------------------------------
     let report_m = report.clone();
+    let tracker_m = tracker.clone();
     let next_phase = Rc::new(RefCell::new(Some(launch_shuffle)));
     let map_latch = Latch::with(spec.maps.len() as u64, move |sim: &mut S, _| {
-        report_m.borrow_mut().map_done = simkit::as_secs(sim.now());
-        let t = next_phase.borrow_mut().take().expect("map completion fired once");
+        {
+            let mut rep = report_m.borrow_mut();
+            rep.map_done = simkit::as_secs(sim.now());
+            let span = tracker_m.borrow_mut().mark(sim, "map");
+            rep.spans.push(span);
+        }
+        let t = next_phase
+            .borrow_mut()
+            .take()
+            .expect("map completion fired once");
         run_now(sim, t);
     });
 
@@ -300,8 +411,19 @@ pub fn run_job(spec: &JobSpec, params: &Params) -> JobReport {
             let will_fail = fail_every != usize::MAX && i % fail_every == fail_every - 1;
             let report_retries = report_retries.clone();
             let body = map_task_body(
-                node, disk, read_bytes, cpu_secs, out_bytes, task_startup, hdfs_bw, cl, hdfs,
-                pool.clone(), will_fail, report_retries, latch,
+                node,
+                disk,
+                read_bytes,
+                cpu_secs,
+                out_bytes,
+                task_startup,
+                hdfs_bw,
+                cl,
+                hdfs,
+                pool.clone(),
+                will_fail,
+                report_retries,
+                latch,
             );
             SlotPool::acquire(&pool, sim, body);
         }
@@ -472,6 +594,45 @@ mod tests {
         // Retrying 25% of one wave costs roughly one extra partial wave,
         // not a restart of everything.
         assert!(faulty.map_done < healthy.map_done * 2.5);
+    }
+
+    #[test]
+    fn job_report_carries_phase_spans() {
+        let p = params();
+        let mut spec = JobSpec::new("spanned");
+        spec.maps = (0..128)
+            .map(|i| MapTaskSpec {
+                node: i % p.nodes,
+                read_bytes: 64 * MB,
+                cpu_secs: 1.0,
+                output_bytes: 64 * MB,
+            })
+            .collect();
+        spec.reduces = (0..128)
+            .map(|i| ReduceTaskSpec {
+                node: i % p.nodes,
+                shuffle_bytes: 64 * MB,
+                cpu_secs: 2.0,
+                output_bytes: 8 * MB,
+            })
+            .collect();
+        let r = run_job(&spec, &p);
+        let names: Vec<_> = r.spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["map", "shuffle", "reduce"]);
+        assert!(
+            (simkit::as_secs(r.spans[0].end) - r.map_done).abs() < 1e-9,
+            "map span ends at map_done"
+        );
+        assert!(
+            (simkit::as_secs(r.spans[2].end) - r.total).abs() < 1e-9,
+            "reduce span ends at job completion"
+        );
+        // Phase character: maps read + compute, shuffle moves bytes,
+        // reduces compute + write.
+        assert!(r.spans[0].util().disk_busy > 0.0, "maps read from HDFS");
+        assert!(r.spans[0].util().cpu_busy > 0.0);
+        assert!(r.spans[1].util().net_busy > 0.0, "shuffle is network");
+        assert!(r.spans[2].util().cpu_busy > 0.0, "reduces burn CPU");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Job descriptors and reports.
 
 use cluster::NodeId;
+use simkit::trace::Span;
 
 /// Volume descriptor for one map task.
 #[derive(Clone, Debug, Default)]
@@ -75,4 +76,8 @@ pub struct JobReport {
     pub min_waves: u32,
     /// Map tasks that failed once and were retried.
     pub map_retries: u32,
+    /// Per-phase spans ("map", "shuffle", "reduce") with cluster-wide
+    /// disk/CPU/NIC service and queue-wait totals — the same record PDW
+    /// steps emit, so one report path covers both engines.
+    pub spans: Vec<Span>,
 }

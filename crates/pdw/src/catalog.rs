@@ -102,9 +102,7 @@ impl PdwCatalog {
                 .flat_map(|x| x.iter())
                 .map(|r| row_bytes(r))
                 .sum::<u64>(),
-            PdwTable::Replicated { rows, .. } => {
-                rows.iter().map(|r| row_bytes(r)).sum::<u64>()
-            }
+            PdwTable::Replicated { rows, .. } => rows.iter().map(|r| row_bytes(r)).sum::<u64>(),
         };
         let matches = |r: &Row| {
             r[key_col]

@@ -1,21 +1,28 @@
-//! Distributed execution with DMS cost accounting.
+//! Distributed execution on the shared DES substrate.
 //!
 //! PDW runs a query as a sequence of steps (scans, DMS shuffles/replications,
-//! local joins, partial/global aggregations, a final gather). Steps execute
-//! serially, so the query's simulated time is the sum of step makespans;
-//! each step's makespan is the max over nodes of its I/O / CPU / network
-//! components.
+//! local joins, partial/global aggregations, a final gather). Each step is
+//! described to [`cluster::ClusterExec`] as per-node work volumes — bytes to
+//! read, CPU lanes to burn, bytes to ship over each NIC direction — and its
+//! makespan comes out of the `simkit` event loop, contending for the same
+//! disks, cores, and NIC directions that the MapReduce engine charges.
+//! Steps execute serially (a PDW DSQL plan is step-at-a-time), so the
+//! query's simulated time is the final clock value; every step leaves a
+//! [`simkit::trace::Span`] recording where its time went.
 
 use crate::catalog::{PdwCatalog, PdwTable};
 use crate::optimizer::{est_join_rows, implied_pred, ndv, pushdown_filters, JoinChain};
-use cluster::Params;
+use cluster::{ClusterExec, Params, Phase};
 use relational::expr::Expr;
 use relational::value::row_bytes;
 use relational::{ops, AggCall, JoinKind, LogicalPlan, Row, SortKey};
+use simkit::resource::ResourceReport;
+use simkit::trace::Trace;
 use std::collections::{BTreeSet, HashMap};
 
 /// One optimizer/DMS step with its simulated duration (the Q5/Q19 plan
-/// narratives in §3.3.4.1 are reproduced from these).
+/// narratives in §3.3.4.1 are reproduced from these). A derived view over
+/// the run's [`Trace`]: one entry per span, in execution order.
 #[derive(Clone, Debug)]
 pub struct StepReport {
     pub name: String,
@@ -28,6 +35,11 @@ pub struct PdwQueryRun {
     pub rows: Vec<Row>,
     pub total_secs: f64,
     pub steps: Vec<StepReport>,
+    /// Full span trace: per-step resource service vs. queue-wait breakdown.
+    pub trace: Trace,
+    /// End-of-run utilization of every cluster resource (disks, CPU pools,
+    /// NIC directions, control ingest link).
+    pub resources: Vec<ResourceReport>,
 }
 
 /// Physical distribution of an intermediate result.
@@ -105,8 +117,7 @@ impl PdwEngine {
         let plan = pushdown_filters(plan);
         let mut ctx = Ctx {
             cat: &self.catalog,
-            steps: Vec::new(),
-            total: 0.0,
+            exec: ClusterExec::new(self.catalog.params.clone()),
             use_indexes: self.use_indexes,
             materialized: HashMap::new(),
         };
@@ -119,25 +130,39 @@ impl PdwEngine {
                 rel.all_rows()
             }
         };
+        let total_secs = ctx.exec.now_secs();
+        let resources = ctx.exec.resource_reports();
+        let trace = ctx.exec.take_trace();
+        let steps = trace
+            .spans
+            .iter()
+            .map(|s| StepReport {
+                name: s.name.clone(),
+                secs: s.secs(),
+            })
+            .collect();
         PdwQueryRun {
             rows,
-            total_secs: ctx.total,
-            steps: ctx.steps,
+            total_secs,
+            steps,
+            trace,
+            resources,
         }
     }
 }
 
 struct Ctx<'a> {
     cat: &'a PdwCatalog,
-    steps: Vec<StepReport>,
-    total: f64,
+    /// The cluster's event loop: phases charge work here and the clock is
+    /// the query time.
+    exec: ClusterExec,
     use_indexes: bool,
     /// Materialized (CREATE TABLE AS) subplans, computed once and reused.
     materialized: HashMap<String, PRel>,
 }
 
 impl<'a> Ctx<'a> {
-    fn p(&self) -> &Params {
+    fn p(&self) -> &'a Params {
         &self.cat.params
     }
 
@@ -160,22 +185,34 @@ impl<'a> Ctx<'a> {
         (pool / (data.max(1) as f64)).min(1.0)
     }
 
-    fn charge(&mut self, name: &str, secs: f64) {
-        let t = secs + self.p().pdw_step_overhead;
-        self.total += t;
-        self.steps.push(StepReport {
-            name: name.to_string(),
-            secs: t,
-        });
+    /// Parallel CPU lanes per node, as a count.
+    fn lanes(&self) -> usize {
+        self.units() as usize
     }
 
+    /// A step with no resource work: fixed latency only (plus the per-step
+    /// control-node overhead every step pays).
+    fn charge(&mut self, name: &str, secs: f64) {
+        let overhead = self.p().pdw_step_overhead;
+        self.exec.run(Phase::new(name).setup(secs + overhead));
+    }
+
+    /// Table scan: per node, the cold fraction of its slice of the table
+    /// streams from all its disks while the row pipeline runs on one CPU
+    /// lane per distribution. The DES makespan is max(io, cpu) + overhead —
+    /// now an emergent property of the resource requests, not a formula.
     fn charge_scan(&mut self, name: &str, bytes: u64, rows: usize) {
         let p = self.p();
         let nodes = p.nodes as f64;
         let cold = 1.0 - self.hot_fraction();
-        let io = bytes as f64 * cold / nodes / p.pdw_scan_bw_per_node;
-        let cpu = rows as f64 / nodes / (p.pdw_scan_rows_per_sec * self.units());
-        self.charge(&format!("scan:{name}"), io.max(cpu));
+        let node_bytes = bytes as f64 * cold / nodes;
+        let lane_cpu = rows as f64 / nodes / (p.pdw_scan_rows_per_sec * self.units());
+        let mut ph = Phase::new(format!("scan:{name}")).setup(p.pdw_step_overhead);
+        for n in 0..p.nodes {
+            ph.disk_seq(n, node_bytes, p.pdw_scan_bw_per_node);
+            ph.cpu(n, lane_cpu, self.lanes());
+        }
+        self.exec.run(ph);
     }
 
     /// Scan with a known output cardinality. Without indexes this is a full
@@ -190,21 +227,34 @@ impl<'a> Ctx<'a> {
             let p = self.p();
             let nodes = p.nodes as f64;
             let cold = 1.0 - self.hot_fraction();
-            let io =
-                bytes as f64 * sel * RANDOM_PENALTY * cold / nodes / p.pdw_scan_bw_per_node;
-            let cpu =
-                out_rows as f64 / nodes / (p.pdw_scan_rows_per_sec * self.units());
-            self.charge(&format!("index-scan:{name}"), io.max(cpu));
+            let node_bytes = bytes as f64 * sel * RANDOM_PENALTY * cold / nodes;
+            let lane_cpu = out_rows as f64 / nodes / (p.pdw_scan_rows_per_sec * self.units());
+            let mut ph = Phase::new(format!("index-scan:{name}")).setup(p.pdw_step_overhead);
+            for n in 0..p.nodes {
+                ph.disk_seq(n, node_bytes, p.pdw_scan_bw_per_node);
+                ph.cpu(n, lane_cpu, self.lanes());
+            }
+            self.exec.run(ph);
         } else {
             self.charge_scan(name, bytes, base_rows);
         }
+    }
+
+    /// CPU-only step: `per_lane_secs` on every lane of every node.
+    fn charge_cpu_step(&mut self, name: &str, per_lane_secs: f64) {
+        let p = self.p();
+        let mut ph = Phase::new(name).setup(p.pdw_step_overhead);
+        for n in 0..p.nodes {
+            ph.cpu(n, per_lane_secs, self.lanes());
+        }
+        self.exec.run(ph);
     }
 
     /// Hash-join CPU (probe + build rows).
     fn charge_join(&mut self, name: &str, rows: usize) {
         let p = self.p();
         let t = rows as f64 / p.nodes as f64 / (p.pdw_join_rows_per_sec * self.units());
-        self.charge(name, t);
+        self.charge_cpu_step(name, t);
     }
 
     /// Aggregation CPU: `terms` expression folds per row.
@@ -213,25 +263,48 @@ impl<'a> Ctx<'a> {
         let t = (rows as f64 * terms.max(1) as f64)
             / p.nodes as f64
             / (p.pdw_agg_terms_per_sec * self.units());
-        self.charge(name, t);
+        self.charge_cpu_step(name, t);
     }
 
+    /// DMS shuffle: every node sends its share and receives its share, both
+    /// NIC directions busy concurrently at the DMS rate.
     fn charge_shuffle(&mut self, name: &str, bytes: u64) {
         let p = self.p();
-        let t = bytes as f64 / p.nodes as f64 / p.dms_bw_per_node;
-        self.charge(&format!("shuffle:{name}"), t);
+        let share = bytes as f64 / p.nodes as f64;
+        let mut ph = Phase::new(format!("shuffle:{name}")).setup(p.pdw_step_overhead);
+        for n in 0..p.nodes {
+            ph.net_send(n, share, p.dms_bw_per_node);
+            ph.net_recv(n, share, p.dms_bw_per_node);
+        }
+        self.exec.run(ph);
     }
 
+    /// DMS replicate: every node must ingest the (n-1)/n of the data it
+    /// doesn't already have, and ship its own share to everyone else.
     fn charge_replicate(&mut self, name: &str, bytes: u64) {
         let p = self.p();
-        // Every node must ingest (n-1)/n of the data it doesn't have.
-        let t = bytes as f64 * (p.nodes as f64 - 1.0) / p.nodes as f64 / p.dms_bw_per_node;
-        self.charge(&format!("replicate:{name}"), t);
+        let nodes = p.nodes as f64;
+        let traffic = bytes as f64 * (nodes - 1.0) / nodes;
+        let mut ph = Phase::new(format!("replicate:{name}")).setup(p.pdw_step_overhead);
+        for n in 0..p.nodes {
+            ph.net_send(n, traffic, p.dms_bw_per_node);
+            ph.net_recv(n, traffic, p.dms_bw_per_node);
+        }
+        self.exec.run(ph);
     }
 
+    /// Gather to the control node: the compute nodes' sends run in
+    /// parallel, but the control node's single ingest link serializes them
+    /// — the queue there is what makes a gather cost `bytes / dms_bw`.
     fn charge_gather(&mut self, name: &str, bytes: u64) {
-        let t = bytes as f64 / self.p().dms_bw_per_node;
-        self.charge(&format!("gather:{name}"), t);
+        let p = self.p();
+        let share = bytes as f64 / p.nodes as f64;
+        let mut ph = Phase::new(format!("gather:{name}")).setup(p.pdw_step_overhead);
+        for n in 0..p.nodes {
+            ph.net_send(n, share, p.dms_bw_per_node);
+            ph.gather_recv(share, p.dms_bw_per_node);
+        }
+        self.exec.run(ph);
     }
 
     // ------------------------------------------------------------------
@@ -409,12 +482,7 @@ impl<'a> Ctx<'a> {
         let start = remaining
             .iter()
             .copied()
-            .filter(|&i| {
-                chain
-                    .preds
-                    .iter()
-                    .any(|p| p.left.0 == i || p.right.0 == i)
-            })
+            .filter(|&i| chain.preds.iter().any(|p| p.left.0 == i || p.right.0 == i))
             .min_by_key(|&i| rels[i].bytes())
             .unwrap_or(0);
         remaining.remove(&start);
@@ -459,8 +527,7 @@ impl<'a> Ctx<'a> {
                     .expect("joined col in layout");
                 let ndv_cand = ndv(&r.parts, cand_col);
                 let ndv_cur = ndv(&current.parts, cur_pos);
-                let est_rows =
-                    est_join_rows(current.n_rows(), r.n_rows(), ndv_cur, ndv_cand);
+                let est_rows = est_join_rows(current.n_rows(), r.n_rows(), ndv_cur, ndv_cand);
                 let move_bytes = r.bytes().min(current.bytes()) as f64;
                 let avg_w = (row_avg(&current) + row_avg(r)) as f64;
                 let score = move_bytes + est_rows * avg_w;
@@ -504,17 +571,13 @@ impl<'a> Ctx<'a> {
                 }
                 let mut cols = BTreeSet::new();
                 res.referenced_cols(&mut cols);
-                let needed: BTreeSet<usize> =
-                    cols.iter().map(|&g| chain.locate(g).0).collect();
+                let needed: BTreeSet<usize> = cols.iter().map(|&g| chain.locate(g).0).collect();
                 if needed.is_subset(&have) {
                     let map: HashMap<usize, usize> = cols
                         .iter()
                         .map(|&g| {
                             let lc = chain.locate(g);
-                            let pos = layout
-                                .iter()
-                                .position(|&x| x == lc)
-                                .expect("col in layout");
+                            let pos = layout.iter().position(|&x| x == lc).expect("col in layout");
                             (g, pos)
                         })
                         .collect();
@@ -535,7 +598,10 @@ impl<'a> Ctx<'a> {
         let perm: Vec<(Expr, String)> = (0..n)
             .flat_map(|leaf| (0..chain.widths[leaf]).map(move |c| (leaf, c)))
             .map(|lc| {
-                let pos = layout.iter().position(|&x| x == lc).expect("column present");
+                let pos = layout
+                    .iter()
+                    .position(|&x| x == lc)
+                    .expect("column present");
                 (Expr::Col(pos), format!("c{pos}"))
             })
             .collect();
@@ -585,9 +651,11 @@ impl<'a> Ctx<'a> {
 
         let colocated = matches!((l.dist, r.dist), (Dist::Hash(lc), Dist::Hash(rc))
             if on.contains(&(lc, rc)));
+        // Optimizer *cost estimates* for ranking movement strategies. These
+        // stay closed-form on purpose: the optimizer predicts, the DES
+        // phase layer (charge_shuffle / charge_replicate) measures.
         let shuffle_t = |bytes: u64| bytes as f64 / nodes / p.dms_bw_per_node;
-        let replicate_t =
-            |bytes: u64| bytes as f64 * (nodes - 1.0) / nodes / p.dms_bw_per_node;
+        let replicate_t = |bytes: u64| bytes as f64 * (nodes - 1.0) / nodes / p.dms_bw_per_node;
 
         let mut options: Vec<(Move, f64)> = Vec::new();
         if colocated || r.dist == Dist::Replicated {
@@ -722,12 +790,7 @@ impl<'a> Ctx<'a> {
 
     // ---- aggregation -------------------------------------------------------
 
-    fn exec_aggregate(
-        &mut self,
-        rel: PRel,
-        group_by: &[(Expr, String)],
-        aggs: &[AggCall],
-    ) -> PRel {
+    fn exec_aggregate(&mut self, rel: PRel, group_by: &[(Expr, String)], aggs: &[AggCall]) -> PRel {
         let d = self.cat.distributions;
         let width = group_by.len() + aggs.len();
 
@@ -866,8 +929,9 @@ mod tests {
         // The plan narrative: PDW shuffles intermediates (never lineitem
         // wholesale) and replicates small tables.
         assert!(
-            run.steps.iter().any(|s| s.name.starts_with("shuffle:")
-                || s.name.starts_with("replicate:")),
+            run.steps
+                .iter()
+                .any(|s| s.name.starts_with("shuffle:") || s.name.starts_with("replicate:")),
             "Q5 must move data: {:?}",
             run.steps.iter().map(|s| s.name.clone()).collect::<Vec<_>>()
         );
@@ -898,7 +962,10 @@ mod tests {
             .iter()
             .filter(|s| s.name.starts_with("replicate:"))
             .collect();
-        assert!(!rep.is_empty(), "Q19 should replicate the filtered part side");
+        assert!(
+            !rep.is_empty(),
+            "Q19 should replicate the filtered part side"
+        );
     }
 
     #[test]

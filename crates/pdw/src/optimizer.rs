@@ -105,7 +105,10 @@ pub fn implied_pred(expr: &Expr, leaf_lo: usize, leaf_width: usize) -> Option<Ex
     let in_range = |e: &Expr| -> bool {
         let mut cols = BTreeSet::new();
         e.referenced_cols(&mut cols);
-        !cols.is_empty() && cols.iter().all(|&c| c >= leaf_lo && c < leaf_lo + leaf_width)
+        !cols.is_empty()
+            && cols
+                .iter()
+                .all(|&c| c >= leaf_lo && c < leaf_lo + leaf_width)
     };
     let remap = |e: &Expr| -> Expr {
         let mut cols = BTreeSet::new();
@@ -122,11 +125,7 @@ pub fn implied_pred(expr: &Expr, leaf_lo: usize, leaf_width: usize) -> Option<Ex
             Some(Expr::Or(implied))
         }
         Expr::And(parts) => {
-            let kept: Vec<Expr> = parts
-                .iter()
-                .filter(|p| in_range(p))
-                .map(&remap)
-                .collect();
+            let kept: Vec<Expr> = parts.iter().filter(|p| in_range(p)).map(&remap).collect();
             if kept.is_empty() {
                 None
             } else {

@@ -28,15 +28,16 @@ fn colocated_join_moves_no_data() {
     let plan = LogicalPlan::scan("orders")
         .project(vec![(col(o.col("o_orderkey")), "o_orderkey")])
         .join(
-            LogicalPlan::scan("lineitem")
-                .project(vec![(col(l.col("l_orderkey")), "l_orderkey")]),
+            LogicalPlan::scan("lineitem").project(vec![(col(l.col("l_orderkey")), "l_orderkey")]),
             vec![(0, 0)],
         )
         .aggregate(vec![], vec![AggCall::count_star("n")]);
     let run = e.run_query(&plan);
     let names = step_names(&run);
     assert!(
-        !names.iter().any(|n| n.starts_with("shuffle:") || n.starts_with("replicate:")),
+        !names
+            .iter()
+            .any(|n| n.starts_with("shuffle:") || n.starts_with("replicate:")),
         "colocated join must not move data: {names:?}"
     );
 }
@@ -59,7 +60,9 @@ fn replicated_dimension_tables_join_for_free() {
     let run = e.run_query(&plan);
     let names = step_names(&run);
     assert!(
-        !names.iter().any(|n| n.starts_with("shuffle:") || n.starts_with("replicate:")),
+        !names
+            .iter()
+            .any(|n| n.starts_with("shuffle:") || n.starts_with("replicate:")),
         "replicated-table join must be local: {names:?}"
     );
 }

@@ -99,15 +99,27 @@ mod tests {
         let d = date(1998, 12, 1) - 90;
         assert_eq!(civil_from_days(d), (1998, 9, 2));
         // Q4: date '1993-07-01' + interval '3' month
-        assert_eq!(civil_from_days(add_months(date(1993, 7, 1), 3)), (1993, 10, 1));
+        assert_eq!(
+            civil_from_days(add_months(date(1993, 7, 1), 3)),
+            (1993, 10, 1)
+        );
         // Q5: date '1994-01-01' + interval '1' year
-        assert_eq!(civil_from_days(add_years(date(1994, 1, 1), 1)), (1995, 1, 1));
+        assert_eq!(
+            civil_from_days(add_years(date(1994, 1, 1), 1)),
+            (1995, 1, 1)
+        );
     }
 
     #[test]
     fn month_end_clamping() {
-        assert_eq!(civil_from_days(add_months(date(1999, 1, 31), 1)), (1999, 2, 28));
-        assert_eq!(civil_from_days(add_months(date(2000, 1, 31), 1)), (2000, 2, 29));
+        assert_eq!(
+            civil_from_days(add_months(date(1999, 1, 31), 1)),
+            (1999, 2, 28)
+        );
+        assert_eq!(
+            civil_from_days(add_months(date(2000, 1, 31), 1)),
+            (2000, 2, 29)
+        );
     }
 
     #[test]

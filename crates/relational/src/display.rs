@@ -132,7 +132,12 @@ fn render(plan: &LogicalPlan, depth: usize, out: &mut String) {
                     format!("{:?}({arg}) AS {}", a.func, a.name)
                 })
                 .collect();
-            let _ = writeln!(out, "Aggregate by [{}] compute [{}]", keys.join(", "), calls.join(", "));
+            let _ = writeln!(
+                out,
+                "Aggregate by [{}] compute [{}]",
+                keys.join(", "),
+                calls.join(", ")
+            );
             render(input, depth + 1, out);
         }
         LogicalPlan::Sort { input, keys } => {
@@ -187,7 +192,8 @@ mod tests {
         assert!(s.contains("Scan t"));
         assert!(s.contains("Scan u"));
         // Leaves are deeper than the root.
-        let root_depth = s.lines().next().unwrap().len() - s.lines().next().unwrap().trim_start().len();
+        let root_depth =
+            s.lines().next().unwrap().len() - s.lines().next().unwrap().trim_start().len();
         let scan_line = s.lines().find(|l| l.contains("Scan t")).unwrap();
         let scan_depth = scan_line.len() - scan_line.trim_start().len();
         assert!(scan_depth > root_depth);
@@ -204,7 +210,10 @@ mod tests {
                 (col(1).extract_year(), "year"),
                 (
                     crate::expr::Expr::Case {
-                        whens: vec![(col(2).between(crate::Value::I64(1), crate::Value::I64(9)), lit_i64(1))],
+                        whens: vec![(
+                            col(2).between(crate::Value::I64(1), crate::Value::I64(9)),
+                            lit_i64(1),
+                        )],
                         otherwise: Box::new(lit_i64(0)),
                     },
                     "flag",

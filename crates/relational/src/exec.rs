@@ -87,10 +87,7 @@ mod tests {
         // GROUP BY c_name ORDER BY count DESC, name ASC
         let plan = LogicalPlan::scan("cust")
             .join(LogicalPlan::scan("orders"), vec![(0, 1)])
-            .aggregate(
-                vec![(col(1), "c_name")],
-                vec![AggCall::count_star("n")],
-            )
+            .aggregate(vec![(col(1), "c_name")], vec![AggCall::count_star("n")])
             .sort(vec![SortKey::desc(col(1)), SortKey::asc(col(0))]);
         let (schema, rows) = execute(&plan, &c);
         assert_eq!(schema.col("n"), 1);
@@ -121,15 +118,9 @@ mod tests {
     fn scalar_subquery_via_cross_join() {
         let c = catalog();
         // SELECT o_id FROM orders WHERE o_id > (SELECT avg(o_id) FROM orders)
-        let scalar = LogicalPlan::scan("orders")
-            .aggregate(vec![], vec![AggCall::avg(col(0), "a")]);
+        let scalar = LogicalPlan::scan("orders").aggregate(vec![], vec![AggCall::avg(col(0), "a")]);
         let plan = LogicalPlan::scan("orders")
-            .join_kind(
-                scalar,
-                JoinKind::Inner,
-                vec![],
-                Some(col(0).gt(col(2))),
-            )
+            .join_kind(scalar, JoinKind::Inner, vec![], Some(col(0).gt(col(2))))
             .project(vec![(col(0), "o_id")]);
         let (_, rows) = execute(&plan, &c);
         assert_eq!(rows, vec![vec![Value::I64(3)]]);

@@ -335,9 +335,10 @@ impl Expr {
     pub fn remap_cols(&self, map: &std::collections::HashMap<usize, usize>) -> Expr {
         let m = |e: &Expr| Box::new(e.remap_cols(map));
         match self {
-            Expr::Col(i) => Expr::Col(*map
-                .get(i)
-                .unwrap_or_else(|| panic!("column {i} missing from remap"))),
+            Expr::Col(i) => Expr::Col(
+                *map.get(i)
+                    .unwrap_or_else(|| panic!("column {i} missing from remap")),
+            ),
             Expr::Lit(v) => Expr::Lit(v.clone()),
             Expr::Cmp(op, a, b) => Expr::Cmp(*op, m(a), m(b)),
             Expr::Arith(op, a, b) => Expr::Arith(*op, m(a), m(b)),
@@ -407,7 +408,10 @@ mod tests {
         assert!(!like_match("", "_"));
         assert!(like_match("x%y", "x%y"));
         // Q13 pattern: '%special%requests%'
-        assert!(like_match("blah special blah requests blah", "%special%requests%"));
+        assert!(like_match(
+            "blah special blah requests blah",
+            "%special%requests%"
+        ));
         assert!(!like_match("requests then special", "%special%requests%"));
     }
 
@@ -439,7 +443,7 @@ mod tests {
     #[test]
     fn arithmetic_promotes_to_f64() {
         let row = vec![Value::Decimal(10000), Value::Decimal(5)]; // 100.00, 0.05
-        // l_extendedprice * (1 - l_discount)
+                                                                  // l_extendedprice * (1 - l_discount)
         let e = col(0).mul(lit_f64(1.0).sub(col(1)));
         match e.eval(&row) {
             Value::F64(v) => assert!((v - 95.0).abs() < 1e-9),
@@ -466,12 +470,8 @@ mod tests {
             otherwise: Box::new(lit_i64(0)),
         };
         assert_eq!(c.eval(&row), Value::I64(1));
-        assert!(col(1)
-            .between(Value::I64(5), Value::I64(7))
-            .matches(&row));
-        assert!(!col(1)
-            .between(Value::I64(8), Value::I64(9))
-            .matches(&row));
+        assert!(col(1).between(Value::I64(5), Value::I64(7)).matches(&row));
+        assert!(!col(1).between(Value::I64(8), Value::I64(9)).matches(&row));
         assert!(col(1)
             .in_list(vec![Value::I64(7), Value::I64(9)])
             .matches(&row));

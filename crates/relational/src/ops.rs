@@ -238,10 +238,7 @@ impl AggState {
     pub fn merge(&mut self, other: AggState) {
         match (self, other) {
             (AggState::Count(a), AggState::Count(b)) => *a += b,
-            (
-                AggState::Sum { sum: a, seen: sa },
-                AggState::Sum { sum: b, seen: sb },
-            ) => {
+            (AggState::Sum { sum: a, seen: sa }, AggState::Sum { sum: b, seen: sb }) => {
                 *a += b;
                 *sa |= sb;
             }
@@ -304,7 +301,11 @@ impl AggState {
 pub type GroupTable = HashMap<Vec<Value>, Vec<AggState>>;
 
 /// Build partial aggregate states for a chunk of rows.
-pub fn aggregate_partial(rows: &[Row], group_by: &[(Expr, String)], aggs: &[AggCall]) -> GroupTable {
+pub fn aggregate_partial(
+    rows: &[Row],
+    group_by: &[(Expr, String)],
+    aggs: &[AggCall],
+) -> GroupTable {
     let mut table: GroupTable = HashMap::new();
     for row in rows {
         let key: Vec<Value> = group_by.iter().map(|(e, _)| e.eval(row)).collect();
@@ -580,10 +581,7 @@ mod tests {
     #[test]
     fn sort_multi_key_with_desc() {
         let r = rows(&[&[1, 2], &[2, 1], &[1, 1]]);
-        let out = sort(
-            r,
-            &[SortKey::asc(col(0)), SortKey::desc(col(1))],
-        );
+        let out = sort(r, &[SortKey::asc(col(0)), SortKey::desc(col(1))]);
         assert_eq!(out, rows(&[&[1, 2], &[1, 1], &[2, 1]]));
     }
 

@@ -168,10 +168,7 @@ impl LogicalPlan {
     pub fn project(self, exprs: Vec<(Expr, &str)>) -> LogicalPlan {
         LogicalPlan::Project {
             input: Box::new(self),
-            exprs: exprs
-                .into_iter()
-                .map(|(e, n)| (e, n.to_string()))
-                .collect(),
+            exprs: exprs.into_iter().map(|(e, n)| (e, n.to_string())).collect(),
         }
     }
 
@@ -433,8 +430,7 @@ pub fn infer_type(e: &Expr, schema: &Schema) -> DataType {
         | Expr::IsNull(_) => DataType::Bool,
         Expr::Arith(op, a, _) => {
             // date +/- days stays a date
-            if matches!(op, ArithOp::Add | ArithOp::Sub)
-                && infer_type(a, schema) == DataType::Date
+            if matches!(op, ArithOp::Add | ArithOp::Sub) && infer_type(a, schema) == DataType::Date
             {
                 DataType::Date
             } else {

@@ -207,11 +207,13 @@ mod tests {
 
     #[test]
     fn total_order_with_nulls_first() {
-        let mut vals = [Value::I64(5),
+        let mut vals = [
+            Value::I64(5),
             Value::Null,
             Value::str("abc"),
             Value::I64(-1),
-            Value::Bool(true)];
+            Value::Bool(true),
+        ];
         vals.sort();
         assert_eq!(vals[0], Value::Null);
         assert_eq!(vals[1], Value::Bool(true));

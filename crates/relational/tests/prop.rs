@@ -6,9 +6,8 @@ use relational::expr::{col, like_match};
 use relational::{ops, AggCall, JoinKind, Row, Value};
 
 fn arb_row() -> impl Strategy<Value = Row> {
-    (0i64..50, 0i64..20, -100i64..100).prop_map(|(a, b, c)| {
-        vec![Value::I64(a), Value::I64(b), Value::I64(c)]
-    })
+    (0i64..50, 0i64..20, -100i64..100)
+        .prop_map(|(a, b, c)| vec![Value::I64(a), Value::I64(b), Value::I64(c)])
 }
 
 fn arb_rows(max: usize) -> impl Strategy<Value = Vec<Row>> {
@@ -148,7 +147,8 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<i32>().prop_map(|v| Value::I64(v as i64)),
         (-1000i64..1000).prop_map(Value::Decimal),
         (-10000i32..10000).prop_map(Value::Date),
-        any::<f32>().prop_filter("finite", |f| f.is_finite())
+        any::<f32>()
+            .prop_filter("finite", |f| f.is_finite())
             .prop_map(|f| Value::F64(f as f64)),
         "[a-z]{0,6}".prop_map(Value::str),
     ]

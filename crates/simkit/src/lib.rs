@@ -36,10 +36,12 @@ pub mod latch;
 pub mod resource;
 pub mod sim;
 pub mod stats;
+pub mod trace;
 
 pub use latch::Latch;
 pub use resource::ResourceId;
 pub use sim::{Event, Sim, SimTime};
+pub use trace::{Contrib, ResKind, Span, Trace, UtilSummary};
 
 /// One microsecond in [`SimTime`] units.
 pub const MICROSECOND: SimTime = 1_000;

@@ -106,7 +106,8 @@ impl<W: 'static> Sim<W> {
     pub fn add_resource(&mut self, name: impl Into<String>, servers: u32) -> ResourceId {
         assert!(servers > 0, "resource must have at least one server");
         let id = ResourceId(self.resources.len());
-        self.resources.push(ResourceState::new(name.into(), servers));
+        self.resources
+            .push(ResourceState::new(name.into(), servers));
         id
     }
 
@@ -171,7 +172,8 @@ impl<W: 'static> Sim<W> {
             };
             let Reverse(Key { at, .. }) = top.key;
             if at > deadline {
-                self.now = deadline;
+                // A deadline already in the past must not rewind the clock.
+                self.now = self.now.max(deadline);
                 return false;
             }
             let s = self.heap.pop().expect("peeked");
@@ -306,6 +308,24 @@ mod tests {
         assert_eq!(w.log.len(), 1);
         assert_eq!(sim.now(), secs(5.0));
         sim.run(&mut w);
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_past_deadline_never_rewinds_clock() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.after(secs(3.0), |s, w| w.log.push((s.now(), "a")));
+        sim.after(secs(10.0), |s, w| w.log.push((s.now(), "late")));
+        let drained = sim.run_until(&mut w, secs(4.0));
+        assert!(!drained);
+        assert_eq!(sim.now(), secs(4.0));
+        // Deadline earlier than the current clock: a no-op, not a rewind.
+        let drained = sim.run_until(&mut w, secs(2.0));
+        assert!(!drained);
+        assert_eq!(sim.now(), secs(4.0), "clock must not move backwards");
+        sim.run(&mut w);
+        assert_eq!(sim.now(), secs(10.0));
         assert_eq!(w.log.len(), 2);
     }
 

@@ -232,9 +232,7 @@ mod tests {
         let p50 = h.quantile(0.5);
         let p99 = h.quantile(0.99);
         // ~4.5% relative-error buckets.
-        let rel = |got: SimTime, want: SimTime| {
-            (got as f64 - want as f64).abs() / want as f64
-        };
+        let rel = |got: SimTime, want: SimTime| (got as f64 - want as f64).abs() / want as f64;
         assert!(rel(p50, millis(500.0)) < 0.10, "p50={p50}");
         assert!(rel(p99, millis(990.0)) < 0.10, "p99={p99}");
         assert!(h.quantile(1.0) >= millis(990.0));

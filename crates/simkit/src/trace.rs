@@ -1,0 +1,238 @@
+//! Structured execution traces: every phase an engine runs on the cluster
+//! emits a [`Span`] recording *when* it ran (sim-time start/end) and *where*
+//! the time went (per-resource service vs. queue wait).
+//!
+//! Spans are engine-agnostic: PDW steps, MapReduce job phases, and Hive
+//! stage DAGs all reduce to the same record, so a single report path can
+//! render per-resource busy time and contention for any engine.
+
+use crate::sim::SimTime;
+
+/// The resource classes a span can charge work against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ResKind {
+    Disk,
+    Cpu,
+    Net,
+}
+
+impl ResKind {
+    pub const ALL: [ResKind; 3] = [ResKind::Disk, ResKind::Cpu, ResKind::Net];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            ResKind::Disk => "disk",
+            ResKind::Cpu => "cpu",
+            ResKind::Net => "net",
+        }
+    }
+}
+
+/// One resource request's contribution to a span: `service` seconds of
+/// actual work on a `kind` resource of `node`, plus the `queue_wait`
+/// seconds it spent blocked behind other requests (possibly from other
+/// concurrent phases or engines sharing the cluster).
+#[derive(Clone, Debug)]
+pub struct Contrib {
+    pub kind: ResKind,
+    /// Node index, or `None` for cluster-global resources (e.g. the control
+    /// node's ingest link).
+    pub node: Option<usize>,
+    pub service: f64,
+    pub queue_wait: f64,
+}
+
+/// One executed phase: a named unit of work with wall-clock (sim) bounds
+/// and the resource requests that made it up.
+#[derive(Clone, Debug)]
+pub struct Span {
+    pub name: String,
+    /// Node the phase is pinned to, or `None` for cluster-wide phases.
+    pub node: Option<usize>,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub contribs: Vec<Contrib>,
+}
+
+impl Span {
+    /// Makespan in seconds.
+    pub fn secs(&self) -> f64 {
+        crate::as_secs(self.end.saturating_sub(self.start))
+    }
+
+    /// Aggregate service/wait per resource kind.
+    pub fn util(&self) -> UtilSummary {
+        let mut u = UtilSummary::default();
+        for c in &self.contribs {
+            u.add(c);
+        }
+        u
+    }
+}
+
+/// Per-kind totals of service time and queue wait, summed over requests.
+/// Service sums can exceed the makespan — that just means the work ran on
+/// parallel servers (disks, cores, per-node NICs).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct UtilSummary {
+    pub disk_busy: f64,
+    pub cpu_busy: f64,
+    pub net_busy: f64,
+    pub disk_wait: f64,
+    pub cpu_wait: f64,
+    pub net_wait: f64,
+    pub requests: u64,
+}
+
+impl UtilSummary {
+    pub fn add(&mut self, c: &Contrib) {
+        match c.kind {
+            ResKind::Disk => {
+                self.disk_busy += c.service;
+                self.disk_wait += c.queue_wait;
+            }
+            ResKind::Cpu => {
+                self.cpu_busy += c.service;
+                self.cpu_wait += c.queue_wait;
+            }
+            ResKind::Net => {
+                self.net_busy += c.service;
+                self.net_wait += c.queue_wait;
+            }
+        }
+        self.requests += 1;
+    }
+
+    pub fn merge(&mut self, other: &UtilSummary) {
+        self.disk_busy += other.disk_busy;
+        self.cpu_busy += other.cpu_busy;
+        self.net_busy += other.net_busy;
+        self.disk_wait += other.disk_wait;
+        self.cpu_wait += other.cpu_wait;
+        self.net_wait += other.net_wait;
+        self.requests += other.requests;
+    }
+
+    pub fn busy(&self, kind: ResKind) -> f64 {
+        match kind {
+            ResKind::Disk => self.disk_busy,
+            ResKind::Cpu => self.cpu_busy,
+            ResKind::Net => self.net_busy,
+        }
+    }
+
+    pub fn wait(&self, kind: ResKind) -> f64 {
+        match kind {
+            ResKind::Disk => self.disk_wait,
+            ResKind::Cpu => self.cpu_wait,
+            ResKind::Net => self.net_wait,
+        }
+    }
+
+    /// Mean queue wait per request, in seconds.
+    pub fn mean_wait(&self) -> f64 {
+        if self.requests == 0 {
+            return 0.0;
+        }
+        (self.disk_wait + self.cpu_wait + self.net_wait) / self.requests as f64
+    }
+}
+
+/// An ordered collection of spans from one run.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    pub fn push(&mut self, span: Span) {
+        self.spans.push(span);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Totals over the whole trace.
+    pub fn util(&self) -> UtilSummary {
+        let mut u = UtilSummary::default();
+        for s in &self.spans {
+            u.merge(&s.util());
+        }
+        u
+    }
+
+    /// End of the last span (0 for an empty trace).
+    pub fn end(&self) -> SimTime {
+        self.spans.iter().map(|s| s.end).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::secs;
+
+    fn span() -> Span {
+        Span {
+            name: "scan:lineitem".into(),
+            node: None,
+            start: secs(1.0),
+            end: secs(3.5),
+            contribs: vec![
+                Contrib {
+                    kind: ResKind::Disk,
+                    node: Some(0),
+                    service: 2.0,
+                    queue_wait: 0.5,
+                },
+                Contrib {
+                    kind: ResKind::Cpu,
+                    node: Some(0),
+                    service: 1.0,
+                    queue_wait: 0.0,
+                },
+                Contrib {
+                    kind: ResKind::Net,
+                    node: None,
+                    service: 0.25,
+                    queue_wait: 0.75,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn span_secs_and_util() {
+        let s = span();
+        assert!((s.secs() - 2.5).abs() < 1e-12);
+        let u = s.util();
+        assert_eq!(u.requests, 3);
+        assert!((u.disk_busy - 2.0).abs() < 1e-12);
+        assert!((u.cpu_busy - 1.0).abs() < 1e-12);
+        assert!((u.net_busy - 0.25).abs() < 1e-12);
+        assert!((u.wait(ResKind::Net) - 0.75).abs() < 1e-12);
+        assert!((u.mean_wait() - (0.5 + 0.75) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_totals_merge_spans() {
+        let mut t = Trace::default();
+        t.push(span());
+        t.push(span());
+        let u = t.util();
+        assert_eq!(u.requests, 6);
+        assert!((u.disk_busy - 4.0).abs() < 1e-12);
+        assert_eq!(t.end(), secs(3.5));
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let t = Trace::default();
+        assert!(t.is_empty());
+        assert_eq!(t.end(), 0);
+        assert_eq!(t.util().requests, 0);
+        assert_eq!(t.util().mean_wait(), 0.0);
+    }
+}

@@ -262,9 +262,7 @@ impl SqlCluster {
         let this = self.clone();
         let after_page: simkit::Event<()> = Box::new(move |sim, _| {
             // Commit: flush the WAL record on the dedicated log disk.
-            let log_t = secs(
-                (LOG_BYTES as f64 / this.params.disk_seq_bw).max(LOG_WRITE_LATENCY),
-            );
+            let log_t = secs((LOG_BYTES as f64 / this.params.disk_seq_bw).max(LOG_WRITE_LATENCY));
             let log = this.log_disks[node];
             let t2 = this.clone();
             sim.request(
@@ -291,7 +289,9 @@ impl SqlCluster {
             // Updating a non-resident page first reads it.
             let bytes = self.params.sql_read_per_miss;
             let disk = self.next_disk();
-            self.cluster.clone().disk_read_rand(sim, node, disk, bytes, after_page);
+            self.cluster
+                .clone()
+                .disk_read_rand(sim, node, disk, bytes, after_page);
         } else {
             sim.schedule_in(0, after_page);
         }
@@ -460,11 +460,7 @@ mod tests {
             &mut sim,
             42,
             Box::new(move |sim, _| {
-                cl2.read(
-                    sim,
-                    42,
-                    Box::new(move |_, v| r2.set(v)),
-                );
+                cl2.read(sim, 42, Box::new(move |_, v| r2.set(v)));
             }),
         );
         sim.run(&mut ());
@@ -496,11 +492,7 @@ mod tests {
             Box::new(move |sim, _| {
                 let t0 = sim.now();
                 let _ = fa;
-                cl3.read(
-                    sim,
-                    7,
-                    Box::new(move |sim, _| fb.set(sim.now() - t0)),
-                );
+                cl3.read(sim, 7, Box::new(move |sim, _| fb.set(sim.now() - t0)));
             }),
         );
         sim2.run(&mut ());

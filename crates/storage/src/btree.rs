@@ -26,8 +26,14 @@ use std::borrow::Borrow;
 pub const DEFAULT_ORDER: usize = 64;
 
 enum Node<K, V> {
-    Leaf { keys: Vec<K>, vals: Vec<V> },
-    Internal { keys: Vec<K>, children: Vec<Node<K, V>> },
+    Leaf {
+        keys: Vec<K>,
+        vals: Vec<V>,
+    },
+    Internal {
+        keys: Vec<K>,
+        children: Vec<Node<K, V>>,
+    },
 }
 
 /// B+tree map.
@@ -263,8 +269,12 @@ fn insert_rec<K: Ord + Clone, V>(
     }
 }
 
-fn scan_rec<'a, K, V, Q>(node: &'a Node<K, V>, start: &Q, limit: usize, out: &mut Vec<(&'a K, &'a V)>)
-where
+fn scan_rec<'a, K, V, Q>(
+    node: &'a Node<K, V>,
+    start: &Q,
+    limit: usize,
+    out: &mut Vec<(&'a K, &'a V)>,
+) where
     K: Ord + Borrow<Q>,
     Q: Ord + ?Sized,
 {
@@ -307,9 +317,7 @@ fn collect_all<'a, K, V>(node: &'a Node<K, V>, out: &mut Vec<(&'a K, &'a V)>) {
 fn count_nodes<K, V>(node: &Node<K, V>) -> usize {
     match node {
         Node::Leaf { .. } => 1,
-        Node::Internal { children, .. } => {
-            1 + children.iter().map(count_nodes).sum::<usize>()
-        }
+        Node::Internal { children, .. } => 1 + children.iter().map(count_nodes).sum::<usize>(),
     }
 }
 
@@ -357,10 +365,18 @@ mod tests {
             t.insert(i * 2, i);
         }
         // start between keys
-        let got: Vec<i64> = t.scan_from(&101i64, 5).into_iter().map(|(k, _)| *k).collect();
+        let got: Vec<i64> = t
+            .scan_from(&101i64, 5)
+            .into_iter()
+            .map(|(k, _)| *k)
+            .collect();
         assert_eq!(got, vec![102, 104, 106, 108, 110]);
         // scan off the end
-        let tail: Vec<i64> = t.scan_from(&1995i64, 10).into_iter().map(|(k, _)| *k).collect();
+        let tail: Vec<i64> = t
+            .scan_from(&1995i64, 10)
+            .into_iter()
+            .map(|(k, _)| *k)
+            .collect();
         assert_eq!(tail, vec![1996, 1998]);
     }
 

@@ -79,9 +79,7 @@ impl HeapPage {
 
     /// Number of live (non-tombstoned) records.
     pub fn live_records(&self) -> usize {
-        (0..self.n_slots())
-            .filter(|&i| self.slot(i).1 != 0)
-            .count()
+        (0..self.n_slots()).filter(|&i| self.slot(i).1 != 0).count()
     }
 
     /// Insert a record; returns its slot, or `None` if it doesn't fit.

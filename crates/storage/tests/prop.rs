@@ -133,8 +133,10 @@ fn arb_value(ty: DataType) -> BoxedStrategy<Value> {
         DataType::I64 => prop_oneof![any::<i64>().prop_map(Value::I64), Just(Value::Null)].boxed(),
         DataType::Decimal => (-1_000_000i64..1_000_000).prop_map(Value::Decimal).boxed(),
         DataType::Date => (-100_000i32..100_000).prop_map(Value::Date).boxed(),
-        DataType::F64 => any::<f64>().prop_filter("finite", |f| f.is_finite())
-            .prop_map(Value::F64).boxed(),
+        DataType::F64 => any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::F64)
+            .boxed(),
         DataType::Str => "[a-zA-Z0-9 ]{0,40}".prop_map(Value::str).boxed(),
         DataType::Bool => any::<bool>().prop_map(Value::Bool).boxed(),
     }

@@ -333,7 +333,10 @@ fn gen_orders_lineitem(cfg: &GenConfig) -> (Table, Table) {
             Value::Decimal(total.round() as i64),
             Value::Date(odate),
             Value::str(*r.pick(tp::PRIORITIES)),
-            Value::str(format!("Clerk#{:09}", r.uniform(1, (cfg.scale * 1000.0).max(10.0) as i64))),
+            Value::str(format!(
+                "Clerk#{:09}",
+                r.uniform(1, (cfg.scale * 1000.0).max(10.0) as i64)
+            )),
             Value::I64(0),
             order_comment(&mut r),
         ]);
@@ -394,7 +397,10 @@ mod tests {
             .unwrap();
         // Max key ≈ 4x row count because only 8 of every 32 values are used.
         let n = orders.len() as i64;
-        assert!(max_key > 3 * n && max_key <= 4 * n, "max {max_key} for {n} rows");
+        assert!(
+            max_key > 3 * n && max_key <= 4 * n,
+            "max {max_key} for {n} rows"
+        );
         // Every key's position within its 32-group is < 8.
         for row in orders.rows.iter().take(1000) {
             let k = row[0].as_i64().unwrap();
@@ -431,7 +437,11 @@ mod tests {
     fn lineitem_dates_consistent() {
         let cat = small();
         let s = schema::lineitem();
-        let (ship, commit, receipt) = (s.col("l_shipdate"), s.col("l_commitdate"), s.col("l_receiptdate"));
+        let (ship, commit, receipt) = (
+            s.col("l_shipdate"),
+            s.col("l_commitdate"),
+            s.col("l_receiptdate"),
+        );
         for row in cat.get("lineitem").rows.iter().take(2000) {
             let sd = row[ship].as_i64().unwrap();
             let rd = row[receipt].as_i64().unwrap();
@@ -467,9 +477,7 @@ mod tests {
         let matches = o
             .rows
             .iter()
-            .filter(|r| {
-                relational::expr::like_match(r[oc].as_str().unwrap(), "%special%requests%")
-            })
+            .filter(|r| relational::expr::like_match(r[oc].as_str().unwrap(), "%special%requests%"))
             .count();
         let rate = matches as f64 / o.len() as f64;
         assert!(rate > 0.002 && rate < 0.05, "Q13 pattern rate {rate}");
@@ -483,11 +491,7 @@ mod tests {
             let s: &Schema = &table.schema;
             for row in table.rows.iter().take(100) {
                 for (i, v) in row.iter().enumerate() {
-                    assert!(
-                        s.field(i).ty.admits(v),
-                        "{t}.{} got {v:?}",
-                        s.field(i).name
-                    );
+                    assert!(s.field(i).ty.admits(v), "{t}.{} got {v:?}", s.field(i).name);
                 }
             }
         }

@@ -129,7 +129,10 @@ mod tests {
         assert_eq!(l.hive.buckets, Some(("l_orderkey", 512)));
         assert_eq!(l.pdw.distribution_col, Some("l_orderkey"));
         assert!(layout_of("nation").pdw.distribution_col.is_none());
-        assert_eq!(layout_of("customer").hive.partition_col, Some("c_nationkey"));
+        assert_eq!(
+            layout_of("customer").hive.partition_col,
+            Some("c_nationkey")
+        );
         assert_eq!(paper_layouts().len(), 8);
     }
 

@@ -137,7 +137,11 @@ mod tests {
             let (_, rows) = execute(&plan, &cat);
             // Structural sanity per query where the spec pins it down.
             match n {
-                1 => assert!(rows.len() <= 6 && rows.len() >= 3, "Q1 groups: {}", rows.len()),
+                1 => assert!(
+                    rows.len() <= 6 && rows.len() >= 3,
+                    "Q1 groups: {}",
+                    rows.len()
+                ),
                 3 => assert!(rows.len() <= 10),
                 4 => assert_eq!(rows.len(), 5, "Q4: one row per priority"),
                 2 | 18 | 21 => assert!(rows.len() <= 100),

@@ -1,7 +1,7 @@
 //! TPC-H queries 1–8.
 
 use super::Base;
-use relational::expr::{and, col, lit_f64, lit_i64, lit_str, lit_date, or, Expr};
+use relational::expr::{and, col, lit_date, lit_f64, lit_i64, lit_str, or, Expr};
 use relational::{AggCall, JoinKind, LogicalPlan, SortKey, Value};
 
 /// Q1 — pricing summary report.
@@ -75,10 +75,7 @@ pub fn q2() -> LogicalPlan {
     // nation: 0 n_nationkey, 1 n_name, 2 n_regionkey
     let nation = n.select(None, &["n_nationkey", "n_name", "n_regionkey"]);
     // region: 0 r_regionkey
-    let region = r.select(
-        Some(r.c("r_name").eq(lit_str("EUROPE"))),
-        &["r_regionkey"],
-    );
+    let region = r.select(Some(r.c("r_name").eq(lit_str("EUROPE"))), &["r_regionkey"]);
 
     // tmp1 join chain (as the Hive script orders it):
     // part ⋈ partsupp: 0 p_partkey,1 p_mfgr,2 ps_partkey,3 ps_suppkey,4 ps_supplycost
@@ -91,18 +88,19 @@ pub fn q2() -> LogicalPlan {
     let t = t.join(region, vec![(14, 0)]);
     // tmp1: 0 p_partkey,1 p_mfgr,2 cost,3 s_acctbal,4 s_name,5 s_address,
     //       6 s_phone,7 s_comment,8 n_name
-    let tmp1 = t.project(vec![
-        (col(0), "p_partkey"),
-        (col(1), "p_mfgr"),
-        (col(4), "ps_supplycost"),
-        (col(10), "s_acctbal"),
-        (col(6), "s_name"),
-        (col(7), "s_address"),
-        (col(9), "s_phone"),
-        (col(11), "s_comment"),
-        (col(13), "n_name"),
-    ])
-    .materialize("q2_tmp1");
+    let tmp1 = t
+        .project(vec![
+            (col(0), "p_partkey"),
+            (col(1), "p_mfgr"),
+            (col(4), "ps_supplycost"),
+            (col(10), "s_acctbal"),
+            (col(6), "s_name"),
+            (col(7), "s_address"),
+            (col(9), "s_phone"),
+            (col(11), "s_comment"),
+            (col(13), "n_name"),
+        ])
+        .materialize("q2_tmp1");
 
     // tmp2: min cost per part over tmp1.
     let tmp2 = tmp1
@@ -170,7 +168,10 @@ pub fn q3() -> LogicalPlan {
             (col(3), "o_orderdate"),
             (col(4), "o_shippriority"),
         ],
-        vec![AggCall::sum(col(6).mul(lit_f64(1.0).sub(col(7))), "revenue")],
+        vec![AggCall::sum(
+            col(6).mul(lit_f64(1.0).sub(col(7))),
+            "revenue",
+        )],
     )
     // 0 orderkey, 1 orderdate, 2 shippriority, 3 revenue
     .sort(vec![SortKey::desc(col(3)), SortKey::asc(col(1))])
@@ -264,7 +265,10 @@ pub fn q5() -> LogicalPlan {
     );
     t.aggregate(
         vec![(col(1), "n_name")],
-        vec![AggCall::sum(col(8).mul(lit_f64(1.0).sub(col(9))), "revenue")],
+        vec![AggCall::sum(
+            col(8).mul(lit_f64(1.0).sub(col(9))),
+            "revenue",
+        )],
     )
     .sort(vec![SortKey::desc(col(1))])
 }
@@ -343,7 +347,10 @@ pub fn q7() -> LogicalPlan {
             (col(14), "cust_nation"),
             (col(6).extract_year(), "l_year"),
         ],
-        vec![AggCall::sum(col(4).mul(lit_f64(1.0).sub(col(5))), "revenue")],
+        vec![AggCall::sum(
+            col(4).mul(lit_f64(1.0).sub(col(5))),
+            "revenue",
+        )],
     )
     .sort(vec![
         SortKey::asc(col(0)),
@@ -416,9 +423,6 @@ pub fn q8() -> LogicalPlan {
         ],
     )
     // 0 o_year, 1 brazil, 2 total
-    .project(vec![
-        (col(0), "o_year"),
-        (col(1).div(col(2)), "mkt_share"),
-    ])
+    .project(vec![(col(0), "o_year"), (col(1).div(col(2)), "mkt_share")])
     .sort(vec![SortKey::asc(col(0))])
 }

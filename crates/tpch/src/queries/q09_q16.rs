@@ -1,7 +1,7 @@
 //! TPC-H queries 9–16.
 
 use super::Base;
-use relational::expr::{and, col, lit_f64, lit_i64, lit_str, lit_date, Expr};
+use relational::expr::{and, col, lit_date, lit_f64, lit_i64, lit_str, Expr};
 use relational::{AggCall, JoinKind, LogicalPlan, SortKey, Value};
 
 /// Q9 — product type profit measure (the query that ran Hive out of disk
@@ -53,10 +53,7 @@ pub fn q9() -> LogicalPlan {
         .mul(lit_f64(1.0).sub(col(7)))
         .sub(col(12).mul(col(5)));
     t.aggregate(
-        vec![
-            (col(16), "nation"),
-            (col(14).extract_year(), "o_year"),
-        ],
+        vec![(col(16), "nation"), (col(14).extract_year(), "o_year")],
         vec![AggCall::sum(amount, "sum_profit")],
     )
     .sort(vec![SortKey::asc(col(0)), SortKey::desc(col(1))])
@@ -110,7 +107,10 @@ pub fn q10() -> LogicalPlan {
             (col(4), "c_address"),
             (col(5), "c_comment"),
         ],
-        vec![AggCall::sum(col(10).mul(lit_f64(1.0).sub(col(11))), "revenue")],
+        vec![AggCall::sum(
+            col(10).mul(lit_f64(1.0).sub(col(11))),
+            "revenue",
+        )],
     )
     // sort by revenue (index 7) desc
     .sort(vec![SortKey::desc(col(7)), SortKey::asc(col(0))])
@@ -149,12 +149,7 @@ pub fn q11() -> LogicalPlan {
         .project(vec![(col(0).mul(lit_f64(0.0001)), "threshold")]);
 
     per_part
-        .join_kind(
-            threshold,
-            JoinKind::Inner,
-            vec![],
-            Some(col(1).gt(col(2))),
-        )
+        .join_kind(threshold, JoinKind::Inner, vec![], Some(col(1).gt(col(2))))
         .project(vec![(col(0), "ps_partkey"), (col(1), "value")])
         .sort(vec![SortKey::desc(col(1))])
 }
@@ -259,10 +254,7 @@ pub fn q14() -> LogicalPlan {
     };
     t.aggregate(
         vec![],
-        vec![
-            AggCall::sum(promo, "promo"),
-            AggCall::sum(revenue, "total"),
-        ],
+        vec![AggCall::sum(promo, "promo"), AggCall::sum(revenue, "total")],
     )
     .project(vec![(
         lit_f64(100.0).mul(col(0)).div(col(1)),
@@ -285,7 +277,10 @@ pub fn q15() -> LogicalPlan {
         )
         .aggregate(
             vec![(col(0), "supplier_no")],
-            vec![AggCall::sum(col(1).mul(lit_f64(1.0).sub(col(2))), "total_revenue")],
+            vec![AggCall::sum(
+                col(1).mul(lit_f64(1.0).sub(col(2))),
+                "total_revenue",
+            )],
         )
         // The script materializes the `revenue` view as a table.
         .materialize("q15_revenue");
@@ -345,11 +340,7 @@ pub fn q16() -> LogicalPlan {
         .join_kind(complainers, JoinKind::LeftAnti, vec![(1, 0)], None)
         .join(part, vec![(0, 0)]);
     t.aggregate(
-        vec![
-            (col(3), "p_brand"),
-            (col(4), "p_type"),
-            (col(5), "p_size"),
-        ],
+        vec![(col(3), "p_brand"), (col(4), "p_type"), (col(5), "p_size")],
         vec![AggCall::count_distinct(col(1), "supplier_cnt")],
     )
     .sort(vec![

@@ -126,15 +126,36 @@ pub fn q19() -> LogicalPlan {
         ])
     };
     let pred = or(vec![
-        branch("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5),
-        branch("Brand#23", &["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10, 20, 10),
-        branch("Brand#34", &["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20, 30, 15),
+        branch(
+            "Brand#12",
+            &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+            1,
+            11,
+            5,
+        ),
+        branch(
+            "Brand#23",
+            &["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+            10,
+            20,
+            10,
+        ),
+        branch(
+            "Brand#34",
+            &["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+            20,
+            30,
+            15,
+        ),
     ]);
 
     line.join_kind(part, JoinKind::Inner, vec![(0, 0)], Some(pred))
         .aggregate(
             vec![],
-            vec![AggCall::sum(col(2).mul(lit_f64(1.0).sub(col(3))), "revenue")],
+            vec![AggCall::sum(
+                col(2).mul(lit_f64(1.0).sub(col(3))),
+                "revenue",
+            )],
         )
 }
 
@@ -214,10 +235,7 @@ pub fn q21() -> LogicalPlan {
     // supplier ⋈ l1: 0 s_suppkey, 1 s_name, 2 s_nationkey, 3 l_orderkey, 4 l_suppkey
     let t = supplier.join(l1, vec![(0, 1)]);
     // ⋈ orders (status F): + 5 o_orderkey
-    let orders = o.select(
-        Some(o.c("o_orderstatus").eq(lit_str("F"))),
-        &["o_orderkey"],
-    );
+    let orders = o.select(Some(o.c("o_orderstatus").eq(lit_str("F"))), &["o_orderkey"]);
     let t = t.join(orders, vec![(3, 0)]);
     // ⋈ nation (SAUDI ARABIA): + 6 n_nationkey
     let nation = n.select(

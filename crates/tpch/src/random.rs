@@ -137,7 +137,10 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_negative, "32-bit RANDOM must reproduce dbgen's overflow");
+        assert!(
+            saw_negative,
+            "32-bit RANDOM must reproduce dbgen's overflow"
+        );
         // Small ranges are unaffected.
         let mut r = TpchRandom::new(7, RandomMode::Bit32);
         for _ in 0..1000 {

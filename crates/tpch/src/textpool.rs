@@ -12,7 +12,13 @@ pub const CONTAINER1: &[&str] = &["SM", "LG", "MED", "JUMBO", "WRAP"];
 pub const CONTAINER2: &[&str] = &["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
 
 /// c_mktsegment (5 values).
-pub const SEGMENTS: &[&str] = &["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: &[&str] = &[
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 /// o_orderpriority (5 values).
 pub const PRIORITIES: &[&str] = &["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
@@ -31,16 +37,98 @@ pub const MODES: &[&str] = &["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", 
 /// The 92-word pool p_name draws 5 words from (Q9 filters '%green%',
 /// Q20 'forest%').
 pub const PART_NAME_WORDS: &[&str] = &[
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
-    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime",
-    "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin",
-    "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru", "pink",
-    "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
-    "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan",
-    "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "floral",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
+    "grey",
+    "honeydew",
+    "hot",
+    "indian",
+    "ivory",
+    "khaki",
+    "lace",
+    "lavender",
+    "lawn",
+    "lemon",
+    "light",
+    "lime",
+    "linen",
+    "magenta",
+    "maroon",
+    "medium",
+    "metallic",
+    "midnight",
+    "mint",
+    "misty",
+    "moccasin",
+    "navajo",
+    "navy",
+    "olive",
+    "orange",
+    "orchid",
+    "pale",
+    "papaya",
+    "peach",
+    "peru",
+    "pink",
+    "plum",
+    "powder",
+    "puff",
+    "purple",
+    "red",
+    "rose",
+    "rosy",
+    "royal",
+    "saddle",
+    "salmon",
+    "sandy",
+    "seashell",
+    "sienna",
+    "sky",
+    "slate",
+    "smoke",
+    "snow",
+    "spring",
+    "steel",
+    "tan",
+    "thistle",
+    "tomato",
+    "turquoise",
+    "violet",
+    "wheat",
+    "white",
+    "yellow",
 ];
 
 /// The 25 nations with their region keys (spec appendix A).
@@ -78,11 +166,43 @@ pub const REGIONS: &[&str] = &["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EA
 /// Filler vocabulary for comments (a small sample of dbgen's grammar
 /// output; exact text doesn't matter except for the injected patterns).
 pub const COMMENT_WORDS: &[&str] = &[
-    "carefully", "furiously", "quickly", "slyly", "blithely", "ironic", "final", "bold",
-    "regular", "express", "silent", "pending", "even", "special", "unusual", "deposits",
-    "requests", "packages", "accounts", "theodolites", "instructions", "foxes", "ideas",
-    "dependencies", "pinto", "beans", "platelets", "asymptotes", "somas", "dugouts", "realms",
-    "dolphins", "sheaves", "sauternes", "warthogs", "frets", "dinos",
+    "carefully",
+    "furiously",
+    "quickly",
+    "slyly",
+    "blithely",
+    "ironic",
+    "final",
+    "bold",
+    "regular",
+    "express",
+    "silent",
+    "pending",
+    "even",
+    "special",
+    "unusual",
+    "deposits",
+    "requests",
+    "packages",
+    "accounts",
+    "theodolites",
+    "instructions",
+    "foxes",
+    "ideas",
+    "dependencies",
+    "pinto",
+    "beans",
+    "platelets",
+    "asymptotes",
+    "somas",
+    "dugouts",
+    "realms",
+    "dolphins",
+    "sheaves",
+    "sauternes",
+    "warthogs",
+    "frets",
+    "dinos",
 ];
 
 #[cfg(test)]
@@ -91,7 +211,10 @@ mod tests {
 
     #[test]
     fn pool_sizes_match_spec() {
-        assert_eq!(TYPE_SYLLABLE1.len() * TYPE_SYLLABLE2.len() * TYPE_SYLLABLE3.len(), 150);
+        assert_eq!(
+            TYPE_SYLLABLE1.len() * TYPE_SYLLABLE2.len() * TYPE_SYLLABLE3.len(),
+            150
+        );
         assert_eq!(CONTAINER1.len() * CONTAINER2.len(), 40);
         assert_eq!(SEGMENTS.len(), 5);
         assert_eq!(PRIORITIES.len(), 5);

@@ -269,7 +269,11 @@ mod tests {
     }
     impl Store for SlowStore {
         fn do_op(self: Rc<Self>, sim: &mut S, _op: Op, done: Done) {
-            sim.request(self.server, simkit::millis(2.0), Box::new(move |sim, _| done(sim, 0)));
+            sim.request(
+                self.server,
+                simkit::millis(2.0),
+                Box::new(move |sim, _| done(sim, 0)),
+            );
         }
     }
 

@@ -69,8 +69,8 @@ impl Zipfian {
             self.zetan += 1.0 / (i as f64).powf(self.theta);
         }
         self.n = new_n;
-        self.eta = (1.0 - (2.0 / new_n as f64).powf(1.0 - self.theta))
-            / (1.0 - self.zeta2 / self.zetan);
+        self.eta =
+            (1.0 - (2.0 / new_n as f64).powf(1.0 - self.theta)) / (1.0 - self.zeta2 / self.zetan);
     }
 }
 

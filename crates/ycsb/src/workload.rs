@@ -49,7 +49,13 @@ pub enum Workload {
 
 impl Workload {
     pub fn all() -> [Workload; 5] {
-        [Workload::A, Workload::B, Workload::C, Workload::D, Workload::E]
+        [
+            Workload::A,
+            Workload::B,
+            Workload::C,
+            Workload::D,
+            Workload::E,
+        ]
     }
 
     pub fn name(&self) -> &'static str {

@@ -16,7 +16,10 @@ fn main() {
     let n_records = 64_000u64;
 
     // ---- scans: range partitioning routes to ONE shard ----------------
-    for (name, sharding) in [("Mongo-AS (range)", Sharding::Range), ("Mongo-CS (hash)", Sharding::Hash)] {
+    for (name, sharding) in [
+        ("Mongo-AS (range)", Sharding::Range),
+        ("Mongo-CS (hash)", Sharding::Hash),
+    ] {
         let mut sim: Sim<()> = Sim::new();
         let m = MongoCluster::build(&mut sim, &params, sharding);
         m.load(n_records);

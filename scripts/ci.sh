@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# The CI gate, runnable locally: formatting, lints (warnings are errors),
+# and the full test suite. Mirrors .github/workflows/ci.yml exactly.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test -q --workspace
+
+echo "ci: all green"

@@ -21,4 +21,6 @@ echo "== repro_table3 (the full 22x4 suite)"
 cargo run --release -p bench --bin repro_table3 -- --sf 0.02 > results/repro_table3.txt
 echo "== repro_fig1"
 cargo run --release -p bench --bin repro_fig1 -- --sf 0.02 > results/repro_fig1.txt
+echo "== pdw_steps (DES span trace + resource utilization)"
+cargo run --release -p bench --bin pdw_steps -- --queries 1,5,19 > results/pdw_steps.txt
 echo "done — see results/ and EXPERIMENTS.md"

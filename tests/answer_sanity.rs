@@ -184,6 +184,56 @@ fn q18_only_reports_orders_over_300_units() {
     }
 }
 
+/// The ported PDW path (DES-backed `cluster::exec` phases) against the
+/// hand-rolled naive recomputation: integer outputs must match exactly —
+/// byte-identical, no tolerance — proving the execution substrate change
+/// left the data path untouched.
+#[test]
+fn pdw_q4_matches_naive_exactly() {
+    use elephants::cluster::Params;
+    use elephants::pdw::{load_pdw, PdwEngine};
+
+    let cat = catalog();
+    let params = Params::paper_dss().scaled(250.0 / 0.01);
+    let (pdw_cat, _) = load_pdw(&cat, &params);
+    let engine = PdwEngine::new(pdw_cat);
+    let run = engine.run_query(&elephants::tpch::query(4));
+
+    // Same naive recomputation as q4_matches_naive_exists_count.
+    let ls = schema::lineitem();
+    let late_orders: HashSet<i64> = cat
+        .get("lineitem")
+        .rows
+        .iter()
+        .filter(|r| {
+            r[ls.col("l_commitdate")].as_i64().unwrap()
+                < r[ls.col("l_receiptdate")].as_i64().unwrap()
+        })
+        .map(|r| r[ls.col("l_orderkey")].as_i64().unwrap())
+        .collect();
+    let os = schema::orders();
+    let (lo, hi) = (date(1993, 7, 1) as i64, date(1993, 10, 1) as i64);
+    let mut want: HashMap<String, i64> = HashMap::new();
+    for r in &cat.get("orders").rows {
+        let d = r[os.col("o_orderdate")].as_i64().unwrap();
+        if d >= lo && d < hi && late_orders.contains(&r[os.col("o_orderkey")].as_i64().unwrap()) {
+            *want
+                .entry(r[os.col("o_orderpriority")].as_str().unwrap().to_string())
+                .or_default() += 1;
+        }
+    }
+
+    assert_eq!(run.rows.len(), want.len());
+    for r in &run.rows {
+        let pri = r[0].as_str().unwrap();
+        assert_eq!(
+            r[1],
+            Value::I64(want[pri]),
+            "PDW Q4 count for priority {pri} must be byte-identical to naive"
+        );
+    }
+}
+
 #[test]
 fn q22_balances_match_naive() {
     let cat = catalog();

@@ -35,7 +35,10 @@ fn q9_is_the_only_disk_space_casualty() {
     // 16 TB: Q9 dies, Q7/Q21 (also large intermediates) survive.
     assert!(at(1, 7).is_some(), "Q7 completes at 16 TB (paper: 24887 s)");
     assert!(at(1, 9).is_none(), "Q9 must run out of disk at 16 TB");
-    assert!(at(1, 21).is_some(), "Q21 completes at 16 TB (paper: 40748 s)");
+    assert!(
+        at(1, 21).is_some(),
+        "Q21 completes at 16 TB (paper: 40748 s)"
+    );
 }
 
 /// §3.3.4.2: Q22's hinted map-side join fails after ~400 s at *every*
@@ -77,7 +80,10 @@ fn mongo_as_collapses_under_workload_d() {
     let p_as = run_point(&cfg, SystemKind::MongoAs, Workload::D, target);
     let p_sql = run_point(&cfg, SystemKind::SqlCs, Workload::D, target);
     let p_cs = run_point(&cfg, SystemKind::MongoCs, Workload::D, target);
-    assert!(!p_sql.crashed && !p_cs.crashed, "hash-sharded systems survive");
+    assert!(
+        !p_sql.crashed && !p_cs.crashed,
+        "hash-sharded systems survive"
+    );
     assert!(
         p_as.crashed || p_as.achieved_ops < 0.25 * p_sql.achieved_ops,
         "Mongo-AS must collapse: AS {} vs SQL {}",

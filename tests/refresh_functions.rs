@@ -41,7 +41,10 @@ fn pdw_refresh_round_trips_and_queries_see_it() {
             elephants::relational::expr::col(15)
                 .eq(elephants::relational::expr::lit_str("refresh")),
         )
-        .aggregate(vec![], vec![elephants::relational::AggCall::count_star("n")]);
+        .aggregate(
+            vec![],
+            vec![elephants::relational::AggCall::count_star("n")],
+        );
     let run = engine.run_query(&plan);
     assert_eq!(
         run.rows[0][0],
@@ -103,10 +106,12 @@ fn hive_07_rejects_refresh_but_08_inserts() {
     // The inserted orders are visible to a query.
     let plan = elephants::relational::LogicalPlan::scan("orders")
         .filter(
-            elephants::relational::expr::col(8)
-                .eq(elephants::relational::expr::lit_str("refresh")),
+            elephants::relational::expr::col(8).eq(elephants::relational::expr::lit_str("refresh")),
         )
-        .aggregate(vec![], vec![elephants::relational::AggCall::count_star("n")]);
+        .aggregate(
+            vec![],
+            vec![elephants::relational::AggCall::count_star("n")],
+        );
     let run = h8.run_query(&plan).expect("query after insert");
     assert_eq!(
         run.rows[0][0],

@@ -1,0 +1,157 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the small API surface this workspace's benches use —
+//! `benchmark_group`/`BenchmarkGroup`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, `Throughput`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a plain wall-clock timing loop instead of
+//! criterion's statistical machinery. Good enough to keep `cargo bench`
+//! compiling and producing indicative numbers without network access.
+
+use std::time::{Duration, Instant};
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, recorded by `iter`/`iter_batched`.
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    fn new() -> Bencher {
+        Bencher {
+            elapsed_per_iter: Duration::ZERO,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up once, then time a batch sized to take roughly 50ms.
+        black_box(routine());
+        let probe = Instant::now();
+        black_box(routine());
+        let one = probe.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(50).as_nanos() / one.as_nanos()).clamp(1, 10_000) as u32;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed() / iters;
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+        let probe = Instant::now();
+        black_box(routine(setup()));
+        let one = probe.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(50).as_nanos() / one.as_nanos()).clamp(1, 10_000) as u32;
+        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+        let start = Instant::now();
+        for input in inputs {
+            black_box(routine(input));
+        }
+        self.elapsed_per_iter = start.elapsed() / iters;
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        let per_iter = b.elapsed_per_iter;
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+                let mbps = n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0);
+                format!("  ({mbps:.1} MiB/s)")
+            }
+            Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+                let eps = n as f64 / per_iter.as_secs_f64();
+                format!("  ({eps:.0} elem/s)")
+            }
+            _ => String::new(),
+        };
+        println!("{}/{id}: {per_iter:?}/iter{rate}", self.name);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::new();
+        f(&mut b);
+        println!("bench/{id}: {:?}/iter", b.elapsed_per_iter);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
