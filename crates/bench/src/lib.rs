@@ -1,5 +1,7 @@
 //! Shared helpers for the `repro_*` binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod figures;
 
 /// Parse `--key value` style args with a default.

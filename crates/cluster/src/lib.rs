@@ -18,6 +18,8 @@
 //! latency) retain their true magnitude — exactly the property that
 //! produces the paper's sub-linear scaling observations.
 
+#![forbid(unsafe_code)]
+
 pub mod exec;
 pub mod params;
 pub mod topo;

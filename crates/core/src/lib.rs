@@ -11,6 +11,8 @@
 //!   throughput sweeps for Figures 2–6 plus the §3.4.2 load times,
 //! * [`report`] — markdown/CSV rendering for the `repro_*` binaries.
 
+#![forbid(unsafe_code)]
+
 pub mod dss;
 pub mod report;
 pub mod serving;

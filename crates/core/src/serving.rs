@@ -4,7 +4,7 @@ use cluster::Params;
 use docstore::{MongoCluster, Sharding};
 use simkit::Sim;
 use sqlengine::SqlCluster;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use ycsb::driver::{run_workload, RunConfig, RunResult};
 use ycsb::workload::{OpType, Workload};
 
@@ -74,9 +74,9 @@ pub struct SweepPoint {
     pub target_ops: f64,
     pub achieved_ops: f64,
     /// mean latency (ms) per op type.
-    pub latency_ms: HashMap<OpType, f64>,
+    pub latency_ms: BTreeMap<OpType, f64>,
     /// standard error of the per-interval means (the paper's error bars).
-    pub latency_stderr_ms: HashMap<OpType, f64>,
+    pub latency_stderr_ms: BTreeMap<OpType, f64>,
     pub crashed: bool,
 }
 

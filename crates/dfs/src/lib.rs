@@ -15,6 +15,8 @@
 //! Timing is *not* charged here — readers (map tasks) charge their own I/O
 //! through the `cluster` resources; this crate is the metadata plane.
 
+#![forbid(unsafe_code)]
+
 use cluster::NodeId;
 use std::collections::HashMap;
 
@@ -262,7 +264,9 @@ mod tests {
     #[test]
     fn splits_into_blocks() {
         let mut fs: Dfs<()> = Dfs::new(cfg(4, 100, None));
-        let meta = fs.create("/t/f1", 250, ()).unwrap();
+        let meta = fs
+            .create("/t/f1", 250, ())
+            .expect("no capacity limit configured");
         assert_eq!(meta.blocks.len(), 3);
         assert_eq!(meta.blocks[0].len, 100);
         assert_eq!(meta.blocks[2].len, 50);
@@ -272,7 +276,9 @@ mod tests {
     #[test]
     fn empty_file_has_one_empty_block() {
         let mut fs: Dfs<()> = Dfs::new(cfg(4, 100, None));
-        let meta = fs.create("/t/empty", 0, ()).unwrap();
+        let meta = fs
+            .create("/t/empty", 0, ())
+            .expect("no capacity limit configured");
         assert_eq!(meta.blocks.len(), 1);
         assert_eq!(meta.blocks[0].len, 0);
     }
@@ -280,16 +286,19 @@ mod tests {
     #[test]
     fn replication_respects_node_count() {
         let mut fs: Dfs<()> = Dfs::new(cfg(2, 100, None));
-        let meta = fs.create("/f", 10, ()).unwrap();
+        let meta = fs
+            .create("/f", 10, ())
+            .expect("no capacity limit configured");
         assert_eq!(meta.blocks[0].replicas.len(), 2);
     }
 
     #[test]
     fn usage_accounting_and_delete() {
         let mut fs: Dfs<()> = Dfs::new(cfg(4, 100, None));
-        fs.create("/f", 200, ()).unwrap();
+        fs.create("/f", 200, ())
+            .expect("no capacity limit configured");
         assert_eq!(fs.total_used(), 200 * 3);
-        fs.delete("/f").unwrap();
+        fs.delete("/f").expect("/f was just created");
         assert_eq!(fs.total_used(), 0);
         assert!(matches!(fs.delete("/f"), Err(DfsError::NotFound(_))));
     }
@@ -297,8 +306,8 @@ mod tests {
     #[test]
     fn out_of_space_on_create_and_scratch() {
         let mut fs: Dfs<()> = Dfs::new(cfg(2, 100, Some(250)));
-        fs.create("/a", 100, ()).unwrap(); // 100 on both nodes (repl 2)
-        fs.reserve_scratch(0, 100).unwrap();
+        fs.create("/a", 100, ()).expect("100 of 250 fits"); // 100 on both nodes (repl 2)
+        fs.reserve_scratch(0, 100).expect("200 of 250 fits");
         assert_eq!(
             fs.reserve_scratch(0, 100),
             Err(DfsError::OutOfSpace { node: 0 })
@@ -309,25 +318,31 @@ mod tests {
             Err(DfsError::OutOfSpace { .. })
         ));
         fs.release_scratch(0, 100);
-        fs.create("/b", 100, ()).unwrap();
+        fs.create("/b", 100, ()).expect("space was released");
     }
 
     #[test]
     fn listing_by_prefix_sorted() {
         let mut fs: Dfs<u32> = Dfs::new(cfg(4, 100, None));
-        fs.create("/warehouse/lineitem/b2", 1, 2).unwrap();
-        fs.create("/warehouse/lineitem/b1", 1, 1).unwrap();
-        fs.create("/warehouse/orders/b1", 1, 3).unwrap();
+        fs.create("/warehouse/lineitem/b2", 1, 2)
+            .expect("fresh path");
+        fs.create("/warehouse/lineitem/b1", 1, 1)
+            .expect("fresh path");
+        fs.create("/warehouse/orders/b1", 1, 3).expect("fresh path");
         let l = fs.list("/warehouse/lineitem/");
         assert_eq!(l.len(), 2);
         assert_eq!(l[0].path, "/warehouse/lineitem/b1");
-        assert_eq!(*fs.payload("/warehouse/lineitem/b2").unwrap(), 2);
+        assert_eq!(
+            *fs.payload("/warehouse/lineitem/b2")
+                .expect("b2 was created above"),
+            2
+        );
     }
 
     #[test]
     fn duplicate_create_rejected() {
         let mut fs: Dfs<()> = Dfs::new(cfg(4, 100, None));
-        fs.create("/f", 1, ()).unwrap();
+        fs.create("/f", 1, ()).expect("fresh path");
         assert!(matches!(
             fs.create("/f", 1, ()),
             Err(DfsError::AlreadyExists(_))
@@ -337,7 +352,10 @@ mod tests {
     #[test]
     fn locality_check() {
         let mut fs: Dfs<()> = Dfs::new(cfg(4, 100, None));
-        let meta = fs.create("/f", 10, ()).unwrap().clone();
+        let meta = fs
+            .create("/f", 10, ())
+            .expect("no capacity limit configured")
+            .clone();
         let b = &meta.blocks[0];
         let local_count = (0..4).filter(|&n| fs.is_local(b, n)).count();
         assert_eq!(local_count, 3);

@@ -24,6 +24,8 @@
 //!   journal** — the durability the SQL side pays for and MongoDB here
 //!   does not.
 
+#![forbid(unsafe_code)]
+
 pub mod bson;
 pub mod cluster;
 pub mod mongod;

@@ -27,6 +27,8 @@
 //! Set `HIVE_JOIN_DEBUG=1` to trace every join-strategy decision (sizes
 //! vs thresholds) to stderr.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod load;
 pub mod lower;

@@ -5,7 +5,7 @@ use crate::meta::{HiveFile, HiveTableMeta, HiveWarehouse};
 use cluster::Params;
 use dfs::{Dfs, DfsConfig, DfsError};
 use relational::Catalog;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tpch::layout::layout_of;
 
 /// Load timing breakdown.
@@ -52,7 +52,7 @@ pub fn load_warehouse_fmt(
     config.capacity_per_node = capacity_per_node;
     let mut warehouse = HiveWarehouse {
         dfs: Dfs::new(config),
-        tables: HashMap::new(),
+        tables: BTreeMap::new(),
         params: params.clone(),
         format,
         version: crate::meta::HiveVersion::V0_7,

@@ -14,7 +14,7 @@ use mapreduce::{run_job, JobReport, JobSpec, MapTaskSpec, ReduceTaskSpec};
 use relational::expr::Expr;
 use relational::value::row_bytes;
 use relational::{ops, AggCall, JoinKind, LogicalPlan, Row, SortKey};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Map outputs are LZO-compressed (§3.2.1): effective size factor.
 const LZO_FACTOR: f64 = 0.5;
@@ -133,7 +133,7 @@ pub struct Lowering<'a> {
     /// Propagated into every JobSpec (fault-injection ablation).
     pub map_failure_fraction: f64,
     label_stack: Vec<String>,
-    materialized: HashMap<String, Staged>,
+    materialized: BTreeMap<String, Staged>,
     scratch_used: Vec<u64>,
     /// Cluster-wide peak scratch usage over the query (bytes).
     pub peak_scratch: u64,
@@ -147,7 +147,7 @@ impl<'a> Lowering<'a> {
             total_secs: 0.0,
             label_stack: vec!["main".to_string()],
             map_failure_fraction: 0.0,
-            materialized: HashMap::new(),
+            materialized: BTreeMap::new(),
             scratch_used: vec![0; w.params.nodes],
             peak_scratch: 0,
         }
@@ -340,7 +340,7 @@ impl<'a> Lowering<'a> {
             needed = (0..base_schema.len()).collect();
         }
         let cols: Vec<usize> = needed.iter().copied().collect();
-        let remap: HashMap<usize, usize> = cols
+        let remap: BTreeMap<usize, usize> = cols
             .iter()
             .enumerate()
             .map(|(new, &old)| (old, new))

@@ -5,7 +5,6 @@ use cluster::Params;
 use dfs::Dfs;
 use relational::{Row, Schema};
 use std::collections::BTreeMap;
-use std::collections::HashMap;
 use storage::rcfile::RcFile;
 use tpch::layout::HiveLayout;
 
@@ -59,7 +58,8 @@ pub enum HiveVersion {
 /// The warehouse: DFS + metastore.
 pub struct HiveWarehouse {
     pub dfs: Dfs<HiveFile>,
-    pub tables: HashMap<String, HiveTableMeta>,
+    /// `BTreeMap` so any metastore enumeration is in sorted table order.
+    pub tables: BTreeMap<String, HiveTableMeta>,
     pub params: Params,
     pub format: StorageFormat,
     pub version: HiveVersion,
@@ -191,7 +191,7 @@ mod tests {
         let params = Params::paper_dss();
         HiveWarehouse {
             dfs: Dfs::new(DfsConfig::from_params(&params)),
-            tables: HashMap::new(),
+            tables: BTreeMap::new(),
             params,
             format: StorageFormat::RcFile,
             version: HiveVersion::V0_7,

@@ -21,6 +21,8 @@
 //! per-task **volume descriptors** into a simulated schedule and phase
 //! timings.
 
+#![forbid(unsafe_code)]
+
 pub mod engine;
 pub mod spec;
 

@@ -4,7 +4,7 @@
 use cluster::Params;
 use relational::value::row_bytes;
 use relational::{ops, Catalog, Row, Schema};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use tpch::layout::layout_of;
 
 /// Physical distribution of a table.
@@ -48,7 +48,8 @@ impl PdwTable {
 
 /// The PDW database.
 pub struct PdwCatalog {
-    pub tables: HashMap<String, PdwTable>,
+    /// `BTreeMap` so any catalog enumeration is in sorted table order.
+    pub tables: BTreeMap<String, PdwTable>,
     pub params: Params,
     pub distributions: usize,
 }
@@ -89,6 +90,7 @@ impl PdwCatalog {
         &mut self,
         name: &str,
         key_col: usize,
+        // simlint: allow(no-unordered-iter) — membership probes only (`contains`), never iterated
         keys: &std::collections::HashSet<i64>,
     ) -> f64 {
         let p = self.params.clone();
@@ -141,7 +143,7 @@ pub struct PdwLoadReport {
 /// Table 1 layouts.
 pub fn load_pdw(catalog: &Catalog, params: &Params) -> (PdwCatalog, PdwLoadReport) {
     let distributions = params.total_distributions() as usize;
-    let mut tables = HashMap::new();
+    let mut tables = BTreeMap::new();
     let mut report = PdwLoadReport::default();
 
     for name in tpch::schema::TABLE_NAMES {

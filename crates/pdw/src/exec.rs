@@ -18,7 +18,7 @@ use relational::value::row_bytes;
 use relational::{ops, AggCall, JoinKind, LogicalPlan, Row, SortKey};
 use simkit::resource::ResourceReport;
 use simkit::trace::Trace;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One optimizer/DMS step with its simulated duration (the Q5/Q19 plan
 /// narratives in §3.3.4.1 are reproduced from these). A derived view over
@@ -119,7 +119,7 @@ impl PdwEngine {
             cat: &self.catalog,
             exec: ClusterExec::new(self.catalog.params.clone()),
             use_indexes: self.use_indexes,
-            materialized: HashMap::new(),
+            materialized: BTreeMap::new(),
         };
         let rel = ctx.exec(&plan);
         // Final answer returns through the control node.
@@ -158,7 +158,7 @@ struct Ctx<'a> {
     exec: ClusterExec,
     use_indexes: bool,
     /// Materialized (CREATE TABLE AS) subplans, computed once and reused.
-    materialized: HashMap<String, PRel>,
+    materialized: BTreeMap<String, PRel>,
 }
 
 impl<'a> Ctx<'a> {
@@ -573,7 +573,7 @@ impl<'a> Ctx<'a> {
                 res.referenced_cols(&mut cols);
                 let needed: BTreeSet<usize> = cols.iter().map(|&g| chain.locate(g).0).collect();
                 if needed.is_subset(&have) {
-                    let map: HashMap<usize, usize> = cols
+                    let map: BTreeMap<usize, usize> = cols
                         .iter()
                         .map(|&g| {
                             let lc = chain.locate(g);

@@ -22,6 +22,8 @@
 //! accumulates simulated step times (PDW steps are sequential, so the query
 //! time is the sum of step makespans).
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod exec;
 pub mod optimizer;

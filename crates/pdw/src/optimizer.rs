@@ -3,7 +3,8 @@
 
 use relational::expr::Expr;
 use relational::{JoinKind, LogicalPlan, Row};
-use std::collections::{BTreeSet, HashMap, HashSet};
+// simlint: allow(no-unordered-iter) — HashSet is count-only (see `ndv`); ordered state uses the BTree types
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 /// An equi-join predicate between two chain leaves, in leaf-local
 /// coordinates.
@@ -113,7 +114,7 @@ pub fn implied_pred(expr: &Expr, leaf_lo: usize, leaf_width: usize) -> Option<Ex
     let remap = |e: &Expr| -> Expr {
         let mut cols = BTreeSet::new();
         e.referenced_cols(&mut cols);
-        let map: HashMap<usize, usize> = cols.iter().map(|&c| (c, c - leaf_lo)).collect();
+        let map: BTreeMap<usize, usize> = cols.iter().map(|&c| (c, c - leaf_lo)).collect();
         e.remap_cols(&map)
     };
     match expr {
@@ -170,7 +171,7 @@ pub fn pushdown_filters(plan: &LogicalPlan) -> LogicalPlan {
                         && !cols.is_empty()
                         && cols.iter().all(|&i| i >= lw)
                     {
-                        let map: HashMap<usize, usize> =
+                        let map: BTreeMap<usize, usize> =
                             cols.iter().map(|&i| (i, i - lw)).collect();
                         push_right.push(c.remap_cols(&map));
                     } else {
@@ -285,6 +286,7 @@ fn count_width(plan: &LogicalPlan) -> usize {
 /// Exact distinct count of a key column over partitioned rows (the
 /// "measured statistics" our idealized optimizer uses).
 pub fn ndv(parts: &[Vec<Row>], col: usize) -> usize {
+    // simlint: allow(no-unordered-iter) — the set is only counted (`len`), never iterated
     let mut set = HashSet::new();
     for p in parts {
         for r in p {

@@ -4,7 +4,7 @@
 use crate::plan::SchemaProvider;
 use crate::schema::Schema;
 use crate::value::{row_bytes, Row};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A fully materialized table.
 #[derive(Clone, Debug)]
@@ -36,10 +36,11 @@ impl Table {
     }
 }
 
-/// Name -> table map.
+/// Name -> table map. `BTreeMap` so [`Catalog::names`] iterates in sorted
+/// order — catalog enumeration feeds result paths and must be deterministic.
 #[derive(Default, Clone, Debug)]
 pub struct Catalog {
-    tables: HashMap<String, Table>,
+    tables: BTreeMap<String, Table>,
 }
 
 impl Catalog {

@@ -332,7 +332,7 @@ impl Expr {
     /// Rewrite column indices through `map` (old index → new index).
     /// Panics if a referenced column is missing from the map — that is a
     /// planning bug, not a data condition.
-    pub fn remap_cols(&self, map: &std::collections::HashMap<usize, usize>) -> Expr {
+    pub fn remap_cols(&self, map: &std::collections::BTreeMap<usize, usize>) -> Expr {
         let m = |e: &Expr| Box::new(e.remap_cols(map));
         match self {
             Expr::Col(i) => Expr::Col(

@@ -42,6 +42,8 @@
 //! assert_eq!(rows, vec![vec![Value::I64(2), Value::F64(50.0)]]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod date;
 pub mod display;

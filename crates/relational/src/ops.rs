@@ -10,7 +10,8 @@
 use crate::expr::Expr;
 use crate::plan::{AggCall, AggFunc, JoinKind, SortKey};
 use crate::value::{Row, Value};
-use std::collections::{HashMap, HashSet};
+// simlint: allow(no-unordered-iter) — HashMap/HashSet here are probe- or count-only (see per-site allows); ordered state uses BTreeMap
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// WHERE: keep rows matching the predicate (NULL = drop).
 pub fn filter(rows: Vec<Row>, pred: &Expr) -> Vec<Row> {
@@ -48,6 +49,7 @@ pub fn hash_join(
     let lcols: Vec<usize> = on.iter().map(|&(l, _)| l).collect();
     let rcols: Vec<usize> = on.iter().map(|&(_, r)| r).collect();
 
+    // simlint: allow(no-unordered-iter) — build side is probe-only (`get`), output order is driven by the `left` scan
     let mut table: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
     for (i, r) in right.iter().enumerate() {
         let k = key_of(r, &rcols);
@@ -175,6 +177,7 @@ pub enum AggState {
     Avg { sum: f64, n: i64 },
     Min(Option<Value>),
     Max(Option<Value>),
+    // simlint: allow(no-unordered-iter) — distinct set is only ever counted (`len`), never iterated
     Distinct(HashSet<Value>),
 }
 
@@ -189,6 +192,7 @@ impl AggState {
             AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
             AggFunc::Min => AggState::Min(None),
             AggFunc::Max => AggState::Max(None),
+            // simlint: allow(no-unordered-iter) — distinct set is count-only
             AggFunc::CountDistinct => AggState::Distinct(HashSet::new()),
         }
     }
@@ -298,7 +302,13 @@ impl AggState {
 }
 
 /// Grouped partial-aggregation table: group key -> one state per agg call.
-pub type GroupTable = HashMap<Vec<Value>, Vec<AggState>>;
+///
+/// A `BTreeMap`, deliberately: [`aggregate_finish`] iterates it into output
+/// rows, so the table's order is the result order for any query without an
+/// explicit ORDER BY. Sorted-by-group-key is deterministic across runs and
+/// refactors; a hash table here would leak its bucket order into result
+/// bytes (the `no-unordered-iter` simlint rule guards this).
+pub type GroupTable = BTreeMap<Vec<Value>, Vec<AggState>>;
 
 /// Build partial aggregate states for a chunk of rows.
 pub fn aggregate_partial(
@@ -306,7 +316,7 @@ pub fn aggregate_partial(
     group_by: &[(Expr, String)],
     aggs: &[AggCall],
 ) -> GroupTable {
-    let mut table: GroupTable = HashMap::new();
+    let mut table: GroupTable = GroupTable::new();
     for row in rows {
         let key: Vec<Value> = group_by.iter().map(|(e, _)| e.eval(row)).collect();
         let states = table
@@ -333,12 +343,12 @@ pub fn aggregate_partial(
 pub fn aggregate_merge(mut acc: GroupTable, other: GroupTable) -> GroupTable {
     for (k, states) in other {
         match acc.entry(k) {
-            std::collections::hash_map::Entry::Occupied(mut e) => {
+            std::collections::btree_map::Entry::Occupied(mut e) => {
                 for (a, b) in e.get_mut().iter_mut().zip(states) {
                     a.merge(b);
                 }
             }
-            std::collections::hash_map::Entry::Vacant(e) => {
+            std::collections::btree_map::Entry::Vacant(e) => {
                 e.insert(states);
             }
         }

@@ -450,9 +450,9 @@ pub fn infer_type(e: &Expr, schema: &Schema) -> DataType {
 mod tests {
     use super::*;
     use crate::expr::{col, lit_i64};
-    use std::collections::HashMap;
+    use std::collections::BTreeMap;
 
-    struct P(HashMap<String, Schema>);
+    struct P(BTreeMap<String, Schema>);
     impl SchemaProvider for P {
         fn table_schema(&self, name: &str) -> &Schema {
             &self.0[name]
@@ -460,7 +460,7 @@ mod tests {
     }
 
     fn provider() -> P {
-        let mut m = HashMap::new();
+        let mut m = BTreeMap::new();
         m.insert(
             "t".to_string(),
             Schema::of(&[("a", DataType::I64), ("b", DataType::Str)]),

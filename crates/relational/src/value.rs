@@ -135,7 +135,10 @@ impl Ord for Value {
             (F64(a), F64(b)) => a.total_cmp(b),
             // Mixed numerics compare by real value (I64 vs Decimal vs F64).
             (a, b) if a.rank() == 2 && b.rank() == 2 => {
-                let (x, y) = (a.as_f64().unwrap(), b.as_f64().unwrap());
+                let (x, y) = (
+                    a.as_f64().expect("rank 2 values are numeric"),
+                    b.as_f64().expect("rank 2 values are numeric"),
+                );
                 x.total_cmp(&y)
             }
             (a, b) => a.rank().cmp(&b.rank()),
@@ -155,7 +158,9 @@ impl Hash for Value {
             // compare equal across representations hash identically.
             Value::I64(_) | Value::F64(_) | Value::Decimal(_) => {
                 2u8.hash(state);
-                let f = self.as_f64().unwrap();
+                let f = self
+                    .as_f64()
+                    .expect("numeric variants always have an f64 value");
                 // Normalize -0.0 to 0.0 for hash/eq coherence under total_cmp?
                 // total_cmp distinguishes -0.0 and 0.0, so bit hashing is
                 // coherent with Ord as-is.

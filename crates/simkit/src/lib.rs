@@ -32,6 +32,8 @@
 //! assert_eq!(end, secs(2.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod latch;
 pub mod resource;
 pub mod sim;

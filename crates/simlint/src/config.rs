@@ -1,0 +1,300 @@
+//! `simlint.toml` parsing — a deliberately tiny TOML subset, so the tool
+//! stays dependency-free. Supported: `[rules.<id>]` / `[global]` section
+//! headers, `key = "string"`, `key = true|false`, and (possibly multiline)
+//! string arrays `key = ["a", "b"]`. `#` comments are stripped outside
+//! quotes. Anything else is a hard error: lint configuration must never be
+//! silently misread.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Every rule simlint knows. Unknown ids in the config or in suppression
+/// comments are errors, so typos can't silently disable a gate.
+pub const KNOWN_RULES: &[&str] = &[
+    "no-wall-clock",
+    "no-unordered-iter",
+    "seeded-rng-only",
+    "no-unwrap-in-lib",
+    "no-unsafe",
+    "lock-discipline",
+];
+
+/// Per-rule configuration (one `[rules.<id>]` section).
+#[derive(Debug, Clone)]
+pub struct RuleConfig {
+    pub id: String,
+    pub enabled: bool,
+    /// Path prefixes (relative to the workspace root) the rule applies to.
+    /// Empty means "everywhere".
+    pub paths: Vec<String>,
+    /// Path prefixes carved back out of `paths`.
+    pub exclude: Vec<String>,
+    /// Ignore violations at or after the file's first `#[cfg(test)]`.
+    pub skip_cfg_test: bool,
+    /// Ignore files under a `tests/` directory (integration suites).
+    pub skip_tests_dir: bool,
+    /// `no-unwrap-in-lib` only: treat `.expect("...")` as the sanctioned,
+    /// documented form (true) or flag it like `.unwrap()` (false).
+    pub allow_expect: bool,
+    /// Banned-token-path override for the token rules (`A::B` or `A`).
+    /// Empty means the rule's built-in default list.
+    pub ban: Vec<String>,
+}
+
+impl RuleConfig {
+    pub fn new(id: &str) -> RuleConfig {
+        RuleConfig {
+            id: id.to_string(),
+            enabled: true,
+            paths: Vec::new(),
+            exclude: Vec::new(),
+            skip_cfg_test: false,
+            skip_tests_dir: false,
+            allow_expect: true,
+            ban: Vec::new(),
+        }
+    }
+}
+
+/// The whole config file.
+#[derive(Debug, Clone, Default)]
+pub struct Config {
+    /// Paths never linted by any rule.
+    pub exclude: Vec<String>,
+    /// Rule sections, keyed by id. A rule with no section runs nowhere
+    /// (explicit opt-in per rule keeps the gate auditable).
+    pub rules: BTreeMap<String, RuleConfig>,
+}
+
+#[derive(Debug)]
+pub struct ConfigError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simlint.toml:{}: {}", self.line, self.message)
+    }
+}
+
+fn err(line: usize, message: impl Into<String>) -> ConfigError {
+    ConfigError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strip a `#` comment, respecting double quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' if !in_str => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Parse a quoted string at the start of `s`; returns (value, rest).
+fn parse_str(s: &str, line: usize) -> Result<(String, &str), ConfigError> {
+    let s = s.trim_start();
+    let Some(rest) = s.strip_prefix('"') else {
+        return Err(err(line, format!("expected string, found `{s}`")));
+    };
+    let Some(end) = rest.find('"') else {
+        return Err(err(line, "unterminated string"));
+    };
+    Ok((rest[..end].to_string(), &rest[end + 1..]))
+}
+
+#[derive(Debug, PartialEq)]
+enum Value {
+    Str(String),
+    Bool(bool),
+    Array(Vec<String>),
+}
+
+pub fn parse(src: &str) -> Result<Config, ConfigError> {
+    let mut config = Config::default();
+    // Section cursor: None (preamble), Some("global"), or Some(rule id).
+    let mut section: Option<String> = None;
+
+    let mut lines = src.lines().enumerate();
+    while let Some((idx, raw)) = lines.next() {
+        let lineno = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        // Section header.
+        if let Some(h) = line.strip_prefix('[') {
+            let Some(name) = h.strip_suffix(']') else {
+                return Err(err(lineno, format!("malformed section header `{line}`")));
+            };
+            let name = name.trim();
+            if name == "global" {
+                section = Some("global".to_string());
+            } else if let Some(rule) = name.strip_prefix("rules.") {
+                if !KNOWN_RULES.contains(&rule) {
+                    return Err(err(lineno, format!("unknown rule `{rule}`")));
+                }
+                config
+                    .rules
+                    .entry(rule.to_string())
+                    .or_insert_with(|| RuleConfig::new(rule));
+                section = Some(rule.to_string());
+            } else {
+                return Err(err(lineno, format!("unknown section `[{name}]`")));
+            }
+            continue;
+        }
+        // key = value
+        let Some((key, val)) = line.split_once('=') else {
+            return Err(err(
+                lineno,
+                format!("expected `key = value`, found `{line}`"),
+            ));
+        };
+        let key = key.trim().to_string();
+        let mut buf = val.trim().to_string();
+        // Multiline array: keep consuming lines until brackets balance.
+        if buf.starts_with('[') {
+            while !buf.contains(']') {
+                let Some((_, next)) = lines.next() else {
+                    return Err(err(lineno, format!("unterminated array for `{key}`")));
+                };
+                buf.push(' ');
+                buf.push_str(strip_comment(next).trim());
+            }
+        }
+        let value = parse_value(&buf, lineno)?;
+        apply(&mut config, section.as_deref(), &key, value, lineno)?;
+    }
+    Ok(config)
+}
+
+fn parse_value(s: &str, line: usize) -> Result<Value, ConfigError> {
+    let s = s.trim();
+    if s == "true" {
+        return Ok(Value::Bool(true));
+    }
+    if s == "false" {
+        return Ok(Value::Bool(false));
+    }
+    if s.starts_with('"') {
+        let (v, rest) = parse_str(s, line)?;
+        if !rest.trim().is_empty() {
+            return Err(err(line, format!("trailing junk after string: `{rest}`")));
+        }
+        return Ok(Value::Str(v));
+    }
+    if let Some(body) = s.strip_prefix('[') {
+        let Some(body) = body.strip_suffix(']') else {
+            return Err(err(line, "unterminated array"));
+        };
+        let mut items = Vec::new();
+        let mut rest = body.trim();
+        while !rest.is_empty() {
+            let (v, r) = parse_str(rest, line)?;
+            items.push(v);
+            rest = r.trim();
+            if let Some(r) = rest.strip_prefix(',') {
+                rest = r.trim();
+            } else if !rest.is_empty() {
+                return Err(err(line, format!("expected `,` in array, found `{rest}`")));
+            }
+        }
+        return Ok(Value::Array(items));
+    }
+    Err(err(line, format!("unsupported value `{s}`")))
+}
+
+fn apply(
+    config: &mut Config,
+    section: Option<&str>,
+    key: &str,
+    value: Value,
+    line: usize,
+) -> Result<(), ConfigError> {
+    match section {
+        Some("global") => match (key, value) {
+            ("exclude", Value::Array(v)) => config.exclude = v,
+            (k, _) => return Err(err(line, format!("unknown global key `{k}`"))),
+        },
+        Some(rule_id) => {
+            let rule = config
+                .rules
+                .get_mut(rule_id)
+                .expect("section cursor points at an inserted rule");
+            match (key, value) {
+                ("enabled", Value::Bool(b)) => rule.enabled = b,
+                ("paths", Value::Array(v)) => rule.paths = v,
+                ("exclude", Value::Array(v)) => rule.exclude = v,
+                ("skip-cfg-test", Value::Bool(b)) => rule.skip_cfg_test = b,
+                ("skip-tests-dir", Value::Bool(b)) => rule.skip_tests_dir = b,
+                ("allow-expect", Value::Bool(b)) => rule.allow_expect = b,
+                ("ban", Value::Array(v)) => rule.ban = v,
+                (k, v) => {
+                    return Err(err(
+                        line,
+                        format!("unknown or mistyped rule key `{k}` (= {v:?})"),
+                    ))
+                }
+            }
+        }
+        None => return Err(err(line, format!("key `{key}` outside any section"))),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_scalars_and_multiline_arrays() {
+        let src = r#"
+# top comment
+[global]
+exclude = ["vendor", "target"] # trailing comment
+
+[rules.no-unsafe]
+enabled = true
+paths = [
+  "crates",   # one per line
+  "src",
+]
+skip-cfg-test = true
+"#;
+        let c = parse(src).unwrap();
+        assert_eq!(c.exclude, vec!["vendor", "target"]);
+        let r = &c.rules["no-unsafe"];
+        assert!(r.enabled && r.skip_cfg_test);
+        assert_eq!(r.paths, vec!["crates", "src"]);
+    }
+
+    #[test]
+    fn unknown_rule_is_an_error() {
+        let e = parse("[rules.no-such-rule]\n").unwrap_err();
+        assert!(e.message.contains("unknown rule"), "{e}");
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let e = parse("[rules.no-unsafe]\nfrobnicate = true\n").unwrap_err();
+        assert!(e.message.contains("unknown or mistyped"), "{e}");
+    }
+
+    #[test]
+    fn hash_inside_string_is_not_a_comment() {
+        let c = parse("[global]\nexclude = [\"a#b\"]\n").unwrap();
+        assert_eq!(c.exclude, vec!["a#b"]);
+    }
+}

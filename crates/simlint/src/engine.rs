@@ -1,0 +1,315 @@
+//! The driver: walk the tree, scope rules to paths, apply suppression
+//! comments, and render diagnostics as `file:line: rule-id: message`.
+
+use crate::config::{Config, RuleConfig, KNOWN_RULES};
+use crate::lexer::{lex, Comment, Lexed};
+use crate::rules::{cfg_test_line, run_rule, Violation};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One parsed `// simlint: allow(rule-id) — justification` comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    pub line: usize,
+    pub rules: Vec<String>,
+    pub justification: String,
+}
+
+/// Outcome of a whole run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// `(file, violation)` pairs, sorted for deterministic output.
+    pub violations: Vec<(String, Violation)>,
+    /// Every well-formed suppression in the tree (for `--list-allows`).
+    pub allows: Vec<(String, Allow)>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Render violations in the canonical `file:line: rule-id: message`
+    /// shape the CI gate greps for.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (file, v) in &self.violations {
+            out.push_str(&format!("{file}:{}: {}: {}\n", v.line, v.rule, v.message));
+        }
+        out
+    }
+
+    pub fn render_allows(&self) -> String {
+        let mut out = String::new();
+        for (file, a) in &self.allows {
+            out.push_str(&format!(
+                "{file}:{}: {}: {}\n",
+                a.line,
+                a.rules.join(","),
+                a.justification
+            ));
+        }
+        out
+    }
+}
+
+/// Parse suppression comments out of a file's comments. Malformed ones
+/// (bare allows, unknown rule ids) become violations: a suppression that
+/// cannot be trusted must fail the gate, not silently widen it.
+///
+/// The `simlint:` marker must open the comment (leading whitespace aside) —
+/// prose that merely *mentions* the directive mid-sentence is not a
+/// directive.
+fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<Violation>) {
+    let mut allows = Vec::new();
+    let mut violations = Vec::new();
+    for c in comments {
+        let Some(directive) = c.text.trim_start().strip_prefix("simlint:") else {
+            continue;
+        };
+        let directive = directive.trim_start();
+        let Some(rest) = directive.strip_prefix("allow") else {
+            violations.push(Violation {
+                line: c.line,
+                rule: "bad-allow".to_string(),
+                message: format!("unrecognized simlint directive `{}`", directive.trim()),
+            });
+            continue;
+        };
+        let rest = rest.trim_start();
+        let (ids, tail) = match rest.strip_prefix('(').and_then(|r| r.split_once(')')) {
+            Some(x) => x,
+            None => {
+                violations.push(Violation {
+                    line: c.line,
+                    rule: "bad-allow".to_string(),
+                    message: "malformed allow — expected `simlint: allow(rule-id) — why`"
+                        .to_string(),
+                });
+                continue;
+            }
+        };
+        let rules: Vec<String> = ids
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let mut bad = false;
+        for r in &rules {
+            if !KNOWN_RULES.contains(&r.as_str()) {
+                violations.push(Violation {
+                    line: c.line,
+                    rule: "bad-allow".to_string(),
+                    message: format!("allow names unknown rule `{r}`"),
+                });
+                bad = true;
+            }
+        }
+        if rules.is_empty() {
+            violations.push(Violation {
+                line: c.line,
+                rule: "bad-allow".to_string(),
+                message: "allow names no rule".to_string(),
+            });
+            bad = true;
+        }
+        // Justification: whatever follows the closing paren, minus leading
+        // separator punctuation (`—`, `-`, `:`).
+        let justification = tail
+            .trim_start()
+            .trim_start_matches(['—', '-', ':'])
+            .trim()
+            .to_string();
+        if justification.is_empty() {
+            violations.push(Violation {
+                line: c.line,
+                rule: "bad-allow".to_string(),
+                message: format!(
+                    "bare allow for `{}` — a justification is required",
+                    rules.join(",")
+                ),
+            });
+            bad = true;
+        }
+        if !bad {
+            allows.push(Allow {
+                line: c.line,
+                rules,
+                justification,
+            });
+        }
+    }
+    (allows, violations)
+}
+
+/// Does `rel` fall under the prefix `p`? Exact match, or directory prefix.
+fn under(rel: &str, p: &str) -> bool {
+    rel == p || rel.starts_with(&format!("{p}/"))
+}
+
+fn rule_applies(rule: &RuleConfig, rel: &str) -> bool {
+    if !rule.enabled {
+        return false;
+    }
+    if rule.skip_tests_dir && (rel.contains("/tests/") || under(rel, "tests")) {
+        return false;
+    }
+    if rule.exclude.iter().any(|p| under(rel, p)) {
+        return false;
+    }
+    rule.paths.is_empty() || rule.paths.iter().any(|p| under(rel, p))
+}
+
+/// A suppression covers its own line and the immediately following line, so
+/// both trailing (`stmt; // simlint: allow(..) — why`) and preceding
+/// (own-line comment above the statement) styles work.
+fn suppressed(v: &Violation, allows: &[Allow]) -> bool {
+    allows
+        .iter()
+        .any(|a| (v.line == a.line || v.line == a.line + 1) && a.rules.contains(&v.rule))
+}
+
+/// Lint one file's source text (`rel` is the root-relative path used for
+/// scoping and reporting). Exposed for fixture tests.
+pub fn lint_source(config: &Config, rel: &str, src: &str) -> Report {
+    let lexed: Lexed = lex(src);
+    let (allows, mut file_violations) = parse_allows(&lexed.comments);
+    let test_line = cfg_test_line(&lexed);
+    for rule in config.rules.values() {
+        if !rule_applies(rule, rel) {
+            continue;
+        }
+        for v in run_rule(rule, &lexed) {
+            if rule.skip_cfg_test && test_line.is_some_and(|t| v.line >= t) {
+                continue;
+            }
+            if suppressed(&v, &allows) {
+                continue;
+            }
+            file_violations.push(v);
+        }
+    }
+    file_violations.sort();
+    Report {
+        violations: file_violations
+            .into_iter()
+            .map(|v| (rel.to_string(), v))
+            .collect(),
+        allows: allows.into_iter().map(|a| (rel.to_string(), a)).collect(),
+    }
+}
+
+/// Recursively collect `.rs` files under `root`, sorted, honouring the
+/// global exclude list. Hidden directories and `target/` are always skipped.
+fn collect_files(root: &Path, config: &Config, filter: &[String]) -> Vec<PathBuf> {
+    let mut out = BTreeSet::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let rel = rel_path(root, &path);
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            if config.exclude.iter().any(|p| under(&rel, p)) {
+                continue;
+            }
+            if path.is_dir() {
+                stack.push(path);
+            } else if name.ends_with(".rs")
+                && (filter.is_empty()
+                    || filter.iter().any(|f| under(&rel, f.trim_end_matches('/'))))
+            {
+                out.insert(path);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Lint the tree under `root`. `filter` optionally restricts to the given
+/// root-relative paths.
+pub fn lint_tree(config: &Config, root: &Path, filter: &[String]) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_files(root, config, filter) {
+        let src = fs::read_to_string(&path)?;
+        let rel = rel_path(root, &path);
+        let file_report = lint_source(config, &rel, &src);
+        report.violations.extend(file_report.violations);
+        report.allows.extend(file_report.allows);
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config;
+
+    fn cfg(toml: &str) -> Config {
+        config::parse(toml).unwrap()
+    }
+
+    #[test]
+    fn scoping_includes_and_excludes() {
+        let c = cfg("[rules.no-unsafe]\npaths = [\"crates\"]\nexclude = [\"crates/bench\"]\n");
+        let r = &c.rules["no-unsafe"];
+        assert!(rule_applies(r, "crates/pdw/src/exec.rs"));
+        assert!(!rule_applies(r, "crates/bench/src/lib.rs"));
+        assert!(!rule_applies(r, "src/lib.rs"));
+    }
+
+    #[test]
+    fn justified_allow_suppresses_same_and_next_line() {
+        let c = cfg("[rules.no-unordered-iter]\n");
+        let src = "\
+// simlint: allow(no-unordered-iter) — probe-only table, never iterated
+use std::collections::HashMap;
+fn f() { let _: HashMap<u8, u8> = HashMap::new(); }
+";
+        let report = lint_source(&c, "x.rs", src);
+        // Line 2 is covered; line 3 is not.
+        assert_eq!(report.violations.len(), 2, "{}", report.render());
+        assert!(report.violations.iter().all(|(_, v)| v.line == 3));
+        assert_eq!(report.allows.len(), 1);
+    }
+
+    #[test]
+    fn bare_allow_fails_even_if_rule_matches_nothing() {
+        let c = cfg("[rules.no-unsafe]\n");
+        let report = lint_source(&c, "x.rs", "// simlint: allow(no-unsafe)\nfn ok() {}\n");
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].1.rule, "bad-allow");
+        assert!(report.violations[0].1.message.contains("justification"));
+    }
+
+    #[test]
+    fn allow_with_unknown_rule_fails() {
+        let c = cfg("[rules.no-unsafe]\n");
+        let report = lint_source(&c, "x.rs", "// simlint: allow(no-such) — because\n");
+        assert_eq!(report.violations[0].1.rule, "bad-allow");
+        assert!(report.violations[0].1.message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn cfg_test_trimming_respects_flag() {
+        let toml = "[rules.no-unwrap-in-lib]\nskip-cfg-test = true\n";
+        let src = "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod t { fn f() { y.unwrap(); } }\n";
+        let report = lint_source(&cfg(toml), "x.rs", src);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].1.line, 1);
+    }
+}

@@ -1,0 +1,356 @@
+//! A hand-rolled Rust lexer, just deep enough for lint rules: it must never
+//! report a banned token that only appears inside a comment, a string (plain,
+//! raw, or byte), or a char literal, and it must survive nested block
+//! comments and `r#".."#` raw strings with arbitrary hash depth.
+//!
+//! Everything ident-like (keywords included) comes out as [`Tok::Ident`];
+//! punctuation comes out one character at a time except `::`, which rules
+//! match on to recognize paths like `Instant::now`.
+
+/// One significant token, tagged with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`HashMap`, `unsafe`, `unwrap`, ...).
+    Ident(String),
+    /// `::` — kept as one token so path patterns are easy to match.
+    PathSep,
+    /// Any other single punctuation character (`.`, `(`, `#`, `[`, ...).
+    Punct(char),
+}
+
+/// A token plus the line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    pub line: usize,
+    pub tok: Tok,
+}
+
+/// A comment (line or block), with the line it starts on and its body text
+/// (delimiters stripped). Block comment bodies keep their interior newlines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    pub line: usize,
+    pub text: String,
+}
+
+/// Lexer output: the significant tokens and every comment, in source order.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Spanned>,
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`. Never fails: unterminated constructs consume to EOF,
+/// which is the forgiving behaviour a linter wants (rustc will reject the
+/// file anyway).
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    // Advance over `n` bytes, counting newlines.
+    fn advance(b: &[u8], i: &mut usize, line: &mut usize, n: usize) {
+        for _ in 0..n {
+            if *i < b.len() {
+                if b[*i] == b'\n' {
+                    *line += 1;
+                }
+                *i += 1;
+            }
+        }
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            advance(b, &mut i, &mut line, 1);
+            continue;
+        }
+        // Line comment (`//`, including doc `///` and `//!`).
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            let start_line = line;
+            let mut j = i + 2;
+            while j < b.len() && b[j] != b'\n' {
+                j += 1;
+            }
+            out.comments.push(Comment {
+                line: start_line,
+                text: src[i + 2..j].to_string(),
+            });
+            {
+                let n = j - i;
+                advance(b, &mut i, &mut line, n);
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let start_line = line;
+            let body_start = i + 2;
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == b'/' && b.get(j + 1) == Some(&b'*') {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == b'*' && b.get(j + 1) == Some(&b'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            let body_end = if depth == 0 { j - 2 } else { j };
+            out.comments.push(Comment {
+                line: start_line,
+                text: src[body_start..body_end.max(body_start)].to_string(),
+            });
+            {
+                let n = j - i;
+                advance(b, &mut i, &mut line, n);
+            }
+            continue;
+        }
+        // Raw strings and raw byte strings: r"..", r#".."#, br##".."##, ...
+        if c == b'r' || (c == b'b' && b.get(i + 1) == Some(&b'r')) {
+            let hash_at = if c == b'r' { i + 1 } else { i + 2 };
+            let mut hashes = 0usize;
+            while b.get(hash_at + hashes) == Some(&b'#') {
+                hashes += 1;
+            }
+            if b.get(hash_at + hashes) == Some(&b'"') {
+                // Scan to `"` followed by `hashes` hash marks.
+                let mut j = hash_at + hashes + 1;
+                'scan: while j < b.len() {
+                    if b[j] == b'"' {
+                        let mut k = 0;
+                        while k < hashes && b.get(j + 1 + k) == Some(&b'#') {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            j += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    j += 1;
+                }
+                {
+                    let n = j - i;
+                    advance(b, &mut i, &mut line, n);
+                }
+                continue;
+            }
+            // Not a raw string (`r` / `br` starts a plain identifier): fall
+            // through to the identifier arm below.
+        }
+        // Plain strings and byte strings: "..", b"..", with \" escapes.
+        if c == b'"' || (c == b'b' && b.get(i + 1) == Some(&b'"')) {
+            let mut j = if c == b'"' { i + 1 } else { i + 2 };
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            {
+                let n = j.min(b.len()) - i;
+                advance(b, &mut i, &mut line, n);
+            }
+            continue;
+        }
+        // Char literal vs lifetime. `'a'` is a char; `'a` (no closing quote
+        // right after the identifier) is a lifetime, which we just skip.
+        if c == b'\'' {
+            if b.get(i + 1) == Some(&b'\\') {
+                // Escaped char literal: '\n', '\'', '\u{..}'.
+                let mut j = i + 2;
+                while j < b.len() && b[j] != b'\'' {
+                    j += 1;
+                }
+                {
+                    let n = (j + 1).min(b.len()) - i;
+                    advance(b, &mut i, &mut line, n);
+                }
+            } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1).is_some_and(|ch| *ch != b'\'') {
+                advance(b, &mut i, &mut line, 3); // 'x'
+            } else {
+                // Lifetime: skip the quote and the identifier after it.
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                {
+                    let n = j - i;
+                    advance(b, &mut i, &mut line, n);
+                }
+            }
+            continue;
+        }
+        // Identifier / keyword (also swallows the suffix of numeric-looking
+        // idents like `r` that failed the raw-string probe).
+        if c.is_ascii_alphabetic() || c == b'_' {
+            let start = i;
+            let mut j = i;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                j += 1;
+            }
+            out.tokens.push(Spanned {
+                line,
+                tok: Tok::Ident(src[start..j].to_string()),
+            });
+            {
+                let n = j - i;
+                advance(b, &mut i, &mut line, n);
+            }
+            continue;
+        }
+        // Numbers (skipped entirely; suffixes like 1_000u64 are eaten too).
+        if c.is_ascii_digit() {
+            let mut j = i;
+            while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'.') {
+                // Don't eat `..` range punctuation or a method call after a
+                // number (`1.max(2)`): stop a `.` that isn't followed by a
+                // digit.
+                if b[j] == b'.' && !b.get(j + 1).is_some_and(u8::is_ascii_digit) {
+                    break;
+                }
+                j += 1;
+            }
+            {
+                let n = j - i;
+                advance(b, &mut i, &mut line, n);
+            }
+            continue;
+        }
+        // `::` path separator.
+        if c == b':' && b.get(i + 1) == Some(&b':') {
+            out.tokens.push(Spanned {
+                line,
+                tok: Tok::PathSep,
+            });
+            advance(b, &mut i, &mut line, 2);
+            continue;
+        }
+        // Everything else: one punctuation character.
+        out.tokens.push(Spanned {
+            line,
+            tok: Tok::Punct(c as char),
+        });
+        advance(b, &mut i, &mut line, 1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Ident(i) => Some(i),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn banned_tokens_in_strings_do_not_tokenize() {
+        let src = r##"let s = "HashMap::new()"; let r = r#"thread_rng"#;"##;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()), "{ids:?}");
+        assert!(!ids.contains(&"thread_rng".to_string()), "{ids:?}");
+        assert!(ids.contains(&"let".to_string()));
+    }
+
+    #[test]
+    fn nested_block_comments_hide_tokens() {
+        let src = "/* outer /* Instant::now() */ still comment */ fn f() {}";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "f"]);
+        let lexed = lex(src);
+        assert!(lexed.comments[0].text.contains("Instant::now()"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        // A naive char-literal scanner would treat `'a` as an unterminated
+        // literal and swallow the rest of the line.
+        let ids = idents("fn f<'a>(x: &'a str) { x.unwrap() }");
+        assert!(ids.contains(&"unwrap".to_string()));
+    }
+
+    #[test]
+    fn char_literals_and_escapes() {
+        let ids = idents(r"let c = '\''; let d = 'x'; let e = '\u{1F600}'; y");
+        assert!(ids.contains(&"y".to_string()));
+        assert!(!ids.contains(&"u".to_string()));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_containing_quotes() {
+        let src = r###"let s = r##"a "quoted" HashSet "##; done"###;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashSet".to_string()));
+        assert!(ids.contains(&"done".to_string()));
+    }
+
+    #[test]
+    fn path_sep_is_one_token() {
+        let toks: Vec<Tok> = lex("Instant::now()")
+            .tokens
+            .into_iter()
+            .map(|s| s.tok)
+            .collect();
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("Instant".into()),
+                Tok::PathSep,
+                Tok::Ident("now".into()),
+                Tok::Punct('('),
+                Tok::Punct(')'),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nline string\"\nb /* c\nd */ e";
+        let lexed = lex(src);
+        let lines: Vec<(String, usize)> = lexed
+            .tokens
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Ident(i) => Some((i.clone(), s.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            lines,
+            vec![("a".into(), 1), ("b".into(), 4), ("e".into(), 5)]
+        );
+    }
+
+    #[test]
+    fn line_comment_text_is_captured() {
+        let lexed = lex("x // simlint: allow(no-unsafe) — test harness\ny");
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("simlint: allow"));
+        assert_eq!(lexed.comments[0].line, 1);
+    }
+
+    #[test]
+    fn numeric_method_calls_still_tokenize() {
+        let ids = idents("let x = 1.max(2) + 0.5f64.sqrt();");
+        assert!(ids.contains(&"max".to_string()));
+    }
+}

@@ -1,0 +1,37 @@
+//! `simlint` — the workspace determinism-and-correctness lint.
+//!
+//! The reproduction's headline guarantee is that regenerated result files
+//! are byte-identical across refactors. That only holds while some
+//! invariants stay true everywhere: simulated code takes time from the DES
+//! clock (never the wall clock), no `HashMap`/`HashSet` iteration order
+//! leaks into result paths, every random stream is explicitly seeded, engine
+//! library code doesn't panic via `.unwrap()`, nothing is `unsafe`, and the
+//! docstore's continuation-passing lock protocol stays paired. `simlint`
+//! turns each of those conventions into a checked, CI-gated property.
+//!
+//! Design constraints: no dependencies (the build environment is offline,
+//! so no `syn`/`toml`), a hand-rolled lexer that is exact about comments,
+//! strings, raw strings and char literals (a banned token inside any of
+//! those must never fire), and per-rule path scoping via `simlint.toml` at
+//! the workspace root. See the "Determinism invariants" section of
+//! DESIGN.md for the rule catalogue.
+//!
+//! Suppressions are inline and must carry a justification:
+//!
+//! ```text
+//! // simlint: allow(no-unordered-iter) — probe-only table, never iterated
+//! ```
+//!
+//! A bare `allow` (or one naming an unknown rule) fails the run. The
+//! `--list-allows` mode prints every suppression with its justification so
+//! the exemption surface can be audited in one screenful.
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{Config, RuleConfig};
+pub use engine::{lint_source, lint_tree, Report};

@@ -1,0 +1,119 @@
+//! CLI: `cargo run -p simlint [-- --list-allows] [--root DIR] [--config FILE] [PATH...]`
+//!
+//! Exit codes: 0 clean, 1 violations (or bare/unknown allows), 2 usage or
+//! I/O errors. The default root is the nearest ancestor of the current
+//! directory containing `simlint.toml`, so the tool works from anywhere in
+//! the workspace.
+
+#![forbid(unsafe_code)]
+
+use simlint::{config, engine};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    config: Option<PathBuf>,
+    list_allows: bool,
+    paths: Vec<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: simlint [--root DIR] [--config FILE] [--list-allows] [PATH...]\n\
+     \n\
+     Lints every .rs file under the workspace root against simlint.toml.\n\
+     PATH arguments (root-relative) restrict the run to those files/dirs.\n\
+     --list-allows prints every inline suppression with its justification\n\
+     instead of linting (bare allows still fail)."
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        config: None,
+        list_allows: false,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                args.root = Some(PathBuf::from(it.next().ok_or("--root needs a directory")?))
+            }
+            "--config" => {
+                args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?))
+            }
+            "--list-allows" => args.list_allows = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            p if !p.starts_with('-') => args.paths.push(p.to_string()),
+            other => return Err(format!("unknown flag `{other}`\n\n{}", usage())),
+        }
+    }
+    Ok(args)
+}
+
+/// Nearest ancestor of the current directory that holds `simlint.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("simlint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => find_root()
+            .ok_or("no simlint.toml found here or in any parent directory (use --root/--config)")?,
+    };
+    let config_path = args.config.unwrap_or_else(|| root.join("simlint.toml"));
+    let toml = std::fs::read_to_string(&config_path)
+        .map_err(|e| format!("cannot read {}: {e}", config_path.display()))?;
+    let config = config::parse(&toml).map_err(|e| e.to_string())?;
+
+    let report = engine::lint_tree(&config, &root, &args.paths)
+        .map_err(|e| format!("walking {}: {e}", root.display()))?;
+
+    if args.list_allows {
+        print!("{}", report.render_allows());
+        // Bad allows are violations; surface them in audit mode too.
+        let bad: Vec<_> = report
+            .violations
+            .iter()
+            .filter(|(_, v)| v.rule == "bad-allow")
+            .collect();
+        for (file, v) in &bad {
+            eprintln!("{file}:{}: {}: {}", v.line, v.rule, v.message);
+        }
+        return Ok(bad.is_empty());
+    }
+
+    print!("{}", report.render());
+    if report.is_clean() {
+        eprintln!(
+            "simlint: clean ({} suppression{} in force — audit with --list-allows)",
+            report.allows.len(),
+            if report.allows.len() == 1 { "" } else { "s" }
+        );
+    } else {
+        eprintln!("simlint: {} violation(s)", report.violations.len());
+    }
+    Ok(report.is_clean())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

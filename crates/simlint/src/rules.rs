@@ -1,0 +1,331 @@
+//! The rule implementations. Each rule takes the lexed file plus its
+//! [`RuleConfig`] and emits violations; path scoping, `#[cfg(test)]`
+//! trimming and suppression comments are handled by the engine.
+
+use crate::config::RuleConfig;
+use crate::lexer::{Lexed, Spanned, Tok};
+
+/// One diagnostic, formatted by the engine as `file:line: rule-id: message`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    pub line: usize,
+    pub rule: String,
+    pub message: String,
+}
+
+fn violation(line: usize, rule: &str, message: impl Into<String>) -> Violation {
+    Violation {
+        line,
+        rule: rule.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Built-in banned token paths per rule (`ban = [...]` overrides).
+///
+/// `no-wall-clock`: simulated code must take time from the DES clock only —
+/// any ambient wall-clock or calendar source makes runs non-replayable.
+/// `seeded-rng-only`: every random stream must come from an explicit seed
+/// (this also guards the vendored-xoshiro `StdRng` caveat in ROADMAP.md:
+/// an entropy-seeded generator would hide that streams differ from
+/// upstream `rand`).
+/// `no-unordered-iter`: `HashMap`/`HashSet` iteration order is arbitrary;
+/// in result-producing crates it leaks straight into output bytes.
+fn default_bans(rule: &str) -> &'static [&'static str] {
+    match rule {
+        "no-wall-clock" => &[
+            "Instant::now",
+            "SystemTime",
+            "UNIX_EPOCH",
+            "Utc::now",
+            "Local::now",
+            "chrono",
+        ],
+        "seeded-rng-only" => &[
+            "thread_rng",
+            "rand::random",
+            "from_entropy",
+            "OsRng",
+            "getrandom",
+        ],
+        "no-unordered-iter" => &["HashMap", "HashSet", "hash_map", "hash_set"],
+        _ => &[],
+    }
+}
+
+/// Match banned token paths against the token stream. A pattern `A::B`
+/// requires the exact ident/`::`/ident sequence; a single-segment pattern
+/// matches any occurrence of that identifier (so `SystemTime` fires on
+/// `std::time::SystemTime` too).
+fn check_banned(rule: &RuleConfig, lexed: &Lexed) -> Vec<Violation> {
+    let patterns: Vec<Vec<&str>> = if rule.ban.is_empty() {
+        default_bans(&rule.id)
+            .iter()
+            .map(|p| p.split("::").collect())
+            .collect()
+    } else {
+        rule.ban.iter().map(|p| p.split("::").collect()).collect()
+    };
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        for pat in &patterns {
+            if pat[0] != name.as_str() {
+                continue;
+            }
+            // The remaining segments must follow as `:: seg :: seg ...`.
+            let mut j = i + 1;
+            let mut matched = true;
+            for seg in &pat[1..] {
+                match (toks.get(j), toks.get(j + 1)) {
+                    (
+                        Some(Spanned {
+                            tok: Tok::PathSep, ..
+                        }),
+                        Some(Spanned {
+                            tok: Tok::Ident(s), ..
+                        }),
+                    ) if s.as_str() == *seg => j += 2,
+                    _ => {
+                        matched = false;
+                        break;
+                    }
+                }
+            }
+            if matched {
+                out.push(violation(
+                    t.line,
+                    &rule.id,
+                    format!("banned token `{}`", pat.join("::")),
+                ));
+                break; // one diagnostic per site, even if several patterns hit
+            }
+        }
+    }
+    out
+}
+
+/// `.unwrap()` — and `.expect(` unless `allow-expect` — in library code.
+fn check_unwrap(rule: &RuleConfig, lexed: &Lexed) -> Vec<Violation> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let flagged = match name.as_str() {
+            "unwrap" => true,
+            "expect" => !rule.allow_expect,
+            _ => continue,
+        };
+        if !flagged {
+            continue;
+        }
+        let after_dot = matches!(
+            toks.get(i.wrapping_sub(1)),
+            Some(Spanned {
+                tok: Tok::Punct('.'),
+                ..
+            })
+        ) && i > 0;
+        let called = matches!(
+            toks.get(i + 1),
+            Some(Spanned {
+                tok: Tok::Punct('('),
+                ..
+            })
+        );
+        if after_dot && called {
+            out.push(violation(
+                t.line,
+                &rule.id,
+                format!(
+                    "`.{name}()` in library code — return a typed error or use \
+                     `.expect(\"<invariant>\")` with a message"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Any `unsafe` token. Crates also carry `#![forbid(unsafe_code)]`; the lint
+/// catches the attribute being removed together with an unsafe block in one
+/// commit, which rustc alone would accept.
+fn check_unsafe(rule: &RuleConfig, lexed: &Lexed) -> Vec<Violation> {
+    lexed
+        .tokens
+        .iter()
+        .filter(|t| matches!(&t.tok, Tok::Ident(i) if i == "unsafe"))
+        .map(|t| violation(t.line, &rule.id, "`unsafe` is forbidden workspace-wide"))
+        .collect()
+}
+
+/// Textual pairing check for the docstore global-lock protocol
+/// (`RwLock::acquire_read/_write` with continuation-passing release).
+///
+/// Source order is not execution order in continuation style, so this is a
+/// deliberately approximate smell check with two guarantees that held when
+/// the rule landed and that a regression would break:
+///  1. a file that acquires a lock kind must also release that kind, and
+///  2. between two consecutive `acquire_<kind>` sites there must be at
+///     least one `release_<kind>` site — a second acquire with no release
+///     in between is the re-acquire-without-release deadlock shape.
+fn check_lock_discipline(rule: &RuleConfig, lexed: &Lexed) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for kind in ["read", "write"] {
+        let acq = format!("acquire_{kind}");
+        let rel = format!("release_{kind}");
+        let mut last_acquire: Option<usize> = None; // line of acquire awaiting a release
+        let mut acquires = 0usize;
+        let mut releases = 0usize;
+        for t in &lexed.tokens {
+            let Tok::Ident(name) = &t.tok else { continue };
+            if *name == acq {
+                acquires += 1;
+                if let Some(prev) = last_acquire {
+                    out.push(violation(
+                        t.line,
+                        &rule.id,
+                        format!(
+                            "`{acq}` follows `{acq}` at line {prev} with no \
+                             `{rel}` in between — continuation re-acquires \
+                             without releasing"
+                        ),
+                    ));
+                }
+                last_acquire = Some(t.line);
+            } else if *name == rel {
+                releases += 1;
+                last_acquire = None;
+            }
+        }
+        if acquires > 0 && releases == 0 {
+            out.push(violation(
+                last_acquire.unwrap_or(1),
+                &rule.id,
+                format!("`{acq}` with no `{rel}` anywhere in the file"),
+            ));
+        }
+    }
+    out
+}
+
+/// Run one rule over a lexed file.
+pub fn run_rule(rule: &RuleConfig, lexed: &Lexed) -> Vec<Violation> {
+    match rule.id.as_str() {
+        "no-wall-clock" | "seeded-rng-only" | "no-unordered-iter" => check_banned(rule, lexed),
+        "no-unwrap-in-lib" => check_unwrap(rule, lexed),
+        "no-unsafe" => check_unsafe(rule, lexed),
+        "lock-discipline" => check_lock_discipline(rule, lexed),
+        other => unreachable!("unknown rule `{other}` got past config validation"),
+    }
+}
+
+/// Line of the first `#[cfg(test)]` attribute, if any: tokens
+/// `#` `[` `cfg` `(` `test` `)` `]`.
+pub fn cfg_test_line(lexed: &Lexed) -> Option<usize> {
+    let toks = &lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !matches!(t.tok, Tok::Punct('#')) {
+            continue;
+        }
+        let shape = [
+            toks.get(i + 1).map(|s| &s.tok),
+            toks.get(i + 2).map(|s| &s.tok),
+            toks.get(i + 3).map(|s| &s.tok),
+            toks.get(i + 4).map(|s| &s.tok),
+            toks.get(i + 5).map(|s| &s.tok),
+            toks.get(i + 6).map(|s| &s.tok),
+        ];
+        let ok = matches!(
+            shape,
+            [
+                Some(Tok::Punct('[')),
+                Some(Tok::Ident(a)),
+                Some(Tok::Punct('(')),
+                Some(Tok::Ident(b)),
+                Some(Tok::Punct(')')),
+                Some(Tok::Punct(']')),
+            ] if a.as_str() == "cfg" && b.as_str() == "test"
+        );
+        if ok {
+            return Some(t.line);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn rule(id: &str) -> RuleConfig {
+        RuleConfig::new(id)
+    }
+
+    #[test]
+    fn banned_path_pattern_requires_full_path() {
+        let lexed = lex("let x = rand::random::<u8>(); let random = 3;");
+        let v = check_banned(&rule("seeded-rng-only"), &lexed);
+        assert_eq!(v.len(), 1, "bare ident `random` must not fire: {v:?}");
+    }
+
+    #[test]
+    fn single_segment_pattern_fires_on_qualified_use() {
+        let lexed = lex("let t = std::time::SystemTime::now();");
+        let v = check_banned(&rule("no-wall-clock"), &lexed);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("SystemTime"));
+    }
+
+    #[test]
+    fn unwrap_fires_expect_respects_config() {
+        let lexed = lex("x.unwrap(); y.expect(\"inv\");");
+        let mut r = rule("no-unwrap-in-lib");
+        assert_eq!(check_unwrap(&r, &lexed).len(), 1);
+        r.allow_expect = false;
+        assert_eq!(check_unwrap(&r, &lexed).len(), 2);
+    }
+
+    #[test]
+    fn unwrap_without_receiver_dot_is_not_flagged() {
+        // A free function named unwrap (or Option::unwrap path call) is not
+        // the `.unwrap()` postfix form the rule targets.
+        let lexed = lex("let v = unwrap(x); Option::unwrap(y);");
+        assert!(check_unwrap(&rule("no-unwrap-in-lib"), &lexed).is_empty());
+    }
+
+    #[test]
+    fn lock_discipline_balanced_file_passes() {
+        let lexed = lex("l.acquire_read(s, a); l.release_read(s);
+             l.acquire_read(s, b); l.release_read(s);");
+        assert!(check_lock_discipline(&rule("lock-discipline"), &lexed).is_empty());
+    }
+
+    #[test]
+    fn lock_discipline_reacquire_without_release_fires() {
+        let lexed = lex("l.acquire_write(s, a); l.acquire_write(s, b); l.release_write(s);");
+        let v = check_lock_discipline(&rule("lock-discipline"), &lexed);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("re-acquires"));
+    }
+
+    #[test]
+    fn lock_discipline_missing_release_fires() {
+        let lexed = lex("l.acquire_read(s, a);");
+        let v = check_lock_discipline(&rule("lock-discipline"), &lexed);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("no `release_read`"));
+    }
+
+    #[test]
+    fn cfg_test_attribute_is_found() {
+        let lexed = lex("fn a() {}\n#[cfg(test)]\nmod tests {}\n");
+        assert_eq!(cfg_test_line(&lexed), Some(2));
+        assert_eq!(
+            cfg_test_line(&lex("#[cfg(feature = \"x\")] fn b() {}")),
+            None
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Lexer edge cases: banned tokens inside strings, raw strings, char
+//! literals and nested block comments must never fire, for any rule.
+
+/* outer comment
+   /* nested: Instant::now() thread_rng() HashMap unsafe */
+   still inside the outer comment: SystemTime x.unwrap() l.acquire_read(
+*/
+
+pub fn hidden<'a>(x: &'a str) -> (&'a str, String, char) {
+    let plain = "Instant::now() and HashMap<K, V> and x.unwrap() and unsafe";
+    let raw = r#"thread_rng() "SystemTime" OsRng l.acquire_write("#.to_string();
+    let quote = '"'; // a double-quote char literal must not open a string
+    let _ = x.len().max(1); // `1.max` must lex as a method call, not a float
+    (plain, raw, quote)
+}

@@ -1,0 +1,8 @@
+//! Positive fixture: the second `acquire_write` has no `release_write`
+//! before it — the re-acquire-without-release deadlock shape.
+
+pub fn double_acquire(l: &mut Lock, s: &mut Sim) {
+    l.acquire_write(s, cont_a);
+    l.acquire_write(s, cont_b);
+    l.release_write(s);
+}

@@ -1,0 +1,8 @@
+//! Negative fixture: every acquire of a kind is followed by a release of
+//! that kind before the next acquire, for both kinds.
+
+pub fn balanced(l: &mut Lock, s: &mut Sim) {
+    l.acquire_read(s, |s| l.release_read(s));
+    l.acquire_write(s, |s| l.release_write(s));
+    l.acquire_read(s, |s| l.release_read(s));
+}

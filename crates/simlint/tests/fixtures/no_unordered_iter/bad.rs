@@ -1,0 +1,11 @@
+//! Positive fixture: HashMap iteration order leaks into the result vector.
+
+use std::collections::HashMap;
+
+pub fn group_counts(keys: &[String]) -> Vec<(String, usize)> {
+    let mut m: HashMap<String, usize> = HashMap::new();
+    for k in keys {
+        *m.entry(k.clone()).or_insert(0) += 1;
+    }
+    m.into_iter().collect()
+}

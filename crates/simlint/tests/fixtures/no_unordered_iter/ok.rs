@@ -1,0 +1,12 @@
+//! Negative fixture: BTreeMap iterates in key order, so the output is
+//! deterministic by construction.
+
+use std::collections::BTreeMap;
+
+pub fn group_counts(keys: &[String]) -> Vec<(String, usize)> {
+    let mut m: BTreeMap<String, usize> = BTreeMap::new();
+    for k in keys {
+        *m.entry(k.clone()).or_insert(0) += 1;
+    }
+    m.into_iter().collect()
+}

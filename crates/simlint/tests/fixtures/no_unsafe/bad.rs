@@ -1,0 +1,5 @@
+//! Positive fixture: any `unsafe` token fires.
+
+pub fn reinterpret(x: &u64) -> i64 {
+    unsafe { std::mem::transmute::<u64, i64>(*x) }
+}

@@ -1,0 +1,10 @@
+//! Negative fixture: the safe equivalent, plus the word "unsafe" in prose
+//! and strings (neither may fire).
+
+pub fn reinterpret(x: &u64) -> i64 {
+    i64::from_ne_bytes(x.to_ne_bytes())
+}
+
+pub fn label() -> &'static str {
+    "unsafe is banned here"
+}

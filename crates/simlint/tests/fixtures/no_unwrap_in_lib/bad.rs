@@ -1,0 +1,5 @@
+//! Positive fixture: `.unwrap()` in library code says nothing when it fires.
+
+pub fn head(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,15 @@
+//! Negative fixture: a typed error, or a documented `.expect("<invariant>")`
+//! (sanctioned under the default `allow-expect = true`). A free function
+//! named `unwrap` is not the postfix form the rule targets.
+
+pub fn head(v: &[u8]) -> Result<u8, String> {
+    v.first().copied().ok_or_else(|| "empty slice".to_string())
+}
+
+pub fn head_invariant(v: &[u8]) -> u8 {
+    *v.first().expect("caller guarantees a non-empty slice")
+}
+
+pub fn unwrap(x: Option<u8>) -> u8 {
+    x.unwrap_or(0)
+}

@@ -1,0 +1,14 @@
+//! Positive fixture: every ambient clock source below must fire.
+
+pub fn naive_timer() -> std::time::Duration {
+    let t0 = std::time::Instant::now();
+    t0.elapsed()
+}
+
+pub fn epoch_secs() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("epoch is in the past")
+        .as_secs()
+}

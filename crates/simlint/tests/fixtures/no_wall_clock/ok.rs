@@ -1,0 +1,11 @@
+//! Negative fixture: simulated time only — the DES clock hands `now_s` in,
+//! no ambient clock is consulted. (Prose mentioning Instant::now() in a
+//! comment, like this one, must not fire either.)
+
+pub fn charge(now_s: f64, service_s: f64) -> f64 {
+    now_s + service_s
+}
+
+pub fn instant_of(step: u64, step_s: f64) -> f64 {
+    step as f64 * step_s
+}

@@ -1,0 +1,6 @@
+//! Positive fixture: ambient entropy sources must fire.
+
+pub fn ambient_draw() -> (u64, u64) {
+    let mut rng = rand::thread_rng();
+    (rng.gen(), rand::random::<u64>())
+}

@@ -1,0 +1,9 @@
+//! Negative fixture: an explicit seed threads through; `random` as a bare
+//! identifier (not `rand::random`) must not fire.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+pub fn seeded_draw(seed: u64) -> u64 {
+    let mut random = StdRng::seed_from_u64(seed);
+    random.gen()
+}

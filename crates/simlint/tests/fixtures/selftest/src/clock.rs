@@ -1,0 +1,20 @@
+//! Deliberately seeded violations for the CI self-test. If simlint exits 0
+//! on this tree, the gate is broken.
+
+use std::collections::HashMap;
+
+pub fn now_ms() -> u128 {
+    std::time::Instant::now().elapsed().as_millis()
+}
+
+pub fn ambient_sample() -> u64 {
+    rand::thread_rng().gen()
+}
+
+pub fn leak_order(m: HashMap<u64, u64>) -> Vec<u64> {
+    m.into_values().collect()
+}
+
+pub fn head(v: &[u8]) -> u8 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,3 @@
+use std::collections::HashMap; // simlint: allow(no-unordered-iter)
+
+pub type Cache = HashMap<u64, u64>;

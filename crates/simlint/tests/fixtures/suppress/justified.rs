@@ -1,0 +1,6 @@
+use std::collections::HashMap; // simlint: allow(no-unordered-iter) — fixture: probe-only map
+
+// simlint: allow(no-unordered-iter) — fixture: build side is probed, never iterated
+pub fn build(keys: &[u64]) -> HashMap<u64, usize> {
+    keys.iter().enumerate().map(|(i, k)| (*k, i)).collect()
+}

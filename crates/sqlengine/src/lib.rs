@@ -20,6 +20,8 @@
 //! * **client-side hash sharding** across 8 server nodes (SQL-CS), so range
 //!   scans fan out to every shard and read scattered pages.
 
+#![forbid(unsafe_code)]
+
 pub mod node;
 pub mod sharded;
 

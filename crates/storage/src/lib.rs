@@ -12,6 +12,8 @@
 //! * [`btree`] — an in-memory B+tree with page accounting,
 //! * [`bufpool`] — an O(1) LRU buffer pool with dirty tracking.
 
+#![forbid(unsafe_code)]
+
 pub mod btree;
 pub mod bufpool;
 pub mod compress;

@@ -167,8 +167,10 @@ mod tests {
     #[test]
     fn insert_get_roundtrip() {
         let mut p = HeapPage::new();
-        let a = p.insert(b"hello").unwrap();
-        let b = p.insert(b"world!").unwrap();
+        let a = p.insert(b"hello").expect("empty page has room");
+        let b = p
+            .insert(b"world!")
+            .expect("page has room for two tiny records");
         assert_eq!(p.get(a), Some(&b"hello"[..]));
         assert_eq!(p.get(b), Some(&b"world!"[..]));
         assert_eq!(p.live_records(), 2);
@@ -191,9 +193,9 @@ mod tests {
     fn delete_then_compact_reclaims() {
         let mut p = HeapPage::new();
         let rec = vec![1u8; 2500];
-        let a = p.insert(&rec).unwrap();
-        let _b = p.insert(&rec).unwrap();
-        let c = p.insert(&rec).unwrap();
+        let a = p.insert(&rec).expect("1 of 3 records fits");
+        let _b = p.insert(&rec).expect("2 of 3 records fit");
+        let c = p.insert(&rec).expect("3 of 3 records fit");
         assert!(p.insert(&rec).is_none()); // full: 3*2500 + overhead > 8192 - 2500
         assert!(p.delete(a));
         assert!(!p.delete(a), "double delete");
@@ -205,7 +207,7 @@ mod tests {
     #[test]
     fn update_in_place_and_too_big() {
         let mut p = HeapPage::new();
-        let a = p.insert(b"0123456789").unwrap();
+        let a = p.insert(b"0123456789").expect("empty page has room");
         assert!(p.update(a, b"abcdefghij"));
         assert_eq!(p.get(a), Some(&b"abcdefghij"[..]));
         assert!(p.update(a, b"short"));
@@ -223,8 +225,8 @@ mod tests {
     #[test]
     fn iter_skips_tombstones() {
         let mut p = HeapPage::new();
-        let a = p.insert(b"a").unwrap();
-        let _b = p.insert(b"b").unwrap();
+        let a = p.insert(b"a").expect("empty page has room");
+        let _b = p.insert(b"b").expect("page has room for two tiny records");
         p.delete(a);
         let live: Vec<_> = p.iter().map(|(_, r)| r.to_vec()).collect();
         assert_eq!(live, vec![b"b".to_vec()]);

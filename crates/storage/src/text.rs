@@ -67,9 +67,21 @@ fn parse_field(s: &str, ty: DataType) -> Value {
         }
         DataType::Date => {
             let mut it = s.split('-');
-            let y: i32 = it.next().unwrap().parse().expect("bad year");
-            let m: u32 = it.next().unwrap().parse().expect("bad month");
-            let d: u32 = it.next().unwrap().parse().expect("bad day");
+            let y: i32 = it
+                .next()
+                .expect("date literal has a year part")
+                .parse()
+                .expect("bad year");
+            let m: u32 = it
+                .next()
+                .expect("date literal has a month part")
+                .parse()
+                .expect("bad month");
+            let d: u32 = it
+                .next()
+                .expect("date literal has a day part")
+                .parse()
+                .expect("bad day");
             Value::Date(date::date(y, m, d))
         }
         DataType::Str => Value::str(s),

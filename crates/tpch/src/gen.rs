@@ -392,9 +392,9 @@ mod tests {
         let max_key = orders
             .rows
             .iter()
-            .map(|r| r[0].as_i64().unwrap())
+            .map(|r| r[0].as_i64().expect("o_orderkey is I64"))
             .max()
-            .unwrap();
+            .expect("orders table is non-empty");
         // Max key ≈ 4x row count because only 8 of every 32 values are used.
         let n = orders.len() as i64;
         assert!(
@@ -403,7 +403,7 @@ mod tests {
         );
         // Every key's position within its 32-group is < 8.
         for row in orders.rows.iter().take(1000) {
-            let k = row[0].as_i64().unwrap();
+            let k = row[0].as_i64().expect("o_orderkey is I64");
             assert!((k - 1) % 32 < 8, "key {k} outside first-8-of-32");
         }
     }
@@ -412,7 +412,7 @@ mod tests {
     fn no_customer_divisible_by_3_has_orders() {
         let cat = small();
         for row in &cat.get("orders").rows {
-            let c = row[1].as_i64().unwrap();
+            let c = row[1].as_i64().expect("o_custkey is I64");
             assert_ne!(c % 3, 0, "custkey {c} should not place orders");
         }
     }
@@ -424,7 +424,7 @@ mod tests {
             .get("orders")
             .rows
             .iter()
-            .map(|r| r[1].as_i64().unwrap())
+            .map(|r| r[1].as_i64().expect("o_custkey is I64"))
             .collect();
         let total = cat.get("customer").len();
         assert!(
@@ -443,9 +443,13 @@ mod tests {
             s.col("l_receiptdate"),
         );
         for row in cat.get("lineitem").rows.iter().take(2000) {
-            let sd = row[ship].as_i64().unwrap();
-            let rd = row[receipt].as_i64().unwrap();
-            let _cd = row[commit].as_i64().unwrap();
+            let sd = row[ship].as_i64().expect("l_shipdate is a date ordinal");
+            let rd = row[receipt]
+                .as_i64()
+                .expect("l_receiptdate is a date ordinal");
+            let _cd = row[commit]
+                .as_i64()
+                .expect("l_commitdate is a date ordinal");
             assert!(rd > sd, "receipt after ship");
         }
     }
@@ -456,10 +460,20 @@ mod tests {
         let s = schema::lineitem();
         let today = current_date() as i64;
         for row in cat.get("lineitem").rows.iter().take(2000) {
-            let rf = row[s.col("l_returnflag")].as_str().unwrap().to_string();
-            let ls = row[s.col("l_linestatus")].as_str().unwrap().to_string();
-            let ship = row[s.col("l_shipdate")].as_i64().unwrap();
-            let receipt = row[s.col("l_receiptdate")].as_i64().unwrap();
+            let rf = row[s.col("l_returnflag")]
+                .as_str()
+                .expect("l_returnflag is Str")
+                .to_string();
+            let ls = row[s.col("l_linestatus")]
+                .as_str()
+                .expect("l_linestatus is Str")
+                .to_string();
+            let ship = row[s.col("l_shipdate")]
+                .as_i64()
+                .expect("l_shipdate is a date ordinal");
+            let receipt = row[s.col("l_receiptdate")]
+                .as_i64()
+                .expect("l_receiptdate is a date ordinal");
             if receipt <= today {
                 assert!(rf == "R" || rf == "A");
             } else {
@@ -477,7 +491,12 @@ mod tests {
         let matches = o
             .rows
             .iter()
-            .filter(|r| relational::expr::like_match(r[oc].as_str().unwrap(), "%special%requests%"))
+            .filter(|r| {
+                relational::expr::like_match(
+                    r[oc].as_str().expect("o_comment is Str"),
+                    "%special%requests%",
+                )
+            })
             .count();
         let rate = matches as f64 / o.len() as f64;
         assert!(rate > 0.002 && rate < 0.05, "Q13 pattern rate {rate}");
@@ -516,13 +535,16 @@ mod tests {
             .map(|r| {
                 // as_f64 on decimals yields real values: price in dollars,
                 // tax/discount as fractions (0.08 = 8%).
-                let price_cents = r[5].as_f64().unwrap() * 100.0;
-                let disc = r[6].as_f64().unwrap();
-                let tax = r[7].as_f64().unwrap();
+                let price_cents = r[5].as_f64().expect("l_extendedprice is numeric") * 100.0;
+                let disc = r[6].as_f64().expect("l_discount is numeric");
+                let tax = r[7].as_f64().expect("l_tax is numeric");
                 price_cents * (1.0 + tax) * (1.0 - disc)
             })
             .sum();
-        let got = cat.get("orders").rows[0][3].as_f64().unwrap() * 100.0;
+        let got = cat.get("orders").rows[0][3]
+            .as_f64()
+            .expect("o_totalprice is numeric")
+            * 100.0;
         assert!(
             (got - expect).abs() / expect.max(1.0) < 0.01,
             "totalprice {got} vs {expect}"

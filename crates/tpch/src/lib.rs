@@ -27,6 +27,8 @@
 //! assert_eq!(rows.len(), 1); // Q6 is a scalar query
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod gen;
 pub mod layout;
 pub mod queries;

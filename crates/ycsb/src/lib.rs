@@ -17,6 +17,8 @@
 //! `sqlengine` (SQL-CS) and `docstore` (Mongo-AS / Mongo-CS) clusters are
 //! provided in [`stores`].
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod generators;
 pub mod stores;

@@ -4,7 +4,7 @@ use crate::generators::{scramble, Latest, Zipfian};
 use rand::Rng;
 
 /// Operation types across all workloads.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum OpType {
     Read,
     Update,

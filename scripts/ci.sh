@@ -10,6 +10,17 @@ cargo fmt --all -- --check
 echo "== cargo clippy (-D warnings)"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== simlint"
+# The determinism lint must pass on the tree...
+cargo run -q -p simlint
+# ...and must still *bite*: a deliberately seeded violation tree has to make
+# it exit nonzero, or the gate above is vacuous.
+if cargo run -q -p simlint -- --root crates/simlint/tests/fixtures/selftest \
+    >/dev/null 2>&1; then
+  echo "simlint self-test FAILED: expected violations in the selftest tree" >&2
+  exit 1
+fi
+
 echo "== cargo test"
 cargo test -q --workspace
 

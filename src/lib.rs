@@ -1,5 +1,7 @@
 //! Root facade for the Elephants-vs-NoSQL reproduction. Re-exports the
 //! workspace crates so `examples/` and `tests/` can use one import root.
+
+#![forbid(unsafe_code)]
 pub use cluster;
 pub use dfs;
 pub use docstore;
