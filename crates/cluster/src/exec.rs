@@ -8,6 +8,17 @@
 //! any queueing behind other requests), not from closed-form `max(io, cpu)`
 //! arithmetic, and every phase records where its time went.
 //!
+//! Two phase styles cover both engines:
+//!
+//! * **[`Phase`]** — a flat batch of work volumes issued together (PDW's
+//!   scans, DMS shuffles, gathers; MapReduce's shuffle). Every request is
+//!   traced individually, so the span carries one [`Contrib`] per request.
+//! * **[`TaskPhase`]** — *slot-scheduled* tasks (MapReduce's map and reduce
+//!   phases): each [`Task`] is pinned to a node, runs its [`TaskStep`]s in
+//!   sequence, and holds one of the phase's per-node slots for its whole
+//!   life — which is what produces task *waves*. The span aggregates the
+//!   phase's service/queue-wait totals per resource kind.
+//!
 //! ## Work resolution
 //!
 //! * [`Phase::disk_seq`] — `bytes` of sequential I/O on a node, striped
@@ -20,18 +31,23 @@
 //! * [`Phase::gather_recv`] — ingest at the control node's single receive
 //!   link; concurrent senders serialize there, which is exactly how a
 //!   gather's cost accrues.
+//! * [`TaskStep`] variants bind to the node's CPU pool, its individual
+//!   disks, its send NIC, or its capacity-1 HDFS ingest link (created on
+//!   first use; see [`TaskStep::HdfsRead`]).
 //!
 //! Phases run serially on one [`ClusterExec`] (the event queue drains
-//! between phases), matching PDW's step-at-a-time DSQL plans; the resource
-//! *accounting* (busy integrals, queue waits) accumulates across the whole
-//! run for end-of-query utilization reports.
+//! between phases), matching PDW's step-at-a-time DSQL plans and
+//! MapReduce's map → shuffle → reduce barriers; the resource *accounting*
+//! (busy integrals, queue waits) accumulates across the whole run for
+//! end-of-query utilization reports.
 
 use crate::params::Params;
 use crate::topo::Cluster;
 use simkit::resource::{report, ResourceReport};
 use simkit::trace::{Contrib, ResKind, Span, Trace};
-use simkit::{as_secs, secs, ResourceId, Sim, SimTime};
-use std::cell::RefCell;
+use simkit::{as_secs, secs, Latch, ResourceId, Sim, SimTime};
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 use std::rc::Rc;
 
 /// A unit of work inside a phase, not yet bound to concrete resources.
@@ -140,6 +156,237 @@ impl Phase {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Slot-scheduled task phases (the MapReduce execution model)
+// ---------------------------------------------------------------------------
+
+/// One sequential step of a slot-scheduled [`Task`].
+///
+/// Unlike [`Phase`] work volumes, zero-sized steps are *not* elided: a
+/// zero-byte read still enqueues on the (possibly busy) ingest link, which
+/// is how an empty-file map task can stall behind a neighbour's full read.
+#[derive(Clone, Debug)]
+pub enum TaskStep {
+    /// Fixed latency (task startup, injected timeouts); holds no resource.
+    Delay { secs: f64 },
+    /// Read `bytes` through the node's shared HDFS ingest link at `bw`
+    /// bytes/sec. The link is a capacity-1 resource distinct from the raw
+    /// disks (the paper's testdfsio measured ~400 MB/s/node aggregate vs
+    /// ~800 MB/s raw), so concurrent readers on one node serialize.
+    HdfsRead { bytes: u64, bw: f64 },
+    /// One core of the node's CPU pool for `secs`.
+    Cpu { secs: f64 },
+    /// Sequential write of `bytes` to local disk `disk` (modulo the node's
+    /// disk count) at the cluster's sequential disk bandwidth.
+    DiskWrite { disk: usize, bytes: u64 },
+    /// Replicated HDFS output write: the local disk write of `bytes` and
+    /// the replication traffic (`net_bytes` on the node's send NIC at
+    /// `net_bw`) run concurrently; the step completes when both drain.
+    HdfsWrite {
+        disk: usize,
+        bytes: u64,
+        net_bytes: u64,
+        net_bw: f64,
+    },
+}
+
+/// A slot-scheduled task: pinned to one node (modulo cluster size), running
+/// its steps in order while holding one of the phase's per-node slots for
+/// its entire life.
+#[derive(Clone, Debug)]
+pub struct Task {
+    node: usize,
+    steps: Vec<TaskStep>,
+    fail_wasting: Option<f64>,
+}
+
+impl Task {
+    pub fn on(node: usize) -> Task {
+        Task {
+            node,
+            steps: Vec::new(),
+            fail_wasting: None,
+        }
+    }
+
+    /// Append one step to the task's execution chain.
+    pub fn step(mut self, step: TaskStep) -> Task {
+        self.steps.push(step);
+        self
+    }
+
+    /// Inject one failure: the first attempt burns `secs` of pure delay
+    /// while holding its slot (the half-done work a dying worker throws
+    /// away), then releases the slot and re-enqueues a fresh attempt at
+    /// the back of the node's queue — Hadoop's task-level retry.
+    pub fn fail_once_wasting(mut self, secs: f64) -> Task {
+        self.fail_wasting = Some(secs);
+        self
+    }
+}
+
+/// A named batch of [`Task`]s dispatched FIFO in task order onto per-node
+/// slot pools, after `setup` seconds of fixed overhead.
+#[derive(Clone, Debug)]
+pub struct TaskPhase {
+    name: String,
+    setup: f64,
+    slots_per_node: u32,
+    tasks: Vec<Task>,
+}
+
+impl TaskPhase {
+    pub fn new(name: impl Into<String>, slots_per_node: u32) -> TaskPhase {
+        TaskPhase {
+            name: name.into(),
+            setup: 0.0,
+            slots_per_node,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// Fixed overhead paid before any task is dispatched (job submission,
+    /// distributed-cache setup).
+    pub fn setup(mut self, secs: f64) -> TaskPhase {
+        self.setup += secs;
+        self
+    }
+
+    /// Append one task (dispatch order is task order).
+    pub fn task(&mut self, task: Task) -> &mut TaskPhase {
+        self.tasks.push(task);
+        self
+    }
+}
+
+/// Outcome of [`ClusterExec::run_tasks`]. The phase's [`Span`] goes to the
+/// trace like any other phase.
+#[derive(Clone, Copy, Debug)]
+pub struct TaskPhaseReport {
+    /// Absolute sim time in seconds when the last task completed (equal to
+    /// phase start + setup for an empty phase).
+    pub end_secs: f64,
+    /// Tasks that failed once and were re-run.
+    pub retries: u32,
+}
+
+type Thunk = Box<dyn FnOnce(&mut Sim<()>)>;
+
+/// A per-node pool of task slots. A slot is held for a task's whole life,
+/// which is what produces task *waves*; waiting tasks queue FIFO.
+struct SlotPool {
+    free: u32,
+    queue: VecDeque<Thunk>,
+}
+
+impl SlotPool {
+    fn new(slots: u32) -> Rc<RefCell<Self>> {
+        Rc::new(RefCell::new(SlotPool {
+            free: slots,
+            queue: VecDeque::new(),
+        }))
+    }
+
+    fn acquire(pool: &Rc<RefCell<Self>>, sim: &mut Sim<()>, run: Thunk) {
+        let to_run = {
+            let mut p = pool.borrow_mut();
+            if p.free > 0 {
+                p.free -= 1;
+                Some(run)
+            } else {
+                p.queue.push_back(run);
+                None
+            }
+        };
+        if let Some(t) = to_run {
+            run_now(sim, t);
+        }
+    }
+
+    fn release(pool: &Rc<RefCell<Self>>, sim: &mut Sim<()>) {
+        let next = {
+            let mut p = pool.borrow_mut();
+            match p.queue.pop_front() {
+                Some(t) => Some(t),
+                None => {
+                    p.free += 1;
+                    None
+                }
+            }
+        };
+        if let Some(t) = next {
+            run_now(sim, t);
+        }
+    }
+}
+
+fn run_now(sim: &mut Sim<()>, t: Thunk) {
+    // Schedule at now to keep the event-loop borrow discipline simple.
+    sim.schedule_in(0, Box::new(move |sim, _| t(sim)));
+}
+
+/// A [`TaskStep`] bound to concrete resources and service times.
+#[derive(Clone)]
+enum BoundStep {
+    Delay(SimTime),
+    Acquire(ResourceId, SimTime),
+    /// Two concurrent requests; the step completes when both drain.
+    ForkTwo([(ResourceId, SimTime); 2]),
+}
+
+#[derive(Clone)]
+struct BoundTask {
+    node: usize,
+    steps: Vec<BoundStep>,
+    fail_wasting: Option<SimTime>,
+}
+
+/// Run a task's remaining steps in sequence, then `done`.
+fn run_steps(sim: &mut Sim<()>, mut steps: std::vec::IntoIter<BoundStep>, done: Thunk) {
+    let Some(step) = steps.next() else {
+        done(sim);
+        return;
+    };
+    match step {
+        BoundStep::Delay(t) => sim.after(t, move |sim, _| run_steps(sim, steps, done)),
+        BoundStep::Acquire(r, t) => {
+            sim.request(r, t, Box::new(move |sim, _| run_steps(sim, steps, done)))
+        }
+        BoundStep::ForkTwo([(r1, t1), (r2, t2)]) => {
+            let fin = Latch::with(2, move |sim: &mut Sim<()>, _| run_steps(sim, steps, done));
+            let f1 = fin.clone();
+            sim.request(r1, t1, Box::new(move |sim, _| f1.count_down(sim)));
+            sim.request(r2, t2, Box::new(move |sim, _| fin.count_down(sim)));
+        }
+    }
+}
+
+/// Build a task's execution thunk: run the chain, release the slot at the
+/// end. A failing attempt wastes its delay, releases the slot, and
+/// re-enqueues a fresh attempt (counted in `retries`).
+fn task_body(task: BoundTask, pool: Rc<RefCell<SlotPool>>, retries: Rc<Cell<u32>>) -> Thunk {
+    Box::new(move |sim: &mut Sim<()>| {
+        if let Some(wasted) = task.fail_wasting {
+            sim.after(wasted, move |sim, _| {
+                retries.set(retries.get() + 1);
+                let fresh = BoundTask {
+                    fail_wasting: None,
+                    ..task
+                };
+                let retry = task_body(fresh, pool.clone(), retries);
+                SlotPool::release(&pool, sim);
+                SlotPool::acquire(&pool, sim, retry);
+            });
+            return;
+        }
+        run_steps(
+            sim,
+            task.steps.into_iter(),
+            Box::new(move |sim| SlotPool::release(&pool, sim)),
+        );
+    })
+}
+
 /// A cluster bound to its own event loop, executing phases and recording
 /// a [`Trace`].
 pub struct ClusterExec {
@@ -148,6 +395,10 @@ pub struct ClusterExec {
     /// The control node's ingest link (gather target). Not part of
     /// [`Cluster`]'s data-node resources.
     control_rx: ResourceId,
+    /// Per-node HDFS ingest links (capacity 1), created lazily on the
+    /// first [`TaskStep::HdfsRead`] so runs that never touch HDFS (PDW)
+    /// report exactly the resources they use.
+    hdfs_read: Vec<ResourceId>,
     trace: Trace,
 }
 
@@ -160,6 +411,7 @@ impl ClusterExec {
             sim,
             cluster,
             control_rx,
+            hdfs_read: Vec::new(),
             trace: Trace::default(),
         }
     }
@@ -222,6 +474,139 @@ impl ClusterExec {
         as_secs(end.saturating_sub(t0))
     }
 
+    /// Run a slot-scheduled [`TaskPhase`] to completion: dispatch every
+    /// task (FIFO, in task order) onto its node's slot pool after the
+    /// phase's setup delay, drain the event queue, and append an aggregate
+    /// [`Span`] (one [`Contrib`] per resource kind, summed over the phase).
+    pub fn run_tasks(&mut self, phase: TaskPhase) -> TaskPhaseReport {
+        if phase.tasks.iter().any(|t| {
+            t.steps
+                .iter()
+                .any(|s| matches!(s, TaskStep::HdfsRead { .. }))
+        }) {
+            self.ensure_hdfs_links();
+        }
+        let t0 = self.sim.now();
+        let before = self.class_totals();
+        let issue_at = t0.saturating_add(secs(phase.setup));
+        let bound: Vec<BoundTask> = phase.tasks.iter().map(|t| self.bind_task(t)).collect();
+        let n_nodes = self.cluster.nodes.len();
+        let slots = phase.slots_per_node;
+        let retries = Rc::new(Cell::new(0u32));
+        let retries_out = retries.clone();
+        self.sim.schedule_at(
+            issue_at,
+            Box::new(move |sim, _| {
+                let pools: Vec<_> = (0..n_nodes).map(|_| SlotPool::new(slots)).collect();
+                for task in bound {
+                    let pool = pools[task.node].clone();
+                    let body = task_body(task, pool.clone(), retries.clone());
+                    SlotPool::acquire(&pool, sim, body);
+                }
+            }),
+        );
+        self.sim.run(&mut ());
+        let end = self.sim.now();
+        let after = self.class_totals();
+        let mut contribs = Vec::new();
+        for (i, kind) in ResKind::ALL.iter().enumerate() {
+            let service = after[i] - before[i];
+            let queue_wait = after[i + 3] - before[i + 3];
+            if service > 0.0 || queue_wait > 0.0 {
+                contribs.push(Contrib {
+                    kind: *kind,
+                    node: None,
+                    service,
+                    queue_wait,
+                });
+            }
+        }
+        self.trace.push(Span {
+            name: phase.name,
+            node: None,
+            start: t0,
+            end,
+            contribs,
+        });
+        TaskPhaseReport {
+            end_secs: as_secs(end),
+            retries: retries_out.get(),
+        }
+    }
+
+    fn ensure_hdfs_links(&mut self) {
+        if self.hdfs_read.is_empty() {
+            self.hdfs_read = (0..self.cluster.params.nodes)
+                .map(|n| self.sim.add_resource(format!("node{n}.hdfs_read"), 1))
+                .collect();
+        }
+    }
+
+    /// Bind a task's steps to concrete resources and service times.
+    fn bind_task(&self, task: &Task) -> BoundTask {
+        let node = task.node % self.cluster.nodes.len();
+        let nres = &self.cluster.nodes[node];
+        let p = &self.cluster.params;
+        let steps = task
+            .steps
+            .iter()
+            .map(|s| match *s {
+                TaskStep::Delay { secs: d } => BoundStep::Delay(secs(d)),
+                TaskStep::HdfsRead { bytes, bw } => {
+                    BoundStep::Acquire(self.hdfs_read[node], secs(bytes as f64 / bw))
+                }
+                TaskStep::Cpu { secs: c } => BoundStep::Acquire(nres.cpu, secs(c)),
+                TaskStep::DiskWrite { disk, bytes } => BoundStep::Acquire(
+                    nres.disks[disk % nres.disks.len()],
+                    secs(bytes as f64 / p.disk_seq_bw),
+                ),
+                TaskStep::HdfsWrite {
+                    disk,
+                    bytes,
+                    net_bytes,
+                    net_bw,
+                } => BoundStep::ForkTwo([
+                    (
+                        nres.disks[disk % nres.disks.len()],
+                        secs(bytes as f64 / p.disk_seq_bw),
+                    ),
+                    (nres.nic_send, secs(net_bytes as f64 / net_bw)),
+                ]),
+            })
+            .collect();
+        BoundTask {
+            node,
+            steps,
+            fail_wasting: task.fail_wasting.map(secs),
+        }
+    }
+
+    /// Cumulative `[disk, cpu, net]` busy then queue-wait seconds at the
+    /// current sim time, by resource kind (HDFS ingest links count as
+    /// disk-kind; the control ingest link as net-kind).
+    fn class_totals(&self) -> [f64; 6] {
+        let busy = |id: &ResourceId| as_secs(self.sim.resource_busy_time(*id));
+        let wait = |id: &ResourceId| as_secs(self.sim.resource_queue_wait(*id));
+        let mut disk: Vec<ResourceId> = self.hdfs_read.clone();
+        let mut cpu = Vec::new();
+        let mut net = Vec::new();
+        for n in &self.cluster.nodes {
+            disk.extend(&n.disks);
+            cpu.push(n.cpu);
+            net.push(n.nic_send);
+            net.push(n.nic_recv);
+        }
+        net.push(self.control_rx);
+        [
+            disk.iter().map(busy).sum(),
+            cpu.iter().map(busy).sum(),
+            net.iter().map(busy).sum(),
+            disk.iter().map(wait).sum(),
+            cpu.iter().map(wait).sum(),
+            net.iter().map(wait).sum(),
+        ]
+    }
+
     /// Bind abstract work items to concrete resource requests.
     fn resolve(&self, work: &[Work]) -> Vec<(ResourceId, ResKind, Option<usize>, SimTime)> {
         let mut reqs = Vec::new();
@@ -279,7 +664,8 @@ impl ClusterExec {
     }
 
     /// End-of-run utilization of every cluster resource (all nodes' CPUs,
-    /// disks, NIC directions, plus the control ingest link).
+    /// disks, NIC directions, the control ingest link, and — if any task
+    /// phase read HDFS — the per-node HDFS ingest links).
     pub fn resource_reports(&self) -> Vec<ResourceReport> {
         let mut ids = Vec::new();
         for n in &self.cluster.nodes {
@@ -289,6 +675,7 @@ impl ClusterExec {
             ids.push(n.nic_recv);
         }
         ids.push(self.control_rx);
+        ids.extend(&self.hdfs_read);
         report(&self.sim, &ids)
     }
 }
@@ -390,5 +777,116 @@ mod tests {
         assert!((cpu1.busy_secs - 2.0).abs() < 1e-9);
         assert_eq!(cpu1.completions, 2);
         assert_eq!(reports.last().unwrap().name, "control.rx");
+    }
+
+    #[test]
+    fn task_phase_slots_produce_waves() {
+        // 4 CPU-bound tasks per node over 2 slots per node: two waves.
+        let mut ex = ClusterExec::new(params());
+        let mut ph = TaskPhase::new("waves", 2);
+        for i in 0..16 {
+            ph.task(Task::on(i % 4).step(TaskStep::Cpu { secs: 1.0 }));
+        }
+        let r = ex.run_tasks(ph);
+        assert!(
+            (r.end_secs - 2.0).abs() < 1e-9,
+            "4 tasks over 2 slots = 2 waves, got {}",
+            r.end_secs
+        );
+        assert_eq!(r.retries, 0);
+        let u = ex.trace().spans[0].util();
+        assert!((u.cpu_busy - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_task_phase_costs_setup_only() {
+        let mut ex = ClusterExec::new(params());
+        let r = ex.run_tasks(TaskPhase::new("nothing", 8).setup(1.5));
+        assert!((r.end_secs - 1.5).abs() < 1e-9);
+        let span = &ex.trace().spans[0];
+        assert_eq!(span.name, "nothing");
+        assert!(span.contribs.is_empty());
+    }
+
+    #[test]
+    fn hdfs_reads_serialize_per_node() {
+        // The ingest link has capacity 1: two concurrent 1s reads on the
+        // same node take 2s even with free slots, and a zero-byte read
+        // queued behind them still has to wait its turn.
+        let mut ex = ClusterExec::new(params());
+        let bw = 100.0 * MB as f64;
+        let mut ph = TaskPhase::new("reads", 8);
+        for _ in 0..2 {
+            ph.task(Task::on(0).step(TaskStep::HdfsRead {
+                bytes: 100 * MB,
+                bw,
+            }));
+        }
+        ph.task(Task::on(0).step(TaskStep::HdfsRead { bytes: 0, bw }));
+        let r = ex.run_tasks(ph);
+        assert!((r.end_secs - 2.0).abs() < 1e-9, "got {}", r.end_secs);
+        let u = ex.trace().spans[0].util();
+        // 1s + 2s of queue wait (second read + the zero-byte read).
+        assert!((u.disk_wait - 3.0).abs() < 1e-9, "wait {}", u.disk_wait);
+    }
+
+    #[test]
+    fn hdfs_write_forks_disk_and_replication_send() {
+        let mut ex = ClusterExec::new(params());
+        let p = ex.params().clone();
+        let disk_secs = 1.0;
+        let net_secs = 2.0;
+        let mut ph = TaskPhase::new("out", 8);
+        ph.task(Task::on(0).step(TaskStep::HdfsWrite {
+            disk: 0,
+            bytes: (disk_secs * p.disk_seq_bw) as u64,
+            net_bytes: (net_secs * p.nic_bw) as u64,
+            net_bw: p.nic_bw,
+        }));
+        let r = ex.run_tasks(ph);
+        // Concurrent: the slower branch (replication send) bounds the step.
+        assert!((r.end_secs - net_secs).abs() < 1e-6, "got {}", r.end_secs);
+        let u = ex.trace().spans[0].util();
+        assert!((u.disk_busy - disk_secs).abs() < 1e-6);
+        assert!((u.net_busy - net_secs).abs() < 1e-6);
+    }
+
+    #[test]
+    fn failing_task_retries_once_and_extends_the_phase() {
+        let mut ex = ClusterExec::new(params());
+        let mut ph = TaskPhase::new("faulty", 1);
+        ph.task(
+            Task::on(0)
+                .step(TaskStep::Cpu { secs: 1.0 })
+                .fail_once_wasting(0.5),
+        );
+        let r = ex.run_tasks(ph);
+        assert_eq!(r.retries, 1);
+        // 0.5s wasted holding the slot, then the clean 1s attempt.
+        assert!((r.end_secs - 1.5).abs() < 1e-9, "got {}", r.end_secs);
+    }
+
+    #[test]
+    fn hdfs_links_reported_only_when_used() {
+        let mut ex = ClusterExec::new(params());
+        let mut ph = Phase::new("pdw-like");
+        ph.cpu(0, 1.0, 1);
+        ex.run(ph);
+        assert!(
+            !ex.resource_reports()
+                .iter()
+                .any(|r| r.name.contains("hdfs_read")),
+            "phase-only runs must not grow extra resources"
+        );
+        let mut tp = TaskPhase::new("mr-like", 8);
+        tp.task(Task::on(2).step(TaskStep::HdfsRead {
+            bytes: MB,
+            bw: 100.0 * MB as f64,
+        }));
+        ex.run_tasks(tp);
+        assert!(ex
+            .resource_reports()
+            .iter()
+            .any(|r| r.name == "node2.hdfs_read"));
     }
 }

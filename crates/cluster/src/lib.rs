@@ -17,6 +17,15 @@
 //! bandwidth-bound work, while fixed overheads (task startup, per-request
 //! latency) retain their true magnitude — exactly the property that
 //! produces the paper's sub-linear scaling observations.
+//!
+//! ## The execution substrate ([`exec`])
+//!
+//! [`exec::ClusterExec`] is the **only place hardware time is booked** for
+//! the DSS engines (enforced by the `exec-substrate-only` simlint rule):
+//! PDW steps and MapReduce shuffles run as [`exec::Phase`]s (flat per-node
+//! work volumes), MapReduce map/reduce rounds as [`exec::TaskPhase`]s
+//! (slot-scheduled task waves with Hadoop-style retry). Every phase emits
+//! a traced `simkit::trace::Span`. ARCHITECTURE.md walks the whole stack.
 
 #![forbid(unsafe_code)]
 
@@ -24,6 +33,6 @@ pub mod exec;
 pub mod params;
 pub mod topo;
 
-pub use exec::{ClusterExec, Phase};
+pub use exec::{ClusterExec, Phase, Task, TaskPhase, TaskPhaseReport, TaskStep};
 pub use params::Params;
 pub use topo::{Cluster, NodeId};

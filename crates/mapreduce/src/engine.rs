@@ -1,439 +1,112 @@
-//! The jobtracker: slot scheduling + phase simulation.
+//! The jobtracker: lowers a [`JobSpec`] onto the shared `cluster::exec`
+//! substrate — slot-scheduled [`TaskPhase`]s for map and reduce, an
+//! ordinary work [`Phase`] for the shuffle — so MapReduce jobs take time,
+//! contention, and trace spans from the same code path PDW queries use.
+//!
+//! This module owns *policy* (which steps make up a task, where faults are
+//! injected, where the phase barriers sit); all *mechanism* — slot pools,
+//! FIFO resource queues, HDFS ingest links, span accounting — lives in
+//! [`cluster::exec`](cluster). No simkit resource is acquired here; the
+//! `exec-substrate-only` simlint rule gates that.
 
 use crate::spec::{JobReport, JobSpec};
-use cluster::{Cluster, Params};
-use simkit::trace::{Contrib, ResKind, Span};
-use simkit::{secs, Latch, ResourceId, Sim, SimTime};
-use std::cell::RefCell;
-use std::collections::VecDeque;
-use std::rc::Rc;
+use cluster::{ClusterExec, Params, Phase, Task, TaskPhase, TaskStep};
 
-type S = Sim<()>;
-type Thunk = Box<dyn FnOnce(&mut S)>;
-
-/// Snapshots cluster-wide resource counters at phase boundaries and turns
-/// the deltas into [`Span`]s (one `Contrib` per resource kind).
-struct PhaseTracker {
-    disk: Vec<ResourceId>,
-    cpu: Vec<ResourceId>,
-    net: Vec<ResourceId>,
-    last_t: SimTime,
-    last: [f64; 6],
-}
-
-impl PhaseTracker {
-    fn new(cluster: &Cluster, hdfs_read: &[ResourceId]) -> Rc<RefCell<PhaseTracker>> {
-        let mut disk: Vec<ResourceId> = hdfs_read.to_vec();
-        let mut cpu = Vec::new();
-        let mut net = Vec::new();
-        for n in &cluster.nodes {
-            disk.extend(&n.disks);
-            cpu.push(n.cpu);
-            net.push(n.nic_send);
-            net.push(n.nic_recv);
-        }
-        Rc::new(RefCell::new(PhaseTracker {
-            disk,
-            cpu,
-            net,
-            last_t: 0,
-            last: [0.0; 6],
-        }))
-    }
-
-    /// Cumulative [disk, cpu, net] busy then wait seconds at `sim.now()`.
-    fn totals(&self, sim: &S) -> [f64; 6] {
-        let sum = |ids: &[ResourceId], f: &dyn Fn(ResourceId) -> SimTime| -> f64 {
-            ids.iter().map(|&id| simkit::as_secs(f(id))).sum()
-        };
-        [
-            sum(&self.disk, &|id| sim.resource_busy_time(id)),
-            sum(&self.cpu, &|id| sim.resource_busy_time(id)),
-            sum(&self.net, &|id| sim.resource_busy_time(id)),
-            sum(&self.disk, &|id| sim.resource_queue_wait(id)),
-            sum(&self.cpu, &|id| sim.resource_queue_wait(id)),
-            sum(&self.net, &|id| sim.resource_queue_wait(id)),
-        ]
-    }
-
-    /// Close the phase that ran since the previous boundary.
-    fn mark(&mut self, sim: &S, name: &str) -> Span {
-        let cur = self.totals(sim);
-        let mut contribs = Vec::new();
-        for (i, kind) in ResKind::ALL.iter().enumerate() {
-            let service = cur[i] - self.last[i];
-            let queue_wait = cur[i + 3] - self.last[i + 3];
-            if service > 0.0 || queue_wait > 0.0 {
-                contribs.push(Contrib {
-                    kind: *kind,
-                    node: None,
-                    service,
-                    queue_wait,
-                });
-            }
-        }
-        let span = Span {
-            name: name.to_string(),
-            node: None,
-            start: self.last_t,
-            end: sim.now(),
-            contribs,
-        };
-        self.last_t = sim.now();
-        self.last = cur;
-        span
-    }
-}
-
-/// A per-node pool of task slots. A slot is held for a task's whole life
-/// (startup + read + cpu + spill), which is what produces map *waves*.
-struct SlotPool {
-    free: u32,
-    queue: VecDeque<Thunk>,
-}
-
-impl SlotPool {
-    fn new(slots: u32) -> Rc<RefCell<Self>> {
-        Rc::new(RefCell::new(SlotPool {
-            free: slots,
-            queue: VecDeque::new(),
-        }))
-    }
-
-    fn acquire(pool: &Rc<RefCell<Self>>, sim: &mut S, run: Thunk) {
-        let to_run = {
-            let mut p = pool.borrow_mut();
-            if p.free > 0 {
-                p.free -= 1;
-                Some(run)
-            } else {
-                p.queue.push_back(run);
-                None
-            }
-        };
-        if let Some(t) = to_run {
-            run_now(sim, t);
-        }
-    }
-
-    fn release(pool: &Rc<RefCell<Self>>, sim: &mut S) {
-        let next = {
-            let mut p = pool.borrow_mut();
-            match p.queue.pop_front() {
-                Some(t) => Some(t),
-                None => {
-                    p.free += 1;
-                    None
-                }
-            }
-        };
-        if let Some(t) = next {
-            run_now(sim, t);
-        }
-    }
-}
-
-fn run_now(sim: &mut S, t: Thunk) {
-    // Schedule at now to keep the event-loop borrow discipline simple.
-    sim.schedule_in(0, Box::new(move |sim, _| t(sim)));
-}
-
-/// Build one map task's execution chain. On injected failure the task
-/// burns its startup plus half its work, releases the slot, and re-enqueues
-/// a fresh (non-failing) attempt — Hadoop's retry path.
-#[allow(clippy::too_many_arguments)]
-fn map_task_body(
-    node: usize,
-    disk: usize,
-    read_bytes: u64,
-    cpu_secs: f64,
-    out_bytes: u64,
-    task_startup: f64,
-    hdfs_bw: f64,
-    cl: Rc<Cluster>,
-    hdfs: Rc<Vec<simkit::ResourceId>>,
-    pool: Rc<RefCell<SlotPool>>,
-    will_fail: bool,
-    report: Rc<RefCell<JobReport>>,
-    latch: Latch<()>,
-) -> Thunk {
-    Box::new(move |sim: &mut S| {
-        if will_fail {
-            // Half the read+cpu happens, then the JVM dies.
-            let wasted = secs(task_startup + cpu_secs / 2.0 + read_bytes as f64 / hdfs_bw / 2.0);
-            let retry_pool = pool.clone();
-            sim.after(wasted, move |sim, _| {
-                report.borrow_mut().map_retries += 1;
-                let retry = map_task_body(
-                    node,
-                    disk,
-                    read_bytes,
-                    cpu_secs,
-                    out_bytes,
-                    task_startup,
-                    hdfs_bw,
-                    cl.clone(),
-                    hdfs.clone(),
-                    retry_pool.clone(),
-                    false,
-                    report.clone(),
-                    latch.clone(),
-                );
-                SlotPool::release(&retry_pool, sim);
-                SlotPool::acquire(&retry_pool, sim, retry);
-            });
-            return;
-        }
-        sim.after(secs(task_startup), move |sim, _| {
-            let read_t = secs(read_bytes as f64 / hdfs_bw);
-            let cl2 = cl.clone();
-            let pool_rel = pool.clone();
-            sim.request(
-                hdfs[node],
-                read_t,
-                Box::new(move |sim, _| {
-                    let cl3 = cl2.clone();
-                    cl2.cpu(
-                        sim,
-                        node,
-                        cpu_secs,
-                        Box::new(move |sim, _| {
-                            cl3.disk_write_seq(
-                                sim,
-                                node,
-                                disk,
-                                out_bytes,
-                                Box::new(move |sim, _| {
-                                    SlotPool::release(&pool_rel, sim);
-                                    latch.count_down(sim);
-                                }),
-                            );
-                        }),
-                    );
-                }),
-            );
-        });
-    })
-}
-
-/// Simulate one job against fresh cluster resources; returns phase timings.
+/// Simulate one job against a fresh cluster substrate; returns phase
+/// timings (absolute seconds from job start) and the per-phase spans.
 pub fn run_job(spec: &JobSpec, params: &Params) -> JobReport {
-    let mut sim: S = Sim::new();
-    let cluster = Rc::new(Cluster::build(&mut sim, params.clone()));
-    // HDFS read bandwidth is a per-node shared pipe distinct from raw disks
-    // (the paper: testdfsio saw ~400 MB/s/node vs ~800 MB/s raw).
-    let hdfs_read: Vec<_> = (0..params.nodes)
-        .map(|n| sim.add_resource(format!("node{n}.hdfs_read"), 1))
-        .collect();
-    let hdfs_read = Rc::new(hdfs_read);
-    let tracker = PhaseTracker::new(&cluster, &hdfs_read);
-
-    let report = Rc::new(RefCell::new(JobReport {
+    let mut exec = ClusterExec::new(params.clone());
+    let nodes = params.nodes;
+    let mut report = JobReport {
         name: spec.name.clone(),
         n_maps: spec.maps.len(),
         n_reduces: spec.reduces.len(),
         min_waves: (spec.maps.len() as u32).div_ceil(params.total_map_slots().max(1)),
         ..JobReport::default()
-    }));
-
-    let map_pools: Vec<_> = (0..params.nodes)
-        .map(|_| SlotPool::new(params.map_slots_per_node))
-        .collect();
-    let reduce_pools: Vec<_> = (0..params.nodes)
-        .map(|_| SlotPool::new(params.reduce_slots_per_node))
-        .collect();
-
-    let setup = params.job_overhead + spec.setup_secs;
-    let task_startup = params.task_startup;
-    let hdfs_bw = params.hdfs_read_bw_per_node;
-    let nic_bw = params.nic_bw;
-    let repl = params.hdfs_replication as u64;
-    let nodes = params.nodes;
-
-    // ---- reduce phase (constructed first so the map latch can launch it) --
-    let reduces = spec.reduces.clone();
-    let report_r = report.clone();
-    let cluster_r = cluster.clone();
-    let tracker_r = tracker.clone();
-    let reduce_pools_r: Vec<_> = reduce_pools.to_vec();
-    let launch_reduce: Thunk = Box::new(move |sim: &mut S| {
-        {
-            let mut rep = report_r.borrow_mut();
-            rep.shuffle_done = simkit::as_secs(sim.now());
-            let span = tracker_r.borrow_mut().mark(sim, "shuffle");
-            rep.spans.push(span);
-        }
-        let n_red = reduces.len() as u64;
-        let report_done = report_r.clone();
-        let tracker_done = tracker_r.clone();
-        let done = Latch::with(n_red, move |sim: &mut S, _| {
-            let mut rep = report_done.borrow_mut();
-            rep.total = simkit::as_secs(sim.now());
-            let span = tracker_done.borrow_mut().mark(sim, "reduce");
-            rep.spans.push(span);
-        });
-        if n_red == 0 {
-            let mut rep = report_r.borrow_mut();
-            rep.total = simkit::as_secs(sim.now());
-            let span = tracker_r.borrow_mut().mark(sim, "reduce");
-            rep.spans.push(span);
-            return;
-        }
-        for (i, r) in reduces.iter().enumerate() {
-            let node = r.node % nodes;
-            let pool = reduce_pools_r[node].clone();
-            let pool_rel = pool.clone();
-            let cl = cluster_r.clone();
-            let done = done.clone();
-            let (cpu_secs, out_bytes) = (r.cpu_secs, r.output_bytes);
-            let disk = i % cl.params.disks_per_node as usize;
-            let body: Thunk = Box::new(move |sim: &mut S| {
-                sim.after(secs(task_startup), move |sim, _| {
-                    let cl2 = cl.clone();
-                    cl.cpu(
-                        sim,
-                        node,
-                        cpu_secs,
-                        Box::new(move |sim, _| {
-                            // HDFS output write: local disk + replication
-                            // traffic on the send NIC.
-                            let net_bytes = out_bytes.saturating_mul(repl - 1);
-                            let fin = Latch::with(2, move |sim: &mut S, _| {
-                                SlotPool::release(&pool_rel, sim);
-                                done.count_down(sim);
-                            });
-                            let f1 = fin.clone();
-                            cl2.disk_write_seq(
-                                sim,
-                                node,
-                                disk,
-                                out_bytes,
-                                Box::new(move |sim, _| f1.count_down(sim)),
-                            );
-                            let t = secs(net_bytes as f64 / nic_bw);
-                            let f2 = fin;
-                            sim.request(
-                                cl2.nodes[node].nic_send,
-                                t,
-                                Box::new(move |sim, _| f2.count_down(sim)),
-                            );
-                        }),
-                    );
-                });
-            });
-            SlotPool::acquire(&pool, sim, body);
-        }
-    });
-
-    // ---- shuffle phase --------------------------------------------------
-    let reduces_s = spec.reduces.clone();
-    let total_map_out = spec.total_map_output();
-    let cluster_s = cluster.clone();
-    let launch_shuffle: Thunk = Box::new(move |sim: &mut S| {
-        if reduces_s.is_empty() {
-            run_now(sim, launch_reduce);
-            return;
-        }
-        // Every map node pushes its share; every reducer node pulls its
-        // input. Both NIC directions are occupied; completion when all
-        // transfers drain.
-        let n_events = nodes as u64 + reduces_s.len() as u64;
-        let next = Rc::new(RefCell::new(Some(launch_reduce)));
-        let latch = Latch::with(n_events, move |sim: &mut S, _| {
-            let t = next
-                .borrow_mut()
-                .take()
-                .expect("shuffle completion fired once");
-            run_now(sim, t);
-        });
-        let send_share = total_map_out / nodes as u64;
-        for n in 0..nodes {
-            let l = latch.clone();
-            let t = secs(send_share as f64 / nic_bw);
-            sim.request(
-                cluster_s.nodes[n].nic_send,
-                t,
-                Box::new(move |sim, _| l.count_down(sim)),
-            );
-        }
-        for r in &reduces_s {
-            let node = r.node % nodes;
-            let l = latch.clone();
-            let t = secs(r.shuffle_bytes as f64 / nic_bw);
-            sim.request(
-                cluster_s.nodes[node].nic_recv,
-                t,
-                Box::new(move |sim, _| l.count_down(sim)),
-            );
-        }
-    });
+    };
 
     // ---- map phase ------------------------------------------------------
-    let report_m = report.clone();
-    let tracker_m = tracker.clone();
-    let next_phase = Rc::new(RefCell::new(Some(launch_shuffle)));
-    let map_latch = Latch::with(spec.maps.len() as u64, move |sim: &mut S, _| {
-        {
-            let mut rep = report_m.borrow_mut();
-            rep.map_done = simkit::as_secs(sim.now());
-            let span = tracker_m.borrow_mut().mark(sim, "map");
-            rep.spans.push(span);
-        }
-        let t = next_phase
-            .borrow_mut()
-            .take()
-            .expect("map completion fired once");
-        run_now(sim, t);
-    });
-
-    let maps = spec.maps.clone();
+    // A task holds a map slot for its whole life: startup, HDFS read over
+    // the node-shared ingest link, decode+map CPU, spill to local disk.
+    // Deterministic fault injection marks every `1/f`-th task to die
+    // mid-flight having wasted its startup plus half its work (Hadoop's
+    // task-level retry then re-enqueues it at the back of the queue).
     let fail_every = if spec.map_failure_fraction > 0.0 {
         (1.0 / spec.map_failure_fraction).round().max(1.0) as usize
     } else {
         usize::MAX
     };
-    let report_retries = report.clone();
-    sim.after(secs(setup), move |sim, _| {
-        if maps.is_empty() {
-            map_latch.arm(sim);
-            return;
-        }
-        for (i, m) in maps.iter().enumerate() {
-            let node = m.node % nodes;
-            let pool = map_pools[node].clone();
-            let cl = cluster.clone();
-            let hdfs = hdfs_read.clone();
-            let latch = map_latch.clone();
-            let (read_bytes, cpu_secs, out_bytes) = (m.read_bytes, m.cpu_secs, m.output_bytes);
-            let disk = i % cl.params.disks_per_node as usize;
-            // Deterministic fault injection: the i-th task fails once
-            // mid-execution, releases its slot, and re-enqueues.
-            let will_fail = fail_every != usize::MAX && i % fail_every == fail_every - 1;
-            let report_retries = report_retries.clone();
-            let body = map_task_body(
-                node,
-                disk,
-                read_bytes,
-                cpu_secs,
-                out_bytes,
-                task_startup,
-                hdfs_bw,
-                cl,
-                hdfs,
-                pool.clone(),
-                will_fail,
-                report_retries,
-                latch,
+    let mut map_phase = TaskPhase::new("map", params.map_slots_per_node)
+        .setup(params.job_overhead + spec.setup_secs);
+    for (i, m) in spec.maps.iter().enumerate() {
+        let mut task = Task::on(m.node % nodes)
+            .step(TaskStep::Delay {
+                secs: params.task_startup,
+            })
+            .step(TaskStep::HdfsRead {
+                bytes: m.read_bytes,
+                bw: params.hdfs_read_bw_per_node,
+            })
+            .step(TaskStep::Cpu { secs: m.cpu_secs })
+            .step(TaskStep::DiskWrite {
+                disk: i % params.disks_per_node as usize,
+                bytes: m.output_bytes,
+            });
+        if fail_every != usize::MAX && i % fail_every == fail_every - 1 {
+            task = task.fail_once_wasting(
+                params.task_startup
+                    + m.cpu_secs / 2.0
+                    + m.read_bytes as f64 / params.hdfs_read_bw_per_node / 2.0,
             );
-            SlotPool::acquire(&pool, sim, body);
         }
-    });
+        map_phase.task(task);
+    }
+    let map = exec.run_tasks(map_phase);
+    report.map_done = map.end_secs;
+    report.map_retries = map.retries;
 
-    let mut world = ();
-    sim.run(&mut world);
-    Rc::try_unwrap(report)
-        .map(RefCell::into_inner)
-        .unwrap_or_else(|rc| rc.borrow().clone())
+    // ---- shuffle phase --------------------------------------------------
+    // Every map node pushes its share of the map output; every reducer
+    // pulls its input. Both NIC directions are occupied; the phase drains
+    // when all transfers complete. Map-only jobs get a zero-length phase
+    // so the span sequence is always map/shuffle/reduce.
+    let mut shuffle = Phase::new("shuffle");
+    if !spec.reduces.is_empty() {
+        let send_share = spec.total_map_output() / nodes as u64;
+        for n in 0..nodes {
+            shuffle.net_send(n, send_share as f64, params.nic_bw);
+        }
+        for r in &spec.reduces {
+            shuffle.net_recv(r.node % nodes, r.shuffle_bytes as f64, params.nic_bw);
+        }
+    }
+    exec.run(shuffle);
+    report.shuffle_done = exec.now_secs();
+
+    // ---- reduce phase ---------------------------------------------------
+    // Startup, sort/merge + reduce CPU, then the replicated HDFS output
+    // write: local disk and replication NIC traffic drain concurrently.
+    let repl = params.hdfs_replication as u64;
+    let mut reduce_phase = TaskPhase::new("reduce", params.reduce_slots_per_node);
+    for (i, r) in spec.reduces.iter().enumerate() {
+        reduce_phase.task(
+            Task::on(r.node % nodes)
+                .step(TaskStep::Delay {
+                    secs: params.task_startup,
+                })
+                .step(TaskStep::Cpu { secs: r.cpu_secs })
+                .step(TaskStep::HdfsWrite {
+                    disk: i % params.disks_per_node as usize,
+                    bytes: r.output_bytes,
+                    net_bytes: r.output_bytes.saturating_mul(repl - 1),
+                    net_bw: params.nic_bw,
+                }),
+        );
+    }
+    let reduce = exec.run_tasks(reduce_phase);
+    report.total = reduce.end_secs;
+    report.spans = exec.take_trace().spans;
+    report
 }
 
 #[cfg(test)]

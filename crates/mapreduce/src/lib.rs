@@ -20,6 +20,17 @@
 //! by the caller (the `hive` crate) over real rows; this crate turns
 //! per-task **volume descriptors** into a simulated schedule and phase
 //! timings.
+//!
+//! Since the substrate port, this crate holds only *policy*: [`run_job`]
+//! decides task counts, split sizes, spill volumes and per-task step
+//! chains, then expresses map/reduce as `cluster::exec::TaskPhase`
+//! (slot-scheduled task waves) and shuffle as a `cluster::exec::Phase` —
+//! the same traced DES layer PDW runs on. All *mechanism* (slots, FIFO
+//! queues, resource time, spans) lives in `cluster::exec`; the
+//! `exec-substrate-only` simlint rule keeps it that way. Entry points:
+//! [`run_job`] over a [`JobSpec`], returning a [`JobReport`] whose spans
+//! cut the job at the map/shuffle/reduce barriers. Paper anchors: §3.3.2
+//! (Hive architecture), Table 4 (map waves), Table 5 (Q22 startup costs).
 
 #![forbid(unsafe_code)]
 

@@ -18,9 +18,13 @@
 //! * partial + global aggregation, gather-to-control for final ORDER BY.
 //!
 //! Execution is real: every step transforms actual rows with the shared
-//! `relational::ops` kernels, per distribution, while the cost model
-//! accumulates simulated step times (PDW steps are sequential, so the query
-//! time is the sum of step makespans).
+//! `relational::ops` kernels, per distribution, while step *time* comes
+//! from the unified substrate — each step runs as a `cluster::exec::Phase`
+//! on the traced DES (see ARCHITECTURE.md), and `StepReport` is a derived
+//! view over the resulting span trace. PDW steps are sequential, so the
+//! query time is the clock at the end of the last phase. The optimizer's
+//! closed-form `shuffle_t`/`replicate_t` estimates are predictions checked
+//! against that measured time, not the source of it.
 
 #![forbid(unsafe_code)]
 

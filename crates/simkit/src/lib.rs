@@ -7,7 +7,12 @@
 //! * a binary-heap event queue with deterministic FIFO tie-breaking,
 //! * k-server FIFO [`resource`]s (disks, NICs, CPU pools, map slots, locks),
 //! * [`latch`]es for barrier-style joins ("when all N tasks finish, ..."),
-//! * online [`stats`] (mean/percentile latencies, resource utilization).
+//! * online [`stats`] (mean/percentile latencies, resource utilization),
+//! * the [`trace`] vocabulary every timing report bottoms out in: a
+//!   [`trace::Span`] (named phase with sim-time start/end) carries
+//!   [`trace::Contrib`]s splitting each resource's *service time* from its
+//!   *FIFO queue wait*; [`trace::UtilSummary`] folds spans into per-kind
+//!   busy/wait totals.
 //!
 //! The kernel is generic over a *world* type `W`: the mutable simulation
 //! state owned by the caller. Event handlers receive `(&mut Sim<W>, &mut W)`

@@ -17,6 +17,7 @@ pub const KNOWN_RULES: &[&str] = &[
     "no-unwrap-in-lib",
     "no-unsafe",
     "lock-discipline",
+    "exec-substrate-only",
 ];
 
 /// Per-rule configuration (one `[rules.<id>]` section).

@@ -31,6 +31,9 @@ fn violation(line: usize, rule: &str, message: impl Into<String>) -> Violation {
 /// upstream `rand`).
 /// `no-unordered-iter`: `HashMap`/`HashSet` iteration order is arbitrary;
 /// in result-producing crates it leaks straight into output bytes.
+/// `exec-substrate-only`: engine crates must take all disk/CPU/net time
+/// through `cluster::exec` phases — acquiring simkit resources directly
+/// would re-create the parallel contention path the substrate unified.
 fn default_bans(rule: &str) -> &'static [&'static str] {
     match rule {
         "no-wall-clock" => &[
@@ -49,6 +52,15 @@ fn default_bans(rule: &str) -> &'static [&'static str] {
             "getrandom",
         ],
         "no-unordered-iter" => &["HashMap", "HashSet", "hash_map", "hash_set"],
+        "exec-substrate-only" => &[
+            "add_resource",
+            "use_resource",
+            "request",
+            "resource_busy_time",
+            "resource_queue_wait",
+            "resource_completions",
+            "resource_queue_len",
+        ],
         _ => &[],
     }
 }
@@ -213,7 +225,9 @@ fn check_lock_discipline(rule: &RuleConfig, lexed: &Lexed) -> Vec<Violation> {
 /// Run one rule over a lexed file.
 pub fn run_rule(rule: &RuleConfig, lexed: &Lexed) -> Vec<Violation> {
     match rule.id.as_str() {
-        "no-wall-clock" | "seeded-rng-only" | "no-unordered-iter" => check_banned(rule, lexed),
+        "no-wall-clock" | "seeded-rng-only" | "no-unordered-iter" | "exec-substrate-only" => {
+            check_banned(rule, lexed)
+        }
         "no-unwrap-in-lib" => check_unwrap(rule, lexed),
         "no-unsafe" => check_unsafe(rule, lexed),
         "lock-discipline" => check_lock_discipline(rule, lexed),

@@ -16,6 +16,7 @@ const ALL_RULES: &str = "\
 [rules.no-unwrap-in-lib]
 [rules.no-unsafe]
 [rules.lock-discipline]
+[rules.exec-substrate-only]
 ";
 
 fn all_rules() -> Config {
@@ -87,6 +88,14 @@ fn no_unwrap_in_lib_fixtures() {
     assert_fires("no_unwrap_in_lib/bad.rs", "no-unwrap-in-lib", 1);
     // Typed error, documented expect, and a free fn named `unwrap` all pass.
     assert_clean("no_unwrap_in_lib/ok.rs");
+}
+
+#[test]
+fn exec_substrate_only_fixtures() {
+    // add_resource (l5), request (l6), resource_busy_time (l7),
+    // resource_queue_wait (l8).
+    assert_fires("exec_substrate_only/bad.rs", "exec-substrate-only", 4);
+    assert_clean("exec_substrate_only/ok.rs");
 }
 
 #[test]
@@ -163,6 +172,7 @@ fn selftest_tree_has_violations_for_every_seeded_rule() {
         "no-unordered-iter",
         "seeded-rng-only",
         "no-unwrap-in-lib",
+        "exec-substrate-only",
     ] {
         assert!(
             report.violations.iter().any(|(_, v)| v.rule == rule),

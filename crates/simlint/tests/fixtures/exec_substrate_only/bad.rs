@@ -1,0 +1,10 @@
+//! Positive fixture: an engine that books its own hardware time — every
+//! direct simkit-resource call below must fire.
+
+pub fn roll_your_own_contention(sim: &mut Sim<()>) {
+    let disk = sim.add_resource("node0.disk0", 1);
+    sim.request(disk, secs(1.0), Box::new(|_| {}));
+    let busy = sim.resource_busy_time(disk);
+    let wait = sim.resource_queue_wait(disk);
+    let _ = busy + wait;
+}

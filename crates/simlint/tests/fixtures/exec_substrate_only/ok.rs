@@ -1,0 +1,10 @@
+//! Negative fixture: an engine that expresses its work as cluster::exec
+//! phases — mechanism lives behind TaskPhase/Phase, so no simkit resource
+//! is named here. (Prose mentioning sim.request() in a comment, like this
+//! one, must not fire either.)
+
+pub fn phase_structured_job(exec: &mut ClusterExec) -> f64 {
+    let mut map = TaskPhase::new("map", 8);
+    map.task(Task::on(0).step(TaskStep::Cpu { secs: 1.0 }));
+    exec.run_tasks(map).end_secs
+}

@@ -18,3 +18,8 @@ pub fn leak_order(m: HashMap<u64, u64>) -> Vec<u64> {
 pub fn head(v: &[u8]) -> u8 {
     *v.first().unwrap()
 }
+
+pub fn private_contention(sim: &mut Sim<()>) {
+    let disk = sim.add_resource("disk", 1);
+    sim.request(disk, secs(1.0), Box::new(|_| {}));
+}

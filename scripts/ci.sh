@@ -21,6 +21,10 @@ if cargo run -q -p simlint -- --root crates/simlint/tests/fixtures/selftest \
   exit 1
 fi
 
+echo "== cargo doc (-D warnings)"
+# Doc rot (broken intra-doc links, malformed rustdoc) fails the build.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== cargo test"
 cargo test -q --workspace
 

@@ -23,4 +23,7 @@ echo "== repro_fig1"
 cargo run --release -p bench --bin repro_fig1 -- --sf 0.02 > results/repro_fig1.txt
 echo "== pdw_steps (DES span trace + resource utilization)"
 cargo run --release -p bench --bin pdw_steps -- --queries 1,5,19 > results/pdw_steps.txt
+echo "== compare_paper (per-query calibration at the two headline scales)"
+cargo run --release -p bench --bin compare_paper -- --sf 0.02 --scale 250 > results/compare_paper_250.txt
+cargo run --release -p bench --bin compare_paper -- --sf 0.02 --scale 16000 > results/compare_paper_16000.txt
 echo "done — see results/ and EXPERIMENTS.md"

@@ -103,6 +103,62 @@ fn pdw_answers_unchanged_by_des_port() {
     }
 }
 
+/// The substrate port moved MapReduce's map/shuffle/reduce timing from
+/// engine-private resource bookkeeping onto `cluster::exec` phases — the
+/// same code path PDW uses. As with the PDW port, timing may shift; Hive
+/// answers may not: rows must be byte-identical run-to-run and match the
+/// reference executor for every query the repro binaries emit, and every
+/// job's span trace must carry the canonical map/shuffle/reduce phases
+/// consistent with the reported phase boundaries.
+#[test]
+fn hive_answers_unchanged_by_substrate_port() {
+    let (hive, _, catalog) = engines();
+    for q in 1..=elephants::tpch::QUERY_COUNT {
+        let plan = elephants::tpch::query(q);
+        let (_, reference) = execute(&plan, &catalog);
+        let a = hive.run_query(&plan).expect("hive");
+        let b = hive.run_query(&plan).expect("hive");
+        assert_eq!(
+            format!("{:?}", a.rows),
+            format!("{:?}", b.rows),
+            "Q{q}: Hive rows must be byte-identical across runs"
+        );
+        assert_eq!(a.total_secs, b.total_secs, "Q{q}: timing is deterministic");
+        assert_rows_match(&format!("hive Q{q} (substrate path)"), &a.rows, &reference);
+        let mut real_jobs = 0;
+        for job in &a.jobs {
+            if job.report.spans.is_empty() {
+                // Fixed-cost charges (fs-merge, planner overhead) are not MR
+                // jobs and carry no trace.
+                continue;
+            }
+            real_jobs += 1;
+            let names: Vec<&str> = job.report.spans.iter().map(|s| s.name.as_str()).collect();
+            assert_eq!(
+                names,
+                ["map", "shuffle", "reduce"],
+                "Q{q} job {}: every job reports the three phases",
+                job.label
+            );
+            assert!(
+                (elephants::simkit::as_secs(job.report.spans[0].end) - job.report.map_done).abs()
+                    < 1e-9
+                    && (elephants::simkit::as_secs(job.report.spans[2].end) - job.report.total)
+                        .abs()
+                        < 1e-9,
+                "Q{q} job {}: span ends must match the phase boundaries",
+                job.label
+            );
+        }
+        assert!(real_jobs > 0, "Q{q}: at least one traced MR job");
+        let util = a.util();
+        assert!(
+            util.disk_busy > 0.0 || util.cpu_busy > 0.0,
+            "Q{q}: the shared substrate must report resource time"
+        );
+    }
+}
+
 #[test]
 fn ordered_outputs_respect_order_by() {
     // Q1's ORDER BY (returnflag, linestatus) must hold row-for-row on
