@@ -4,11 +4,21 @@
 //! tool.
 //!
 //!     cargo run --release -p bench --bin explain -- 5 [--sf 0.01] [--paper 16000]
+//!         [--trace out.json] [--timeline]
+//!
+//! `--trace` writes a Chrome Trace Event JSON (load it in Perfetto or
+//! `chrome://tracing`) with one process per engine; `--timeline` appends an
+//! ASCII phase/utilization timeline. Both come from a passive probe — the
+//! numbers above them are byte-identical with and without the flags.
 
 use cluster::Params;
 use hive::{load_warehouse, HiveEngine};
+use obs::TimelineProbe;
 use pdw::{load_pdw, PdwEngine};
 use relational::display::plan_to_string;
+use simkit::probe::Probe;
+use std::cell::RefCell;
+use std::rc::Rc;
 use tpch::{generate, GenConfig};
 
 fn main() {
@@ -16,6 +26,16 @@ fn main() {
     let q: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
     let sf = bench::arg_f64(&args, "--sf", 0.01);
     let paper = bench::arg_f64(&args, "--paper", 16000.0);
+    let trace_path = bench::arg_str(&args, "--trace");
+    let timeline = bench::has_flag(&args, "--timeline");
+    let observing = trace_path.is_some() || timeline;
+    let mk_probe = || Rc::new(RefCell::new(TimelineProbe::new(simkit::secs(1.0))));
+    let as_dyn = |p: &Rc<RefCell<TimelineProbe>>| p.clone() as Rc<RefCell<dyn Probe>>;
+    let unwrap = |p: Rc<RefCell<TimelineProbe>>| {
+        Rc::try_unwrap(p)
+            .expect("engine released the probe")
+            .into_inner()
+    };
 
     let plan = tpch::query(q);
     println!("== Q{q} logical plan (written order = Hive's execution order) ==\n");
@@ -26,7 +46,10 @@ fn main() {
 
     let (w, _) = load_warehouse(&cat, &params, None).expect("hive load");
     let hive = HiveEngine::new(w);
-    let hrun = hive.run_query(&plan).expect("hive run");
+    let hprobe = observing.then(mk_probe);
+    let hrun = hive
+        .run_query_probed(&plan, hprobe.as_ref().map(as_dyn))
+        .expect("hive run");
     println!(
         "== Hive job DAG @ {paper:.0} GB — total {:.0}s ==\n",
         hrun.total_secs
@@ -45,7 +68,8 @@ fn main() {
 
     let (pc, _) = load_pdw(&cat, &params);
     let pdw = PdwEngine::new(pc);
-    let prun = pdw.run_query(&plan);
+    let pprobe = observing.then(mk_probe);
+    let prun = pdw.run_query_probed(&plan, pprobe.as_ref().map(as_dyn));
     println!(
         "\n== PDW step list @ {paper:.0} GB — total {:.0}s (speedup {:.1}x) ==\n",
         prun.total_secs,
@@ -73,4 +97,20 @@ fn main() {
         "engines disagree"
     );
     println!("\n(answers verified identical: {} rows)", prun.rows.len());
+
+    if observing {
+        let hp = unwrap(hprobe.expect("observing"));
+        let pp = unwrap(pprobe.expect("observing"));
+        if timeline {
+            println!();
+            print!("{}", obs::ascii_timeline(&format!("hive Q{q}"), &hp));
+            println!();
+            print!("{}", obs::ascii_timeline(&format!("pdw Q{q}"), &pp));
+        }
+        if let Some(path) = trace_path {
+            let doc = obs::chrome_trace(&[("hive", &hp), ("pdw", &pp)]);
+            std::fs::write(&path, doc).expect("write trace");
+            eprintln!("(wrote Chrome trace to {path} — load it in Perfetto)");
+        }
+    }
 }

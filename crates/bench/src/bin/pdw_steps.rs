@@ -3,15 +3,26 @@
 //! queue waits from the DES trace, plus the busiest cluster resources from
 //! the simkit resource reports.
 
+//! `--trace <path>` writes a Chrome Trace Event JSON (one process per
+//! query — load in Perfetto); `--timeline` appends ASCII timelines. Both
+//! come from a passive probe: the tables are identical with and without.
+
 use cluster::Params;
 use elephants_core::report::span_table;
+use obs::TimelineProbe;
 use pdw::{load_pdw, PdwEngine};
+use simkit::probe::Probe;
+use std::cell::RefCell;
+use std::rc::Rc;
 use tpch::{generate, GenConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let sf = bench::arg_f64(&args, "--sf", 0.01);
     let paper = bench::arg_f64(&args, "--paper", 250.0);
+    let trace_path = bench::arg_str(&args, "--trace");
+    let timeline = bench::has_flag(&args, "--timeline");
+    let observing = trace_path.is_some() || timeline;
     let queries: Vec<usize> = args
         .windows(2)
         .find(|w| w[0] == "--queries")
@@ -22,8 +33,19 @@ fn main() {
     let params = Params::paper_dss().scaled(paper / sf);
     let (pdwcat, _) = load_pdw(&cat, &params);
     let engine = PdwEngine::new(pdwcat);
+    let mut probes: Vec<(String, TimelineProbe)> = Vec::new();
     for q in queries {
-        let run = engine.run_query(&tpch::query(q));
+        let probe = observing.then(|| Rc::new(RefCell::new(TimelineProbe::new(simkit::secs(1.0)))));
+        let run = engine.run_query_probed(
+            &tpch::query(q),
+            probe.clone().map(|p| p as Rc<RefCell<dyn Probe>>),
+        );
+        if let Some(p) = probe {
+            let p = Rc::try_unwrap(p)
+                .expect("engine released the probe")
+                .into_inner();
+            probes.push((format!("Q{q}"), p));
+        }
         let spans: Vec<_> = run
             .trace
             .spans
@@ -50,10 +72,27 @@ fn main() {
         println!("busiest resources (simkit resource report):");
         for r in res.iter().take(6) {
             println!(
-                "  {:>8.1}s busy  {:<16} {:>5} reqs  mean queue wait {:.3}s",
-                r.busy_secs, r.name, r.completions, r.mean_queue_wait_secs
+                "  {:>8.1}s busy  {:<16} {:>5} reqs  mean queue wait {:.3}s  peak queue {}",
+                r.busy_secs, r.name, r.completions, r.mean_queue_wait_secs, r.max_queue_depth
             );
         }
+        let left: usize = run.resources.iter().map(|r| r.queued_at_end).sum();
+        if left > 0 {
+            println!("  WARNING: {left} requests still queued at run end");
+        }
         println!();
+    }
+
+    if timeline {
+        for (name, p) in &probes {
+            print!("{}", obs::ascii_timeline(name, p));
+            println!();
+        }
+    }
+    if let Some(path) = trace_path {
+        let procs: Vec<(&str, &TimelineProbe)> =
+            probes.iter().map(|(n, p)| (n.as_str(), p)).collect();
+        std::fs::write(&path, obs::chrome_trace(&procs)).expect("write trace");
+        eprintln!("(wrote Chrome trace to {path} — load it in Perfetto)");
     }
 }

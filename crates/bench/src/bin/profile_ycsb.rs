@@ -1,0 +1,54 @@
+//! Windowed serving-side latency profile: one YCSB point per system with a
+//! passive windowed-latency observer attached, reporting p50/p95/p99 **over
+//! time** (fixed windows across the measurement interval) and the per-shard
+//! p95 spread — the skew a single aggregate percentile hides.
+//!
+//! ```text
+//! cargo run --release -p bench --bin profile_ycsb -- \
+//!     [--workload A] [--target 40000] [--windows 4] [--k 2500]
+//! ```
+//!
+//! The observer is passive: the same point run through `repro_fig*` yields
+//! byte-identical throughput/latency numbers.
+
+use bench::figures::figure_config;
+use elephants_core::serving::{run_point_profiled, SystemKind};
+use ycsb::workload::Workload;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cfg = figure_config(&args);
+    let target = bench::arg_f64(&args, "--target", 40e3);
+    let windows = bench::arg_usize(&args, "--windows", 4);
+    let workload = match bench::arg_str(&args, "--workload").as_deref() {
+        None | Some("A") | Some("a") => Workload::A,
+        Some("B") | Some("b") => Workload::B,
+        Some("C") | Some("c") => Workload::C,
+        Some("D") | Some("d") => Workload::D,
+        Some("E") | Some("e") => Workload::E,
+        Some(other) => panic!("unknown workload {other}"),
+    };
+
+    println!(
+        "# Windowed latency profile — YCSB workload {:?} @ target {target:.0} ops/s",
+        workload
+    );
+    println!(
+        "# ({windows} windows over the {:.0}s measurement interval; shard p95 = min–max over shards)",
+        cfg.measure_secs
+    );
+    for system in SystemKind::all() {
+        eprintln!("  {} ...", system.label());
+        let (point, wl) = run_point_profiled(&cfg, system, workload, target, windows);
+        println!();
+        print!(
+            "{}",
+            wl.render(&format!(
+                "{} — achieved {:.0} ops/s{}",
+                system.label(),
+                point.achieved_ops,
+                if point.crashed { " (CRASHED)" } else { "" }
+            ))
+        );
+    }
+}

@@ -60,14 +60,46 @@ fn print_utilization(results: &DssResults) {
     for run in &results.runs {
         let mut pdw = UtilSummary::default();
         let mut hive = UtilSummary::default();
+        let mut hive_peak: (usize, String) = (0, String::new());
+        let mut pdw_peak: (usize, String) = (0, String::new());
+        let mut left_over = 0usize;
         for c in &run.cells {
             pdw.merge(&c.pdw_util);
             if let Some(u) = &c.hive_util {
                 hive.merge(u);
             }
+            if let Some((name, depth, left)) = &c.hive_peak_queue {
+                if *depth > hive_peak.0 {
+                    hive_peak = (*depth, name.clone());
+                }
+                left_over += left;
+            }
+            let (name, depth, left) = &c.pdw_peak_queue;
+            if *depth > pdw_peak.0 {
+                pdw_peak = (*depth, name.clone());
+            }
+            left_over += left;
         }
-        println!("  @{:>6.0} GB  HIVE  {}", run.paper_scale, util_line(&hive));
-        println!("  @{:>6.0} GB  PDW   {}", run.paper_scale, util_line(&pdw));
+        println!(
+            "  @{:>6.0} GB  HIVE  {}  peak queue {} ({})",
+            run.paper_scale,
+            util_line(&hive),
+            hive_peak.0,
+            hive_peak.1
+        );
+        println!(
+            "  @{:>6.0} GB  PDW   {}  peak queue {} ({})",
+            run.paper_scale,
+            util_line(&pdw),
+            pdw_peak.0,
+            pdw_peak.1
+        );
+        if left_over > 0 {
+            println!(
+                "  @{:>6.0} GB  WARNING: {left_over} requests still queued at run end",
+                run.paper_scale
+            );
+        }
     }
 }
 

@@ -1,0 +1,67 @@
+//! CI guard: parse a Chrome Trace Event JSON produced by `--trace` and
+//! check its shape — valid JSON, a `traceEvents` array, at least one
+//! process per expected engine, complete (`ph:"X"`) span events with
+//! non-negative durations, and counter (`ph:"C"`) tracks.
+//!
+//!     cargo run --release -p bench --bin validate_trace -- trace.json [proc ...]
+
+use obs::json::{parse, Json};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let path = args
+        .get(1)
+        .expect("usage: validate_trace <trace.json> [proc ...]");
+    let text = std::fs::read_to_string(path).expect("read trace file");
+    let doc = parse(&text).unwrap_or_else(|e| panic!("{path}: invalid JSON: {e}"));
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .expect("traceEvents array");
+    assert!(!events.is_empty(), "empty trace");
+
+    let mut procs = Vec::new();
+    let mut spans = 0usize;
+    let mut counters = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(Json::as_str).expect("ph field");
+        match ph {
+            "M" => {
+                if ev.get("name").and_then(Json::as_str) == Some("process_name") {
+                    let name = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .expect("process name");
+                    procs.push(name.to_string());
+                }
+            }
+            "X" => {
+                spans += 1;
+                let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
+                let dur = ev.get("dur").and_then(Json::as_f64).expect("dur");
+                assert!(
+                    ts >= 0.0 && dur >= 0.0,
+                    "negative span time: ts={ts} dur={dur}"
+                );
+                assert!(ev.get("name").and_then(Json::as_str).is_some(), "span name");
+            }
+            "C" => counters += 1,
+            other => panic!("unexpected event phase {other:?}"),
+        }
+    }
+    assert!(spans > 0, "no span events");
+    assert!(counters > 0, "no counter samples");
+    for want in args.iter().skip(2) {
+        assert!(
+            procs.iter().any(|p| p == want),
+            "missing process {want:?} (have {procs:?})"
+        );
+    }
+    println!(
+        "{path}: OK — {} events, {} processes {:?}, {spans} spans, {counters} counter samples",
+        events.len(),
+        procs.len(),
+        procs
+    );
+}

@@ -23,6 +23,11 @@ pub fn has_flag(args: &[String], key: &str) -> bool {
     args.iter().any(|a| a == key)
 }
 
+/// Parse a `--key value` string argument (e.g. `--trace out.json`).
+pub fn arg_str(args: &[String], key: &str) -> Option<String> {
+    args.windows(2).find(|w| w[0] == key).map(|w| w[1].clone())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -37,5 +42,7 @@ mod tests {
         assert_eq!(arg_f64(&args, "--missing", 7.0), 7.0);
         assert!(has_flag(&args, "--fast"));
         assert!(!has_flag(&args, "--slow"));
+        assert_eq!(arg_str(&args, "--sf").as_deref(), Some("0.05"));
+        assert_eq!(arg_str(&args, "--missing"), None);
     }
 }

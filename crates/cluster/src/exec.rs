@@ -43,6 +43,7 @@
 
 use crate::params::Params;
 use crate::topo::Cluster;
+use simkit::probe::{Probe, ProbeEvent};
 use simkit::resource::{report, ResourceReport};
 use simkit::trace::{Contrib, ResKind, Span, Trace};
 use simkit::{as_secs, secs, Latch, ResourceId, Sim, SimTime};
@@ -266,6 +267,9 @@ pub struct TaskPhaseReport {
     /// Absolute sim time in seconds when the last task completed (equal to
     /// phase start + setup for an empty phase).
     pub end_secs: f64,
+    /// Same instant in integer nanoseconds — use this for exact arithmetic
+    /// (e.g. job-relative offsets on a shared executor).
+    pub end: SimTime,
     /// Tasks that failed once and were re-run.
     pub retries: u32,
 }
@@ -366,9 +370,18 @@ fn run_steps(sim: &mut Sim<()>, mut steps: std::vec::IntoIter<BoundStep>, done: 
 /// re-enqueues a fresh attempt (counted in `retries`).
 fn task_body(task: BoundTask, pool: Rc<RefCell<SlotPool>>, retries: Rc<Cell<u32>>) -> Thunk {
     Box::new(move |sim: &mut Sim<()>| {
+        let node = task.node;
+        sim.emit_probe(ProbeEvent::TaskStarted {
+            at: sim.now(),
+            node,
+        });
         if let Some(wasted) = task.fail_wasting {
             sim.after(wasted, move |sim, _| {
                 retries.set(retries.get() + 1);
+                sim.emit_probe(ProbeEvent::TaskRetried {
+                    at: sim.now(),
+                    node,
+                });
                 let fresh = BoundTask {
                     fail_wasting: None,
                     ..task
@@ -382,7 +395,13 @@ fn task_body(task: BoundTask, pool: Rc<RefCell<SlotPool>>, retries: Rc<Cell<u32>
         run_steps(
             sim,
             task.steps.into_iter(),
-            Box::new(move |sim| SlotPool::release(&pool, sim)),
+            Box::new(move |sim| {
+                sim.emit_probe(ProbeEvent::TaskFinished {
+                    at: sim.now(),
+                    node,
+                });
+                SlotPool::release(&pool, sim)
+            }),
         );
     })
 }
@@ -425,6 +444,11 @@ impl ClusterExec {
         as_secs(self.sim.now())
     }
 
+    /// Current sim time in integer nanoseconds.
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
     pub fn trace(&self) -> &Trace {
         &self.trace
     }
@@ -433,10 +457,22 @@ impl ClusterExec {
         std::mem::take(&mut self.trace)
     }
 
+    /// Attach (or detach) a passive probe on the underlying event loop.
+    /// Already-registered cluster resources are replayed to the probe;
+    /// span and task events flow from here on.
+    pub fn set_probe(&mut self, probe: Option<Rc<RefCell<dyn Probe>>>) {
+        self.sim.set_probe(probe);
+    }
+
     /// Run `phase` to completion. Returns its makespan in seconds and
     /// appends its [`Span`] to the trace.
     pub fn run(&mut self, phase: Phase) -> f64 {
         let t0 = self.sim.now();
+        self.sim.emit_probe(ProbeEvent::SpanOpened {
+            at: t0,
+            name: &phase.name,
+            node: phase.node,
+        });
         let issue_at = t0.saturating_add(secs(phase.setup));
         let reqs = self.resolve(&phase.work);
         let contribs: Rc<RefCell<Vec<Contrib>>> = Rc::default();
@@ -464,6 +500,11 @@ impl ClusterExec {
         );
         self.sim.run(&mut ());
         let end = self.sim.now();
+        self.sim.emit_probe(ProbeEvent::SpanClosed {
+            at: end,
+            name: &phase.name,
+            node: phase.node,
+        });
         self.trace.push(Span {
             name: phase.name,
             node: phase.node,
@@ -487,6 +528,11 @@ impl ClusterExec {
             self.ensure_hdfs_links();
         }
         let t0 = self.sim.now();
+        self.sim.emit_probe(ProbeEvent::SpanOpened {
+            at: t0,
+            name: &phase.name,
+            node: None,
+        });
         let before = self.class_totals();
         let issue_at = t0.saturating_add(secs(phase.setup));
         let bound: Vec<BoundTask> = phase.tasks.iter().map(|t| self.bind_task(t)).collect();
@@ -507,6 +553,11 @@ impl ClusterExec {
         );
         self.sim.run(&mut ());
         let end = self.sim.now();
+        self.sim.emit_probe(ProbeEvent::SpanClosed {
+            at: end,
+            name: &phase.name,
+            node: None,
+        });
         let after = self.class_totals();
         let mut contribs = Vec::new();
         for (i, kind) in ResKind::ALL.iter().enumerate() {
@@ -530,6 +581,7 @@ impl ClusterExec {
         });
         TaskPhaseReport {
             end_secs: as_secs(end),
+            end,
             retries: retries_out.get(),
         }
     }

@@ -42,6 +42,27 @@ pub struct QueryCell {
     pub hive_util: Option<simkit::trace::UtilSummary>,
     /// Per-resource busy/queue-wait totals from the PDW run's trace.
     pub pdw_util: simkit::trace::UtilSummary,
+    /// Deepest resource queue over the Hive run: `(resource, peak depth,
+    /// requests still queued at end)`.
+    pub hive_peak_queue: Option<(String, usize, usize)>,
+    /// Deepest resource queue over the PDW run.
+    pub pdw_peak_queue: (String, usize, usize),
+}
+
+/// The deepest FIFO queue in a run's resource reports: `(resource name,
+/// peak depth, total requests still queued at snapshot)`. Ties broken by
+/// name (ascending) for determinism.
+pub fn peak_queue(reports: &[simkit::resource::ResourceReport]) -> (String, usize, usize) {
+    let queued_at_end: usize = reports.iter().map(|r| r.queued_at_end).sum();
+    let deepest = reports.iter().max_by(|a, b| {
+        a.max_queue_depth
+            .cmp(&b.max_queue_depth)
+            .then(b.name.cmp(&a.name))
+    });
+    match deepest {
+        Some(r) => (r.name.clone(), r.max_queue_depth, queued_at_end),
+        None => (String::new(), 0, queued_at_end),
+    }
 }
 
 impl QueryCell {
@@ -154,6 +175,8 @@ fn run_one_scale(
             pdw_secs: pdw_run.total_secs,
             hive_util: hive_run.as_ref().map(|r| r.util()),
             pdw_util: pdw_run.trace.util(),
+            hive_peak_queue: hive_run.as_ref().map(|r| peak_queue(&r.resources)),
+            pdw_peak_queue: peak_queue(&pdw_run.resources),
         });
         hive_runs.push((q, hive_run));
     }

@@ -2,10 +2,13 @@
 
 use cluster::Params;
 use docstore::{MongoCluster, Sharding};
-use simkit::Sim;
+use obs::WindowedLatencies;
+use simkit::{Sim, SimTime};
 use sqlengine::SqlCluster;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
-use ycsb::driver::{run_workload, RunConfig, RunResult};
+use std::rc::Rc;
+use ycsb::driver::{run_workload_observed, OpObserver, RunConfig, RunResult};
 use ycsb::workload::{OpType, Workload};
 
 type S = Sim<()>;
@@ -95,6 +98,16 @@ pub fn run_point(
     workload: Workload,
     target_ops: f64,
 ) -> SweepPoint {
+    run_point_inner(cfg, system, workload, target_ops, None)
+}
+
+fn run_point_inner(
+    cfg: &ServingConfig,
+    system: SystemKind,
+    workload: Workload,
+    target_ops: f64,
+    observer: Option<Rc<RefCell<dyn OpObserver>>>,
+) -> SweepPoint {
     let params = cfg.params();
     let n = cfg.n_records();
     let run_cfg = RunConfig {
@@ -113,17 +126,17 @@ pub fn run_point(
             sql.load(n);
             let horizon = simkit::secs(cfg.warmup_secs + cfg.measure_secs);
             sql.start_checkpoints(&mut sim, horizon);
-            run_workload(&mut sim, sql, workload, &run_cfg)
+            run_workload_observed(&mut sim, sql, workload, &run_cfg, observer)
         }
         SystemKind::MongoAs => {
             let m = MongoCluster::build(&mut sim, &params, Sharding::Range);
             m.load(n);
-            run_workload(&mut sim, m, workload, &run_cfg)
+            run_workload_observed(&mut sim, m, workload, &run_cfg, observer)
         }
         SystemKind::MongoCs => {
             let m = MongoCluster::build(&mut sim, &params, Sharding::Hash);
             m.load(n);
-            run_workload(&mut sim, m, workload, &run_cfg)
+            run_workload_observed(&mut sim, m, workload, &run_cfg, observer)
         }
     };
     SweepPoint {
@@ -143,6 +156,41 @@ pub fn run_point(
             .collect(),
         crashed: result.crashed,
     }
+}
+
+/// Bridges the driver's per-op callback into the windowed collector.
+struct WindowedObserver(WindowedLatencies);
+
+impl OpObserver for WindowedObserver {
+    fn on_op(&mut self, ty: OpType, shard: Option<usize>, at: SimTime, latency: SimTime) {
+        self.0.record(ty.label(), shard, at, latency);
+    }
+}
+
+/// [`run_point`] with a windowed latency profile attached: the measurement
+/// interval is cut into `windows` fixed windows and per-shard latency
+/// histograms are kept per window. The observer is passive — the
+/// `SweepPoint` is byte-identical to an unprofiled [`run_point`].
+pub fn run_point_profiled(
+    cfg: &ServingConfig,
+    system: SystemKind,
+    workload: Workload,
+    target_ops: f64,
+    windows: usize,
+) -> (SweepPoint, WindowedLatencies) {
+    let t0 = simkit::secs(cfg.warmup_secs);
+    let window = simkit::secs(cfg.measure_secs / windows.max(1) as f64);
+    let obs = Rc::new(RefCell::new(WindowedObserver(WindowedLatencies::new(
+        t0,
+        window.max(1),
+        windows.max(1),
+    ))));
+    let point = run_point_inner(cfg, system, workload, target_ops, Some(obs.clone()));
+    let obs = Rc::try_unwrap(obs)
+        .ok()
+        .expect("driver released observer")
+        .into_inner();
+    (point, obs.0)
 }
 
 /// Sweep a workload over targets for every system.
@@ -199,6 +247,20 @@ mod tests {
             assert!(p.latency(OpType::Read).unwrap() > 0.0);
             assert!(!p.crashed, "{system:?} must survive workload C");
         }
+    }
+
+    #[test]
+    fn profiled_point_is_byte_identical_and_windowed() {
+        let cfg = tiny();
+        let plain = run_point(&cfg, SystemKind::SqlCs, Workload::A, 2_000.0);
+        let (prof, wl) = run_point_profiled(&cfg, SystemKind::SqlCs, Workload::A, 2_000.0, 4);
+        // Passivity: the observer must not change any result field.
+        assert_eq!(format!("{plain:?}"), format!("{prof:?}"));
+        let total: u64 = (0..wl.windows())
+            .map(|w| wl.merged("read", w).count())
+            .sum();
+        assert!(total > 0, "windowed reads recorded");
+        assert!(!wl.shards("read").is_empty(), "shard labels present");
     }
 
     #[test]

@@ -4,7 +4,10 @@ use crate::lower::{Lowering, NamedJob, Staged};
 use crate::meta::HiveWarehouse;
 use relational::plan::SchemaProvider;
 use relational::{LogicalPlan, Row, Schema};
+use simkit::probe::Probe;
 use simkit::trace::{Span, UtilSummary};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 pub use crate::lower::HiveError;
 
@@ -17,6 +20,10 @@ pub struct QueryRun {
     pub jobs: Vec<NamedJob>,
     /// Peak cluster-wide scratch usage (spills + live intermediates).
     pub scratch_bytes: u64,
+    /// End-of-query utilization of every cluster resource, accumulated
+    /// over the whole job DAG on the shared executor (busy time, queue
+    /// waits, peak queue depth).
+    pub resources: Vec<simkit::resource::ResourceReport>,
 }
 
 impl QueryRun {
@@ -169,15 +176,31 @@ impl HiveEngine {
 
     /// Execute a query plan end to end.
     pub fn run_query(&self, plan: &LogicalPlan) -> Result<QueryRun, HiveError> {
+        self.run_query_probed(plan, None)
+    }
+
+    /// Execute a query plan with an optional passive probe attached to the
+    /// shared executor the whole job DAG runs on. The probe observes every
+    /// resource event and phase span (on the query's single time axis) but
+    /// cannot influence the run: timings and rows are byte-identical with
+    /// and without one.
+    pub fn run_query_probed(
+        &self,
+        plan: &LogicalPlan,
+        probe: Option<Rc<RefCell<dyn Probe>>>,
+    ) -> Result<QueryRun, HiveError> {
         let mut lowering = Lowering::new(&self.warehouse);
+        lowering.exec.set_probe(probe);
         lowering.map_failure_fraction = self.map_failure_fraction;
         let staged: Staged = lowering.lower(plan)?;
         let rows = staged.all_rows();
+        lowering.exec.set_probe(None);
         Ok(QueryRun {
             rows,
             total_secs: lowering.total_secs,
             jobs: lowering.jobs,
             scratch_bytes: lowering.peak_scratch,
+            resources: lowering.exec.resource_reports(),
         })
     }
 }

@@ -9,8 +9,9 @@
 //! bucketed-map-join opportunity — the paper's §3.3.4.3 point (3).
 
 use crate::meta::HiveWarehouse;
+use cluster::exec::{ClusterExec, Phase};
 use cluster::Params;
-use mapreduce::{run_job, JobReport, JobSpec, MapTaskSpec, ReduceTaskSpec};
+use mapreduce::{run_job_on, JobReport, JobSpec, MapTaskSpec, ReduceTaskSpec};
 use relational::expr::Expr;
 use relational::value::row_bytes;
 use relational::{ops, AggCall, JoinKind, LogicalPlan, Row, SortKey};
@@ -132,6 +133,10 @@ pub struct Lowering<'a> {
     pub total_secs: f64,
     /// Propagated into every JobSpec (fault-injection ablation).
     pub map_failure_fraction: f64,
+    /// One executor shared by the whole job DAG: every job (and every
+    /// fixed charge) advances the same clock, so phase spans live on the
+    /// query's time axis and an attached probe sees the full query.
+    pub exec: ClusterExec,
     label_stack: Vec<String>,
     materialized: BTreeMap<String, Staged>,
     scratch_used: Vec<u64>,
@@ -147,6 +152,7 @@ impl<'a> Lowering<'a> {
             total_secs: 0.0,
             label_stack: vec!["main".to_string()],
             map_failure_fraction: 0.0,
+            exec: ClusterExec::new(w.params.clone()),
             materialized: BTreeMap::new(),
             scratch_used: vec![0; w.params.nodes],
             peak_scratch: 0,
@@ -163,7 +169,7 @@ impl<'a> Lowering<'a> {
 
     fn run(&mut self, mut spec: JobSpec) {
         spec.map_failure_fraction = self.map_failure_fraction;
-        let report = run_job(&spec, self.params());
+        let report = run_job_on(&mut self.exec, &spec);
         self.total_secs += report.total;
         self.jobs.push(NamedJob {
             label: spec.name.clone(),
@@ -171,12 +177,18 @@ impl<'a> Lowering<'a> {
         });
     }
 
+    /// Account a fixed-duration step that has no task structure (metadata
+    /// ops, client-side merges). Advances the shared executor clock too, so
+    /// later jobs' spans stay aligned with the accumulated `total_secs`.
     fn charge_fixed(&mut self, name: &str, secs: f64) {
         self.total_secs += secs;
+        let start_secs = self.exec.now_secs();
+        self.exec.run(Phase::new(name).setup(secs));
         self.jobs.push(NamedJob {
             label: name.to_string(),
             report: JobReport {
                 name: name.to_string(),
+                start_secs,
                 total: secs,
                 ..JobReport::default()
             },

@@ -11,14 +11,31 @@
 
 use crate::spec::{JobReport, JobSpec};
 use cluster::{ClusterExec, Params, Phase, Task, TaskPhase, TaskStep};
+use simkit::as_secs;
 
 /// Simulate one job against a fresh cluster substrate; returns phase
 /// timings (absolute seconds from job start) and the per-phase spans.
 pub fn run_job(spec: &JobSpec, params: &Params) -> JobReport {
     let mut exec = ClusterExec::new(params.clone());
+    run_job_on(&mut exec, spec)
+}
+
+/// Simulate one job on an existing executor (whose clock need not be at
+/// zero): a query's whole job DAG can share one substrate, so spans land
+/// on one coherent time axis and resource accounting accumulates across
+/// jobs. Phase timing fields stay *job-relative* (identical to a fresh
+/// executor — all service times are volume-derived, so offsetting the
+/// start shifts every event by exactly `start_secs`); [`JobReport::spans`]
+/// carry the executor's absolute time.
+pub fn run_job_on(exec: &mut ClusterExec, spec: &JobSpec) -> JobReport {
+    let params = exec.params().clone();
+    let params = &params;
+    let t0 = exec.now();
     let nodes = params.nodes;
+    let spans_before = exec.trace().spans.len();
     let mut report = JobReport {
         name: spec.name.clone(),
+        start_secs: as_secs(t0),
         n_maps: spec.maps.len(),
         n_reduces: spec.reduces.len(),
         min_waves: (spec.maps.len() as u32).div_ceil(params.total_map_slots().max(1)),
@@ -62,7 +79,7 @@ pub fn run_job(spec: &JobSpec, params: &Params) -> JobReport {
         map_phase.task(task);
     }
     let map = exec.run_tasks(map_phase);
-    report.map_done = map.end_secs;
+    report.map_done = as_secs(map.end.saturating_sub(t0));
     report.map_retries = map.retries;
 
     // ---- shuffle phase --------------------------------------------------
@@ -81,7 +98,7 @@ pub fn run_job(spec: &JobSpec, params: &Params) -> JobReport {
         }
     }
     exec.run(shuffle);
-    report.shuffle_done = exec.now_secs();
+    report.shuffle_done = as_secs(exec.now().saturating_sub(t0));
 
     // ---- reduce phase ---------------------------------------------------
     // Startup, sort/merge + reduce CPU, then the replicated HDFS output
@@ -104,8 +121,8 @@ pub fn run_job(spec: &JobSpec, params: &Params) -> JobReport {
         );
     }
     let reduce = exec.run_tasks(reduce_phase);
-    report.total = reduce.end_secs;
-    report.spans = exec.take_trace().spans;
+    report.total = as_secs(reduce.end.saturating_sub(t0));
+    report.spans = exec.trace().spans[spans_before..].to_vec();
     report
 }
 

@@ -28,7 +28,9 @@
 //! the same traced DES layer PDW runs on. All *mechanism* (slots, FIFO
 //! queues, resource time, spans) lives in `cluster::exec`; the
 //! `exec-substrate-only` simlint rule keeps it that way. Entry points:
-//! [`run_job`] over a [`JobSpec`], returning a [`JobReport`] whose spans
+//! [`run_job`] over a [`JobSpec`] (fresh substrate), or [`run_job_on`] to
+//! run a DAG of jobs on one shared substrate (coherent time axis, whole-
+//! query resource accounting); both return a [`JobReport`] whose spans
 //! cut the job at the map/shuffle/reduce barriers. Paper anchors: §3.3.2
 //! (Hive architecture), Table 4 (map waves), Table 5 (Q22 startup costs).
 
@@ -37,5 +39,5 @@
 pub mod engine;
 pub mod spec;
 
-pub use engine::run_job;
+pub use engine::{run_job, run_job_on};
 pub use spec::{JobReport, JobSpec, MapTaskSpec, ReduceTaskSpec};

@@ -64,6 +64,10 @@ impl JobSpec {
 #[derive(Clone, Debug, Default)]
 pub struct JobReport {
     pub name: String,
+    /// Executor time at which this job started (0.0 on a fresh executor;
+    /// the previous jobs' total when a query's DAG shares one executor).
+    /// `start_secs + total` locates the job on the query's time axis.
+    pub start_secs: f64,
     /// When the last map task finished.
     pub map_done: f64,
     /// When the shuffle completed (== `map_done` for map-only jobs).

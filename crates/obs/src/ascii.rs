@@ -1,0 +1,184 @@
+//! ASCII timeline rendering: a Gantt row per phase span plus per-kind
+//! cluster utilization strips, for terminals and committed text artifacts.
+//!
+//! ```text
+//! timeline 0s .. 142.3s (2.2s/col)
+//! q5/j1 map            |######........................................................|
+//! q5/j1 shuffle        |......##......................................................|
+//! disk busy            |985310........................................................|
+//! ```
+//!
+//! Utilization strips print one digit per column: mean busy fraction
+//! across the kind's servers, 0–9 (9 ≈ fully busy), `.` for idle.
+
+use crate::timeline::TimelineProbe;
+use simkit::SimTime;
+use std::fmt::Write as _;
+
+const COLS: usize = 64;
+const LABEL: usize = 20;
+
+/// Classify a cluster resource by its conventional name. Display-only:
+/// exports carry the raw names.
+fn kind_of(name: &str) -> Option<&'static str> {
+    if name.contains("disk") || name.contains("hdfs") {
+        Some("disk")
+    } else if name.contains("cpu") {
+        Some("cpu")
+    } else if name.contains("nic") || name.contains(".rx") || name.contains(".tx") {
+        Some("net")
+    } else {
+        None
+    }
+}
+
+fn label(s: &str) -> String {
+    let mut l: String = s.chars().take(LABEL).collect();
+    while l.chars().count() < LABEL {
+        l.push(' ');
+    }
+    l
+}
+
+/// Render `probe`'s spans and utilization strips over `[0, end]`.
+pub fn ascii_timeline(title: &str, probe: &TimelineProbe) -> String {
+    let end = probe.end().max(1);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "timeline {title}: 0s .. {:.1}s ({:.2}s/col)",
+        end as f64 / 1e9,
+        end as f64 / 1e9 / COLS as f64
+    );
+    for span in probe.spans() {
+        let c0 = (span.start as u128 * COLS as u128 / end as u128) as usize;
+        let c1 = (span.end as u128 * COLS as u128 / end as u128).min(COLS as u128 - 1) as usize;
+        let mut bar = vec![b'.'; COLS];
+        for cell in bar.iter_mut().take(c1 + 1).skip(c0) {
+            *cell = b'#';
+        }
+        let _ = writeln!(
+            out,
+            "{} |{}| {:9.1}s ..{:9.1}s",
+            label(&span.name),
+            String::from_utf8(bar).expect("ascii"),
+            span.start as f64 / 1e9,
+            span.end as f64 / 1e9,
+        );
+    }
+    for kind in ["disk", "cpu", "net"] {
+        if let Some(strip) = util_strip(probe, end, kind) {
+            let _ = writeln!(out, "{} |{strip}|", label(&format!("{kind} busy")));
+        }
+    }
+    if !probe.task_samples().is_empty() {
+        let _ = writeln!(
+            out,
+            "{} |{}|",
+            label("tasks running"),
+            task_strip(probe, end)
+        );
+    }
+    out
+}
+
+/// One digit per column: mean busy fraction of all `kind` servers.
+fn util_strip(probe: &TimelineProbe, end: SimTime, kind: &str) -> Option<String> {
+    let width = probe.bucket_width();
+    let mut busy_ns = vec![0u128; COLS];
+    let mut servers = 0u64;
+    for res in probe.resources() {
+        if kind_of(&res.name) != Some(kind) {
+            continue;
+        }
+        servers += res.servers as u64;
+        for (b, bucket) in res.buckets().iter().enumerate() {
+            // Assign each bucket's integral to the column containing its
+            // midpoint — coarse, but stable and monotone.
+            let mid = b as u128 * width as u128 + width as u128 / 2;
+            let col = (mid * COLS as u128 / end as u128).min(COLS as u128 - 1) as usize;
+            busy_ns[col] += bucket.busy_ns as u128;
+        }
+    }
+    if servers == 0 || busy_ns.iter().all(|&b| b == 0) {
+        return None;
+    }
+    let col_ns = end as u128 * servers as u128 / COLS as u128;
+    Some(
+        busy_ns
+            .iter()
+            .map(|&b| digit(b as f64 / col_ns.max(1) as f64))
+            .collect(),
+    )
+}
+
+/// One digit per column: peak task concurrency, normalized to the maximum.
+fn task_strip(probe: &TimelineProbe, end: SimTime) -> String {
+    let mut peak = vec![0u32; COLS];
+    let samples = probe.task_samples();
+    let max = samples.iter().map(|&(_, r)| r).max().unwrap_or(0).max(1);
+    for window in samples.windows(2) {
+        let (t0, running) = window[0];
+        let t1 = window[1].0;
+        if running == 0 {
+            continue;
+        }
+        let c0 = (t0 as u128 * COLS as u128 / end as u128).min(COLS as u128 - 1) as usize;
+        let c1 = (t1 as u128 * COLS as u128 / end as u128).min(COLS as u128 - 1) as usize;
+        for cell in peak.iter_mut().take(c1 + 1).skip(c0) {
+            *cell = (*cell).max(running);
+        }
+    }
+    if let Some(&(t, running)) = samples.last() {
+        if running > 0 {
+            let c = (t as u128 * COLS as u128 / end as u128).min(COLS as u128 - 1) as usize;
+            peak[c] = peak[c].max(running);
+        }
+    }
+    peak.iter().map(|&p| digit(p as f64 / max as f64)).collect()
+}
+
+fn digit(frac: f64) -> char {
+    if frac <= 0.005 {
+        '.'
+    } else {
+        let d = (frac * 10.0).floor().clamp(0.0, 9.0) as u32;
+        char::from_digit(d.max(1), 10).expect("single digit")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::{secs, Sim};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn renders_span_rows_and_a_disk_strip() {
+        let mut sim: Sim<()> = Sim::new();
+        let probe = Rc::new(RefCell::new(TimelineProbe::new(secs(1.0))));
+        sim.set_probe(Some(probe.clone()));
+        let disk = sim.add_resource("node0.disk0", 1);
+        sim.emit_probe(simkit::ProbeEvent::SpanOpened {
+            at: 0,
+            name: "scan:lineitem",
+            node: None,
+        });
+        sim.use_resource(disk, secs(8.0), |_, _| {});
+        let end = sim.run(&mut ());
+        sim.emit_probe(simkit::ProbeEvent::SpanClosed {
+            at: end,
+            name: "scan:lineitem",
+            node: None,
+        });
+        let text = ascii_timeline("test", &probe.borrow());
+        assert!(text.contains("scan:lineitem"));
+        assert!(text.contains("disk busy"));
+        // The span covers the whole run: its bar is solid.
+        let bar_line = text.lines().find(|l| l.contains("scan")).expect("row");
+        assert!(bar_line.contains(&"#".repeat(COLS)));
+        // Deterministic.
+        assert_eq!(text, ascii_timeline("test", &probe.borrow()));
+    }
+}

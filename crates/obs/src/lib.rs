@@ -1,0 +1,36 @@
+//! # obs — passive observability over the DES substrate
+//!
+//! Everything the engines report today is an *aggregate* (total busy time,
+//! final percentiles); this crate adds the *time axis*. It builds on the
+//! [`simkit::probe`] bus: attach a [`TimelineProbe`] to any
+//! `Sim`/`ClusterExec` and it folds the deterministic event stream into
+//!
+//! * per-resource **busy-fraction and queue-depth timelines** (fixed
+//!   sim-time buckets, width adapting to run length),
+//! * exact **phase spans** and a **task-concurrency** track,
+//!
+//! which export as Chrome Trace Event JSON ([`chrome_trace`], loadable in
+//! Perfetto) or stable JSONL ([`jsonl()`]), or render as an [`ascii_timeline`]
+//! for terminals and committed artifacts. For the serving-side benchmarks,
+//! [`WindowedLatencies`] keeps per-(operation, shard, window) histograms so
+//! p50/p95/p99 can be read over time and across shards.
+//!
+//! **Passivity is the design invariant**: probes receive borrowed event
+//! data and have no handle back into the simulation, so attaching one
+//! changes no timing cell and no result byte (`tests/observability.rs`
+//! and a CI artifact diff enforce this).
+
+#![forbid(unsafe_code)]
+
+pub mod ascii;
+pub mod chrome;
+pub mod json;
+pub mod jsonl;
+pub mod serving;
+pub mod timeline;
+
+pub use ascii::ascii_timeline;
+pub use chrome::chrome_trace;
+pub use jsonl::jsonl;
+pub use serving::WindowedLatencies;
+pub use timeline::TimelineProbe;

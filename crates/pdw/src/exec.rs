@@ -16,9 +16,12 @@ use cluster::{ClusterExec, Params, Phase};
 use relational::expr::Expr;
 use relational::value::row_bytes;
 use relational::{ops, AggCall, JoinKind, LogicalPlan, Row, SortKey};
+use simkit::probe::Probe;
 use simkit::resource::ResourceReport;
 use simkit::trace::Trace;
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
 
 /// One optimizer/DMS step with its simulated duration (the Q5/Q19 plan
 /// narratives in §3.3.4.1 are reproduced from these). A derived view over
@@ -112,12 +115,26 @@ impl PdwEngine {
     }
 
     pub fn run_query(&self, plan: &LogicalPlan) -> PdwQueryRun {
+        self.run_query_probed(plan, None)
+    }
+
+    /// Run a query with an optional passive probe attached to the step
+    /// executor. The probe sees every resource event and step span but
+    /// cannot feed back into the simulation: rows, step timings, and
+    /// resource reports are byte-identical with and without one.
+    pub fn run_query_probed(
+        &self,
+        plan: &LogicalPlan,
+        probe: Option<Rc<RefCell<dyn Probe>>>,
+    ) -> PdwQueryRun {
         // Cost-based optimizer front end: predicate pushdown (Hive 0.7
         // lacks this for Q9's LIKE filter — PDW does not).
         let plan = pushdown_filters(plan);
+        let mut exec = ClusterExec::new(self.catalog.params.clone());
+        exec.set_probe(probe);
         let mut ctx = Ctx {
             cat: &self.catalog,
-            exec: ClusterExec::new(self.catalog.params.clone()),
+            exec,
             use_indexes: self.use_indexes,
             materialized: BTreeMap::new(),
         };
@@ -132,6 +149,7 @@ impl PdwEngine {
         };
         let total_secs = ctx.exec.now_secs();
         let resources = ctx.exec.resource_reports();
+        ctx.exec.set_probe(None);
         let trace = ctx.exec.take_trace();
         let steps = trace
             .spans

@@ -12,7 +12,10 @@
 //!   [`trace::Span`] (named phase with sim-time start/end) carries
 //!   [`trace::Contrib`]s splitting each resource's *service time* from its
 //!   *FIFO queue wait*; [`trace::UtilSummary`] folds spans into per-kind
-//!   busy/wait totals.
+//!   busy/wait totals,
+//! * a passive [`probe`] bus: attach a [`probe::Probe`] to a [`Sim`] and it
+//!   receives every resource/span/task event in deterministic order without
+//!   being able to perturb the run.
 //!
 //! The kernel is generic over a *world* type `W`: the mutable simulation
 //! state owned by the caller. Event handlers receive `(&mut Sim<W>, &mut W)`
@@ -40,12 +43,14 @@
 #![forbid(unsafe_code)]
 
 pub mod latch;
+pub mod probe;
 pub mod resource;
 pub mod sim;
 pub mod stats;
 pub mod trace;
 
 pub use latch::Latch;
+pub use probe::{Probe, ProbeEvent};
 pub use resource::ResourceId;
 pub use sim::{Event, Sim, SimTime};
 pub use trace::{Contrib, ResKind, Span, Trace, UtilSummary};

@@ -1,0 +1,184 @@
+//! Passive observation of a running simulation.
+//!
+//! A [`Probe`] is a read-only tap on the event loop: the kernel (and the
+//! execution layers built on it) emit [`ProbeEvent`]s at well-defined points
+//! — resource enqueue / service start / service complete, span open / close,
+//! task lifecycle — and the probe may record whatever it likes. Probes are
+//! **strictly passive**: they receive borrowed event data and have no handle
+//! back into the [`Sim`](crate::Sim), so attaching one cannot schedule
+//! events, consume randomness, or otherwise perturb the simulation. Runs
+//! with and without a probe are byte-identical (`tests/observability.rs`
+//! holds this as an invariant).
+//!
+//! Event order is deterministic: events are emitted synchronously from the
+//! (deterministic) event loop, so the same workload always produces the
+//! same event stream.
+//!
+//! The kernel emits resource-level events only; span and task events are
+//! emitted by higher layers (the `cluster` phase executor) through
+//! [`Sim::emit_probe`](crate::Sim::emit_probe), so one probe sees a single
+//! ordered stream for a whole run.
+
+use crate::resource::ResourceId;
+use crate::sim::SimTime;
+
+/// One observation from the event loop. Timestamps are sim time; string
+/// fields are borrowed so emission never allocates.
+#[derive(Clone, Copy, Debug)]
+pub enum ProbeEvent<'a> {
+    /// A resource exists (replayed for pre-existing resources when a probe
+    /// is attached mid-run, so probes always know every resource).
+    ResourceRegistered {
+        res: ResourceId,
+        name: &'a str,
+        servers: u32,
+    },
+    /// A request joined the resource's FIFO queue. `waiting` counts queued
+    /// requests *including this one*; a request that starts immediately is
+    /// popped again by the [`ProbeEvent::ServiceStarted`] event at the same
+    /// timestamp.
+    Enqueued {
+        at: SimTime,
+        res: ResourceId,
+        service: SimTime,
+        waiting: usize,
+    },
+    /// A server picked up a request after `wait` in the queue.
+    ServiceStarted {
+        at: SimTime,
+        res: ResourceId,
+        service: SimTime,
+        wait: SimTime,
+        waiting: usize,
+    },
+    /// A request finished service.
+    ServiceCompleted {
+        at: SimTime,
+        res: ResourceId,
+        waiting: usize,
+    },
+    /// A named phase opened (emitted by the phase executor).
+    SpanOpened {
+        at: SimTime,
+        name: &'a str,
+        node: Option<usize>,
+    },
+    /// The matching phase closed.
+    SpanClosed {
+        at: SimTime,
+        name: &'a str,
+        node: Option<usize>,
+    },
+    /// A slot-scheduled task began running on `node`.
+    TaskStarted { at: SimTime, node: usize },
+    /// A slot-scheduled task finished (its slot is about to be released).
+    TaskFinished { at: SimTime, node: usize },
+    /// A task attempt failed and was re-enqueued.
+    TaskRetried { at: SimTime, node: usize },
+}
+
+/// A passive observer of [`ProbeEvent`]s. Implementations must be cheap:
+/// they run synchronously inside the event loop.
+pub trait Probe {
+    fn on_event(&mut self, ev: &ProbeEvent<'_>);
+}
+
+/// A probe that counts events by class — the "does the bus fire" probe used
+/// in tests and as the simplest example implementation.
+#[derive(Clone, Debug, Default)]
+pub struct CountingProbe {
+    pub registered: u64,
+    pub enqueued: u64,
+    pub started: u64,
+    pub completed: u64,
+    pub spans_opened: u64,
+    pub spans_closed: u64,
+    pub tasks_started: u64,
+    pub tasks_finished: u64,
+    pub tasks_retried: u64,
+}
+
+impl Probe for CountingProbe {
+    fn on_event(&mut self, ev: &ProbeEvent<'_>) {
+        match ev {
+            ProbeEvent::ResourceRegistered { .. } => self.registered += 1,
+            ProbeEvent::Enqueued { .. } => self.enqueued += 1,
+            ProbeEvent::ServiceStarted { .. } => self.started += 1,
+            ProbeEvent::ServiceCompleted { .. } => self.completed += 1,
+            ProbeEvent::SpanOpened { .. } => self.spans_opened += 1,
+            ProbeEvent::SpanClosed { .. } => self.spans_closed += 1,
+            ProbeEvent::TaskStarted { .. } => self.tasks_started += 1,
+            ProbeEvent::TaskFinished { .. } => self.tasks_finished += 1,
+            ProbeEvent::TaskRetried { .. } => self.tasks_retried += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{secs, Sim};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn probe_sees_resource_lifecycle_in_order() {
+        #[derive(Default)]
+        struct OrderProbe(Vec<&'static str>);
+        impl Probe for OrderProbe {
+            fn on_event(&mut self, ev: &ProbeEvent<'_>) {
+                self.0.push(match ev {
+                    ProbeEvent::ResourceRegistered { .. } => "reg",
+                    ProbeEvent::Enqueued { .. } => "enq",
+                    ProbeEvent::ServiceStarted { .. } => "start",
+                    ProbeEvent::ServiceCompleted { .. } => "done",
+                    _ => "other",
+                });
+            }
+        }
+        let mut sim: Sim<()> = Sim::new();
+        let probe = Rc::new(RefCell::new(OrderProbe::default()));
+        sim.set_probe(Some(probe.clone()));
+        let disk = sim.add_resource("disk", 1);
+        sim.use_resource(disk, secs(1.0), |_, _| {});
+        sim.use_resource(disk, secs(1.0), |_, _| {});
+        sim.run(&mut ());
+        assert_eq!(
+            probe.borrow().0,
+            vec!["reg", "enq", "start", "enq", "done", "start", "done"]
+        );
+    }
+
+    #[test]
+    fn attaching_a_probe_replays_existing_resources() {
+        let mut sim: Sim<()> = Sim::new();
+        sim.add_resource("a", 1);
+        sim.add_resource("b", 2);
+        let probe = Rc::new(RefCell::new(CountingProbe::default()));
+        sim.set_probe(Some(probe.clone()));
+        assert_eq!(probe.borrow().registered, 2);
+        sim.add_resource("c", 1);
+        assert_eq!(probe.borrow().registered, 3);
+    }
+
+    #[test]
+    fn probe_reports_queue_wait_on_service_start() {
+        let waits: Rc<RefCell<Vec<SimTime>>> = Rc::default();
+        struct WaitProbe(Rc<RefCell<Vec<SimTime>>>);
+        impl Probe for WaitProbe {
+            fn on_event(&mut self, ev: &ProbeEvent<'_>) {
+                if let ProbeEvent::ServiceStarted { wait, .. } = ev {
+                    self.0.borrow_mut().push(*wait);
+                }
+            }
+        }
+        let mut sim: Sim<()> = Sim::new();
+        sim.set_probe(Some(Rc::new(RefCell::new(WaitProbe(waits.clone())))));
+        let disk = sim.add_resource("disk", 1);
+        for _ in 0..3 {
+            sim.use_resource(disk, secs(1.0), |_, _| {});
+        }
+        sim.run(&mut ());
+        assert_eq!(*waits.borrow(), vec![0, secs(1.0), secs(2.0)]);
+    }
+}

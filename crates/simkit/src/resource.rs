@@ -13,6 +13,15 @@ use std::collections::VecDeque;
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct ResourceId(pub(crate) usize);
 
+impl ResourceId {
+    /// Dense registration index (0-based, in `add_resource` order). Probes
+    /// use it to key per-resource tables without hashing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 pub(crate) struct ResourceState<W> {
     name: String,
     servers: u32,
@@ -22,6 +31,7 @@ pub(crate) struct ResourceState<W> {
     busy_integral: SimTime,
     last_change: SimTime,
     total_queue_wait: SimTime,
+    max_queue_len: usize,
 }
 
 struct Pending<W> {
@@ -41,6 +51,7 @@ impl<W> ResourceState<W> {
             busy_integral: 0,
             last_change: 0,
             total_queue_wait: 0,
+            max_queue_len: 0,
         }
     }
 
@@ -57,19 +68,27 @@ impl<W> ResourceState<W> {
             service,
             done,
         });
+        if self.busy >= self.servers {
+            // All servers busy: this request genuinely waits. (A request
+            // that starts immediately transits the queue in zero time and
+            // is not a "depth" in any meaningful sense.)
+            self.max_queue_len = self.max_queue_len.max(self.queue.len());
+        }
         self.busy < self.servers
     }
 
-    /// Pop the next queued request and mark one server busy.
-    pub(crate) fn start_next(&mut self, now: SimTime) -> Option<(SimTime, Event<W>)> {
+    /// Pop the next queued request and mark one server busy. Returns the
+    /// service time, the queue wait it experienced, and its completion.
+    pub(crate) fn start_next(&mut self, now: SimTime) -> Option<(SimTime, SimTime, Event<W>)> {
         if self.busy >= self.servers {
             return None;
         }
         let p = self.queue.pop_front()?;
         self.account(now);
         self.busy += 1;
-        self.total_queue_wait += now - p.enqueued_at;
-        Some((p.service, p.done))
+        let wait = now - p.enqueued_at;
+        self.total_queue_wait += wait;
+        Some((p.service, wait, p.done))
     }
 
     /// A service completed. Returns true if more work is queued.
@@ -100,15 +119,33 @@ impl<W> ResourceState<W> {
     pub(crate) fn queue_len(&self) -> usize {
         self.queue.len()
     }
+
+    pub(crate) fn max_queue_len(&self) -> usize {
+        self.max_queue_len
+    }
+
+    pub(crate) fn servers(&self) -> u32 {
+        self.servers
+    }
 }
 
 /// Utilization summary for reporting.
+///
+/// `mean_queue_wait_secs` averages over *completed* requests only: a request
+/// still queued at snapshot time has accrued wait that is not yet counted.
+/// `queued_at_end` exposes how many such requests exist, so a nonzero value
+/// flags the mean as a lower bound.
 #[derive(Clone, Debug)]
 pub struct ResourceReport {
     pub name: String,
     pub busy_secs: f64,
     pub completions: u64,
     pub mean_queue_wait_secs: f64,
+    /// Peak number of requests waiting (queued behind busy servers) at any
+    /// instant during the run.
+    pub max_queue_depth: usize,
+    /// Requests still waiting in the queue at snapshot time.
+    pub queued_at_end: usize,
 }
 
 /// Snapshot utilization of a set of resources at the current sim time.
@@ -125,6 +162,8 @@ pub fn report<W: 'static>(sim: &Sim<W>, ids: &[ResourceId]) -> Vec<ResourceRepor
                 } else {
                     crate::as_secs(sim.resource_queue_wait(id)) / completions as f64
                 },
+                max_queue_depth: sim.resource_max_queue_len(id),
+                queued_at_end: sim.resource_queue_len(id),
             }
         })
         .collect()

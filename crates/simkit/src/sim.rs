@@ -1,8 +1,11 @@
 //! The event loop: virtual clock, event heap, resource dispatch.
 
+use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 
+use crate::probe::{Probe, ProbeEvent};
 use crate::resource::{ResourceId, ResourceState};
 
 /// Virtual time in nanoseconds since simulation start.
@@ -51,6 +54,10 @@ pub struct Sim<W> {
     heap: BinaryHeap<Scheduled<W>>,
     resources: Vec<ResourceState<W>>,
     executed: u64,
+    /// Optional passive observer (see [`crate::probe`]). `None` (the
+    /// default) costs one branch per emission point; a probe receives
+    /// borrowed event data only, so it cannot perturb the run.
+    probe: Option<Rc<RefCell<dyn Probe>>>,
 }
 
 impl<W: 'static> Default for Sim<W> {
@@ -67,6 +74,39 @@ impl<W: 'static> Sim<W> {
             heap: BinaryHeap::new(),
             resources: Vec::new(),
             executed: 0,
+            probe: None,
+        }
+    }
+
+    /// Attach (or detach, with `None`) a passive [`Probe`]. Resources that
+    /// already exist are replayed as [`ProbeEvent::ResourceRegistered`] so
+    /// the probe has the full resource table regardless of attach order.
+    pub fn set_probe(&mut self, probe: Option<Rc<RefCell<dyn Probe>>>) {
+        self.probe = probe;
+        if let Some(p) = &self.probe {
+            for (i, rs) in self.resources.iter().enumerate() {
+                p.borrow_mut().on_event(&ProbeEvent::ResourceRegistered {
+                    res: ResourceId(i),
+                    name: rs.name(),
+                    servers: rs.servers(),
+                });
+            }
+        }
+    }
+
+    /// Whether a probe is attached (lets callers skip building event data).
+    #[inline]
+    pub fn has_probe(&self) -> bool {
+        self.probe.is_some()
+    }
+
+    /// Emit an event to the attached probe, if any. Public so execution
+    /// layers above the kernel (phase executors, engines) can feed span and
+    /// task events into the same ordered stream.
+    #[inline]
+    pub fn emit_probe(&self, ev: ProbeEvent<'_>) {
+        if let Some(p) = &self.probe {
+            p.borrow_mut().on_event(&ev);
         }
     }
 
@@ -108,6 +148,13 @@ impl<W: 'static> Sim<W> {
         let id = ResourceId(self.resources.len());
         self.resources
             .push(ResourceState::new(name.into(), servers));
+        if self.probe.is_some() {
+            self.emit_probe(ProbeEvent::ResourceRegistered {
+                res: id,
+                name: self.resources[id.0].name(),
+                servers,
+            });
+        }
         id
     }
 
@@ -119,6 +166,14 @@ impl<W: 'static> Sim<W> {
             let rs = &mut self.resources[r.0];
             rs.enqueue(now, service, done)
         };
+        if self.probe.is_some() {
+            self.emit_probe(ProbeEvent::Enqueued {
+                at: now,
+                res: r,
+                service,
+                waiting: self.resources[r.0].queue_len(),
+            });
+        }
         if start {
             self.begin_service(r);
         }
@@ -136,12 +191,28 @@ impl<W: 'static> Sim<W> {
 
     fn begin_service(&mut self, r: ResourceId) {
         let now = self.now;
-        let Some((service, done)) = self.resources[r.0].start_next(now) else {
+        let Some((service, wait, done)) = self.resources[r.0].start_next(now) else {
             return;
         };
+        if self.probe.is_some() {
+            self.emit_probe(ProbeEvent::ServiceStarted {
+                at: now,
+                res: r,
+                service,
+                wait,
+                waiting: self.resources[r.0].queue_len(),
+            });
+        }
         self.schedule_in(
             service,
             Box::new(move |sim: &mut Sim<W>, w: &mut W| {
+                if sim.probe.is_some() {
+                    sim.emit_probe(ProbeEvent::ServiceCompleted {
+                        at: sim.now,
+                        res: r,
+                        waiting: sim.resources[r.0].queue_len(),
+                    });
+                }
                 done(sim, w);
                 let more = sim.resources[r.0].finish_one(sim.now);
                 if more {
@@ -207,6 +278,12 @@ impl<W: 'static> Sim<W> {
     /// Current queue length of a resource.
     pub fn resource_queue_len(&self, r: ResourceId) -> usize {
         self.resources[r.0].queue_len()
+    }
+
+    /// Peak number of requests that were *waiting* (queued behind busy
+    /// servers) at any instant so far.
+    pub fn resource_max_queue_len(&self, r: ResourceId) -> usize {
+        self.resources[r.0].max_queue_len()
     }
 }
 

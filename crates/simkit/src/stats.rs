@@ -183,6 +183,21 @@ impl LatencyHistogram {
         self.sum = 0;
         self.max = 0;
     }
+
+    /// Fold another histogram into this one (cross-shard / cross-client
+    /// aggregation). Because bucketing is deterministic, merging and then
+    /// asking for a quantile gives *exactly* the same answer as recording
+    /// the concatenated sample stream into one histogram
+    /// (`tests/prop.rs` holds this as a property).
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        debug_assert_eq!(self.buckets.len(), other.buckets.len());
+        for (b, ob) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
 }
 
 #[cfg(test)]

@@ -91,3 +91,38 @@ proptest! {
         prop_assert_eq!(*fired.borrow(), Some(*delays.iter().max().unwrap()));
     }
 }
+
+proptest! {
+    /// S2 invariant: merging per-shard histograms then asking for a
+    /// quantile equals recording the concatenated sample stream into one
+    /// histogram. Bucketing is deterministic, so this is exact equality,
+    /// not approximate.
+    #[test]
+    fn merged_histogram_quantiles_match_concatenated_stream(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(1u64..50_000_000, 0..80),
+            1..6,
+        ),
+        q_mille in 0u64..=1000,
+    ) {
+        use simkit::stats::LatencyHistogram;
+        let mut merged = LatencyHistogram::new();
+        let mut concat = LatencyHistogram::new();
+        for samples in &shards {
+            let mut shard = LatencyHistogram::new();
+            for &v in samples {
+                shard.record(v);
+                concat.record(v);
+            }
+            merged.merge(&shard);
+        }
+        prop_assert_eq!(merged.count(), concat.count());
+        prop_assert_eq!(merged.max(), concat.max());
+        prop_assert_eq!(merged.mean().to_bits(), concat.mean().to_bits());
+        let q = q_mille as f64 / 1000.0;
+        prop_assert_eq!(merged.quantile(q), concat.quantile(q));
+        for fixed in [0.5, 0.95, 0.99] {
+            prop_assert_eq!(merged.quantile(fixed), concat.quantile(fixed));
+        }
+    }
+}

@@ -27,6 +27,22 @@ pub trait Store {
     fn crashed(&self) -> bool {
         false
     }
+    /// Which shard/partition serves point ops on `key`, if the store is
+    /// sharded (`None` for unsharded stores and stores that won't say).
+    /// Purely informational — used to label observer samples.
+    fn shard_of(&self, _key: u64) -> Option<usize> {
+        None
+    }
+}
+
+/// Passive observer of completed operations. `on_op` fires for every
+/// completed op — warm-up included, so observers see the full run and can
+/// window it themselves — with the op's type label, the serving shard (when
+/// the store is sharded), the completion time, and the measured latency.
+/// Observers get no handle back into the simulation or the driver, so
+/// attaching one cannot change throughput or latency results.
+pub trait OpObserver {
+    fn on_op(&mut self, ty: OpType, shard: Option<usize>, at: SimTime, latency: SimTime);
 }
 
 /// One benchmark run's configuration.
@@ -116,24 +132,29 @@ struct DriverState {
 struct Driver {
     store: Rc<dyn Store>,
     state: RefCell<DriverState>,
+    observer: Option<Rc<RefCell<dyn OpObserver>>>,
     warm_start: SimTime,
     end: SimTime,
     interval: SimTime,
 }
 
 impl Driver {
-    fn record(&self, start: SimTime, now: SimTime, ty: OpType, result: u64) {
+    fn record(&self, start: SimTime, now: SimTime, op: Op, result: u64) {
         let mut st = self.state.borrow_mut();
         if result == u64::MAX {
             st.crashed = true;
             return;
         }
+        let lat = now - start;
+        if let Some(obs) = &self.observer {
+            obs.borrow_mut()
+                .on_op(op.ty, self.store.shard_of(op.key), now, lat);
+        }
         if now < self.warm_start || now > self.end {
             return;
         }
         st.completed_in_window += 1;
-        let m = st.measures.entry(ty).or_insert_with(Measure::new);
-        let lat = now - start;
+        let m = st.measures.entry(op.ty).or_insert_with(Measure::new);
         m.hist.record(lat);
         m.cur_sum += simkit::as_millis(lat);
         m.cur_n += 1;
@@ -164,7 +185,7 @@ fn issue_loop(driver: Rc<Driver>, due: SimTime, sim: &mut S) {
         sim,
         op,
         Box::new(move |sim, result| {
-            d2.record(start, sim.now(), op.ty, result);
+            d2.record(start, sim.now(), op, result);
             let next_due = (due + d2.interval).max(sim.now());
             let d3 = d2.clone();
             sim.schedule_at(
@@ -183,10 +204,24 @@ pub fn run_workload(
     workload: Workload,
     cfg: &RunConfig,
 ) -> RunResult {
+    run_workload_observed(sim, store, workload, cfg, None)
+}
+
+/// [`run_workload`] with an optional passive [`OpObserver`] attached.
+/// The observer cannot influence the run: results are byte-identical with
+/// and without one.
+pub fn run_workload_observed(
+    sim: &mut S,
+    store: Rc<dyn Store>,
+    workload: Workload,
+    cfg: &RunConfig,
+    observer: Option<Rc<RefCell<dyn OpObserver>>>,
+) -> RunResult {
     let warm_start = secs(cfg.warmup_secs);
     let end = secs(cfg.warmup_secs + cfg.measure_secs);
     let driver = Rc::new(Driver {
         store,
+        observer,
         state: RefCell::new(DriverState {
             gen: OpGenerator::new(workload, cfg.n_records, cfg.max_scan_len),
             rng: StdRng::seed_from_u64(cfg.seed),

@@ -24,5 +24,5 @@ pub mod generators;
 pub mod stores;
 pub mod workload;
 
-pub use driver::{run_workload, RunConfig, RunResult, Store};
+pub use driver::{run_workload, run_workload_observed, OpObserver, RunConfig, RunResult, Store};
 pub use workload::{Op, OpType, Workload};

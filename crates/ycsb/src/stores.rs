@@ -19,6 +19,10 @@ impl Store for SqlCluster {
             OpType::Scan => self.scan(sim, op.key, op.scan_len, done),
         }
     }
+
+    fn shard_of(&self, key: u64) -> Option<usize> {
+        Some(sqlengine::sharded::shard_of(key, self.nodes.len()))
+    }
 }
 
 impl Store for MongoCluster {
@@ -33,6 +37,10 @@ impl Store for MongoCluster {
 
     fn crashed(&self) -> bool {
         self.crashed.get()
+    }
+
+    fn shard_of(&self, key: u64) -> Option<usize> {
+        Some(MongoCluster::shard_of(self, key))
     }
 }
 

@@ -28,4 +28,16 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 echo "== cargo test"
 cargo test -q --workspace
 
+echo "== observability (trace export + passive-probe artifact diff)"
+# The probe layer must stay passive and deterministic: regenerating the
+# committed profile artifact — with a Chrome trace export riding along —
+# must reproduce it byte-for-byte, and the trace must parse as well-formed
+# Trace Event JSON with both engine processes present.
+obs_tmp=$(mktemp -d)
+trap 'rm -rf "$obs_tmp"' EXIT
+cargo run -q --release -p bench --bin explain -- 5 --sf 0.02 --timeline \
+  --trace "$obs_tmp/q5.json" > "$obs_tmp/profile_q5.txt"
+cargo run -q --release -p bench --bin validate_trace -- "$obs_tmp/q5.json" hive pdw
+diff -u results/profile_q5.txt "$obs_tmp/profile_q5.txt"
+
 echo "ci: all green"

@@ -26,4 +26,8 @@ cargo run --release -p bench --bin pdw_steps -- --queries 1,5,19 > results/pdw_s
 echo "== compare_paper (per-query calibration at the two headline scales)"
 cargo run --release -p bench --bin compare_paper -- --sf 0.02 --scale 250 > results/compare_paper_250.txt
 cargo run --release -p bench --bin compare_paper -- --sf 0.02 --scale 16000 > results/compare_paper_16000.txt
+echo "== profile_q5 (passive-probe ASCII timeline for explain Q5)"
+cargo run --release -p bench --bin explain -- 5 --sf 0.02 --timeline > results/profile_q5.txt
+echo "== profile_ycsb_a (windowed serving-side latency percentiles)"
+cargo run --release -p bench --bin profile_ycsb > results/profile_ycsb_a.txt
 echo "done — see results/ and EXPERIMENTS.md"

@@ -8,6 +8,7 @@ pub use docstore;
 pub use elephants_core as core;
 pub use hive;
 pub use mapreduce;
+pub use obs;
 pub use pdw;
 pub use relational;
 pub use simkit;

@@ -140,10 +140,15 @@ fn hive_answers_unchanged_by_substrate_port() {
                 "Q{q} job {}: every job reports the three phases",
                 job.label
             );
+            // Spans carry the shared executor's absolute time; the report's
+            // phase boundaries are job-relative. `start_secs` reconciles.
             assert!(
-                (elephants::simkit::as_secs(job.report.spans[0].end) - job.report.map_done).abs()
+                (elephants::simkit::as_secs(job.report.spans[0].end)
+                    - (job.report.start_secs + job.report.map_done))
+                    .abs()
                     < 1e-9
-                    && (elephants::simkit::as_secs(job.report.spans[2].end) - job.report.total)
+                    && (elephants::simkit::as_secs(job.report.spans[2].end)
+                        - (job.report.start_secs + job.report.total))
                         .abs()
                         < 1e-9,
                 "Q{q} job {}: span ends must match the phase boundaries",
