@@ -72,13 +72,22 @@ fn main() {
         println!("busiest resources (simkit resource report):");
         for r in res.iter().take(6) {
             println!(
-                "  {:>8.1}s busy  {:<16} {:>5} reqs  mean queue wait {:.3}s  peak queue {}",
-                r.busy_secs, r.name, r.completions, r.mean_queue_wait_secs, r.max_queue_depth
+                "  {:>8.1}s busy  {:<16} {:>5} reqs  mean queue wait {:.3}s  pending wait {:.3}s  peak queue {}",
+                r.busy_secs,
+                r.name,
+                r.completions,
+                r.mean_queue_wait_secs,
+                r.pending_wait_secs,
+                r.max_queue_depth
             );
         }
         let left: usize = run.resources.iter().map(|r| r.queued_at_end).sum();
         if left > 0 {
-            println!("  WARNING: {left} requests still queued at run end");
+            let pending: f64 = run.resources.iter().map(|r| r.pending_wait_secs).sum();
+            println!(
+                "  WARNING: {left} requests still queued at run end \
+                 ({pending:.1}s pending wait accrued, uncounted in mean queue wait)"
+            );
         }
         println!();
     }

@@ -63,22 +63,25 @@ fn print_utilization(results: &DssResults) {
         let mut hive_peak: (usize, String) = (0, String::new());
         let mut pdw_peak: (usize, String) = (0, String::new());
         let mut left_over = 0usize;
+        let mut pending_wait = 0.0f64;
         for c in &run.cells {
             pdw.merge(&c.pdw_util);
             if let Some(u) = &c.hive_util {
                 hive.merge(u);
             }
-            if let Some((name, depth, left)) = &c.hive_peak_queue {
+            if let Some((name, depth, left, pending)) = &c.hive_peak_queue {
                 if *depth > hive_peak.0 {
                     hive_peak = (*depth, name.clone());
                 }
                 left_over += left;
+                pending_wait += pending;
             }
-            let (name, depth, left) = &c.pdw_peak_queue;
+            let (name, depth, left, pending) = &c.pdw_peak_queue;
             if *depth > pdw_peak.0 {
                 pdw_peak = (*depth, name.clone());
             }
             left_over += left;
+            pending_wait += pending;
         }
         println!(
             "  @{:>6.0} GB  HIVE  {}  peak queue {} ({})",
@@ -96,7 +99,8 @@ fn print_utilization(results: &DssResults) {
         );
         if left_over > 0 {
             println!(
-                "  @{:>6.0} GB  WARNING: {left_over} requests still queued at run end",
+                "  @{:>6.0} GB  WARNING: {left_over} requests still queued at run end \
+                 ({pending_wait:.1}s pending wait accrued, uncounted in mean queue wait)",
                 run.paper_scale
             );
         }

@@ -40,6 +40,21 @@
 //! MapReduce's map → shuffle → reduce barriers; the resource *accounting*
 //! (busy integrals, queue waits) accumulates across the whole run for
 //! end-of-query utilization reports.
+//!
+//! ## Concurrent mixes
+//!
+//! [`ClusterExec::run_mix`] lifts the serial restriction for *whole jobs*:
+//! each [`JobSpec`] is an ordered chain of phases admitted at a seeded
+//! arrival offset, and every job's chain advances phase-by-phase (intra-job
+//! barriers preserved) while different jobs contend for the same disks,
+//! CPU pools, and NICs concurrently. Dispatch inside a resource queue is
+//! fair across jobs (each job's requests carry its admission index as a
+//! client tag; see `simkit::resource`), and the whole schedule is
+//! deterministic: admission order is the canonical sort by
+//! `(arrival, name)` — independent of submission order — and ties inside
+//! the event loop break on (time, schedule seq), so reruns are
+//! byte-identical. Phase spans land in the trace in completion order with
+//! `job/phase` names.
 
 use crate::params::Params;
 use crate::topo::Cluster;
@@ -406,6 +421,138 @@ fn task_body(task: BoundTask, pool: Rc<RefCell<SlotPool>>, retries: Rc<Cell<u32>
     })
 }
 
+/// One job in a concurrent mix: a named, ordered chain of [`Phase`]s
+/// admitted at `arrival_secs` (relative to [`ClusterExec::run_mix`] start).
+#[derive(Clone, Debug)]
+pub struct JobSpec {
+    pub name: String,
+    pub arrival_secs: f64,
+    pub phases: Vec<Phase>,
+}
+
+/// Completion record for one job of a mix, in canonical
+/// `(arrival, name)` order regardless of submission order.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    pub name: String,
+    /// Admission offset relative to mix start, as submitted.
+    pub arrival_secs: f64,
+    /// Absolute sim time (seconds) when the job's last phase completed.
+    pub end_secs: f64,
+    /// Number of phases the job ran.
+    pub phases: usize,
+}
+
+impl JobOutcome {
+    /// Wall time from admission to completion.
+    pub fn makespan_secs(&self) -> f64 {
+        self.end_secs - self.arrival_secs
+    }
+}
+
+/// A [`Phase`] with its work pre-bound to concrete resource requests and
+/// its span name prefixed `job/phase` (mix-internal).
+struct PreparedPhase {
+    name: String,
+    node: Option<usize>,
+    setup: SimTime,
+    reqs: Vec<(ResourceId, ResKind, Option<usize>, SimTime)>,
+}
+
+/// Mix-internal per-job constants shared across its phase chain.
+struct MixMeta {
+    name: String,
+    arrival_secs: f64,
+    phases: usize,
+}
+
+/// Advance one mix job: run its next prepared phase (span opened now,
+/// requests issued after setup, span closed when the last drains), then
+/// recurse; record a [`JobOutcome`] when the chain is exhausted.
+fn advance_mix_job(
+    sim: &mut Sim<()>,
+    client: u32,
+    meta: Rc<MixMeta>,
+    mut phases: std::vec::IntoIter<PreparedPhase>,
+    spans: Rc<RefCell<Vec<Span>>>,
+    outcomes: Rc<RefCell<Vec<JobOutcome>>>,
+) {
+    let Some(phase) = phases.next() else {
+        outcomes.borrow_mut().push(JobOutcome {
+            name: meta.name.clone(),
+            arrival_secs: meta.arrival_secs,
+            end_secs: as_secs(sim.now()),
+            phases: meta.phases,
+        });
+        return;
+    };
+    let PreparedPhase {
+        name,
+        node,
+        setup,
+        reqs,
+    } = phase;
+    let t0 = sim.now();
+    sim.emit_probe(ProbeEvent::SpanOpened {
+        at: t0,
+        name: &name,
+        node,
+    });
+    let issue_at = t0.saturating_add(setup);
+    let contribs: Rc<RefCell<Vec<Contrib>>> = Rc::default();
+    let n = reqs.len();
+    let fin = {
+        let contribs = contribs.clone();
+        let (spans, outcomes) = (spans, outcomes);
+        Latch::with(n.max(1) as u64, move |sim: &mut Sim<()>, _| {
+            let end = sim.now();
+            sim.emit_probe(ProbeEvent::SpanClosed {
+                at: end,
+                name: &name,
+                node,
+            });
+            spans.borrow_mut().push(Span {
+                name,
+                node,
+                start: t0,
+                end,
+                contribs: contribs.take(),
+            });
+            advance_mix_job(sim, client, meta, phases, spans, outcomes);
+        })
+    };
+    sim.schedule_at(
+        issue_at,
+        Box::new(move |sim, _| {
+            if n == 0 {
+                // Pure-setup phase: the latch's single count is the setup
+                // delay itself.
+                fin.count_down(sim);
+                return;
+            }
+            for (rid, kind, node, service) in reqs {
+                let sink = contribs.clone();
+                let f = fin.clone();
+                sim.request_as(
+                    rid,
+                    service,
+                    client,
+                    Box::new(move |sim, _| {
+                        let wait = sim.now().saturating_sub(issue_at).saturating_sub(service);
+                        sink.borrow_mut().push(Contrib {
+                            kind,
+                            node,
+                            service: as_secs(service),
+                            queue_wait: as_secs(wait),
+                        });
+                        f.count_down(sim);
+                    }),
+                );
+            }
+        }),
+    );
+}
+
 /// A cluster bound to its own event loop, executing phases and recording
 /// a [`Trace`].
 pub struct ClusterExec {
@@ -419,6 +566,10 @@ pub struct ClusterExec {
     /// report exactly the resources they use.
     hdfs_read: Vec<ResourceId>,
     trace: Trace,
+    /// When `Some`, [`ClusterExec::run`] appends a clone of every phase it
+    /// executes (see [`ClusterExec::record_phases`]) so an engine's plan
+    /// can be replayed later inside a concurrent mix.
+    recording: Option<Vec<Phase>>,
 }
 
 impl ClusterExec {
@@ -432,7 +583,22 @@ impl ClusterExec {
             control_rx,
             hdfs_read: Vec::new(),
             trace: Trace::default(),
+            recording: None,
         }
+    }
+
+    /// Start recording every [`Phase`] passed to [`ClusterExec::run`] (a
+    /// clone is kept before execution). Lets an engine capture its
+    /// resolved per-phase work so the identical plan can be replayed as a
+    /// [`JobSpec`] inside [`ClusterExec::run_mix`] on another executor.
+    pub fn record_phases(&mut self) {
+        self.recording = Some(Vec::new());
+    }
+
+    /// Stop recording and return the captured phases (empty if
+    /// [`ClusterExec::record_phases`] was never called).
+    pub fn take_recorded_phases(&mut self) -> Vec<Phase> {
+        self.recording.take().unwrap_or_default()
     }
 
     pub fn params(&self) -> &Params {
@@ -467,6 +633,9 @@ impl ClusterExec {
     /// Run `phase` to completion. Returns its makespan in seconds and
     /// appends its [`Span`] to the trace.
     pub fn run(&mut self, phase: Phase) -> f64 {
+        if let Some(rec) = &mut self.recording {
+            rec.push(phase.clone());
+        }
         let t0 = self.sim.now();
         self.sim.emit_probe(ProbeEvent::SpanOpened {
             at: t0,
@@ -584,6 +753,64 @@ impl ClusterExec {
             end,
             retries: retries_out.get(),
         }
+    }
+
+    /// Run a concurrent mix of jobs to completion.
+    ///
+    /// Each job's phase chain advances serially (intra-job barriers
+    /// preserved) while different jobs contend for the same resources.
+    /// Admission order — and hence each job's client tag for fair
+    /// dispatch — is the canonical sort by `(arrival, name)`, so permuting
+    /// the submission order of `jobs` cannot change the schedule. Phase
+    /// spans are appended to the trace in completion order under
+    /// `job/phase` names; outcomes return in admission order.
+    pub fn run_mix(&mut self, mut jobs: Vec<JobSpec>) -> Vec<JobOutcome> {
+        jobs.sort_by(|a, b| {
+            (secs(a.arrival_secs), a.name.as_str()).cmp(&(secs(b.arrival_secs), b.name.as_str()))
+        });
+        let spans: Rc<RefCell<Vec<Span>>> = Rc::default();
+        let outcomes: Rc<RefCell<Vec<JobOutcome>>> = Rc::default();
+        let t0 = self.sim.now();
+        for (client, job) in jobs.into_iter().enumerate() {
+            let prepared: Vec<PreparedPhase> = job
+                .phases
+                .iter()
+                .map(|ph| PreparedPhase {
+                    name: format!("{}/{}", job.name, ph.name),
+                    node: ph.node,
+                    setup: secs(ph.setup),
+                    reqs: self.resolve(&ph.work),
+                })
+                .collect();
+            let meta = Rc::new(MixMeta {
+                name: job.name,
+                arrival_secs: job.arrival_secs,
+                phases: prepared.len(),
+            });
+            let (spans, outcomes) = (spans.clone(), outcomes.clone());
+            self.sim.schedule_at(
+                t0.saturating_add(secs(job.arrival_secs)),
+                Box::new(move |sim, _| {
+                    advance_mix_job(
+                        sim,
+                        client as u32,
+                        meta,
+                        prepared.into_iter(),
+                        spans,
+                        outcomes,
+                    )
+                }),
+            );
+        }
+        self.sim.run(&mut ());
+        for span in spans.take() {
+            self.trace.push(span);
+        }
+        let mut out = outcomes.take();
+        out.sort_by(|a, b| {
+            (secs(a.arrival_secs), a.name.as_str()).cmp(&(secs(b.arrival_secs), b.name.as_str()))
+        });
+        out
     }
 
     fn ensure_hdfs_links(&mut self) {
@@ -916,6 +1143,127 @@ mod tests {
         assert_eq!(r.retries, 1);
         // 0.5s wasted holding the slot, then the clean 1s attempt.
         assert!((r.end_secs - 1.5).abs() < 1e-9, "got {}", r.end_secs);
+    }
+
+    #[test]
+    fn mix_interleaves_jobs_on_shared_resources() {
+        // Two single-phase CPU jobs on node 0 (4 cores), each wanting 8
+        // lanes of 0.5s (4s of core-time per job). Admitted together they
+        // share the pool: 8s of work on 4 cores = 2s of wall time, and
+        // fair dispatch interleaves the queued lanes so job a finishes at
+        // 1.5s — not the 1.0s a FIFO head-start would give it.
+        let mut ex = ClusterExec::new(params());
+        let job = |name: &str| {
+            let mut p = Phase::new("work");
+            p.cpu(0, 0.5, 8);
+            JobSpec {
+                name: name.into(),
+                arrival_secs: 0.0,
+                phases: vec![p],
+            }
+        };
+        let out = ex.run_mix(vec![job("a"), job("b")]);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].name, "a");
+        assert!(
+            (out[0].end_secs - 1.5).abs() < 1e-9,
+            "got {}",
+            out[0].end_secs
+        );
+        assert!(
+            (out[1].end_secs - 2.0).abs() < 1e-9,
+            "got {}",
+            out[1].end_secs
+        );
+        // Both jobs experienced queueing on the shared pool.
+        for name in ["a/work", "b/work"] {
+            let s = ex.trace().spans.iter().find(|s| s.name == name).unwrap();
+            assert!(s.util().cpu_wait > 0.0, "{name} never waited");
+        }
+    }
+
+    #[test]
+    fn mix_preserves_intra_job_phase_order() {
+        let mut ex = ClusterExec::new(params());
+        let mut p1 = Phase::new("first");
+        p1.cpu(0, 1.0, 1);
+        let mut p2 = Phase::new("second");
+        p2.cpu(0, 1.0, 1);
+        let out = ex.run_mix(vec![JobSpec {
+            name: "chain".into(),
+            arrival_secs: 0.5,
+            phases: vec![p1, p2],
+        }]);
+        assert_eq!(out[0].phases, 2);
+        assert!((out[0].end_secs - 2.5).abs() < 1e-9);
+        assert!((out[0].makespan_secs() - 2.0).abs() < 1e-9);
+        let spans = &ex.trace().spans;
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "chain/first");
+        assert_eq!(spans[1].name, "chain/second");
+        assert_eq!(spans[1].start, spans[0].end);
+    }
+
+    #[test]
+    fn mix_is_invariant_under_submission_permutation() {
+        let run = |order_rev: bool| {
+            let mut ex = ClusterExec::new(params());
+            let job = |name: &str| {
+                let mut p = Phase::new("scan");
+                p.disk_seq(0, 100.0 * MB as f64, 100.0 * MB as f64);
+                JobSpec {
+                    name: name.into(),
+                    arrival_secs: 0.0,
+                    phases: vec![p],
+                }
+            };
+            let mut jobs = vec![job("x"), job("y")];
+            if order_rev {
+                jobs.reverse();
+            }
+            let out = ex.run_mix(jobs);
+            let reports = ex.resource_reports();
+            (
+                out.iter()
+                    .map(|o| (o.name.clone(), o.end_secs))
+                    .collect::<Vec<_>>(),
+                format!("{reports:?}"),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn mix_pure_setup_job_advances_without_requests() {
+        let mut ex = ClusterExec::new(params());
+        let out = ex.run_mix(vec![JobSpec {
+            name: "latency".into(),
+            arrival_secs: 0.25,
+            phases: vec![Phase::new("rtt").setup(0.5)],
+        }]);
+        assert!((out[0].end_secs - 0.75).abs() < 1e-9);
+        assert!(ex.trace().spans[0].contribs.is_empty());
+    }
+
+    #[test]
+    fn recorded_phases_replay_identically() {
+        // Record a serial plan, replay it as a single-job mix on a fresh
+        // executor: same phase makespans.
+        let mut ex = ClusterExec::new(params());
+        ex.record_phases();
+        let mut p = Phase::new("scan");
+        p.disk_seq(1, 200.0 * MB as f64, 100.0 * MB as f64);
+        p.cpu(1, 1.0, 4);
+        let t_serial = ex.run(p);
+        let phases = ex.take_recorded_phases();
+        assert_eq!(phases.len(), 1);
+        let mut ex2 = ClusterExec::new(params());
+        let out = ex2.run_mix(vec![JobSpec {
+            name: "replay".into(),
+            arrival_secs: 0.0,
+            phases,
+        }]);
+        assert!((out[0].end_secs - t_serial).abs() < 1e-9);
     }
 
     #[test]

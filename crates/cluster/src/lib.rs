@@ -33,6 +33,8 @@ pub mod exec;
 pub mod params;
 pub mod topo;
 
-pub use exec::{ClusterExec, Phase, Task, TaskPhase, TaskPhaseReport, TaskStep};
+pub use exec::{
+    ClusterExec, JobOutcome, JobSpec, Phase, Task, TaskPhase, TaskPhaseReport, TaskStep,
+};
 pub use params::Params;
 pub use topo::{Cluster, NodeId};

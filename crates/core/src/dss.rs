@@ -43,25 +43,32 @@ pub struct QueryCell {
     /// Per-resource busy/queue-wait totals from the PDW run's trace.
     pub pdw_util: simkit::trace::UtilSummary,
     /// Deepest resource queue over the Hive run: `(resource, peak depth,
-    /// requests still queued at end)`.
-    pub hive_peak_queue: Option<(String, usize, usize)>,
+    /// requests still queued at end, their accrued pending wait in secs)`.
+    pub hive_peak_queue: Option<(String, usize, usize, f64)>,
     /// Deepest resource queue over the PDW run.
-    pub pdw_peak_queue: (String, usize, usize),
+    pub pdw_peak_queue: (String, usize, usize, f64),
 }
 
 /// The deepest FIFO queue in a run's resource reports: `(resource name,
-/// peak depth, total requests still queued at snapshot)`. Ties broken by
+/// peak depth, total requests still queued at snapshot, summed pending
+/// wait those requests have accrued so far in seconds)`. Ties broken by
 /// name (ascending) for determinism.
-pub fn peak_queue(reports: &[simkit::resource::ResourceReport]) -> (String, usize, usize) {
+pub fn peak_queue(reports: &[simkit::resource::ResourceReport]) -> (String, usize, usize, f64) {
     let queued_at_end: usize = reports.iter().map(|r| r.queued_at_end).sum();
+    let pending_wait: f64 = reports.iter().map(|r| r.pending_wait_secs).sum();
     let deepest = reports.iter().max_by(|a, b| {
         a.max_queue_depth
             .cmp(&b.max_queue_depth)
             .then(b.name.cmp(&a.name))
     });
     match deepest {
-        Some(r) => (r.name.clone(), r.max_queue_depth, queued_at_end),
-        None => (String::new(), 0, queued_at_end),
+        Some(r) => (
+            r.name.clone(),
+            r.max_queue_depth,
+            queued_at_end,
+            pending_wait,
+        ),
+        None => (String::new(), 0, queued_at_end, pending_wait),
     }
 }
 

@@ -184,8 +184,15 @@ impl TimelineProbe {
     }
 
     /// Number of buckets needed to cover the run at the current width.
+    ///
+    /// Ceiling of `end / width`, never below 1. Integration is half-open
+    /// (`[last, to)` in `ResSeries::advance`), so an event at exactly a
+    /// bucket boundary — including `t == end` when `end` is a multiple of
+    /// the width — belongs to the bucket *ending* there; the old
+    /// `end / width + 1` formula advertised a phantom trailing bucket that
+    /// no integral could ever fill.
     pub fn bucket_count(&self) -> usize {
-        (self.end / self.width) as usize + 1
+        (self.end.div_ceil(self.width) as usize).max(1)
     }
 
     pub fn resources(&self) -> &[ResSeries] {
@@ -371,6 +378,51 @@ mod tests {
         let s = &p.resources()[disk.index()];
         let total_busy: u64 = s.buckets().iter().map(|b| b.busy_ns).sum();
         assert_eq!(total_busy, secs(4.0));
+    }
+
+    #[test]
+    fn bucket_count_has_no_phantom_boundary_bucket() {
+        let (mut sim, probe) = probed_sim(secs(1.0));
+        let disk = sim.add_resource("disk", 1);
+        // Run ends at exactly t = 3.0s — a bucket boundary. Half-open
+        // integration fills buckets 0..3 and nothing can land in a fourth.
+        for _ in 0..3 {
+            sim.use_resource(disk, secs(1.0), |_, _| {});
+        }
+        sim.run(&mut ());
+        let p = probe.borrow();
+        assert_eq!(p.end(), secs(3.0));
+        assert_eq!(p.bucket_count(), 3);
+        let s = &p.resources()[disk.index()];
+        assert!(s.buckets().len() <= p.bucket_count());
+        // An end strictly inside a bucket still counts that bucket.
+        let mut q = TimelineProbe::new(secs(1.0));
+        Probe::on_event(
+            &mut q,
+            &ProbeEvent::SpanOpened {
+                at: secs(2.5),
+                name: "tail",
+                node: None,
+            },
+        );
+        assert_eq!(q.bucket_count(), 3);
+    }
+
+    #[test]
+    fn zero_duration_run_has_one_bucket_and_no_panic() {
+        let (mut sim, probe) = probed_sim(secs(1.0));
+        let disk = sim.add_resource("disk", 1);
+        // Nothing ever scheduled: end stays 0.
+        sim.run(&mut ());
+        let p = probe.borrow();
+        assert_eq!(p.end(), 0);
+        assert_eq!(p.bucket_count(), 1);
+        let s = &p.resources()[disk.index()];
+        // Indexing within the advertised count is safe (empty-range reads).
+        for i in 0..p.bucket_count() {
+            assert_eq!(s.busy_fraction(i, p.bucket_width()), 0.0);
+            assert_eq!(s.mean_depth(i, p.bucket_width()), 0.0);
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! [`simkit::trace::Span`] recording where its time went.
 
 use crate::catalog::{PdwCatalog, PdwTable};
+use crate::feedback::FeedbackCosts;
 use crate::optimizer::{est_join_rows, implied_pred, ndv, pushdown_filters, JoinChain};
 use cluster::{ClusterExec, Params, Phase};
 use relational::expr::Expr;
@@ -43,6 +44,37 @@ pub struct PdwQueryRun {
     /// End-of-run utilization of every cluster resource (disks, CPU pools,
     /// NIC directions, control ingest link).
     pub resources: Vec<ResourceReport>,
+    /// One entry per join the optimizer costed, in execution order: every
+    /// candidate movement with its closed-form and feedback-effective
+    /// estimates, and which one each ranking would pick.
+    pub decisions: Vec<JoinDecision>,
+}
+
+/// The optimizer's movement choice for one join, with every candidate's
+/// closed-form estimate and its feedback-adjusted effective estimate.
+/// With [`FeedbackCosts::none`] the two rankings coincide by construction.
+#[derive(Clone, Debug)]
+pub struct JoinDecision {
+    /// `join#k` / `chain-join#k`: the span-name stem plus a per-query
+    /// decision index.
+    pub name: String,
+    /// Bytes on each side when the decision was made.
+    pub l_bytes: u64,
+    pub r_bytes: u64,
+    /// `(label, closed-form estimate secs, effective estimate secs)` for
+    /// each legal movement, in the order the optimizer considered them.
+    pub options: Vec<(String, f64, f64)>,
+    /// The movement the closed-form ranking would pick.
+    pub closed_form: String,
+    /// The movement actually executed (argmin of effective estimates).
+    pub chosen: String,
+}
+
+impl JoinDecision {
+    /// Did the measured-wait feedback change the plan?
+    pub fn flipped(&self) -> bool {
+        self.chosen != self.closed_form
+    }
 }
 
 /// Physical distribution of an intermediate result.
@@ -95,6 +127,10 @@ pub struct PdwEngine {
     /// work. Enabling this gives selective scans a secondary-index access
     /// path (see `Ctx::charge_scan_filtered`).
     pub use_indexes: bool,
+    /// Measured-wait feedback for the movement cost estimates (see
+    /// [`crate::feedback`]). `None` — the default — keeps the closed-form
+    /// estimates untouched.
+    pub feedback: Option<FeedbackCosts>,
 }
 
 impl PdwEngine {
@@ -102,6 +138,7 @@ impl PdwEngine {
         PdwEngine {
             catalog,
             use_indexes: false,
+            feedback: None,
         }
     }
 
@@ -111,7 +148,15 @@ impl PdwEngine {
         PdwEngine {
             catalog,
             use_indexes: true,
+            feedback: None,
         }
+    }
+
+    /// Rank join movements by feedback-adjusted effective estimates
+    /// instead of the raw closed forms.
+    pub fn with_feedback(mut self, feedback: FeedbackCosts) -> Self {
+        self.feedback = Some(feedback);
+        self
     }
 
     pub fn run_query(&self, plan: &LogicalPlan) -> PdwQueryRun {
@@ -127,16 +172,37 @@ impl PdwEngine {
         plan: &LogicalPlan,
         probe: Option<Rc<RefCell<dyn Probe>>>,
     ) -> PdwQueryRun {
+        self.run_query_inner(plan, probe, false).0
+    }
+
+    /// Run a query while recording every executed [`Phase`], so the exact
+    /// resolved plan can be replayed inside a concurrent mix via
+    /// [`ClusterExec::run_mix`].
+    pub fn run_query_recorded(&self, plan: &LogicalPlan) -> (PdwQueryRun, Vec<Phase>) {
+        self.run_query_inner(plan, None, true)
+    }
+
+    fn run_query_inner(
+        &self,
+        plan: &LogicalPlan,
+        probe: Option<Rc<RefCell<dyn Probe>>>,
+        record: bool,
+    ) -> (PdwQueryRun, Vec<Phase>) {
         // Cost-based optimizer front end: predicate pushdown (Hive 0.7
         // lacks this for Q9's LIKE filter — PDW does not).
         let plan = pushdown_filters(plan);
         let mut exec = ClusterExec::new(self.catalog.params.clone());
         exec.set_probe(probe);
+        if record {
+            exec.record_phases();
+        }
         let mut ctx = Ctx {
             cat: &self.catalog,
             exec,
             use_indexes: self.use_indexes,
+            feedback: self.feedback.unwrap_or_else(FeedbackCosts::none),
             materialized: BTreeMap::new(),
+            decisions: Vec::new(),
         };
         let rel = ctx.exec(&plan);
         // Final answer returns through the control node.
@@ -150,6 +216,7 @@ impl PdwEngine {
         let total_secs = ctx.exec.now_secs();
         let resources = ctx.exec.resource_reports();
         ctx.exec.set_probe(None);
+        let phases = ctx.exec.take_recorded_phases();
         let trace = ctx.exec.take_trace();
         let steps = trace
             .spans
@@ -159,13 +226,17 @@ impl PdwEngine {
                 secs: s.secs(),
             })
             .collect();
-        PdwQueryRun {
-            rows,
-            total_secs,
-            steps,
-            trace,
-            resources,
-        }
+        (
+            PdwQueryRun {
+                rows,
+                total_secs,
+                steps,
+                trace,
+                resources,
+                decisions: ctx.decisions,
+            },
+            phases,
+        )
     }
 }
 
@@ -175,8 +246,13 @@ struct Ctx<'a> {
     /// the query time.
     exec: ClusterExec,
     use_indexes: bool,
+    /// Effective-rate corrections for movement estimates
+    /// ([`FeedbackCosts::none`] = bitwise identity with closed forms).
+    feedback: FeedbackCosts,
     /// Materialized (CREATE TABLE AS) subplans, computed once and reused.
     materialized: BTreeMap<String, PRel>,
+    /// Movement decision log, one entry per costed join.
+    decisions: Vec<JoinDecision>,
 }
 
 impl<'a> Ctx<'a> {
@@ -288,6 +364,15 @@ impl<'a> Ctx<'a> {
     /// NIC directions busy concurrently at the DMS rate.
     fn charge_shuffle(&mut self, name: &str, bytes: u64) {
         let p = self.p();
+        if p.nodes == 1 {
+            // Single node: a "shuffle" is a local repartition among the
+            // node's own distributions — no NIC traffic, just the step
+            // overhead. Billing `bytes` to the loopback NIC would charge
+            // network time a one-node cluster cannot spend.
+            let ph = Phase::new(format!("shuffle:{name}")).setup(p.pdw_step_overhead);
+            self.exec.run(ph);
+            return;
+        }
         let share = bytes as f64 / p.nodes as f64;
         let mut ph = Phase::new(format!("shuffle:{name}")).setup(p.pdw_step_overhead);
         for n in 0..p.nodes {
@@ -672,38 +757,111 @@ impl<'a> Ctx<'a> {
         // Optimizer *cost estimates* for ranking movement strategies. These
         // stay closed-form on purpose: the optimizer predicts, the DES
         // phase layer (charge_shuffle / charge_replicate) measures.
-        let shuffle_t = |bytes: u64| bytes as f64 / nodes / p.dms_bw_per_node;
-        let replicate_t = |bytes: u64| bytes as f64 * (nodes - 1.0) / nodes / p.dms_bw_per_node;
+        //
+        // `nodes == 1` degenerates both closed forms: `replicate_t` is 0
+        // for any size (so the last tied option — always a replicate —
+        // would beat even a free colocated join under `min_by`'s
+        // last-of-equal-minima rule), and `shuffle_t` bills the full bytes
+        // to a network a one-node cluster never touches. Both movements
+        // there cost a local-repartition proxy instead (step overhead plus
+        // a same-node pass over the bytes), so `Move::None` wins whenever
+        // it is legal and otherwise the smaller side moves.
+        let one_node = p.nodes == 1;
+        let local_t = |bytes: u64| p.pdw_step_overhead + bytes as f64 / p.dms_bw_per_node;
+        let shuffle_t = |bytes: u64| {
+            if one_node {
+                local_t(bytes)
+            } else {
+                bytes as f64 / nodes / p.dms_bw_per_node
+            }
+        };
+        let replicate_t = |bytes: u64| {
+            if one_node {
+                local_t(bytes)
+            } else {
+                bytes as f64 * (nodes - 1.0) / nodes / p.dms_bw_per_node
+            }
+        };
+        // Feedback-effective estimate: closed form scaled by the measured
+        // per-class inflation plus the per-movement expected queueing
+        // (shuffle-both is two logical movements and pays it twice). With
+        // `FeedbackCosts::none` this is `x * 1.0 + 0.0` — bitwise `x` —
+        // so the ranking is exactly the closed-form one.
+        let fb = self.feedback;
+        let eff = |mv: &Move, closed: f64| match mv {
+            Move::None => closed,
+            Move::ShuffleL(..) | Move::ShuffleR(..) => {
+                closed * fb.shuffle_inflation + fb.net_wait_per_move_secs
+            }
+            Move::ReplicateR | Move::ReplicateL => {
+                closed * fb.replicate_inflation + fb.net_wait_per_move_secs
+            }
+            Move::ShuffleBoth(..) => {
+                closed * fb.shuffle_inflation + 2.0 * fb.net_wait_per_move_secs
+            }
+        };
 
-        let mut options: Vec<(Move, f64)> = Vec::new();
+        let mut options: Vec<(Move, f64, f64)> = Vec::new();
+        let mut push = |mv: Move, closed: f64| {
+            let e = eff(&mv, closed);
+            options.push((mv, closed, e));
+        };
         if colocated || r.dist == Dist::Replicated {
-            options.push((Move::None, 0.0));
+            push(Move::None, 0.0);
         }
         if l.dist == Dist::Replicated && kind == JoinKind::Inner {
-            options.push((Move::None, 0.0));
+            push(Move::None, 0.0);
         }
         if let Dist::Hash(rc) = r.dist {
             if let Some(&(lc, _)) = on.iter().find(|&&(_, c)| c == rc) {
-                options.push((Move::ShuffleL(lc, rc), shuffle_t(lb)));
+                push(Move::ShuffleL(lc, rc), shuffle_t(lb));
             }
         }
         if let Dist::Hash(lc) = l.dist {
             if let Some(&(_, rc)) = on.iter().find(|&&(c, _)| c == lc) {
-                options.push((Move::ShuffleR(lc, rc), shuffle_t(rb)));
+                push(Move::ShuffleR(lc, rc), shuffle_t(rb));
             }
         }
-        options.push((Move::ReplicateR, replicate_t(rb)));
+        push(Move::ReplicateR, replicate_t(rb));
         if kind == JoinKind::Inner {
-            options.push((Move::ReplicateL, replicate_t(lb)));
+            push(Move::ReplicateL, replicate_t(lb));
         }
         if let Some(&(lc, rc)) = on.first() {
-            options.push((Move::ShuffleBoth(lc, rc), shuffle_t(lb) + shuffle_t(rb)));
+            push(Move::ShuffleBoth(lc, rc), shuffle_t(lb) + shuffle_t(rb));
         }
 
-        let (mv, _) = options
-            .into_iter()
-            .min_by(|a, b| a.1.total_cmp(&b.1))
-            .expect("at least replicate is always possible");
+        let chosen_idx = options
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .2.total_cmp(&b.1 .2))
+            .expect("at least replicate is always possible")
+            .0;
+        let closed_idx = options
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .1.total_cmp(&b.1 .1))
+            .expect("non-empty options")
+            .0;
+        let label = |mv: &Move| match mv {
+            Move::None => "none",
+            Move::ShuffleL(..) => "shuffle-left",
+            Move::ShuffleR(..) => "shuffle-right",
+            Move::ReplicateR => "replicate-right",
+            Move::ReplicateL => "replicate-left",
+            Move::ShuffleBoth(..) => "shuffle-both",
+        };
+        self.decisions.push(JoinDecision {
+            name: format!("{name}#{}", self.decisions.len()),
+            l_bytes: lb,
+            r_bytes: rb,
+            options: options
+                .iter()
+                .map(|(m, c, e)| (label(m).to_string(), *c, *e))
+                .collect(),
+            closed_form: label(&options[closed_idx].0).to_string(),
+            chosen: label(&options[chosen_idx].0).to_string(),
+        });
+        let mv = options[chosen_idx].0;
 
         match mv {
             Move::None => {}
@@ -983,6 +1141,86 @@ mod tests {
         assert!(
             !rep.is_empty(),
             "Q19 should replicate the filtered part side"
+        );
+    }
+
+    #[test]
+    fn one_node_cluster_does_not_degenerate_to_replicate() {
+        // Regression: with `nodes == 1` the closed-form `replicate_t` is 0
+        // for any size, so the optimizer used to pick a replicate step even
+        // when the join was colocated (min_by keeps the *last* of equal
+        // minima). The guarded estimates must prefer `none` whenever it is
+        // legal — and answers must still match the reference.
+        let cat = generate(&GenConfig::new(0.01));
+        let params = Params {
+            nodes: 1,
+            ..Params::paper_dss().scaled(25_000.0)
+        };
+        let (pdwcat, _) = load_pdw(&cat, &params);
+        let engine = PdwEngine::new(pdwcat);
+        for n in [3, 5, 12] {
+            let plan = tpch::query(n);
+            let run = engine.run_query(&plan);
+            let (_, want) = execute(&plan, &cat);
+            assert_rows_match(&format!("pdw 1-node Q{n}"), &run.rows, &want);
+            for d in &run.decisions {
+                if d.options.iter().any(|(l, _, _)| l == "none") {
+                    assert_eq!(
+                        d.chosen, "none",
+                        "Q{n} {}: a free colocated/replicated join must not move data: {:?}",
+                        d.name, d.options
+                    );
+                }
+                let chosen = d.options.iter().find(|(l, _, _)| l == &d.chosen).unwrap();
+                assert!(
+                    d.chosen == "none" || chosen.1 > 0.0,
+                    "Q{n} {}: movement estimates must not be 0 on one node",
+                    d.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identity_feedback_reproduces_closed_form_run_exactly() {
+        let (engine, _) = setup(0.01, 25_000.0);
+        let (fb_engine, _) = setup(0.01, 25_000.0);
+        let fb_engine = fb_engine.with_feedback(crate::FeedbackCosts::none());
+        let plan = tpch::query(5);
+        let base = engine.run_query(&plan);
+        let with_fb = fb_engine.run_query(&plan);
+        assert_eq!(base.total_secs.to_bits(), with_fb.total_secs.to_bits());
+        for (a, b) in base.decisions.iter().zip(&with_fb.decisions) {
+            assert_eq!(a.chosen, b.chosen);
+            assert!(!b.flipped());
+        }
+    }
+
+    #[test]
+    fn contended_feedback_flips_at_least_one_join_strategy() {
+        // Synthetic contention: shuffles observed at 12× their nominal cost
+        // plus a hefty per-movement queueing term, replicates barely
+        // inflated. Some join that the closed forms would shuffle must now
+        // replicate (or vice versa) — and the rows must stay correct, since
+        // every candidate movement is semantically valid.
+        let fb = crate::FeedbackCosts {
+            shuffle_inflation: 12.0,
+            replicate_inflation: 1.05,
+            net_wait_per_move_secs: 30.0,
+        };
+        let (engine, cat) = setup(0.01, 25_000.0);
+        let fb_engine = engine.with_feedback(fb);
+        let mut flipped = 0;
+        for n in 1..=tpch::QUERY_COUNT {
+            let plan = tpch::query(n);
+            let run = fb_engine.run_query(&plan);
+            let (_, want) = execute(&plan, &cat);
+            assert_rows_match(&format!("pdw feedback Q{n}"), &run.rows, &want);
+            flipped += run.decisions.iter().filter(|d| d.flipped()).count();
+        }
+        assert!(
+            flipped > 0,
+            "heavy shuffle contention must flip at least one join strategy"
         );
     }
 

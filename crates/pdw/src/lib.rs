@@ -30,10 +30,12 @@
 
 pub mod catalog;
 pub mod exec;
+pub mod feedback;
 pub mod optimizer;
 
 pub use catalog::{load_pdw, PdwCatalog, PdwLoadReport, PdwTable};
-pub use exec::{PdwEngine, PdwQueryRun, StepReport};
+pub use exec::{JoinDecision, PdwEngine, PdwQueryRun, StepReport};
+pub use feedback::FeedbackCosts;
 
 /// Number of hash distributions = nodes × distributions/node (128 in the
 /// paper's configuration).

@@ -5,6 +5,14 @@
 //! cluster-wide map-slot pool (128 servers), a mongod global write lock
 //! (1 server). Requests carry a pre-computed *service time*; requests queue
 //! FIFO when all servers are busy.
+//!
+//! Requests may additionally carry a *client tag* (see
+//! [`crate::sim::Sim::request_as`]): when tagged requests are waiting, the
+//! resource serves client tags round-robin (FIFO within a tag) so that one
+//! client's burst cannot starve another — the fairness a concurrent
+//! workload mix needs. Untagged requests keep strict FIFO and take the
+//! exact dispatch path they always did, so single-stream runs are
+//! byte-identical with or without this feature compiled in.
 
 use crate::sim::{Event, Sim, SimTime};
 use std::collections::VecDeque;
@@ -32,11 +40,17 @@ pub(crate) struct ResourceState<W> {
     last_change: SimTime,
     total_queue_wait: SimTime,
     max_queue_len: usize,
+    /// Queued requests carrying a client tag (fast-path guard: when zero,
+    /// dispatch is plain FIFO `pop_front`).
+    tagged: usize,
+    /// Most recently served client tag; the round-robin cursor.
+    last_client: u32,
 }
 
 struct Pending<W> {
     enqueued_at: SimTime,
     service: SimTime,
+    client: Option<u32>,
     done: Event<W>,
 }
 
@@ -52,6 +66,8 @@ impl<W> ResourceState<W> {
             last_change: 0,
             total_queue_wait: 0,
             max_queue_len: 0,
+            tagged: 0,
+            last_client: u32::MAX,
         }
     }
 
@@ -62,10 +78,20 @@ impl<W> ResourceState<W> {
 
     /// Enqueue a request. Returns true if a server is free so service can
     /// start immediately.
-    pub(crate) fn enqueue(&mut self, now: SimTime, service: SimTime, done: Event<W>) -> bool {
+    pub(crate) fn enqueue(
+        &mut self,
+        now: SimTime,
+        service: SimTime,
+        client: Option<u32>,
+        done: Event<W>,
+    ) -> bool {
+        if client.is_some() {
+            self.tagged += 1;
+        }
         self.queue.push_back(Pending {
             enqueued_at: now,
             service,
+            client,
             done,
         });
         if self.busy >= self.servers {
@@ -77,13 +103,35 @@ impl<W> ResourceState<W> {
         self.busy < self.servers
     }
 
+    /// Index of the next request to serve: plain FIFO unless tagged
+    /// requests are waiting, in which case client tags are served
+    /// round-robin (cyclically, starting after the last served tag) with
+    /// FIFO order within each tag. Untagged requests sort as tag
+    /// `u32::MAX`.
+    fn next_index(&self) -> usize {
+        if self.tagged == 0 {
+            return 0;
+        }
+        let after = self.last_client.wrapping_add(1);
+        self.queue
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, p)| (p.client.unwrap_or(u32::MAX).wrapping_sub(after), *i))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
     /// Pop the next queued request and mark one server busy. Returns the
     /// service time, the queue wait it experienced, and its completion.
     pub(crate) fn start_next(&mut self, now: SimTime) -> Option<(SimTime, SimTime, Event<W>)> {
         if self.busy >= self.servers {
             return None;
         }
-        let p = self.queue.pop_front()?;
+        let p = self.queue.remove(self.next_index())?;
+        if let Some(c) = p.client {
+            self.tagged -= 1;
+            self.last_client = c;
+        }
         self.account(now);
         self.busy += 1;
         let wait = now - p.enqueued_at;
@@ -112,6 +160,13 @@ impl<W> ResourceState<W> {
         self.total_queue_wait
     }
 
+    /// Wait accrued *so far* by requests still sitting in the queue at
+    /// `now`. `total_queue_wait` only accumulates when service starts, so
+    /// a snapshot taken mid-run would otherwise silently drop this time.
+    pub(crate) fn pending_wait(&self, now: SimTime) -> SimTime {
+        self.queue.iter().map(|p| now - p.enqueued_at).sum()
+    }
+
     pub(crate) fn name(&self) -> &str {
         &self.name
     }
@@ -131,10 +186,11 @@ impl<W> ResourceState<W> {
 
 /// Utilization summary for reporting.
 ///
-/// `mean_queue_wait_secs` averages over *completed* requests only: a request
-/// still queued at snapshot time has accrued wait that is not yet counted.
-/// `queued_at_end` exposes how many such requests exist, so a nonzero value
-/// flags the mean as a lower bound.
+/// `mean_queue_wait_secs` averages over *completed* requests only; wait
+/// accrued by requests still queued at snapshot time is reported separately
+/// in `pending_wait_secs` (so the mean is exact for finished work and
+/// nothing is silently dropped for unfinished work). `queued_at_end`
+/// exposes how many such in-flight requests exist.
 #[derive(Clone, Debug)]
 pub struct ResourceReport {
     pub name: String,
@@ -146,6 +202,9 @@ pub struct ResourceReport {
     pub max_queue_depth: usize,
     /// Requests still waiting in the queue at snapshot time.
     pub queued_at_end: usize,
+    /// Total wait accrued *so far* by the `queued_at_end` requests (from
+    /// their enqueue times to the snapshot). Zero for a drained run.
+    pub pending_wait_secs: f64,
 }
 
 /// Snapshot utilization of a set of resources at the current sim time.
@@ -164,6 +223,7 @@ pub fn report<W: 'static>(sim: &Sim<W>, ids: &[ResourceId]) -> Vec<ResourceRepor
                 },
                 max_queue_depth: sim.resource_max_queue_len(id),
                 queued_at_end: sim.resource_queue_len(id),
+                pending_wait_secs: crate::as_secs(sim.resource_pending_wait(id)),
             }
         })
         .collect()

@@ -161,10 +161,29 @@ impl<W: 'static> Sim<W> {
     /// Request `service` time on resource `r`; `done` fires when service
     /// completes (after any FIFO queueing delay).
     pub fn request(&mut self, r: ResourceId, service: SimTime, done: Event<W>) {
+        self.request_inner(r, service, None, done);
+    }
+
+    /// Like [`Sim::request`], but tagged with a `client` id. When tagged
+    /// requests are queued, the resource serves client tags round-robin
+    /// (FIFO within a tag) instead of globally FIFO, so one client's burst
+    /// cannot starve another's — see [`crate::resource`]. Untagged and
+    /// tagged requests may share a resource; untagged ones sort last.
+    pub fn request_as(&mut self, r: ResourceId, service: SimTime, client: u32, done: Event<W>) {
+        self.request_inner(r, service, Some(client), done);
+    }
+
+    fn request_inner(
+        &mut self,
+        r: ResourceId,
+        service: SimTime,
+        client: Option<u32>,
+        done: Event<W>,
+    ) {
         let now = self.now;
         let start = {
             let rs = &mut self.resources[r.0];
-            rs.enqueue(now, service, done)
+            rs.enqueue(now, service, client, done)
         };
         if self.probe.is_some() {
             self.emit_probe(ProbeEvent::Enqueued {
@@ -268,6 +287,13 @@ impl<W: 'static> Sim<W> {
     /// Time spent queued (not being served) summed over all requests.
     pub fn resource_queue_wait(&self, r: ResourceId) -> SimTime {
         self.resources[r.0].total_queue_wait()
+    }
+
+    /// Wait accrued *so far* by requests still queued at the current clock
+    /// (not yet included in [`Sim::resource_queue_wait`], which only counts
+    /// requests whose service has started).
+    pub fn resource_pending_wait(&self, r: ResourceId) -> SimTime {
+        self.resources[r.0].pending_wait(self.now)
     }
 
     /// Resource name (diagnostics).
@@ -404,6 +430,103 @@ mod tests {
         sim.run(&mut w);
         assert_eq!(sim.now(), secs(10.0));
         assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn tagged_requests_served_round_robin_across_clients() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let disk = sim.add_resource("disk", 1);
+        // Client 0 floods the disk with four requests at t=0; client 1
+        // submits a single request at the same instant, after the burst.
+        // Round-robin dispatch must serve client 1 second, not fifth.
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        for name in ["a1", "a2", "a3", "a4"] {
+            let o = order.clone();
+            sim.request_as(
+                disk,
+                SECOND,
+                0,
+                Box::new(move |_, _| o.borrow_mut().push(name)),
+            );
+        }
+        let o = order.clone();
+        sim.request_as(
+            disk,
+            SECOND,
+            1,
+            Box::new(move |_, _| o.borrow_mut().push("b1")),
+        );
+        sim.run(&mut w);
+        assert_eq!(*order.borrow(), vec!["a1", "b1", "a2", "a3", "a4"]);
+    }
+
+    #[test]
+    fn untagged_requests_stay_strict_fifo() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let disk = sim.add_resource("disk", 1);
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        for name in ["r1", "r2", "r3", "r4"] {
+            let o = order.clone();
+            sim.request(
+                disk,
+                SECOND,
+                Box::new(move |_, _| o.borrow_mut().push(name)),
+            );
+        }
+        sim.run(&mut w);
+        assert_eq!(*order.borrow(), vec!["r1", "r2", "r3", "r4"]);
+    }
+
+    #[test]
+    fn untagged_sorts_after_tagged_clients() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let disk = sim.add_resource("disk", 1);
+        let order: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        // First request (untagged) occupies the server; then one untagged
+        // and one tagged request queue. The tagged one is served first
+        // even though it enqueued later: untagged sorts as tag u32::MAX.
+        for name in ["u0", "u1"] {
+            let o = order.clone();
+            sim.request(
+                disk,
+                SECOND,
+                Box::new(move |_, _| o.borrow_mut().push(name)),
+            );
+        }
+        let o = order.clone();
+        sim.request_as(
+            disk,
+            SECOND,
+            7,
+            Box::new(move |_, _| o.borrow_mut().push("t7")),
+        );
+        sim.run(&mut w);
+        assert_eq!(*order.borrow(), vec!["u0", "t7", "u1"]);
+    }
+
+    #[test]
+    fn pending_wait_counts_still_queued_requests() {
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        let disk = sim.add_resource("disk", 1);
+        // One 10s request holds the server; two more enqueue at t=0 and
+        // are still waiting at the t=4s snapshot, having accrued 4s each.
+        for _ in 0..3 {
+            sim.use_resource(disk, secs(10.0), |_, _| {});
+        }
+        sim.run_until(&mut w, secs(4.0));
+        assert_eq!(sim.resource_queue_len(disk), 2);
+        assert_eq!(sim.resource_pending_wait(disk), 2 * secs(4.0));
+        // Started-but-unfinished service contributes nothing extra.
+        assert_eq!(sim.resource_queue_wait(disk), 0);
+        // Drained run: pending wait collapses to zero and the accrued wait
+        // moves into the completed-request total (10s + 20s).
+        sim.run(&mut w);
+        assert_eq!(sim.resource_pending_wait(disk), 0);
+        assert_eq!(sim.resource_queue_wait(disk), secs(30.0));
     }
 
     #[test]

@@ -56,6 +56,7 @@ fn default_bans(rule: &str) -> &'static [&'static str] {
             "add_resource",
             "use_resource",
             "request",
+            "request_as",
             "resource_busy_time",
             "resource_queue_wait",
             "resource_completions",

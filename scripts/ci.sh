@@ -40,4 +40,13 @@ cargo run -q --release -p bench --bin explain -- 5 --sf 0.02 --timeline \
 cargo run -q --release -p bench --bin validate_trace -- "$obs_tmp/q5.json" hive pdw
 diff -u results/profile_q5.txt "$obs_tmp/profile_q5.txt"
 
+echo "== concurrent mix (admission determinism + feedback-flip artifact diff)"
+# The concurrent-mix artifact is the determinism contract for run_mix and
+# the measured-wait feedback loop: regenerating it (with a Chrome trace of
+# both mixes riding along) must be byte-identical, and the trace must parse.
+cargo run -q --release -p bench --bin concurrent_mix -- \
+  --trace "$obs_tmp/mix.json" > "$obs_tmp/concurrent_mix.txt"
+cargo run -q --release -p bench --bin validate_trace -- "$obs_tmp/mix.json" mix mix-feedback
+diff -u results/concurrent_mix.txt "$obs_tmp/concurrent_mix.txt"
+
 echo "ci: all green"

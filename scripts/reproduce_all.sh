@@ -30,4 +30,6 @@ echo "== profile_q5 (passive-probe ASCII timeline for explain Q5)"
 cargo run --release -p bench --bin explain -- 5 --sf 0.02 --timeline > results/profile_q5.txt
 echo "== profile_ycsb_a (windowed serving-side latency percentiles)"
 cargo run --release -p bench --bin profile_ycsb > results/profile_ycsb_a.txt
+echo "== concurrent_mix (admission-scheduled mix + measured-wait feedback)"
+cargo run --release -p bench --bin concurrent_mix > results/concurrent_mix.txt
 echo "done — see results/ and EXPERIMENTS.md"
