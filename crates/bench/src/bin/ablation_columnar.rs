@@ -1,0 +1,76 @@
+//! Ablation — columnar block storage: the three-way storage ladder the
+//! paper's §3.3.4.3 trade implies. Text reads everything cheaply; RCFile
+//! compresses but decodes at ~70 MB/s; colblock adds per-block min/max
+//! pruning and a vectorized decode path, so clustered predicates skip
+//! whole blocks before any CPU is spent. Run across BOTH engines: Hive
+//! gets a colblock warehouse, PDW a columnar shadow catalog.
+
+use cluster::Params;
+use elephants_core::report::TableBuilder;
+use hive::{load_warehouse_fmt, HiveEngine, StorageFormat};
+use pdw::{load_pdw, PdwEngine};
+use tpch::{generate, GenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sf = bench::arg_f64(&args, "--sf", 0.01);
+    let paper = bench::arg_f64(&args, "--paper", 250.0);
+    let cat = generate(&GenConfig::new(sf));
+    let params = Params::paper_dss().scaled(paper / sf);
+
+    let (wt, _) = load_warehouse_fmt(&cat, &params, None, StorageFormat::Text).unwrap();
+    let (wr, _) = load_warehouse_fmt(&cat, &params, None, StorageFormat::RcFile).unwrap();
+    let (wc, _) = load_warehouse_fmt(&cat, &params, None, StorageFormat::ColBlock).unwrap();
+    let hive_text = HiveEngine::new(wt);
+    let hive_rc = HiveEngine::new(wr);
+    let hive_col = HiveEngine::new(wc);
+    let pdw_row = PdwEngine::new(load_pdw(&cat, &params).0);
+    let pdw_col = PdwEngine::with_colblock(load_pdw(&cat, &params).0);
+
+    let mut t = TableBuilder::new(
+        format!("Ablation: text vs RCFile vs colblock @ {paper:.0} GB (seconds)"),
+        &[
+            "Query",
+            "Hive text",
+            "Hive RCFile",
+            "Hive colblock",
+            "Hive pruned",
+            "PDW row",
+            "PDW colblock",
+            "PDW pruned",
+        ],
+    );
+    for q in [1usize, 3, 6, 12, 19] {
+        let plan = tpch::query(q);
+        let ht = hive_text.run_query(&plan).unwrap().total_secs;
+        let hr = hive_rc.run_query(&plan).unwrap().total_secs;
+        let hc = hive_col.run_query(&plan).unwrap();
+        let pr = pdw_row.run_query(&plan).total_secs;
+        let pc = pdw_col.run_query(&plan);
+        t.row(vec![
+            format!("Q{q}"),
+            format!("{ht:.0}"),
+            format!("{hr:.0}"),
+            format!("{:.0}", hc.total_secs),
+            format!(
+                "{}/{}",
+                hc.scan_stats.blocks_pruned, hc.scan_stats.blocks_total
+            ),
+            format!("{pr:.0}"),
+            format!("{:.0}", pc.total_secs),
+            format!(
+                "{}/{}",
+                pc.scan_stats.blocks_pruned, pc.scan_stats.blocks_total
+            ),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+    println!(
+        "Pruned columns count blocks skipped by min/max stats over blocks scanned.\n\
+         Hive prunes only predicates written against the clustered column (no\n\
+         implied-predicate derivation, the paper's §3.3.4.1 gap), so Q19 prunes\n\
+         nothing there; PDW's optimizer pushes the implied p_size bound into the\n\
+         part scan and skips blocks on Q6, Q12, and Q19. Colblock decodes at\n\
+         ~400 MB/s vs RCFile's ~70 MB/s — the 2012 decode-CPU trade, revisited."
+    );
+}

@@ -1,0 +1,69 @@
+//! Scan/decode microbench over the three storage formats. Unlike the
+//! ablations this measures REAL wall-clock decode throughput of the
+//! simulator's own codecs — it answers "how fast does this host chew
+//! through each layout", not "what would the 2012 cluster have done".
+//! Output is JSON on stdout (committed as `results/BENCH_scan.json`,
+//! not byte-diff gated: the numbers are host-dependent by design).
+
+use std::time::Instant;
+use storage::{ColBlockFile, RcFile};
+use tpch::{generate, GenConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let sf = bench::arg_f64(&args, "--sf", 0.01);
+    let iters = bench::arg_usize(&args, "--iters", 3);
+    let cat = generate(&GenConfig::new(sf));
+    let table = cat.get("lineitem");
+    let rows = &table.rows;
+    let schema = &table.schema;
+
+    let text_bytes = storage::text::encode(rows);
+    let rc = RcFile::write(rows, schema, storage::rcfile::DEFAULT_ROW_GROUP);
+    let cb = ColBlockFile::write(rows, schema, storage::colblock::DEFAULT_ROWS_PER_BLOCK);
+
+    // (format, stored bytes, decode closure returning rows decoded)
+    type Case<'a> = (&'a str, u64, Box<dyn Fn() -> usize + 'a>);
+    let cases: Vec<Case> = vec![
+        (
+            "text",
+            text_bytes.len() as u64,
+            Box::new(|| storage::text::decode(&text_bytes, schema).len()),
+        ),
+        (
+            "rcfile",
+            rc.compressed_size(),
+            Box::new(|| rc.read_all().len()),
+        ),
+        (
+            "colblock",
+            cb.compressed_size(),
+            Box::new(|| cb.read_all().len()),
+        ),
+    ];
+
+    println!("{{");
+    println!("  \"bench\": \"scan_decode\",");
+    println!("  \"table\": \"lineitem\",");
+    println!("  \"sf\": {sf},");
+    println!("  \"rows\": {},", rows.len());
+    println!("  \"formats\": [");
+    for (i, (name, bytes, decode)) in cases.iter().enumerate() {
+        let mut best = f64::INFINITY;
+        let mut decoded = 0;
+        for _ in 0..iters.max(1) {
+            let t0 = Instant::now();
+            decoded = decode();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        let rows_per_sec = decoded as f64 / best;
+        let mb_per_sec = *bytes as f64 / best / 1e6;
+        let comma = if i + 1 < cases.len() { "," } else { "" };
+        println!(
+            "    {{ \"format\": \"{name}\", \"stored_bytes\": {bytes}, \
+             \"rows_per_sec\": {rows_per_sec:.0}, \"mb_per_sec\": {mb_per_sec:.1} }}{comma}"
+        );
+    }
+    println!("  ]");
+    println!("}}");
+}

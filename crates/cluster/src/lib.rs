@@ -36,5 +36,5 @@ pub mod topo;
 pub use exec::{
     ClusterExec, JobOutcome, JobSpec, Phase, Task, TaskPhase, TaskPhaseReport, TaskStep,
 };
-pub use params::Params;
+pub use params::{FormatCost, Params, ScanFormat};
 pub use topo::{Cluster, NodeId};

@@ -24,6 +24,9 @@ pub struct QueryRun {
     /// over the whole job DAG on the shared executor (busy time, queue
     /// waits, peak queue depth).
     pub resources: Vec<simkit::resource::ResourceReport>,
+    /// Block-pruning totals over every colblock scan in the query (all
+    /// zeros for RCFile/text warehouses).
+    pub scan_stats: storage::ScanStats,
 }
 
 impl QueryRun {
@@ -154,14 +157,39 @@ impl HiveEngine {
                         .create(&path, len, HiveFile::Text(text))
                         .map_err(|e| HiveError::Unsupported(e.to_string()))?;
                 }
+                StorageFormat::ColBlock => {
+                    // Inserted files get the same cluster sort as the base
+                    // files so their block stats stay prunable.
+                    let mut bucket_rows = bucket_rows;
+                    if let Some(cc) =
+                        tpch::layout::colblock_cluster_col(table).and_then(|c| schema.index_of(c))
+                    {
+                        bucket_rows.sort_by(|a, z| a[cc].cmp(&z[cc]));
+                    }
+                    let cb = storage::colblock::ColBlockFile::write(
+                        &bucket_rows,
+                        &schema,
+                        storage::colblock::DEFAULT_ROWS_PER_BLOCK,
+                    );
+                    let len = cb.compressed_size();
+                    total_bytes += len;
+                    self.warehouse
+                        .dfs
+                        .create(&path, len, HiveFile::Col(cb))
+                        .map_err(|e| HiveError::Unsupported(e.to_string()))?;
+                }
             }
             new_files.push(path);
         }
         let meta = self.warehouse.tables.get_mut(table).expect("table exists");
         meta.files.extend(new_files);
         // Map-only INSERT job: encode + replicated HDFS write.
-        let encode = total_bytes as f64
-            / (p.rcfile_encode_bw * p.map_slots_per_node as f64 * p.nodes as f64);
+        let encode_bw = match self.warehouse.format {
+            StorageFormat::ColBlock => p.colblock_encode_bw,
+            _ => p.rcfile_encode_bw,
+        };
+        let encode =
+            total_bytes as f64 / (encode_bw * p.map_slots_per_node as f64 * p.nodes as f64);
         let write = total_bytes as f64 / (p.hdfs_write_bw_per_node * p.nodes as f64);
         Ok(p.job_overhead + p.task_startup + encode.max(write))
     }
@@ -201,6 +229,7 @@ impl HiveEngine {
             jobs: lowering.jobs,
             scratch_bytes: lowering.peak_scratch,
             resources: lowering.exec.resource_reports(),
+            scan_stats: lowering.scan_stats,
         })
     }
 }
@@ -273,6 +302,30 @@ mod tests {
             "Q22's map join should fail and fall back: {:?}",
             run.jobs.iter().map(|j| j.label.clone()).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn colblock_warehouse_matches_reference_and_prunes() {
+        let cat = generate(&GenConfig::new(0.01));
+        let params = Params::paper_dss().scaled(25_000.0);
+        let (w, _) = crate::load::load_warehouse_fmt(
+            &cat,
+            &params,
+            None,
+            crate::meta::StorageFormat::ColBlock,
+        )
+        .unwrap();
+        let engine = HiveEngine::new(w);
+        let plan = tpch::query(6);
+        let run = engine.run_query(&plan).unwrap();
+        let (_, want) = execute(&plan, &cat);
+        assert_rows_match("hive colblock Q6", &run.rows, &want);
+        assert!(
+            run.scan_stats.blocks_pruned > 0,
+            "Q6's shipdate range should skip blocks: {:?}",
+            run.scan_stats
+        );
+        assert!(run.scan_stats.blocks_pruned < run.scan_stats.blocks_total);
     }
 
     #[test]

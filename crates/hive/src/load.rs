@@ -75,10 +75,15 @@ pub fn load_warehouse_fmt(
     report.copy_secs = per_node_text / params.hdfs_write_bw_per_node;
 
     // Phase 2 — a map-only conversion job: scan text, compress + encode
-    // RCFile, write back to HDFS. Encode CPU is the bottleneck: each node
-    // runs `map_slots` encoders in parallel.
+    // the stored format, write back to HDFS. Encode CPU is the bottleneck:
+    // each node runs `map_slots` encoders in parallel. Text "conversion"
+    // keeps the RCFile rate (the staging copy is the same CPU-bound pass).
+    let encode_bw = match format {
+        crate::meta::StorageFormat::ColBlock => params.colblock_encode_bw,
+        _ => params.rcfile_encode_bw,
+    };
     let encode_parallelism = params.map_slots_per_node as f64;
-    let per_node_encode = per_node_text / (params.rcfile_encode_bw * encode_parallelism);
+    let per_node_encode = per_node_text / (encode_bw * encode_parallelism);
     let per_node_write =
         (report.stored_bytes as f64 / params.nodes as f64) / params.hdfs_write_bw_per_node;
     report.convert_secs = per_node_encode.max(per_node_write) + params.job_overhead;

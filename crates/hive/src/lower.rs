@@ -10,12 +10,14 @@
 
 use crate::meta::HiveWarehouse;
 use cluster::exec::{ClusterExec, Phase};
-use cluster::Params;
+use cluster::{Params, ScanFormat};
 use mapreduce::{run_job_on, JobReport, JobSpec, MapTaskSpec, ReduceTaskSpec};
-use relational::expr::Expr;
+use relational::batch;
+use relational::expr::{Bounds, Expr};
 use relational::value::row_bytes;
 use relational::{ops, AggCall, JoinKind, LogicalPlan, Row, SortKey};
 use std::collections::{BTreeMap, BTreeSet};
+use storage::ScanStats;
 
 /// Map outputs are LZO-compressed (§3.2.1): effective size factor.
 const LZO_FACTOR: f64 = 0.5;
@@ -142,6 +144,9 @@ pub struct Lowering<'a> {
     scratch_used: Vec<u64>,
     /// Cluster-wide peak scratch usage over the query (bytes).
     pub peak_scratch: u64,
+    /// Block-pruning totals over every colblock scan in the query
+    /// (zero for RCFile/text warehouses).
+    pub scan_stats: ScanStats,
 }
 
 impl<'a> Lowering<'a> {
@@ -156,6 +161,7 @@ impl<'a> Lowering<'a> {
             materialized: BTreeMap::new(),
             scratch_used: vec![0; w.params.nodes],
             peak_scratch: 0,
+            scan_stats: ScanStats::default(),
         }
     }
 
@@ -370,8 +376,101 @@ impl<'a> Lowering<'a> {
             remap.get(&base_idx).copied()
         });
 
+        // Per-column interval restrictions implied by the filter stack, in
+        // base-schema indices — colblock files check each block's min/max
+        // stats against these and skip blocks that cannot contain a match
+        // (RCFile/text have no stats and ignore them). Filters above a
+        // bare-column projection still contribute: their columns map back
+        // to base indices through the projection.
+        let mut bounds: BTreeMap<usize, Bounds> = BTreeMap::new();
+        let mut bounds_map: Option<Vec<usize>> = Some((0..base_schema.len()).collect());
+        for op in &chain.ops {
+            match op {
+                ScanOp::Project(exprs) => {
+                    bounds_map = bounds_map.and_then(|map| {
+                        exprs
+                            .iter()
+                            .map(|(e, _)| match e {
+                                Expr::Col(i) => map.get(*i).copied(),
+                                _ => None,
+                            })
+                            .collect()
+                    });
+                }
+                ScanOp::Filter(p) => {
+                    if let Some(map) = &bounds_map {
+                        for (c, b) in p.column_bounds() {
+                            if let Some(&base) = map.get(c) {
+                                let merged = match bounds.remove(&base) {
+                                    Some(prev) => prev.intersect(b),
+                                    None => b,
+                                };
+                                bounds.insert(base, merged);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let w = self.w;
         let mut segments = Vec::with_capacity(files.len());
         for path in &files {
+            let dfs_meta = w.dfs.meta(path).expect("file registered");
+            // Block count for the *projected* columns approximates how the
+            // read is split; task count uses the stored file's block count.
+            let blocks = dfs_meta.blocks.len().max(1);
+            let node = dfs_meta.blocks[0].replicas[0];
+            if let crate::meta::HiveFile::Col(cb) = w.dfs.payload(path).expect("file registered") {
+                // Columnar path: decode only the surviving blocks of the
+                // needed columns, then run the op stack vectorized — the
+                // row-at-a-time loop below never sees these files.
+                let (mut b, stats) = cb.read_pruned(&cols, &bounds);
+                let mut level_map = Some(&remap);
+                let mut cur_bucket = bucket_pos;
+                for op in &chain.ops {
+                    match op {
+                        ScanOp::Filter(p) => {
+                            let p2 = match level_map {
+                                Some(m) => p.remap_cols(m),
+                                None => (*p).clone(),
+                            };
+                            b = batch::filter(&b, &p2);
+                        }
+                        ScanOp::Project(exprs) => {
+                            let mapped: Vec<(Expr, String)> = exprs
+                                .iter()
+                                .map(|(e, n)| {
+                                    (
+                                        match level_map {
+                                            Some(m) => e.remap_cols(m),
+                                            None => e.clone(),
+                                        },
+                                        n.clone(),
+                                    )
+                                })
+                                .collect();
+                            b = batch::project(&b, &mapped);
+                            cur_bucket = cur_bucket.and_then(|c| {
+                                mapped
+                                    .iter()
+                                    .position(|(e, _)| matches!(e, Expr::Col(i) if *i == c))
+                            });
+                            level_map = None;
+                        }
+                    }
+                }
+                bucket_pos = cur_bucket;
+                self.scan_stats.merge(&stats);
+                segments.push(Seg {
+                    rows: b.to_rows(),
+                    read_bytes: stats.bytes_read,
+                    node,
+                    blocks,
+                    decode_bw: self.params().format_cost(ScanFormat::ColBlock).decode_bw,
+                });
+                continue;
+            }
             // Decode per stored format: RCFile reads only the projected
             // columns (but pays the decompress CPU); text reads everything
             // at the cheap scan rate.
@@ -390,6 +489,7 @@ impl<'a> Lowering<'a> {
                             .collect();
                         (projected, bytes.len() as u64, self.params().text_scan_bw)
                     }
+                    crate::meta::HiveFile::Col(_) => unreachable!("handled above"),
                 };
             let mut level_map = Some(&remap);
             let mut cur_bucket = bucket_pos;
@@ -426,11 +526,6 @@ impl<'a> Lowering<'a> {
                 }
             }
             bucket_pos = cur_bucket;
-            let dfs_meta = self.w.dfs.meta(path).expect("file registered");
-            // Block count for the *projected* columns approximates how the
-            // read is split; task count uses the stored file's block count.
-            let blocks = dfs_meta.blocks.len().max(1);
-            let node = dfs_meta.blocks[0].replicas[0];
             segments.push(Seg {
                 rows,
                 read_bytes,

@@ -5,8 +5,9 @@ use cluster::Params;
 use dfs::Dfs;
 use relational::{Row, Schema};
 use std::collections::BTreeMap;
+use storage::colblock::ColBlockFile;
 use storage::rcfile::RcFile;
-use tpch::layout::HiveLayout;
+use tpch::layout::{colblock_cluster_col, HiveLayout};
 
 /// A file stored in the warehouse.
 pub enum HiveFile {
@@ -14,6 +15,9 @@ pub enum HiveFile {
     Rc(RcFile),
     /// Raw delimited text (the pre-conversion external tables).
     Text(Vec<u8>),
+    /// Columnar blocks with min/max statistics (the modern-format
+    /// ablation; not part of the paper's configuration).
+    Col(ColBlockFile),
 }
 
 impl HiveFile {
@@ -21,6 +25,7 @@ impl HiveFile {
         match self {
             HiveFile::Rc(f) => f.compressed_size(),
             HiveFile::Text(t) => t.len() as u64,
+            HiveFile::Col(f) => f.compressed_size(),
         }
     }
 }
@@ -44,6 +49,10 @@ pub enum StorageFormat {
     /// Plain delimited text: no compression, no column pruning, but a much
     /// cheaper decode path.
     Text,
+    /// Columnar blocks (`storage::colblock`): column pruning plus
+    /// block-level min/max pruning and a vectorized decode path — the
+    /// "2026 elephant" third leg of the storage ablation.
+    ColBlock,
 }
 
 /// Hive release behaviour the paper distinguishes (§3.3.1): 0.7 cannot
@@ -131,6 +140,24 @@ impl HiveWarehouse {
                         total += len;
                         self.dfs.create(&path, len, HiveFile::Text(text))?;
                     }
+                    StorageFormat::ColBlock => {
+                        // Cluster-sort so block min/max ranges are tight
+                        // and disjoint; without it every block spans the
+                        // full value range and pruning never fires.
+                        if let Some(cc) =
+                            colblock_cluster_col(name).and_then(|c| schema.index_of(c))
+                        {
+                            bucket_rows.sort_by(|a, z| a[cc].cmp(&z[cc]));
+                        }
+                        let cb = ColBlockFile::write(
+                            &bucket_rows,
+                            schema,
+                            storage::colblock::DEFAULT_ROWS_PER_BLOCK,
+                        );
+                        let len = cb.compressed_size();
+                        total += len;
+                        self.dfs.create(&path, len, HiveFile::Col(cb))?;
+                    }
                 }
                 files.push(path);
             }
@@ -157,7 +184,15 @@ impl HiveWarehouse {
     pub fn rcfile(&self, path: &str) -> &RcFile {
         match self.dfs.payload(path).expect("file exists") {
             HiveFile::Rc(f) => f,
-            HiveFile::Text(_) => panic!("{path} is a text file"),
+            _ => panic!("{path} is not an RCFile"),
+        }
+    }
+
+    /// The colblock file behind a path.
+    pub fn colfile(&self, path: &str) -> &ColBlockFile {
+        match self.dfs.payload(path).expect("file exists") {
+            HiveFile::Col(f) => f,
+            _ => panic!("{path} is not a colblock file"),
         }
     }
 

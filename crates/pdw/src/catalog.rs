@@ -5,7 +5,8 @@ use cluster::Params;
 use relational::value::row_bytes;
 use relational::{ops, Catalog, Row, Schema};
 use std::collections::BTreeMap;
-use tpch::layout::layout_of;
+use storage::ColBlockFile;
+use tpch::layout::{colblock_cluster_col, layout_of};
 
 /// Physical distribution of a table.
 pub enum PdwTable {
@@ -52,6 +53,11 @@ pub struct PdwCatalog {
     pub tables: BTreeMap<String, PdwTable>,
     pub params: Params,
     pub distributions: usize,
+    /// Columnar-format shadow of every table: one colblock file per hash
+    /// distribution (one total for replicated tables), cluster-sorted so
+    /// block min/max stats prune. Empty until [`PdwCatalog::build_colblock`]
+    /// runs — the row engine never reads these.
+    pub col_files: BTreeMap<String, Vec<ColBlockFile>>,
 }
 
 impl PdwCatalog {
@@ -59,6 +65,38 @@ impl PdwCatalog {
         self.tables
             .get(name)
             .unwrap_or_else(|| panic!("no PDW table `{name}`"))
+    }
+
+    /// Materialize the columnar shadow copies (the colblock ablation's
+    /// storage conversion). Each distribution's rows are sorted on the
+    /// table's cluster column before being carved into blocks, so the
+    /// per-block min/max ranges are tight and disjoint.
+    pub fn build_colblock(&mut self) {
+        let names: Vec<String> = self.tables.keys().cloned().collect();
+        for name in names {
+            self.rebuild_colblock(&name);
+        }
+    }
+
+    /// (Re)materialize one table's colblock files from its current rows.
+    fn rebuild_colblock(&mut self, name: &str) {
+        let t = self.table(name);
+        let schema = t.schema().clone();
+        let cluster = colblock_cluster_col(name).and_then(|c| schema.index_of(c));
+        let part_rows: Vec<Vec<Row>> = match t {
+            PdwTable::Hash { parts, .. } => parts.clone(),
+            PdwTable::Replicated { rows, .. } => vec![rows.clone()],
+        };
+        let files: Vec<ColBlockFile> = part_rows
+            .into_iter()
+            .map(|mut rows| {
+                if let Some(cc) = cluster {
+                    rows.sort_by(|a, z| a[cc].cmp(&z[cc]));
+                }
+                ColBlockFile::write(&rows, &schema, storage::colblock::DEFAULT_ROWS_PER_BLOCK)
+            })
+            .collect();
+        self.col_files.insert(name.to_string(), files);
     }
 
     /// TPC-H RF1: bulk-insert rows through the landing node (dwloader
@@ -79,6 +117,9 @@ impl PdwCatalog {
                 }
             }
             PdwTable::Replicated { rows: all, .. } => all.extend(rows),
+        }
+        if self.col_files.contains_key(name) {
+            self.rebuild_colblock(name);
         }
         bytes as f64 / self.params.pdw_load_bw_per_node + self.params.pdw_step_overhead
     }
@@ -119,6 +160,9 @@ impl PdwCatalog {
                 }
             }
             PdwTable::Replicated { rows, .. } => rows.retain(|r| !matches(r)),
+        }
+        if self.col_files.contains_key(name) {
+            self.rebuild_colblock(name);
         }
         // Full scan across the distributions to find the victims.
         total_bytes as f64 / (p.nodes as f64 * p.pdw_scan_bw_per_node) + p.pdw_step_overhead
@@ -176,6 +220,7 @@ pub fn load_pdw(catalog: &Catalog, params: &Params) -> (PdwCatalog, PdwLoadRepor
             tables,
             params: params.clone(),
             distributions,
+            col_files: BTreeMap::new(),
         },
         report,
     )

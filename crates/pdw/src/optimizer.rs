@@ -301,6 +301,29 @@ pub fn est_join_rows(la: usize, lb: usize, ndv_a: usize, ndv_b: usize) -> f64 {
     (la as f64) * (lb as f64) / (ndv_a.max(ndv_b).max(1) as f64)
 }
 
+/// Per-node I/O volume (bytes) and per-lane CPU seconds for a columnar
+/// scan, derived from the shared per-format cost table
+/// ([`cluster::Params::format_cost`]) and the measured pruning stats:
+/// only the surviving blocks' compressed bytes hit the disks, and decode
+/// CPU runs at the format's decode bandwidth on every lane, followed by
+/// the ordinary row pipeline over the decoded rows.
+pub fn colblock_scan_charge(
+    p: &cluster::Params,
+    stats: &storage::ScanStats,
+    decoded_rows: usize,
+    hot_fraction: f64,
+    units: f64,
+) -> (f64, f64) {
+    let fc = p.format_cost(cluster::ScanFormat::ColBlock);
+    let nodes = p.nodes as f64;
+    let cold = 1.0 - hot_fraction;
+    let node_bytes = stats.bytes_read as f64 * cold / nodes;
+    let lane_cpu = (stats.bytes_read as f64 / fc.decode_bw
+        + decoded_rows as f64 / p.pdw_scan_rows_per_sec)
+        / (nodes * units);
+    (node_bytes, lane_cpu)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

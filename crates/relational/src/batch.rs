@@ -1,0 +1,906 @@
+//! Vectorized batch execution: typed column vectors and batch operators.
+//!
+//! A [`ColumnBatch`] holds a run of rows decomposed into per-column typed
+//! vectors ([`Column`]) with an explicit validity mask — the in-memory
+//! shape a columnar scan (the `storage::colblock` format) decodes into,
+//! and the shape modern vectorized engines execute over. The operators
+//! here ([`filter`], [`project`], [`hash_join`], [`aggregate_partial`],
+//! [`sort`], [`limit`]) consume and produce batches and are
+//! answer-equivalent to the row-at-a-time kernels in [`crate::ops`]: same
+//! SQL three-valued NULL semantics, same float accumulation order, same
+//! output order. The row kernels remain the compat layer for existing
+//! callers; [`ColumnBatch::from_rows`] / [`ColumnBatch::to_rows`] shim
+//! between the two worlds.
+
+use crate::catalog::Catalog;
+use crate::date;
+use crate::expr::{like_match, ArithOp, CmpOp, Expr};
+use crate::ops::{self, AggState, GroupTable};
+use crate::plan::{AggCall, JoinKind, LogicalPlan, SortKey};
+use crate::schema::{DataType, Schema};
+use crate::value::{Row, Value};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// The typed data lane of a [`Column`]. Slots where the validity mask is
+/// false hold an arbitrary default and must not be read.
+#[derive(Clone, Debug)]
+pub enum ColumnData {
+    Bool(Vec<bool>),
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    /// Fixed-point hundredths, like [`Value::Decimal`].
+    Decimal(Vec<i64>),
+    /// Days since the epoch, like [`Value::Date`].
+    Date(Vec<i32>),
+    Str(Vec<Arc<str>>),
+    /// Escape lane for mixed-type columns (possible after CASE or joins of
+    /// heterogeneous sources); keeps the batch pipeline total.
+    Val(Vec<Value>),
+}
+
+/// One typed column vector plus its validity (non-null) mask.
+#[derive(Clone, Debug)]
+pub struct Column {
+    data: ColumnData,
+    /// `valid[i]` is false where row `i` is NULL.
+    valid: Vec<bool>,
+}
+
+fn lane_for(ty: DataType, n: usize) -> ColumnData {
+    match ty {
+        DataType::Bool => ColumnData::Bool(Vec::with_capacity(n)),
+        DataType::I64 => ColumnData::I64(Vec::with_capacity(n)),
+        DataType::F64 => ColumnData::F64(Vec::with_capacity(n)),
+        DataType::Decimal => ColumnData::Decimal(Vec::with_capacity(n)),
+        DataType::Date => ColumnData::Date(Vec::with_capacity(n)),
+        DataType::Str => ColumnData::Str(Vec::with_capacity(n)),
+    }
+}
+
+fn lane_of(v: &Value) -> Option<DataType> {
+    match v {
+        Value::Null => None,
+        Value::Bool(_) => Some(DataType::Bool),
+        Value::I64(_) => Some(DataType::I64),
+        Value::F64(_) => Some(DataType::F64),
+        Value::Decimal(_) => Some(DataType::Decimal),
+        Value::Date(_) => Some(DataType::Date),
+        Value::Str(_) => Some(DataType::Str),
+    }
+}
+
+impl Column {
+    /// Build a typed column from values known to inhabit `ty` (NULLs allowed).
+    pub fn from_values_typed(vals: &[Value], ty: DataType) -> Column {
+        let mut data = lane_for(ty, vals.len());
+        let mut valid = Vec::with_capacity(vals.len());
+        for v in vals {
+            valid.push(!v.is_null());
+            push_value(&mut data, v, ty);
+        }
+        Column { data, valid }
+    }
+
+    /// Build a column inferring the lane type from the first non-null
+    /// value; falls back to the generic [`ColumnData::Val`] lane when the
+    /// column mixes types.
+    pub fn from_values(vals: &[Value]) -> Column {
+        let ty = vals.iter().find_map(lane_of);
+        let uniform = ty.is_some_and(|t| vals.iter().all(|v| lane_of(v).is_none_or(|l| l == t)));
+        match (ty, uniform) {
+            (Some(t), true) => Column::from_values_typed(vals, t),
+            _ => Column {
+                valid: vals.iter().map(|v| !v.is_null()).collect(),
+                data: ColumnData::Val(vals.to_vec()),
+            },
+        }
+    }
+
+    /// A column repeating one value `len` times (literal broadcast).
+    pub fn broadcast(v: &Value, len: usize) -> Column {
+        Column::from_values(&vec![v.clone(); len])
+    }
+
+    pub fn len(&self) -> usize {
+        self.valid.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.valid.is_empty()
+    }
+
+    /// Count of NULL slots.
+    pub fn n_nulls(&self) -> usize {
+        self.valid.iter().filter(|v| !**v).count()
+    }
+
+    /// Materialize slot `i` as a [`Value`] (NULL where invalid).
+    pub fn value_at(&self, i: usize) -> Value {
+        if !self.valid[i] {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Bool(v) => Value::Bool(v[i]),
+            ColumnData::I64(v) => Value::I64(v[i]),
+            ColumnData::F64(v) => Value::F64(v[i]),
+            ColumnData::Decimal(v) => Value::Decimal(v[i]),
+            ColumnData::Date(v) => Value::Date(v[i]),
+            ColumnData::Str(v) => Value::Str(v[i].clone()),
+            ColumnData::Val(v) => v[i].clone(),
+        }
+    }
+
+    /// Select `idx` slots in order (the vectorized selection primitive).
+    pub fn gather(&self, idx: &[usize]) -> Column {
+        Column::from_values(&idx.iter().map(|&i| self.value_at(i)).collect::<Vec<_>>())
+    }
+
+    /// Like [`Column::gather`] but `None` produces NULL (outer-join padding).
+    pub fn gather_opt(&self, idx: &[Option<usize>]) -> Column {
+        Column::from_values(
+            &idx.iter()
+                .map(|i| i.map(|i| self.value_at(i)).unwrap_or(Value::Null))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    fn as_bool(&self, i: usize) -> Option<bool> {
+        if !self.valid[i] {
+            return None;
+        }
+        match &self.data {
+            ColumnData::Bool(v) => Some(v[i]),
+            other => panic!("boolean lane required, got {other:?}"),
+        }
+    }
+}
+
+fn push_value(data: &mut ColumnData, v: &Value, ty: DataType) {
+    match (data, v) {
+        (ColumnData::Bool(d), Value::Bool(b)) => d.push(*b),
+        (ColumnData::I64(d), Value::I64(x)) => d.push(*x),
+        (ColumnData::F64(d), Value::F64(x)) => d.push(*x),
+        (ColumnData::Decimal(d), Value::Decimal(x)) => d.push(*x),
+        (ColumnData::Date(d), Value::Date(x)) => d.push(*x),
+        (ColumnData::Str(d), Value::Str(s)) => d.push(s.clone()),
+        (ColumnData::Bool(d), Value::Null) => d.push(false),
+        (ColumnData::I64(d), Value::Null) => d.push(0),
+        (ColumnData::F64(d), Value::Null) => d.push(0.0),
+        (ColumnData::Decimal(d), Value::Null) => d.push(0),
+        (ColumnData::Date(d), Value::Null) => d.push(0),
+        (ColumnData::Str(d), Value::Null) => d.push(Arc::from("")),
+        (ColumnData::Val(d), v) => d.push(v.clone()),
+        (_, v) => panic!("value {v:?} does not inhabit column type {ty:?}"),
+    }
+}
+
+/// A batch of rows in columnar form. `len` is the row count; every column
+/// has exactly `len` slots.
+#[derive(Clone, Debug)]
+pub struct ColumnBatch {
+    pub columns: Vec<Column>,
+    pub len: usize,
+}
+
+impl ColumnBatch {
+    /// Row → column shim using the schema's declared types.
+    pub fn from_rows(rows: &[Row], schema: &Schema) -> ColumnBatch {
+        let columns = (0..schema.len())
+            .map(|c| {
+                let vals: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
+                Column::from_values_typed(&vals, schema.field(c).ty)
+            })
+            .collect();
+        ColumnBatch {
+            columns,
+            len: rows.len(),
+        }
+    }
+
+    /// Row → column shim for intermediate results without a schema; lane
+    /// types are inferred per column.
+    pub fn from_rows_inferred(rows: &[Row], width: usize) -> ColumnBatch {
+        let columns = (0..width)
+            .map(|c| Column::from_values(&rows.iter().map(|r| r[c].clone()).collect::<Vec<_>>()))
+            .collect();
+        ColumnBatch {
+            columns,
+            len: rows.len(),
+        }
+    }
+
+    /// Column → row shim back to the materialized-row world.
+    pub fn to_rows(&self) -> Vec<Row> {
+        (0..self.len)
+            .map(|i| self.columns.iter().map(|c| c.value_at(i)).collect())
+            .collect()
+    }
+
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Select rows by index across every column.
+    pub fn gather(&self, idx: &[usize]) -> ColumnBatch {
+        ColumnBatch {
+            columns: self.columns.iter().map(|c| c.gather(idx)).collect(),
+            len: idx.len(),
+        }
+    }
+}
+
+// ---- vectorized expression evaluation --------------------------------------
+
+/// Evaluate an expression over a whole batch, producing one output column.
+/// Semantics match [`Expr::eval`] row by row (SQL three-valued logic, f64
+/// arithmetic promotion, date ± days); CASE evaluates all branches eagerly.
+pub fn eval(expr: &Expr, batch: &ColumnBatch) -> Column {
+    let n = batch.len;
+    match expr {
+        Expr::Col(i) => batch.columns[*i].clone(),
+        Expr::Lit(v) => Column::broadcast(v, n),
+        Expr::Cmp(op, a, b) => cmp_columns(*op, &eval(a, batch), &eval(b, batch)),
+        Expr::And(parts) => fold_logic(parts, batch, true),
+        Expr::Or(parts) => fold_logic(parts, batch, false),
+        Expr::Not(e) => {
+            let c = eval(e, batch);
+            bool_column((0..n).map(|i| c.as_bool(i).map(|b| !b)))
+        }
+        Expr::Arith(op, a, b) => arith_columns(*op, &eval(a, batch), &eval(b, batch)),
+        Expr::Like(e, pat) => {
+            let c = eval(e, batch);
+            bool_column((0..n).map(|i| str_at(&c, i, "LIKE").map(|s| like_match(s, pat))))
+        }
+        Expr::NotLike(e, pat) => {
+            let c = eval(e, batch);
+            bool_column((0..n).map(|i| str_at(&c, i, "NOT LIKE").map(|s| !like_match(s, pat))))
+        }
+        Expr::InList(e, list) => in_list_column(&eval(e, batch), list),
+        Expr::Between(e, lo, hi) => {
+            let c = eval(e, batch);
+            bool_column((0..n).map(|i| {
+                let v = c.value_at(i);
+                if v.is_null() {
+                    None
+                } else {
+                    Some(&v >= lo && &v <= hi)
+                }
+            }))
+        }
+        Expr::Case { whens, otherwise } => {
+            let conds: Vec<Column> = whens.iter().map(|(c, _)| eval(c, batch)).collect();
+            let outs: Vec<Column> = whens.iter().map(|(_, o)| eval(o, batch)).collect();
+            let other = eval(otherwise, batch);
+            let vals: Vec<Value> = (0..n)
+                .map(|i| {
+                    for (c, o) in conds.iter().zip(&outs) {
+                        if c.as_bool(i) == Some(true) {
+                            return o.value_at(i);
+                        }
+                    }
+                    other.value_at(i)
+                })
+                .collect();
+            Column::from_values(&vals)
+        }
+        Expr::Substr(e, start, len) => {
+            let c = eval(e, batch);
+            let vals: Vec<Value> = (0..n)
+                .map(|i| match str_at(&c, i, "SUBSTRING") {
+                    None => Value::Null,
+                    Some(s) => {
+                        let out: String =
+                            s.chars().skip(start.saturating_sub(1)).take(*len).collect();
+                        Value::str(out)
+                    }
+                })
+                .collect();
+            Column::from_values(&vals)
+        }
+        Expr::ExtractYear(e) => {
+            let c = eval(e, batch);
+            let vals: Vec<Value> = (0..n)
+                .map(|i| match c.value_at(i) {
+                    Value::Date(d) => Value::I64(date::year(d) as i64),
+                    Value::Null => Value::Null,
+                    other => panic!("EXTRACT YEAR over non-date {other:?}"),
+                })
+                .collect();
+            Column::from_values(&vals)
+        }
+        Expr::IsNull(e) => {
+            let c = eval(e, batch);
+            bool_column((0..n).map(|i| Some(!c.valid[i])))
+        }
+    }
+}
+
+/// Build a boolean column from three-valued slots (`None` = NULL).
+fn bool_column(slots: impl Iterator<Item = Option<bool>>) -> Column {
+    let mut data = Vec::new();
+    let mut valid = Vec::new();
+    for s in slots {
+        valid.push(s.is_some());
+        data.push(s.unwrap_or(false));
+    }
+    Column {
+        data: ColumnData::Bool(data),
+        valid,
+    }
+}
+
+fn str_at<'a>(c: &'a Column, i: usize, what: &str) -> Option<&'a str> {
+    if !c.valid[i] {
+        return None;
+    }
+    match &c.data {
+        ColumnData::Str(v) => Some(&v[i]),
+        ColumnData::Val(v) => match &v[i] {
+            Value::Str(s) => Some(s),
+            other => panic!("{what} over non-string {other:?}"),
+        },
+        other => panic!("{what} over non-string lane {other:?}"),
+    }
+}
+
+fn cmp_to_bool(op: CmpOp, c: Ordering) -> bool {
+    match op {
+        CmpOp::Eq => c.is_eq(),
+        CmpOp::Ne => c.is_ne(),
+        CmpOp::Lt => c.is_lt(),
+        CmpOp::Le => c.is_le(),
+        CmpOp::Gt => c.is_gt(),
+        CmpOp::Ge => c.is_ge(),
+    }
+}
+
+fn cmp_columns(op: CmpOp, a: &Column, b: &Column) -> Column {
+    let n = a.len();
+    // Typed fast paths: compare primitive lanes without materializing
+    // `Value`s. The orderings are the ones `Value::cmp` uses for the same
+    // variant pair, so results are identical to the row interpreter.
+    macro_rules! fast {
+        ($x:expr, $y:expr, $cmp:expr) => {
+            bool_column((0..n).map(|i| {
+                if a.valid[i] && b.valid[i] {
+                    Some(cmp_to_bool(op, $cmp(&$x[i], &$y[i])))
+                } else {
+                    None
+                }
+            }))
+        };
+    }
+    match (&a.data, &b.data) {
+        (ColumnData::I64(x), ColumnData::I64(y)) => fast!(x, y, |p: &i64, q: &i64| p.cmp(q)),
+        (ColumnData::Date(x), ColumnData::Date(y)) => fast!(x, y, |p: &i32, q: &i32| p.cmp(q)),
+        (ColumnData::Decimal(x), ColumnData::Decimal(y)) => {
+            fast!(x, y, |p: &i64, q: &i64| p.cmp(q))
+        }
+        (ColumnData::F64(x), ColumnData::F64(y)) => fast!(x, y, |p: &f64, q: &f64| p.total_cmp(q)),
+        (ColumnData::Str(x), ColumnData::Str(y)) => {
+            fast!(x, y, |p: &Arc<str>, q: &Arc<str>| p
+                .as_ref()
+                .cmp(q.as_ref()))
+        }
+        _ => bool_column((0..n).map(|i| {
+            let (va, vb) = (a.value_at(i), b.value_at(i));
+            if va.is_null() || vb.is_null() {
+                None
+            } else {
+                Some(cmp_to_bool(op, va.cmp(&vb)))
+            }
+        })),
+    }
+}
+
+/// Three-valued AND (`conj = true`) / OR (`conj = false`) over the parts.
+fn fold_logic(parts: &[Expr], batch: &ColumnBatch, conj: bool) -> Column {
+    let cols: Vec<Column> = parts.iter().map(|p| eval(p, batch)).collect();
+    bool_column((0..batch.len).map(|i| {
+        let mut saw_null = false;
+        for c in &cols {
+            match c.as_bool(i) {
+                Some(b) if b != conj => return Some(!conj),
+                Some(_) => {}
+                None => saw_null = true,
+            }
+        }
+        if saw_null {
+            None
+        } else {
+            Some(conj)
+        }
+    }))
+}
+
+fn arith_columns(op: ArithOp, a: &Column, b: &Column) -> Column {
+    let n = a.len();
+    // f64 fast path: both lanes numeric (and not the date ± days special
+    // case), evaluated exactly as the row interpreter's promotion does.
+    let f64_of = |d: &ColumnData, i: usize| -> Option<f64> {
+        match d {
+            ColumnData::I64(v) => Some(v[i] as f64),
+            ColumnData::F64(v) => Some(v[i]),
+            ColumnData::Decimal(v) => Some(v[i] as f64 / 100.0),
+            _ => None,
+        }
+    };
+    let numeric = |d: &ColumnData| {
+        matches!(
+            d,
+            ColumnData::I64(_) | ColumnData::F64(_) | ColumnData::Decimal(_)
+        )
+    };
+    if numeric(&a.data) && numeric(&b.data) {
+        let mut out = Vec::with_capacity(n);
+        let mut valid = Vec::with_capacity(n);
+        for i in 0..n {
+            if a.valid[i] && b.valid[i] {
+                let (x, y) = (
+                    f64_of(&a.data, i).expect("numeric lane"),
+                    f64_of(&b.data, i).expect("numeric lane"),
+                );
+                out.push(match op {
+                    ArithOp::Add => x + y,
+                    ArithOp::Sub => x - y,
+                    ArithOp::Mul => x * y,
+                    ArithOp::Div => x / y,
+                });
+                valid.push(true);
+            } else {
+                out.push(0.0);
+                valid.push(false);
+            }
+        }
+        return Column {
+            data: ColumnData::F64(out),
+            valid,
+        };
+    }
+    // Generic path, mirroring `Expr::eval`'s Arith arm (date ± days).
+    let vals: Vec<Value> = (0..n)
+        .map(|i| {
+            let (va, vb) = (a.value_at(i), b.value_at(i));
+            if va.is_null() || vb.is_null() {
+                return Value::Null;
+            }
+            if let (Value::Date(d), Some(days)) = (&va, vb.as_i64()) {
+                match op {
+                    ArithOp::Add => return Value::Date(d + days as i32),
+                    ArithOp::Sub => return Value::Date(d - days as i32),
+                    _ => {}
+                }
+            }
+            let (x, y) = (
+                va.as_f64().unwrap_or_else(|| panic!("non-numeric {va:?}")),
+                vb.as_f64().unwrap_or_else(|| panic!("non-numeric {vb:?}")),
+            );
+            Value::F64(match op {
+                ArithOp::Add => x + y,
+                ArithOp::Sub => x - y,
+                ArithOp::Mul => x * y,
+                ArithOp::Div => x / y,
+            })
+        })
+        .collect();
+    Column::from_values(&vals)
+}
+
+fn in_list_column(c: &Column, list: &[Value]) -> Column {
+    let n = c.len();
+    // Fast path: i64 lane against an all-i64 list (no cross-type numeric
+    // equality to worry about).
+    if let ColumnData::I64(v) = &c.data {
+        let ints: Option<Vec<i64>> = list
+            .iter()
+            .map(|x| match x {
+                Value::I64(i) => Some(*i),
+                _ => None,
+            })
+            .collect();
+        if let Some(ints) = ints {
+            return bool_column((0..n).map(|i| {
+                if c.valid[i] {
+                    Some(ints.contains(&v[i]))
+                } else {
+                    None
+                }
+            }));
+        }
+    }
+    bool_column((0..n).map(|i| {
+        let v = c.value_at(i);
+        if v.is_null() {
+            None
+        } else {
+            Some(list.contains(&v))
+        }
+    }))
+}
+
+// ---- batch operators --------------------------------------------------------
+
+/// WHERE over a batch: keep rows whose predicate is true (NULL = drop).
+pub fn filter(batch: &ColumnBatch, pred: &Expr) -> ColumnBatch {
+    let mask = eval(pred, batch);
+    let sel: Vec<usize> = (0..batch.len)
+        .filter(|&i| mask.as_bool(i) == Some(true))
+        .collect();
+    batch.gather(&sel)
+}
+
+/// SELECT list over a batch: each expression becomes one output column.
+pub fn project(batch: &ColumnBatch, exprs: &[(Expr, String)]) -> ColumnBatch {
+    ColumnBatch {
+        columns: exprs.iter().map(|(e, _)| eval(e, batch)).collect(),
+        len: batch.len,
+    }
+}
+
+/// Hash join over batches, answer-identical to [`ops::hash_join`]: build
+/// on `right`, probe with `left` in order, NULL keys never match, and the
+/// residual sees the concatenated `[left ++ right]` candidate. The
+/// vectorized twist: candidate pairs are collected first and the residual
+/// is evaluated in one batch pass over the gathered pair columns.
+pub fn hash_join(
+    left: &ColumnBatch,
+    right: &ColumnBatch,
+    on: &[(usize, usize)],
+    kind: JoinKind,
+    residual: Option<&Expr>,
+    right_width: usize,
+) -> ColumnBatch {
+    // Candidate (left, right) index pairs in probe order.
+    let mut cand: Vec<(usize, usize)> = Vec::new();
+    // Per left row: range into `cand`.
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(left.len);
+    if on.is_empty() {
+        for li in 0..left.len {
+            let start = cand.len();
+            cand.extend((0..right.len).map(|ri| (li, ri)));
+            ranges.push((start, cand.len()));
+        }
+    } else {
+        let lcols: Vec<&Column> = on.iter().map(|&(l, _)| &left.columns[l]).collect();
+        let rcols: Vec<&Column> = on.iter().map(|&(_, r)| &right.columns[r]).collect();
+        // simlint: allow(no-unordered-iter) — build side is probe-only (`get`), output order is driven by the left probe order
+        type ProbeTable = std::collections::HashMap<Vec<Value>, Vec<usize>>;
+        let mut table = ProbeTable::new();
+        for ri in 0..right.len {
+            let k: Vec<Value> = rcols.iter().map(|c| c.value_at(ri)).collect();
+            if k.iter().any(Value::is_null) {
+                continue;
+            }
+            table.entry(k).or_default().push(ri);
+        }
+        for li in 0..left.len {
+            let start = cand.len();
+            let k: Vec<Value> = lcols.iter().map(|c| c.value_at(li)).collect();
+            if !k.iter().any(Value::is_null) {
+                if let Some(idxs) = table.get(&k) {
+                    cand.extend(idxs.iter().map(|&ri| (li, ri)));
+                }
+            }
+            ranges.push((start, cand.len()));
+        }
+    }
+
+    // One vectorized residual pass over the gathered candidate pairs.
+    let ok: Vec<bool> = match residual {
+        None => vec![true; cand.len()],
+        Some(pred) => {
+            let lidx: Vec<usize> = cand.iter().map(|&(l, _)| l).collect();
+            let ridx: Vec<usize> = cand.iter().map(|&(_, r)| r).collect();
+            let mut cols: Vec<Column> = left.columns.iter().map(|c| c.gather(&lidx)).collect();
+            cols.extend(right.columns.iter().map(|c| c.gather(&ridx)));
+            let pair_batch = ColumnBatch {
+                columns: cols,
+                len: cand.len(),
+            };
+            let mask = eval(pred, &pair_batch);
+            (0..cand.len())
+                .map(|i| mask.as_bool(i) == Some(true))
+                .collect()
+        }
+    };
+
+    // Apply join-kind semantics per left row, in probe order.
+    let mut out_l: Vec<usize> = Vec::new();
+    let mut out_r: Vec<Option<usize>> = Vec::new();
+    for (li, &(start, end)) in ranges.iter().enumerate() {
+        let mut any = false;
+        for ci in start..end {
+            if !ok[ci] {
+                continue;
+            }
+            any = true;
+            match kind {
+                JoinKind::Inner | JoinKind::Left => {
+                    out_l.push(li);
+                    out_r.push(Some(cand[ci].1));
+                }
+                JoinKind::LeftSemi => {
+                    out_l.push(li);
+                    break;
+                }
+                JoinKind::LeftAnti => break,
+            }
+        }
+        if !any {
+            match kind {
+                JoinKind::Left => {
+                    out_l.push(li);
+                    out_r.push(None);
+                }
+                JoinKind::LeftAnti => out_l.push(li),
+                _ => {}
+            }
+        }
+    }
+
+    let mut columns: Vec<Column> = left.columns.iter().map(|c| c.gather(&out_l)).collect();
+    if matches!(kind, JoinKind::Inner | JoinKind::Left) {
+        columns.extend(right.columns.iter().map(|c| c.gather_opt(&out_r)));
+        debug_assert_eq!(right.columns.len(), right_width);
+    }
+    ColumnBatch {
+        len: out_l.len(),
+        columns,
+    }
+}
+
+/// Partial aggregation over a batch into the shared [`GroupTable`]: group
+/// keys and aggregate arguments are evaluated as whole columns, then the
+/// states update in row order — the same accumulation order as
+/// [`ops::aggregate_partial`], so float results are bit-identical.
+pub fn aggregate_partial(
+    batch: &ColumnBatch,
+    group_by: &[(Expr, String)],
+    aggs: &[AggCall],
+) -> GroupTable {
+    let key_cols: Vec<Column> = group_by.iter().map(|(e, _)| eval(e, batch)).collect();
+    let arg_cols: Vec<Option<Column>> = aggs
+        .iter()
+        .map(|a| a.arg.as_ref().map(|e| eval(e, batch)))
+        .collect();
+    let mut table = GroupTable::new();
+    for i in 0..batch.len {
+        let key: Vec<Value> = key_cols.iter().map(|c| c.value_at(i)).collect();
+        let states = table.entry(key).or_insert_with(|| {
+            aggs.iter()
+                .map(|a| AggState::new(a.func))
+                .collect::<Vec<_>>()
+        });
+        for (st, arg) in states.iter_mut().zip(&arg_cols) {
+            match arg {
+                Some(c) => st.update(c.value_at(i)),
+                None => st.update_star(),
+            }
+        }
+    }
+    if group_by.is_empty() && table.is_empty() {
+        table.insert(
+            Vec::new(),
+            aggs.iter().map(|a| AggState::new(a.func)).collect(),
+        );
+    }
+    table
+}
+
+/// One-shot batch aggregate (partial + finish).
+pub fn hash_aggregate(
+    batch: &ColumnBatch,
+    group_by: &[(Expr, String)],
+    aggs: &[AggCall],
+) -> Vec<Row> {
+    ops::aggregate_finish(aggregate_partial(batch, group_by, aggs))
+}
+
+/// ORDER BY over a batch: stable argsort on vectorized key columns, then
+/// one gather — the permutation [`ops::sort`] produces.
+pub fn sort(batch: &ColumnBatch, keys: &[SortKey]) -> ColumnBatch {
+    let key_cols: Vec<Column> = keys.iter().map(|k| eval(&k.expr, batch)).collect();
+    let mut idx: Vec<usize> = (0..batch.len).collect();
+    idx.sort_by(|&a, &b| {
+        for (k, c) in keys.iter().zip(&key_cols) {
+            let ord = c.value_at(a).cmp(&c.value_at(b));
+            let ord = if k.desc { ord.reverse() } else { ord };
+            if !ord.is_eq() {
+                return ord;
+            }
+        }
+        Ordering::Equal
+    });
+    batch.gather(&idx)
+}
+
+/// LIMIT over a batch.
+pub fn limit(batch: &ColumnBatch, n: usize) -> ColumnBatch {
+    if n >= batch.len {
+        return batch.clone();
+    }
+    batch.gather(&(0..n).collect::<Vec<_>>())
+}
+
+// ---- batch reference executor ----------------------------------------------
+
+/// Execute a plan with the vectorized operators end to end, returning
+/// `(schema, rows)` — the batch counterpart of [`crate::execute`], used by
+/// the answer-equivalence tests.
+pub fn execute_batch(plan: &LogicalPlan, catalog: &Catalog) -> (Schema, Vec<Row>) {
+    let schema = plan.schema(catalog);
+    let batch = run(plan, catalog);
+    (schema, batch.to_rows())
+}
+
+fn run(plan: &LogicalPlan, catalog: &Catalog) -> ColumnBatch {
+    match plan {
+        LogicalPlan::Scan { table } => {
+            let t = catalog.get(table);
+            ColumnBatch::from_rows(&t.rows, &t.schema)
+        }
+        LogicalPlan::Filter { input, pred } => filter(&run(input, catalog), pred),
+        LogicalPlan::Project { input, exprs } => project(&run(input, catalog), exprs),
+        LogicalPlan::Join {
+            left,
+            right,
+            kind,
+            on,
+            residual,
+            ..
+        } => {
+            let l = run(left, catalog);
+            let r = run(right, catalog);
+            let right_width = right.schema(catalog).len();
+            hash_join(&l, &r, on, *kind, residual.as_ref(), right_width)
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let rows = hash_aggregate(&run(input, catalog), group_by, aggs);
+            ColumnBatch::from_rows_inferred(&rows, group_by.len() + aggs.len())
+        }
+        LogicalPlan::Sort { input, keys } => sort(&run(input, catalog), keys),
+        LogicalPlan::Limit { input, n } => limit(&run(input, catalog), *n),
+        LogicalPlan::Materialize { input, .. } => run(input, catalog),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{and, col, lit_i64, lit_str, or};
+    use crate::plan::AggFunc;
+
+    fn sample() -> (Vec<Row>, Schema) {
+        let schema = Schema::of(&[
+            ("k", DataType::I64),
+            ("s", DataType::Str),
+            ("d", DataType::Decimal),
+        ]);
+        let rows = vec![
+            vec![Value::I64(1), Value::str("a"), Value::Decimal(100)],
+            vec![Value::I64(2), Value::Null, Value::Decimal(250)],
+            vec![Value::Null, Value::str("c"), Value::Decimal(50)],
+            vec![Value::I64(2), Value::str("d"), Value::Null],
+        ];
+        (rows, schema)
+    }
+
+    #[test]
+    fn row_shims_round_trip() {
+        let (rows, schema) = sample();
+        let b = ColumnBatch::from_rows(&rows, &schema);
+        assert_eq!(b.len, 4);
+        assert_eq!(b.to_rows(), rows);
+        // Inferred lanes round-trip too (including the all-seen-types case).
+        let b2 = ColumnBatch::from_rows_inferred(&rows, 3);
+        assert_eq!(b2.to_rows(), rows);
+    }
+
+    #[test]
+    fn filter_matches_row_kernel_incl_null_semantics() {
+        let (rows, schema) = sample();
+        let b = ColumnBatch::from_rows(&rows, &schema);
+        for pred in [
+            col(0).ge(lit_i64(2)),
+            and(vec![col(0).ge(lit_i64(1)), col(1).eq(lit_str("a"))]),
+            or(vec![col(1).eq(lit_str("c")), col(2).gt(lit_i64(0))]),
+            Expr::IsNull(Box::new(col(2))),
+            col(0).in_list(vec![Value::I64(2), Value::I64(7)]),
+            col(2).between(Value::Decimal(60), Value::Decimal(260)),
+            col(0).ge(lit_i64(2)).negate(),
+        ] {
+            let want = ops::filter(rows.clone(), &pred);
+            let got = filter(&b, &pred).to_rows();
+            assert_eq!(got, want, "pred {pred:?}");
+        }
+    }
+
+    #[test]
+    fn project_and_arith_match_row_kernel() {
+        let (rows, schema) = sample();
+        let b = ColumnBatch::from_rows(&rows, &schema);
+        let exprs = vec![
+            (col(2).mul(lit_i64(2)), "x".to_string()),
+            (col(0).add(col(2)), "y".to_string()),
+            (
+                Expr::Case {
+                    whens: vec![(col(0).eq(lit_i64(2)), lit_str("two"))],
+                    otherwise: Box::new(lit_str("other")),
+                },
+                "c".to_string(),
+            ),
+        ];
+        assert_eq!(project(&b, &exprs).to_rows(), ops::project(&rows, &exprs));
+    }
+
+    #[test]
+    fn joins_match_row_kernel_for_every_kind() {
+        let (rows, schema) = sample();
+        let right_rows = vec![
+            vec![Value::I64(2), Value::str("r1")],
+            vec![Value::I64(2), Value::str("r2")],
+            vec![Value::Null, Value::str("rn")],
+            vec![Value::I64(9), Value::str("r9")],
+        ];
+        let rschema = Schema::of(&[("rk", DataType::I64), ("rv", DataType::Str)]);
+        let l = ColumnBatch::from_rows(&rows, &schema);
+        let r = ColumnBatch::from_rows(&right_rows, &rschema);
+        let residual = col(4).ne(lit_str("r2"));
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::Left,
+            JoinKind::LeftSemi,
+            JoinKind::LeftAnti,
+        ] {
+            for res in [None, Some(&residual)] {
+                let want = ops::hash_join(&rows, &right_rows, &[(0, 0)], kind, res, 2);
+                let got = hash_join(&l, &r, &[(0, 0)], kind, res, 2).to_rows();
+                assert_eq!(got, want, "kind {kind:?} residual {}", res.is_some());
+            }
+        }
+        // Cross join (empty `on`) with a residual.
+        let cross = col(0).eq(col(3));
+        let want = ops::hash_join(&rows, &right_rows, &[], JoinKind::Inner, Some(&cross), 2);
+        let got = hash_join(&l, &r, &[], JoinKind::Inner, Some(&cross), 2).to_rows();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn aggregate_matches_row_kernel_bit_for_bit() {
+        let (rows, schema) = sample();
+        let b = ColumnBatch::from_rows(&rows, &schema);
+        let group = vec![(col(0), "k".to_string())];
+        let aggs = vec![
+            AggCall::new(AggFunc::Sum, Some(col(2)), "s"),
+            AggCall::new(AggFunc::Count, Some(col(1)), "c"),
+            AggCall::new(AggFunc::Avg, Some(col(2)), "a"),
+            AggCall::new(AggFunc::Min, Some(col(1)), "mn"),
+            AggCall::new(AggFunc::Max, Some(col(2)), "mx"),
+            AggCall::new(AggFunc::Count, None, "n"),
+        ];
+        assert_eq!(
+            hash_aggregate(&b, &group, &aggs),
+            ops::hash_aggregate(&rows, &group, &aggs)
+        );
+        // Global aggregate over an empty batch still yields one group.
+        let empty = ColumnBatch::from_rows(&[], &schema);
+        assert_eq!(
+            hash_aggregate(&empty, &[], &aggs),
+            ops::hash_aggregate(&[], &[], &aggs)
+        );
+    }
+
+    #[test]
+    fn sort_and_limit_match_row_kernels() {
+        let (rows, schema) = sample();
+        let b = ColumnBatch::from_rows(&rows, &schema);
+        let keys = vec![SortKey::desc(col(0)), SortKey::asc(col(1))];
+        assert_eq!(sort(&b, &keys).to_rows(), ops::sort(rows.clone(), &keys));
+        assert_eq!(limit(&b, 2).to_rows(), ops::limit(rows, 2));
+    }
+}

@@ -363,6 +363,165 @@ impl Expr {
     }
 }
 
+/// An inclusive per-column value interval implied by a predicate. `None`
+/// means unbounded on that side. Produced by [`Expr::column_bounds`] and
+/// consumed by block-level min/max pruning in the columnar scan paths.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bounds {
+    pub lo: Option<Value>,
+    pub hi: Option<Value>,
+}
+
+impl Bounds {
+    fn lo(v: Value) -> Bounds {
+        Bounds {
+            lo: Some(v),
+            hi: None,
+        }
+    }
+    fn hi(v: Value) -> Bounds {
+        Bounds {
+            lo: None,
+            hi: Some(v),
+        }
+    }
+    fn range(lo: Value, hi: Value) -> Bounds {
+        Bounds {
+            lo: Some(lo),
+            hi: Some(hi),
+        }
+    }
+
+    /// AND of two bounds on the same column: the tighter interval.
+    /// Conjunction of two intervals (both restrictions apply).
+    pub fn intersect(self, other: Bounds) -> Bounds {
+        Bounds {
+            lo: max_opt(self.lo, other.lo),
+            hi: min_opt(self.hi, other.hi),
+        }
+    }
+
+    /// OR of two bounds on the same column: the covering interval
+    /// (unbounded on a side if either operand is).
+    fn union(self, other: Bounds) -> Bounds {
+        Bounds {
+            lo: self.lo.zip(other.lo).map(|(a, b)| a.min(b)),
+            hi: self.hi.zip(other.hi).map(|(a, b)| a.max(b)),
+        }
+    }
+}
+
+fn max_opt(a: Option<Value>, b: Option<Value>) -> Option<Value> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.max(y)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+fn min_opt(a: Option<Value>, b: Option<Value>) -> Option<Value> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) | (None, x) => x,
+    }
+}
+
+impl Expr {
+    /// Per-column inclusive bounds implied by this predicate: every row the
+    /// predicate accepts holds, for each `(col, bounds)` entry, a
+    /// **non-NULL** value inside the interval. A block whose non-null
+    /// min/max range misses the interval (or that is all-NULL in that
+    /// column) therefore contains no accepted row and may be skipped.
+    ///
+    /// The analysis is deliberately conservative — it only weakens, never
+    /// strengthens: strict comparisons widen to inclusive bounds, OR keeps
+    /// a column only when *every* branch bounds it (interval union),
+    /// anything it cannot reason about (NOT, LIKE, IS NULL, column-column
+    /// comparisons, arithmetic over the column) contributes nothing.
+    pub fn column_bounds(&self) -> std::collections::BTreeMap<usize, Bounds> {
+        use std::collections::BTreeMap;
+        let mut out = BTreeMap::new();
+        match self {
+            Expr::Cmp(op, a, b) => {
+                let (c, v, op) = match (a.as_ref(), b.as_ref()) {
+                    (Expr::Col(c), Expr::Lit(v)) => (*c, v, *op),
+                    // `lit op col` flips to `col flipped-op lit`.
+                    (Expr::Lit(v), Expr::Col(c)) => {
+                        let flipped = match op {
+                            CmpOp::Lt => CmpOp::Gt,
+                            CmpOp::Le => CmpOp::Ge,
+                            CmpOp::Gt => CmpOp::Lt,
+                            CmpOp::Ge => CmpOp::Le,
+                            other => *other,
+                        };
+                        (*c, v, flipped)
+                    }
+                    _ => return out,
+                };
+                if v.is_null() {
+                    return out; // NULL literal: predicate never accepts.
+                }
+                let b = match op {
+                    CmpOp::Eq => Bounds::range(v.clone(), v.clone()),
+                    // Strict bounds widen to inclusive — sound for pruning.
+                    CmpOp::Gt | CmpOp::Ge => Bounds::lo(v.clone()),
+                    CmpOp::Lt | CmpOp::Le => Bounds::hi(v.clone()),
+                    CmpOp::Ne => return out,
+                };
+                out.insert(c, b);
+            }
+            Expr::Between(e, lo, hi) => {
+                if let Expr::Col(c) = e.as_ref() {
+                    if !lo.is_null() && !hi.is_null() {
+                        out.insert(*c, Bounds::range(lo.clone(), hi.clone()));
+                    }
+                }
+            }
+            Expr::InList(e, list) => {
+                if let Expr::Col(c) = e.as_ref() {
+                    // An accepted value is non-NULL, so it can only equal a
+                    // non-NULL list entry; NULL entries are ignored.
+                    let vals: Vec<&Value> = list.iter().filter(|v| !v.is_null()).collect();
+                    if let (Some(lo), Some(hi)) = (vals.iter().min(), vals.iter().max()) {
+                        out.insert(*c, Bounds::range((*lo).clone(), (*hi).clone()));
+                    }
+                }
+            }
+            Expr::And(parts) => {
+                for p in parts {
+                    for (c, b) in p.column_bounds() {
+                        let merged = match out.remove(&c) {
+                            Some(prev) => Bounds::intersect(prev, b),
+                            None => b,
+                        };
+                        out.insert(c, merged);
+                    }
+                }
+            }
+            Expr::Or(parts) => {
+                let mut iter = parts.iter();
+                let Some(first) = iter.next() else {
+                    return out;
+                };
+                let mut acc = first.column_bounds();
+                for p in iter {
+                    let branch = p.column_bounds();
+                    // Keep only columns bounded in every branch, unioned.
+                    acc = acc
+                        .into_iter()
+                        .filter_map(|(c, b)| branch.get(&c).map(|ob| (c, b.union(ob.clone()))))
+                        .collect();
+                    if acc.is_empty() {
+                        break;
+                    }
+                }
+                out = acc;
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
 /// SQL LIKE matcher (`%` = any run, `_` = any single char). Iterative
 /// two-pointer algorithm with backtracking over the last `%`.
 pub fn like_match(s: &str, pattern: &str) -> bool {
@@ -477,6 +636,99 @@ mod tests {
             .matches(&row));
         assert_eq!(col(0).substr(1, 2).eval(&row), Value::str("BU"));
         assert_eq!(col(2).extract_year().eval(&row), Value::I64(1995));
+    }
+
+    #[test]
+    fn column_bounds_from_comparisons_and_ranges() {
+        // shipdate >= d1 AND shipdate < d2 AND discount BETWEEN .05 AND .07
+        let p = and(vec![
+            col(10).ge(lit_date(1994, 1, 1)),
+            col(10).lt(lit_date(1995, 1, 1)),
+            col(6).between(Value::decimal(0.05), Value::decimal(0.07)),
+        ]);
+        let b = p.column_bounds();
+        assert_eq!(
+            b[&10],
+            Bounds {
+                lo: Some(Value::Date(date::date(1994, 1, 1))),
+                // Strict `<` widens to inclusive.
+                hi: Some(Value::Date(date::date(1995, 1, 1))),
+            }
+        );
+        assert_eq!(
+            b[&6],
+            Bounds {
+                lo: Some(Value::Decimal(5)),
+                hi: Some(Value::Decimal(7)),
+            }
+        );
+        // Flipped literal-first comparison.
+        let b = lit_i64(3).lt(col(2)).column_bounds();
+        assert_eq!(
+            b[&2],
+            Bounds {
+                lo: Some(Value::I64(3)),
+                hi: None
+            }
+        );
+        // Eq pins both sides; Ne and column-column bound nothing.
+        assert_eq!(
+            col(0).eq(lit_i64(7)).column_bounds()[&0],
+            Bounds {
+                lo: Some(Value::I64(7)),
+                hi: Some(Value::I64(7))
+            }
+        );
+        assert!(col(0).ne(lit_i64(7)).column_bounds().is_empty());
+        assert!(col(0).lt(col(1)).column_bounds().is_empty());
+    }
+
+    #[test]
+    fn column_bounds_or_unions_only_common_columns() {
+        // Q19 shape: every branch bounds p_size, only some bound quantity.
+        let p = or(vec![
+            and(vec![
+                col(9).between(Value::I64(1), Value::I64(5)),
+                col(4).ge(lit_i64(1)),
+            ]),
+            and(vec![col(9).between(Value::I64(1), Value::I64(10))]),
+            and(vec![col(9).between(Value::I64(1), Value::I64(15))]),
+        ]);
+        let b = p.column_bounds();
+        assert_eq!(
+            b[&9],
+            Bounds {
+                lo: Some(Value::I64(1)),
+                hi: Some(Value::I64(15))
+            }
+        );
+        // quantity is not bounded in every branch, so it must drop out.
+        assert!(!b.contains_key(&4));
+        // A branch with no bounds at all kills every column.
+        let p = or(vec![
+            col(9).between(Value::I64(1), Value::I64(5)),
+            col(0).like("x%"),
+        ]);
+        assert!(p.column_bounds().is_empty());
+    }
+
+    #[test]
+    fn column_bounds_in_list_skips_nulls() {
+        let b = col(3)
+            .in_list(vec![Value::I64(9), Value::Null, Value::I64(2)])
+            .column_bounds();
+        assert_eq!(
+            b[&3],
+            Bounds {
+                lo: Some(Value::I64(2)),
+                hi: Some(Value::I64(9))
+            }
+        );
+        // All-NULL list never accepts, bounds nothing.
+        assert!(col(3).in_list(vec![Value::Null]).column_bounds().is_empty());
+        // Predicates over NULL-propagating shapes bound nothing.
+        assert!(Expr::IsNull(Box::new(col(3))).column_bounds().is_empty());
+        assert!(col(3).eq(lit(Value::Null)).column_bounds().is_empty());
     }
 
     #[test]

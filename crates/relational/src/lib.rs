@@ -15,6 +15,9 @@
 //!   join / aggregate / sort / limit),
 //! * [`ops`] — operator kernels over materialized row vectors (hash join,
 //!   hash aggregate, sort, ...) reused by every engine,
+//! * [`batch`] — vectorized counterparts of the same kernels over typed
+//!   column vectors (`ColumnBatch`), answer-equivalent by construction
+//!   and fed by the columnar `storage::colblock` scan paths,
 //! * [`exec`] — a single-node reference executor used as the ground truth
 //!   in cross-engine answer-equality tests,
 //! * [`catalog`] — an in-memory table provider.
@@ -44,6 +47,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod catalog;
 pub mod date;
 pub mod display;

@@ -1,0 +1,637 @@
+//! A columnar block format with block-level min/max pruning — the "what
+//! would 2026 elephants do" counterpart to [`crate::rcfile`].
+//!
+//! Rows are grouped into fixed-size *blocks*; within a block every column
+//! is stored as its own chunk carrying (a) per-block statistics — non-null
+//! min/max and a null count — and (b) one of three light-weight encodings
+//! chosen per chunk before the shared LZ77 pass from [`crate::compress`]:
+//!
+//! * [`Encoding::Plain`] — null bitmap + per-type serialization (the
+//!   RCFile chunk layout),
+//! * [`Encoding::Rle`] — run-length runs of `(count, value)`, the win for
+//!   cluster-sorted columns such as `l_shipdate`,
+//! * [`Encoding::Dict`] — a first-appearance-order dictionary plus
+//!   per-row codes, the win for low-cardinality columns such as
+//!   `l_shipmode`.
+//!
+//! The reader ([`ColBlockFile::read_pruned`]) takes the per-column
+//! [`Bounds`] a predicate implies (see `Expr::column_bounds`) and skips
+//! whole blocks whose statistics prove no row can match, decoding the
+//! survivors straight into a vectorized [`ColumnBatch`]. Skipping is sound
+//! even with NULLs present: a bounded comparison predicate never accepts a
+//! NULL, so an all-NULL chunk — or one whose non-null range misses the
+//! interval — cannot contain an accepted row.
+
+use crate::compress::{self, varint};
+use relational::batch::{Column, ColumnBatch};
+use relational::expr::Bounds;
+use relational::{DataType, Row, Schema, Value};
+use std::collections::BTreeMap;
+
+/// Default rows per block, sized for *similitude scale*: the simulated
+/// datasets run ~25,000× smaller than paper scale, so a paper-scale
+/// ~200k-row block maps to ~8 rows here. What the cost model needs is the
+/// block *granularity* — how many stat-carrying units a file splits into —
+/// not the byte count; keeping paper-scale blocks would leave every file a
+/// single block and make min/max pruning vacuous at any simulated size.
+pub const DEFAULT_ROWS_PER_BLOCK: usize = 8;
+
+/// Dictionary encoding is only worth it below this cardinality.
+const DICT_MAX: usize = 64;
+
+/// Per-chunk statistics driving block pruning and NULL accounting.
+/// `min`/`max` cover non-null values only; `None` means the chunk is
+/// all-NULL (or empty).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColStats {
+    pub min: Option<Value>,
+    pub max: Option<Value>,
+    pub n_nulls: usize,
+}
+
+impl ColStats {
+    fn over(vals: &[Value]) -> ColStats {
+        let non_null = vals.iter().filter(|v| !v.is_null());
+        ColStats {
+            min: non_null.clone().min().cloned(),
+            max: non_null.max().cloned(),
+            n_nulls: vals.iter().filter(|v| v.is_null()).count(),
+        }
+    }
+}
+
+/// The chunk encoding picked for one column of one block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Encoding {
+    Plain,
+    Rle,
+    Dict,
+}
+
+/// One column of one block: encoded, compressed bytes plus statistics.
+#[derive(Clone, Debug)]
+pub struct ColChunk {
+    pub encoding: Encoding,
+    /// Encoded then LZ77-compressed bytes (what disks store and read).
+    pub data: Vec<u8>,
+    /// Encoded size before compression (decode-cost accounting).
+    pub raw_size: u64,
+    pub stats: ColStats,
+}
+
+/// One block: a fixed-size run of rows stored column-major.
+#[derive(Clone, Debug)]
+pub struct Block {
+    pub n_rows: usize,
+    pub cols: Vec<ColChunk>,
+}
+
+/// A columnar block file: schema plus an ordered list of blocks.
+#[derive(Clone, Debug)]
+pub struct ColBlockFile {
+    pub schema: Schema,
+    pub blocks: Vec<Block>,
+}
+
+/// What a pruned scan did: how many blocks existed, how many the min/max
+/// statistics skipped, and the compressed bytes actually read. Merged
+/// across files/partitions into the per-query numbers the engines report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    pub blocks_total: u64,
+    pub blocks_pruned: u64,
+    pub bytes_read: u64,
+}
+
+impl ScanStats {
+    pub fn merge(&mut self, other: &ScanStats) {
+        self.blocks_total += other.blocks_total;
+        self.blocks_pruned += other.blocks_pruned;
+        self.bytes_read += other.bytes_read;
+    }
+}
+
+impl ColBlockFile {
+    /// Encode rows into blocks of `rows_per_block`.
+    pub fn write(rows: &[Row], schema: &Schema, rows_per_block: usize) -> ColBlockFile {
+        assert!(rows_per_block > 0);
+        let blocks = rows
+            .chunks(rows_per_block)
+            .map(|chunk| encode_block(chunk, schema))
+            .collect();
+        ColBlockFile {
+            schema: schema.clone(),
+            blocks,
+        }
+    }
+
+    pub fn n_rows(&self) -> usize {
+        self.blocks.iter().map(|b| b.n_rows).sum()
+    }
+
+    /// Total compressed size (what HDFS stores and disks read).
+    pub fn compressed_size(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.cols.iter().map(|c| c.data.len() as u64).sum::<u64>())
+            .sum()
+    }
+
+    /// Compressed size of only the given columns (lazy projection reads).
+    pub fn compressed_size_of(&self, cols: &[usize]) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| {
+                cols.iter()
+                    .map(|&c| b.cols[c].data.len() as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Total encoded-but-uncompressed size.
+    pub fn uncompressed_size(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|b| b.cols.iter().map(|c| c.raw_size).sum::<u64>())
+            .sum()
+    }
+
+    /// Decode every row (no projection, no pruning).
+    pub fn read_all(&self) -> Vec<Row> {
+        let all: Vec<usize> = (0..self.schema.len()).collect();
+        self.read_columns(&all)
+    }
+
+    /// Decode a projection: output rows contain `cols` in the given order.
+    pub fn read_columns(&self, cols: &[usize]) -> Vec<Row> {
+        self.read_pruned(cols, &BTreeMap::new()).0.to_rows()
+    }
+
+    /// The vectorized scan: decode the `cols` projection of every block
+    /// whose statistics admit a row satisfying `bounds` (keys are column
+    /// indices in this file's schema), concatenated into one
+    /// [`ColumnBatch`], plus what the pruning achieved. Empty `bounds`
+    /// reads everything.
+    pub fn read_pruned(
+        &self,
+        cols: &[usize],
+        bounds: &BTreeMap<usize, Bounds>,
+    ) -> (ColumnBatch, ScanStats) {
+        let mut stats = ScanStats::default();
+        let mut vals: Vec<Vec<Value>> = cols.iter().map(|_| Vec::new()).collect();
+        let mut len = 0usize;
+        for block in &self.blocks {
+            stats.blocks_total += 1;
+            if !block_survives(block, bounds) {
+                stats.blocks_pruned += 1;
+                continue;
+            }
+            stats.bytes_read += cols
+                .iter()
+                .map(|&c| block.cols[c].data.len() as u64)
+                .sum::<u64>();
+            len += block.n_rows;
+            for (out, &c) in vals.iter_mut().zip(cols) {
+                out.extend(decode_chunk(
+                    &block.cols[c],
+                    self.schema.field(c).ty,
+                    block.n_rows,
+                ));
+            }
+        }
+        let columns = vals
+            .iter()
+            .zip(cols)
+            .map(|(v, &c)| Column::from_values_typed(v, self.schema.field(c).ty))
+            .collect();
+        (ColumnBatch { columns, len }, stats)
+    }
+}
+
+/// Can any row of `block` satisfy a predicate implying `bounds`? False
+/// only when the statistics *prove* no row can: some bounded column is
+/// all-NULL, or its non-null min/max range misses the interval.
+pub fn block_survives(block: &Block, bounds: &BTreeMap<usize, Bounds>) -> bool {
+    for (&c, b) in bounds {
+        let st = &block.cols[c].stats;
+        match (&st.min, &st.max) {
+            (Some(min), Some(max)) => {
+                if b.lo.as_ref().is_some_and(|lo| max < lo)
+                    || b.hi.as_ref().is_some_and(|hi| min > hi)
+                {
+                    return false;
+                }
+            }
+            // All-NULL chunk: a bounded predicate never accepts NULL.
+            _ => return false,
+        }
+    }
+    true
+}
+
+fn encode_block(rows: &[Row], schema: &Schema) -> Block {
+    let cols = (0..schema.len())
+        .map(|c| {
+            let vals: Vec<Value> = rows.iter().map(|r| r[c].clone()).collect();
+            encode_chunk(&vals, schema.field(c).ty)
+        })
+        .collect();
+    Block {
+        n_rows: rows.len(),
+        cols,
+    }
+}
+
+fn encode_chunk(vals: &[Value], ty: DataType) -> ColChunk {
+    let stats = ColStats::over(vals);
+    let n = vals.len();
+    let runs = count_runs(vals);
+    let ndv = distinct_non_null(vals);
+    // Prefer RLE when values cluster into few runs (sorted data), then a
+    // dictionary for low-cardinality columns, else the plain layout. The
+    // thresholds only affect size/speed, never correctness — every
+    // encoding round-trips exactly.
+    let encoding = if n > 0 && runs * 4 <= n {
+        Encoding::Rle
+    } else if n > 0 && ndv <= DICT_MAX && ndv * 4 <= n {
+        Encoding::Dict
+    } else {
+        Encoding::Plain
+    };
+    let raw = match encoding {
+        Encoding::Plain => encode_plain(vals, ty),
+        Encoding::Rle => encode_rle(vals, ty),
+        Encoding::Dict => encode_dict(vals, ty),
+    };
+    ColChunk {
+        encoding,
+        raw_size: raw.len() as u64,
+        data: compress::compress(&raw),
+        stats,
+    }
+}
+
+fn decode_chunk(chunk: &ColChunk, ty: DataType, n_rows: usize) -> Vec<Value> {
+    let raw = compress::decompress(&chunk.data);
+    match chunk.encoding {
+        Encoding::Plain => decode_plain(&raw, ty, n_rows),
+        Encoding::Rle => decode_rle(&raw, ty, n_rows),
+        Encoding::Dict => decode_dict(&raw, ty, n_rows),
+    }
+}
+
+fn count_runs(vals: &[Value]) -> usize {
+    let mut runs = 0;
+    let mut prev: Option<&Value> = None;
+    for v in vals {
+        if prev != Some(v) {
+            runs += 1;
+            prev = Some(v);
+        }
+    }
+    runs
+}
+
+fn distinct_non_null(vals: &[Value]) -> usize {
+    let mut seen: std::collections::BTreeSet<&Value> = std::collections::BTreeSet::new();
+    for v in vals {
+        if !v.is_null() {
+            seen.insert(v);
+            if seen.len() > DICT_MAX {
+                break; // enough to disqualify the dictionary
+            }
+        }
+    }
+    seen.len()
+}
+
+// ---- value serialization (shared by all encodings) -------------------------
+
+fn encode_value(out: &mut Vec<u8>, v: &Value, ty: DataType) {
+    match (v, ty) {
+        (Value::Bool(b), DataType::Bool) => out.push(*b as u8),
+        (Value::I64(v), DataType::I64) => varint::write_u64(out, varint::zigzag(*v)),
+        (Value::F64(v), DataType::F64) => out.extend_from_slice(&v.to_le_bytes()),
+        (Value::Decimal(v), DataType::Decimal) => varint::write_u64(out, varint::zigzag(*v)),
+        (Value::Date(v), DataType::Date) => varint::write_u64(out, varint::zigzag(*v as i64)),
+        (Value::Str(s), DataType::Str) => {
+            varint::write_u64(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        (v, t) => panic!("value {v:?} does not match column type {t:?}"),
+    }
+}
+
+fn decode_value(data: &mut &[u8], ty: DataType) -> Value {
+    match ty {
+        DataType::Bool => {
+            let v = Value::Bool(data[0] != 0);
+            *data = &data[1..];
+            v
+        }
+        DataType::I64 => {
+            let (v, n) = varint::read_u64(data);
+            *data = &data[n..];
+            Value::I64(varint::unzigzag(v))
+        }
+        DataType::F64 => {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&data[..8]);
+            *data = &data[8..];
+            Value::F64(f64::from_le_bytes(b))
+        }
+        DataType::Decimal => {
+            let (v, n) = varint::read_u64(data);
+            *data = &data[n..];
+            Value::Decimal(varint::unzigzag(v))
+        }
+        DataType::Date => {
+            let (v, n) = varint::read_u64(data);
+            *data = &data[n..];
+            Value::Date(varint::unzigzag(v) as i32)
+        }
+        DataType::Str => {
+            let (len, n) = varint::read_u64(data);
+            *data = &data[n..];
+            let s = std::str::from_utf8(&data[..len as usize]).expect("bad utf8");
+            let v = Value::str(s);
+            *data = &data[len as usize..];
+            v
+        }
+    }
+}
+
+// ---- Plain: null bitmap + per-type serialization ---------------------------
+
+fn encode_plain(vals: &[Value], ty: DataType) -> Vec<u8> {
+    let mut out = vec![0u8; vals.len().div_ceil(8)];
+    for (i, v) in vals.iter().enumerate() {
+        if v.is_null() {
+            out[i / 8] |= 1 << (i % 8);
+        }
+    }
+    for v in vals {
+        if !v.is_null() {
+            encode_value(&mut out, v, ty);
+        }
+    }
+    out
+}
+
+fn decode_plain(raw: &[u8], ty: DataType, n_rows: usize) -> Vec<Value> {
+    let bitmap_len = n_rows.div_ceil(8);
+    let (bitmap, mut data) = raw.split_at(bitmap_len);
+    (0..n_rows)
+        .map(|i| {
+            if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+                Value::Null
+            } else {
+                decode_value(&mut data, ty)
+            }
+        })
+        .collect()
+}
+
+// ---- RLE: (run length, null flag, value) runs ------------------------------
+
+fn encode_rle(vals: &[Value], ty: DataType) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < vals.len() {
+        let mut j = i + 1;
+        while j < vals.len() && vals[j] == vals[i] {
+            j += 1;
+        }
+        varint::write_u64(&mut out, (j - i) as u64);
+        if vals[i].is_null() {
+            out.push(0);
+        } else {
+            out.push(1);
+            encode_value(&mut out, &vals[i], ty);
+        }
+        i = j;
+    }
+    out
+}
+
+fn decode_rle(raw: &[u8], ty: DataType, n_rows: usize) -> Vec<Value> {
+    let mut data = raw;
+    let mut out = Vec::with_capacity(n_rows);
+    while out.len() < n_rows {
+        let (run, n) = varint::read_u64(data);
+        data = &data[n..];
+        let flag = data[0];
+        data = &data[1..];
+        let v = if flag == 0 {
+            Value::Null
+        } else {
+            decode_value(&mut data, ty)
+        };
+        out.extend(std::iter::repeat_n(v, run as usize));
+    }
+    out
+}
+
+// ---- Dict: first-appearance dictionary + null bitmap + codes ---------------
+
+fn encode_dict(vals: &[Value], ty: DataType) -> Vec<u8> {
+    let mut dict: Vec<&Value> = Vec::new();
+    let mut codes: BTreeMap<&Value, u64> = BTreeMap::new();
+    for v in vals {
+        if !v.is_null() && !codes.contains_key(v) {
+            codes.insert(v, dict.len() as u64);
+            dict.push(v);
+        }
+    }
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, dict.len() as u64);
+    for v in &dict {
+        encode_value(&mut out, v, ty);
+    }
+    let bitmap_at = out.len();
+    out.extend(std::iter::repeat_n(0u8, vals.len().div_ceil(8)));
+    for (i, v) in vals.iter().enumerate() {
+        if v.is_null() {
+            out[bitmap_at + i / 8] |= 1 << (i % 8);
+        }
+    }
+    for v in vals {
+        if !v.is_null() {
+            varint::write_u64(&mut out, codes[v]);
+        }
+    }
+    out
+}
+
+fn decode_dict(raw: &[u8], ty: DataType, n_rows: usize) -> Vec<Value> {
+    let mut data = raw;
+    let (dict_len, n) = varint::read_u64(data);
+    data = &data[n..];
+    let dict: Vec<Value> = (0..dict_len).map(|_| decode_value(&mut data, ty)).collect();
+    let bitmap_len = n_rows.div_ceil(8);
+    let (bitmap, mut data) = data.split_at(bitmap_len);
+    (0..n_rows)
+        .map(|i| {
+            if bitmap[i / 8] & (1 << (i % 8)) != 0 {
+                Value::Null
+            } else {
+                let (code, n) = varint::read_u64(data);
+                data = &data[n..];
+                dict[code as usize].clone()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use relational::date::date;
+
+    fn schema() -> Schema {
+        Schema::of(&[
+            ("k", DataType::I64),
+            ("price", DataType::Decimal),
+            ("flag", DataType::Str),
+            ("ship", DataType::Date),
+            ("rate", DataType::F64),
+        ])
+    }
+
+    fn sample_rows(n: usize) -> Vec<Row> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::I64(i as i64 * 32),
+                    Value::Decimal(10_000 + (i % 1000) as i64),
+                    Value::str(if i % 2 == 0 { "A" } else { "R" }),
+                    Value::Date(date(1995, 1, 1) + (i / 512) as i32),
+                    Value::F64(i as f64 * 0.25),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_all_columns() {
+        let rows = sample_rows(5000);
+        let f = ColBlockFile::write(&rows, &schema(), 1024);
+        assert_eq!(f.blocks.len(), 5);
+        assert_eq!(f.n_rows(), 5000);
+        assert_eq!(f.read_all(), rows);
+    }
+
+    #[test]
+    fn projection_reads_only_requested_columns() {
+        let rows = sample_rows(100);
+        let f = ColBlockFile::write(&rows, &schema(), 64);
+        let proj = f.read_columns(&[2, 0]);
+        assert_eq!(proj.len(), 100);
+        assert_eq!(proj[3], vec![Value::str("R"), Value::I64(96)]);
+        assert!(f.compressed_size_of(&[0]) < f.compressed_size());
+    }
+
+    #[test]
+    fn chunk_encodings_match_data_shape() {
+        let rows = sample_rows(2048);
+        let f = ColBlockFile::write(&rows, &schema(), 256);
+        let b = &f.blocks[0];
+        // Monotone unique keys: nothing to exploit.
+        assert_eq!(b.cols[0].encoding, Encoding::Plain);
+        // Two-value flag column alternating A/R: dictionary (runs of 1).
+        assert_eq!(b.cols[2].encoding, Encoding::Dict);
+        // Date advances every 512 rows: long runs → RLE.
+        assert_eq!(b.cols[3].encoding, Encoding::Rle);
+        // Each block carries non-null min/max per column.
+        assert_eq!(b.cols[0].stats.min, Some(Value::I64(0)));
+        assert_eq!(b.cols[0].stats.max, Some(Value::I64(255 * 32)));
+        assert_eq!(b.cols[0].stats.n_nulls, 0);
+    }
+
+    #[test]
+    fn min_max_pruning_skips_out_of_range_blocks() {
+        let rows = sample_rows(2048); // keys 0..65536 in sorted order
+        let f = ColBlockFile::write(&rows, &schema(), 256);
+        let mut bounds = BTreeMap::new();
+        bounds.insert(
+            0usize,
+            Bounds {
+                lo: Some(Value::I64(40_000)),
+                hi: Some(Value::I64(41_000)),
+            },
+        );
+        let (batch, stats) = f.read_pruned(&[0], &bounds);
+        assert_eq!(stats.blocks_total, 8);
+        assert!(stats.blocks_pruned >= 6, "pruned {}", stats.blocks_pruned);
+        assert!(stats.bytes_read < f.compressed_size_of(&[0]));
+        // Survivors still contain every matching row.
+        let got: Vec<i64> = batch
+            .to_rows()
+            .into_iter()
+            .filter_map(|r| match r[0] {
+                Value::I64(v) if (40_000..=41_000).contains(&v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        let want: Vec<i64> = (0..2048)
+            .map(|i| i * 32)
+            .filter(|v| (40_000..=41_000).contains(v))
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_null_chunk_prunes_under_any_bound() {
+        let s = Schema::of(&[("a", DataType::I64)]);
+        let rows = vec![vec![Value::Null], vec![Value::Null]];
+        let f = ColBlockFile::write(&rows, &s, 16);
+        let mut bounds = BTreeMap::new();
+        bounds.insert(
+            0usize,
+            Bounds {
+                lo: None,
+                hi: Some(Value::I64(100)),
+            },
+        );
+        let (batch, stats) = f.read_pruned(&[0], &bounds);
+        assert_eq!(stats.blocks_pruned, 1);
+        assert_eq!(batch.len, 0);
+    }
+
+    #[test]
+    fn nulls_round_trip_across_encodings() {
+        let s = Schema::of(&[("a", DataType::I64), ("b", DataType::Str)]);
+        // Long null runs force RLE; the string column stays dictionary-able.
+        let mut rows: Vec<Row> = Vec::new();
+        for i in 0..64 {
+            rows.push(vec![
+                if i % 32 < 16 {
+                    Value::Null
+                } else {
+                    Value::I64(7)
+                },
+                if i % 8 == 0 {
+                    Value::Null
+                } else {
+                    Value::str("x")
+                },
+            ]);
+        }
+        let f = ColBlockFile::write(&rows, &s, 32);
+        assert_eq!(f.read_all(), rows);
+        assert_eq!(f.blocks[0].cols[0].stats.n_nulls, 16);
+    }
+
+    #[test]
+    fn empty_file() {
+        let f = ColBlockFile::write(&[], &schema(), 128);
+        assert_eq!(f.n_rows(), 0);
+        assert_eq!(f.read_all(), Vec::<Row>::new());
+        assert_eq!(f.compressed_size(), 0);
+        let (batch, stats) = f.read_pruned(&[1, 3], &BTreeMap::new());
+        assert_eq!(batch.len, 0);
+        assert_eq!(batch.width(), 2);
+        assert_eq!(stats, ScanStats::default());
+    }
+}

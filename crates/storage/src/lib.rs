@@ -8,6 +8,9 @@
 //! * [`text`] — delimited text files (`dbgen`-style `.tbl` rows),
 //! * [`rcfile`] — the RCFile layout \[He et al., ICDE 2011\]: row groups
 //!   holding compressed per-column chunks, with lazy column projection,
+//! * [`colblock`] — a columnar block format with per-block min/max
+//!   statistics (block pruning), null bitmaps, and RLE/dictionary chunk
+//!   encodings, decoding into vectorized `ColumnBatch`es,
 //! * [`page`] — 8 KB slotted heap pages (SQL Server-style record storage),
 //! * [`btree`] — an in-memory B+tree with page accounting,
 //! * [`bufpool`] — an O(1) LRU buffer pool with dirty tracking.
@@ -16,6 +19,7 @@
 
 pub mod btree;
 pub mod bufpool;
+pub mod colblock;
 pub mod compress;
 pub mod page;
 pub mod rcfile;
@@ -23,4 +27,5 @@ pub mod text;
 
 pub use btree::BTree;
 pub use bufpool::{BufferPool, PageId};
+pub use colblock::{ColBlockFile, ScanStats};
 pub use rcfile::RcFile;

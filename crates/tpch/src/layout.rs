@@ -111,6 +111,23 @@ pub fn paper_layouts() -> Vec<TableLayout> {
     ]
 }
 
+/// The column colblock files cluster (sort) on before carving blocks, so
+/// that per-block min/max statistics get tight, disjoint ranges and
+/// predicate pruning actually skips blocks. Chosen per table for the
+/// predicates the TPC-H workload pushes down: `l_shipdate` (Q6's and, via
+/// date correlation, Q12's range filters), `o_orderdate` (Q3/Q4/Q5...),
+/// and `p_size` (Q19's OR-of-ranges). `None` keeps the table's load order
+/// (no predicate worth clustering for). This is an extension beyond the
+/// paper's Table 1 — the 2012 layouts had no block statistics to feed.
+pub fn colblock_cluster_col(table: &str) -> Option<&'static str> {
+    match table {
+        "lineitem" => Some("l_shipdate"),
+        "orders" => Some("o_orderdate"),
+        "part" => Some("p_size"),
+        _ => None,
+    }
+}
+
 /// Lookup by table name.
 pub fn layout_of(table: &str) -> TableLayout {
     paper_layouts()
@@ -134,6 +151,18 @@ mod tests {
             Some("c_nationkey")
         );
         assert_eq!(paper_layouts().len(), 8);
+    }
+
+    #[test]
+    fn cluster_columns_exist_in_schemas() {
+        for l in paper_layouts() {
+            if let Some(col) = colblock_cluster_col(l.table) {
+                let s = crate::schema::table_schema(l.table);
+                assert!(s.index_of(col).is_some(), "{} cluster col {col}", l.table);
+            }
+        }
+        assert_eq!(colblock_cluster_col("lineitem"), Some("l_shipdate"));
+        assert_eq!(colblock_cluster_col("nation"), None);
     }
 
     #[test]

@@ -49,4 +49,11 @@ cargo run -q --release -p bench --bin concurrent_mix -- \
 cargo run -q --release -p bench --bin validate_trace -- "$obs_tmp/mix.json" mix mix-feedback
 diff -u results/concurrent_mix.txt "$obs_tmp/concurrent_mix.txt"
 
+echo "== columnar ablation (three-way storage artifact diff)"
+# The colblock scan path (block pruning order, vectorized decode, shared
+# format-cost table) is deterministic by construction; regenerating the
+# three-way text/RCFile/colblock ablation must be byte-identical.
+cargo run -q --release -p bench --bin ablation_columnar > "$obs_tmp/ablation_columnar.txt"
+diff -u results/ablation_columnar.txt "$obs_tmp/ablation_columnar.txt"
+
 echo "ci: all green"

@@ -9,8 +9,8 @@ bins=(
   repro_table1 repro_table2 repro_table4 repro_table5 repro_table6
   repro_load_ycsb repro_refresh
   repro_fig2 repro_fig3 repro_fig4 repro_fig5 repro_fig6
-  ablation_join_order ablation_rcfile ablation_readsize ablation_mongods
-  ablation_isolation ablation_presplit ablation_pdw_indexes
+  ablation_join_order ablation_rcfile ablation_columnar ablation_readsize
+  ablation_mongods ablation_isolation ablation_presplit ablation_pdw_indexes
   ablation_durability ablation_fault_tolerance sensitivity_k
 )
 for b in "${bins[@]}"; do
@@ -32,4 +32,6 @@ echo "== profile_ycsb_a (windowed serving-side latency percentiles)"
 cargo run --release -p bench --bin profile_ycsb > results/profile_ycsb_a.txt
 echo "== concurrent_mix (admission-scheduled mix + measured-wait feedback)"
 cargo run --release -p bench --bin concurrent_mix > results/concurrent_mix.txt
+echo "== bench_scan (REAL wall-clock decode throughput — host-dependent, not diff-gated)"
+cargo run --release -p bench --bin bench_scan > results/BENCH_scan.json
 echo "done — see results/ and EXPERIMENTS.md"
