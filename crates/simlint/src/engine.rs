@@ -1,10 +1,21 @@
 //! The driver: walk the tree, scope rules to paths, apply suppression
-//! comments, and render diagnostics as `file:line: rule-id: message`.
+//! comments, and render diagnostics as `file:line: rule-id: message` (or
+//! one stable-ordered JSON object per line with `--format json`).
+//!
+//! Linting is two passes. Pass one lexes + parses every file and runs the
+//! per-file rules. Pass two builds the workspace call graph from the
+//! already-parsed files and runs the graph rules (`exec-substrate-
+//! transitive`, `probe-passivity`) over it. Suppressions and `#[cfg(test)]`
+//! scoping apply uniformly to both passes, and every suppression records
+//! whether it actually suppressed something — a stale allow is dead policy
+//! and `--list-allows --strict` turns it into an error.
 
+use crate::callgraph::{self, CallGraph, SourceFile};
 use crate::config::{Config, RuleConfig, KNOWN_RULES};
 use crate::lexer::{lex, Comment, Lexed};
-use crate::rules::{cfg_test_line, run_rule, Violation};
-use std::collections::BTreeSet;
+use crate::parser::{parse, ItemTree};
+use crate::rules::{is_graph_rule, run_rule, Violation};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -14,6 +25,9 @@ pub struct Allow {
     pub line: usize,
     pub rules: Vec<String>,
     pub justification: String,
+    /// Did this allow suppress at least one violation this run? A `false`
+    /// after linting means the suppression is stale.
+    pub used: bool,
 }
 
 /// Outcome of a whole run.
@@ -40,18 +54,57 @@ impl Report {
         out
     }
 
-    pub fn render_allows(&self) -> String {
+    /// One JSON object per violation, one per line, keys in the fixed
+    /// order `file`, `line`, `rule`, `message` (the schema is documented
+    /// in DESIGN.md and consumed by the GitHub Actions problem matcher).
+    pub fn render_json(&self) -> String {
         let mut out = String::new();
-        for (file, a) in &self.allows {
+        for (file, v) in &self.violations {
             out.push_str(&format!(
-                "{file}:{}: {}: {}\n",
-                a.line,
-                a.rules.join(","),
-                a.justification
+                "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}\n",
+                json_escape(file),
+                v.line,
+                json_escape(&v.rule),
+                json_escape(&v.message)
             ));
         }
         out
     }
+
+    pub fn render_allows(&self) -> String {
+        let mut out = String::new();
+        for (file, a) in &self.allows {
+            out.push_str(&format!(
+                "{file}:{}: {}: {}{}\n",
+                a.line,
+                a.rules.join(","),
+                a.justification,
+                if a.used { "" } else { " [stale]" }
+            ));
+        }
+        out
+    }
+
+    /// Allows that suppressed nothing this run.
+    pub fn stale_allows(&self) -> Vec<&(String, Allow)> {
+        self.allows.iter().filter(|(_, a)| !a.used).collect()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Parse suppression comments out of a file's comments. Malformed ones
@@ -137,6 +190,7 @@ fn parse_allows(comments: &[Comment]) -> (Vec<Allow>, Vec<Violation>) {
                 line: c.line,
                 rules,
                 justification,
+                used: false,
             });
         }
     }
@@ -163,40 +217,130 @@ fn rule_applies(rule: &RuleConfig, rel: &str) -> bool {
 
 /// A suppression covers its own line and the immediately following line, so
 /// both trailing (`stmt; // simlint: allow(..) — why`) and preceding
-/// (own-line comment above the statement) styles work.
-fn suppressed(v: &Violation, allows: &[Allow]) -> bool {
-    allows
-        .iter()
-        .any(|a| (v.line == a.line || v.line == a.line + 1) && a.rules.contains(&v.rule))
+/// (own-line comment above the statement) styles work. Marks the matching
+/// allow as used.
+fn suppression(v: &Violation, allows: &mut [Allow]) -> bool {
+    let mut hit = false;
+    for a in allows.iter_mut() {
+        if (v.line == a.line || v.line == a.line + 1) && a.rules.contains(&v.rule) {
+            a.used = true;
+            hit = true;
+        }
+    }
+    hit
 }
 
-/// Lint one file's source text (`rel` is the root-relative path used for
-/// scoping and reporting). Exposed for fixture tests.
-pub fn lint_source(config: &Config, rel: &str, src: &str) -> Report {
-    let lexed: Lexed = lex(src);
-    let (allows, mut file_violations) = parse_allows(&lexed.comments);
-    let test_line = cfg_test_line(&lexed);
+/// Pass one for a single file: per-file rules plus suppression parsing.
+fn lint_parsed(
+    config: &Config,
+    rel: &str,
+    lexed: &Lexed,
+    tree: &ItemTree,
+) -> (Vec<Violation>, Vec<Allow>) {
+    let (mut allows, mut file_violations) = parse_allows(&lexed.comments);
     for rule in config.rules.values() {
-        if !rule_applies(rule, rel) {
+        if is_graph_rule(&rule.id) || !rule_applies(rule, rel) {
             continue;
         }
-        for v in run_rule(rule, &lexed) {
-            if rule.skip_cfg_test && test_line.is_some_and(|t| v.line >= t) {
+        for v in run_rule(rule, lexed, tree) {
+            if rule.skip_cfg_test && tree.line_in_test(v.line) {
                 continue;
             }
-            if suppressed(&v, &allows) {
+            if suppression(&v, &mut allows) {
                 continue;
             }
             file_violations.push(v);
         }
     }
-    file_violations.sort();
+    (file_violations, allows)
+}
+
+/// Dispatch one graph rule over the built graph. Root scoping reuses the
+/// rule's `paths`/`exclude` config via [`rule_applies`].
+fn run_graph_rule(rule: &RuleConfig, g: &CallGraph) -> Vec<(String, Violation)> {
+    let in_scope = |rel: &str| rule_applies(rule, rel);
+    match rule.id.as_str() {
+        "exec-substrate-transitive" => callgraph::exec_substrate_transitive(rule, g, &in_scope),
+        "probe-passivity" => callgraph::probe_passivity(rule, g, &in_scope),
+        _ => Vec::new(),
+    }
+}
+
+/// Graph pass over already-parsed files; appends surviving violations and
+/// marks any suppressions they hit.
+fn graph_pass(
+    config: &Config,
+    parsed: &[(String, Lexed, ItemTree)],
+    deps: &callgraph::DepMap,
+    allows_by_file: &mut [Vec<Allow>],
+    violations: &mut Vec<(String, Violation)>,
+) {
+    let graph_rules: Vec<&RuleConfig> = config
+        .rules
+        .values()
+        .filter(|r| is_graph_rule(&r.id) && r.enabled)
+        .collect();
+    if graph_rules.is_empty() {
+        return;
+    }
+    let sources: Vec<SourceFile<'_>> = parsed
+        .iter()
+        .map(|(rel, lexed, tree)| SourceFile { rel, lexed, tree })
+        .collect();
+    let g = callgraph::build(&sources, deps);
+    let index: BTreeMap<&str, usize> = parsed
+        .iter()
+        .enumerate()
+        .map(|(i, (rel, _, _))| (rel.as_str(), i))
+        .collect();
+    for rule in graph_rules {
+        for (file, v) in run_graph_rule(rule, &g) {
+            let Some(&fi) = index.get(file.as_str()) else {
+                continue;
+            };
+            if rule.skip_cfg_test && parsed[fi].2.line_in_test(v.line) {
+                continue;
+            }
+            if suppression(&v, &mut allows_by_file[fi]) {
+                continue;
+            }
+            violations.push((file, v));
+        }
+    }
+}
+
+/// Lint one file's source text (`rel` is the root-relative path used for
+/// scoping and reporting). Exposed for fixture tests. Graph rules run over
+/// the lone file, so single-file laundering fixtures exercise them too.
+pub fn lint_source(config: &Config, rel: &str, src: &str) -> Report {
+    let lexed = lex(src);
+    let tree = parse(&lexed);
+    let parsed = vec![(rel.to_string(), lexed, tree)];
+    let (mut violations, allows) = {
+        let (vs, als) = lint_parsed(config, rel, &parsed[0].1, &parsed[0].2);
+        (
+            vs.into_iter()
+                .map(|v| (rel.to_string(), v))
+                .collect::<Vec<_>>(),
+            als,
+        )
+    };
+    let mut allows_by_file = vec![allows];
+    graph_pass(
+        config,
+        &parsed,
+        &callgraph::DepMap::default(),
+        &mut allows_by_file,
+        &mut violations,
+    );
+    violations.sort();
     Report {
-        violations: file_violations
+        violations,
+        allows: allows_by_file
+            .remove(0)
             .into_iter()
-            .map(|v| (rel.to_string(), v))
+            .map(|a| (rel.to_string(), a))
             .collect(),
-        allows: allows.into_iter().map(|a| (rel.to_string(), a)).collect(),
     }
 }
 
@@ -243,15 +387,30 @@ fn rel_path(root: &Path, path: &Path) -> String {
 /// Lint the tree under `root`. `filter` optionally restricts to the given
 /// root-relative paths.
 pub fn lint_tree(config: &Config, root: &Path, filter: &[String]) -> std::io::Result<Report> {
-    let mut report = Report::default();
+    let mut parsed: Vec<(String, Lexed, ItemTree)> = Vec::new();
     for path in collect_files(root, config, filter) {
         let src = fs::read_to_string(&path)?;
         let rel = rel_path(root, &path);
-        let file_report = lint_source(config, &rel, &src);
-        report.violations.extend(file_report.violations);
-        report.allows.extend(file_report.allows);
+        let lexed = lex(&src);
+        let tree = parse(&lexed);
+        parsed.push((rel, lexed, tree));
     }
-    Ok(report)
+    let mut violations: Vec<(String, Violation)> = Vec::new();
+    let mut allows_by_file: Vec<Vec<Allow>> = Vec::new();
+    for (rel, lexed, tree) in &parsed {
+        let (vs, als) = lint_parsed(config, rel, lexed, tree);
+        violations.extend(vs.into_iter().map(|v| (rel.clone(), v)));
+        allows_by_file.push(als);
+    }
+    let deps = callgraph::load_deps(root);
+    graph_pass(config, &parsed, &deps, &mut allows_by_file, &mut violations);
+    violations.sort();
+    let allows = parsed
+        .iter()
+        .zip(allows_by_file)
+        .flat_map(|((rel, _, _), als)| als.into_iter().map(move |a| (rel.clone(), a)))
+        .collect();
+    Ok(Report { violations, allows })
 }
 
 #[cfg(test)]
@@ -285,6 +444,18 @@ fn f() { let _: HashMap<u8, u8> = HashMap::new(); }
         assert_eq!(report.violations.len(), 2, "{}", report.render());
         assert!(report.violations.iter().all(|(_, v)| v.line == 3));
         assert_eq!(report.allows.len(), 1);
+        assert!(report.allows[0].1.used, "allow suppressed line 2");
+        assert!(report.stale_allows().is_empty());
+    }
+
+    #[test]
+    fn stale_allow_is_detected() {
+        let c = cfg("[rules.no-unordered-iter]\n");
+        let src = "// simlint: allow(no-unordered-iter) — leftover from a refactor\nfn ok() {}\n";
+        let report = lint_source(&c, "x.rs", src);
+        assert!(report.violations.is_empty(), "{}", report.render());
+        assert_eq!(report.stale_allows().len(), 1);
+        assert!(report.render_allows().contains("[stale]"));
     }
 
     #[test]
@@ -311,5 +482,40 @@ fn f() { let _: HashMap<u8, u8> = HashMap::new(); }
         let report = lint_source(&cfg(toml), "x.rs", src);
         assert_eq!(report.violations.len(), 1);
         assert_eq!(report.violations[0].1.line, 1);
+    }
+
+    #[test]
+    fn cfg_test_trimming_is_subtree_bounded() {
+        // The old heuristic trimmed everything after the *first*
+        // `#[cfg(test)]` line; the parser bounds it to the subtree, so a
+        // violation after the test module still fires.
+        let toml = "[rules.no-unwrap-in-lib]\nskip-cfg-test = true\n";
+        let src = "#[cfg(test)]\nmod t { fn f() { y.unwrap(); } }\n\
+                   fn lib() { x.unwrap(); }\n";
+        let report = lint_source(&cfg(toml), "x.rs", src);
+        assert_eq!(report.violations.len(), 1, "{}", report.render());
+        assert_eq!(report.violations[0].1.line, 3);
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_escaped() {
+        let c = cfg("[rules.no-unsafe]\n");
+        let report = lint_source(&c, "x.rs", "fn f() { unsafe { } }\n");
+        let json = report.render_json();
+        assert_eq!(
+            json,
+            "{\"file\":\"x.rs\",\"line\":1,\"rule\":\"no-unsafe\",\
+             \"message\":\"`unsafe` is forbidden workspace-wide\"}\n"
+        );
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn graph_rules_run_in_lint_source_for_single_file_fixtures() {
+        let c = cfg("[rules.probe-passivity]\n");
+        let src = "fn fold(sim: &mut Sim) { sim.schedule_at(t, e); }\n";
+        let report = lint_source(&c, "crates/obs/src/fold.rs", src);
+        assert_eq!(report.violations.len(), 1, "{}", report.render());
+        assert!(report.violations[0].1.message.contains("schedule_at"));
     }
 }

@@ -5,7 +5,10 @@
 //!
 //! Everything ident-like (keywords included) comes out as [`Tok::Ident`];
 //! punctuation comes out one character at a time except `::`, which rules
-//! match on to recognize paths like `Instant::now`.
+//! match on to recognize paths like `Instant::now`. String and number
+//! literals surface as [`Tok::Str`] / [`Tok::Num`] — the item-tree parser
+//! and the flow rules (`.expect("")` messages, seed provenance) need to see
+//! them, but their *contents* still never match a banned-identifier pattern.
 
 /// One significant token, tagged with its 1-based source line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,6 +19,12 @@ pub enum Tok {
     PathSep,
     /// Any other single punctuation character (`.`, `(`, `#`, `[`, ...).
     Punct(char),
+    /// A string literal (plain, raw, or byte), delimiters and prefix
+    /// stripped. Rules only ever inspect the content (is it empty?), never
+    /// match identifiers inside it.
+    Str(String),
+    /// A numeric literal, verbatim including any suffix (`42u64`, `0.5f32`).
+    Num(String),
 }
 
 /// A token plus the line it starts on.
@@ -122,7 +131,9 @@ pub fn lex(src: &str) -> Lexed {
             }
             if b.get(hash_at + hashes) == Some(&b'"') {
                 // Scan to `"` followed by `hashes` hash marks.
-                let mut j = hash_at + hashes + 1;
+                let body_start = hash_at + hashes + 1;
+                let mut body_end = b.len();
+                let mut j = body_start;
                 'scan: while j < b.len() {
                     if b[j] == b'"' {
                         let mut k = 0;
@@ -130,12 +141,17 @@ pub fn lex(src: &str) -> Lexed {
                             k += 1;
                         }
                         if k == hashes {
+                            body_end = j;
                             j += 1 + hashes;
                             break 'scan;
                         }
                     }
                     j += 1;
                 }
+                out.tokens.push(Spanned {
+                    line,
+                    tok: Tok::Str(src[body_start..body_end.max(body_start)].to_string()),
+                });
                 {
                     let n = j - i;
                     advance(b, &mut i, &mut line, n);
@@ -147,17 +163,27 @@ pub fn lex(src: &str) -> Lexed {
         }
         // Plain strings and byte strings: "..", b"..", with \" escapes.
         if c == b'"' || (c == b'b' && b.get(i + 1) == Some(&b'"')) {
-            let mut j = if c == b'"' { i + 1 } else { i + 2 };
+            let body_start = if c == b'"' { i + 1 } else { i + 2 };
+            let mut j = body_start;
+            let mut body_end = b.len();
             while j < b.len() {
                 match b[j] {
                     b'\\' => j += 2,
                     b'"' => {
+                        body_end = j;
                         j += 1;
                         break;
                     }
                     _ => j += 1,
                 }
             }
+            out.tokens.push(Spanned {
+                line,
+                tok: Tok::Str(
+                    src[body_start.min(src.len())..body_end.min(src.len()).max(body_start)]
+                        .to_string(),
+                ),
+            });
             {
                 let n = j.min(b.len()) - i;
                 advance(b, &mut i, &mut line, n);
@@ -210,7 +236,7 @@ pub fn lex(src: &str) -> Lexed {
             }
             continue;
         }
-        // Numbers (skipped entirely; suffixes like 1_000u64 are eaten too).
+        // Numbers (one `Num` token; suffixes like 1_000u64 are included).
         if c.is_ascii_digit() {
             let mut j = i;
             while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_' || b[j] == b'.') {
@@ -222,6 +248,10 @@ pub fn lex(src: &str) -> Lexed {
                 }
                 j += 1;
             }
+            out.tokens.push(Spanned {
+                line,
+                tok: Tok::Num(src[i..j].to_string()),
+            });
             {
                 let n = j - i;
                 advance(b, &mut i, &mut line, n);
@@ -352,5 +382,44 @@ mod tests {
     fn numeric_method_calls_still_tokenize() {
         let ids = idents("let x = 1.max(2) + 0.5f64.sqrt();");
         assert!(ids.contains(&"max".to_string()));
+    }
+
+    #[test]
+    fn string_literals_surface_with_content() {
+        let toks = lex(r#"x.expect(""); y.expect("queue is non-empty");"#).tokens;
+        let strs: Vec<String> = toks
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Str(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["", "queue is non-empty"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings_surface_with_content() {
+        let toks = lex(r###"a(r#"raw "body""#); b(b"bytes");"###).tokens;
+        let strs: Vec<String> = toks
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Str(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec![r#"raw "body""#, "bytes"]);
+    }
+
+    #[test]
+    fn number_literals_surface_verbatim() {
+        let nums: Vec<String> = lex("seed_from_u64(42); f(0xdead_beefu64, 0.5f32)")
+            .tokens
+            .into_iter()
+            .filter_map(|s| match s.tok {
+                Tok::Num(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(nums, vec!["42", "0xdead_beefu64", "0.5f32"]);
     }
 }

@@ -28,9 +28,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod callgraph;
 pub mod config;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 pub use config::{Config, RuleConfig};

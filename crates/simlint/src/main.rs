@@ -15,16 +15,23 @@ struct Args {
     root: Option<PathBuf>,
     config: Option<PathBuf>,
     list_allows: bool,
+    strict: bool,
+    json: bool,
     paths: Vec<String>,
 }
 
 fn usage() -> &'static str {
-    "usage: simlint [--root DIR] [--config FILE] [--list-allows] [PATH...]\n\
+    "usage: simlint [--root DIR] [--config FILE] [--list-allows [--strict]]\n\
+     \u{20}      [--format json|text] [PATH...]\n\
      \n\
      Lints every .rs file under the workspace root against simlint.toml.\n\
      PATH arguments (root-relative) restrict the run to those files/dirs.\n\
      --list-allows prints every inline suppression with its justification\n\
-     instead of linting (bare allows still fail)."
+     instead of linting (bare allows still fail); with --strict, an allow\n\
+     that suppresses nothing is an error too (stale suppressions rot\n\
+     silently otherwise).\n\
+     --format json emits one JSON object per violation, one per line, with\n\
+     keys file, line, rule, message (schema in DESIGN.md §9)."
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -32,6 +39,8 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         config: None,
         list_allows: false,
+        strict: false,
+        json: false,
         paths: Vec::new(),
     };
     let mut it = std::env::args().skip(1);
@@ -44,10 +53,24 @@ fn parse_args() -> Result<Args, String> {
                 args.config = Some(PathBuf::from(it.next().ok_or("--config needs a file")?))
             }
             "--list-allows" => args.list_allows = true,
+            "--strict" => args.strict = true,
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => {
+                    return Err(format!(
+                        "--format needs `json` or `text`, got `{}`",
+                        other.unwrap_or("")
+                    ))
+                }
+            },
             "--help" | "-h" => return Err(usage().to_string()),
             p if !p.starts_with('-') => args.paths.push(p.to_string()),
             other => return Err(format!("unknown flag `{other}`\n\n{}", usage())),
         }
+    }
+    if args.strict && !args.list_allows {
+        return Err("--strict only makes sense with --list-allows".to_string());
     }
     Ok(args)
 }
@@ -91,10 +114,25 @@ fn run() -> Result<bool, String> {
         for (file, v) in &bad {
             eprintln!("{file}:{}: {}: {}", v.line, v.rule, v.message);
         }
+        let stale = report.stale_allows();
+        if args.strict {
+            for (file, a) in &stale {
+                eprintln!(
+                    "{file}:{}: stale-allow: allow({}) suppresses nothing — remove it",
+                    a.line,
+                    a.rules.join(",")
+                );
+            }
+            return Ok(bad.is_empty() && stale.is_empty());
+        }
         return Ok(bad.is_empty());
     }
 
-    print!("{}", report.render());
+    if args.json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render());
+    }
     if report.is_clean() {
         eprintln!(
             "simlint: clean ({} suppression{} in force — audit with --list-allows)",

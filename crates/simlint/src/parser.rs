@@ -1,0 +1,812 @@
+//! A brace-matched item-tree parser on top of the lexer: modules, functions
+//! (with parameter names/types and an opaque body token range), `impl`
+//! blocks, `use` aliases, and `const`/`static` items, with `#[cfg(test)]`
+//! subtrees marked as such.
+//!
+//! This is *not* a Rust parser — it never builds expressions and it skips
+//! every construct it does not recognize. It only needs to be exact about
+//! three things: brace matching (so bodies and test subtrees have correct
+//! extents), the shape of `fn`/`impl`/`mod`/`use` headers (so the call
+//! graph can index and resolve names), and attribute placement (so a
+//! `#[cfg(test)]` excludes exactly its own subtree, not everything after
+//! it). Items inside function bodies are opaque: their calls are attributed
+//! to the enclosing function, which is the right granularity for lint
+//! reachability.
+
+use crate::lexer::{Lexed, Spanned, Tok};
+
+/// One function parameter: the binding name (best effort for non-trivial
+/// patterns: the last identifier before the `:`) and the type as flat text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    pub name: String,
+    pub ty: String,
+}
+
+/// A function or method, free or associated.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Bare name (`run_query`).
+    pub name: String,
+    /// `impl`/`trait` self-type name when this is an associated fn
+    /// (`ClusterExec` for `impl ClusterExec { fn run .. }`).
+    pub owner: Option<String>,
+    /// Trait name for `impl Trait for Type` methods (`Probe`).
+    pub trait_name: Option<String>,
+    /// Module path inside the file (`["exec", "tests"]`).
+    pub module: Vec<String>,
+    /// 1-based line of the `fn` name.
+    pub line: usize,
+    pub params: Vec<Param>,
+    /// Token-index range of the body including both braces, into
+    /// [`Lexed::tokens`]. `None` for bodyless trait-method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Under a `#[cfg(test)]` subtree or carrying `#[test]`.
+    pub in_test: bool,
+}
+
+/// One name introduced by a `use` declaration: `name` is what the file can
+/// refer to, `path` the full segment list it stands for. A glob import
+/// (`use a::b::*`) has `name == "*"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UseItem {
+    pub name: String,
+    pub path: Vec<String>,
+    pub in_test: bool,
+}
+
+/// A `const`/`static` item (seed-provenance treats these as named sources).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstItem {
+    pub name: String,
+    pub line: usize,
+}
+
+/// Everything the parser extracts from one file.
+#[derive(Debug, Default)]
+pub struct ItemTree {
+    pub fns: Vec<FnItem>,
+    pub uses: Vec<UseItem>,
+    pub consts: Vec<ConstItem>,
+    /// 1-based inclusive line ranges covered by `#[cfg(test)]` subtrees and
+    /// `#[test]` functions (attribute line through closing brace).
+    pub test_ranges: Vec<(usize, usize)>,
+}
+
+impl ItemTree {
+    /// Is this line inside any `#[cfg(test)]` subtree?
+    pub fn line_in_test(&self, line: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// Flatten a token slice back to readable text (types, diagnostics).
+pub fn tokens_text(toks: &[Spanned]) -> String {
+    let mut out = String::new();
+    for s in toks {
+        if !out.is_empty() && !matches!(s.tok, Tok::PathSep) && !out.ends_with("::") {
+            out.push(' ');
+        }
+        match &s.tok {
+            Tok::Ident(i) => out.push_str(i),
+            Tok::PathSep => {
+                if out.ends_with(' ') {
+                    out.pop();
+                }
+                out.push_str("::")
+            }
+            Tok::Punct(c) => out.push(*c),
+            Tok::Str(_) => out.push_str("\"..\""),
+            Tok::Num(n) => out.push_str(n),
+        }
+    }
+    out
+}
+
+struct Parser<'a> {
+    t: &'a [Spanned],
+    i: usize,
+    out: ItemTree,
+}
+
+/// Parse one lexed file into its item tree. Never fails: unrecognized
+/// constructs are skipped token by token.
+pub fn parse(lexed: &Lexed) -> ItemTree {
+    let mut p = Parser {
+        t: &lexed.tokens,
+        i: 0,
+        out: ItemTree::default(),
+    };
+    let mut ctx = Ctx {
+        module: Vec::new(),
+        owner: None,
+        trait_name: None,
+        in_test: false,
+    };
+    p.items(&mut ctx, false);
+    p.out
+}
+
+#[derive(Clone)]
+struct Ctx {
+    module: Vec<String>,
+    owner: Option<String>,
+    trait_name: Option<String>,
+    in_test: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn ident_at(&self, i: usize) -> Option<&'a str> {
+        match self.t.get(i) {
+            Some(Spanned {
+                tok: Tok::Ident(s), ..
+            }) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    fn punct_at(&self, i: usize) -> Option<char> {
+        match self.t.get(i) {
+            Some(Spanned {
+                tok: Tok::Punct(c), ..
+            }) => Some(*c),
+            _ => None,
+        }
+    }
+
+    fn line_at(&self, i: usize) -> usize {
+        self.t.get(i).map_or(1, |s| s.line)
+    }
+
+    /// Index just past the delimiter that matches the opener at `open`.
+    fn skip_delim(&self, open: usize, o: char, c: char) -> usize {
+        let mut depth = 0usize;
+        let mut i = open;
+        while i < self.t.len() {
+            match self.punct_at(i) {
+                Some(x) if x == o => depth += 1,
+                Some(x) if x == c => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        self.t.len()
+    }
+
+    /// Skip a generics list if one starts at `i` (`<` ... `>`).
+    fn skip_generics(&self, i: usize) -> usize {
+        if self.punct_at(i) == Some('<') {
+            self.skip_delim(i, '<', '>')
+        } else {
+            i
+        }
+    }
+
+    /// Advance to just past the next top-level `;`, respecting (), [], {}.
+    fn skip_to_semi(&self, mut i: usize) -> usize {
+        while i < self.t.len() {
+            match self.punct_at(i) {
+                Some(';') => return i + 1,
+                Some('(') => i = self.skip_delim(i, '(', ')'),
+                Some('[') => i = self.skip_delim(i, '[', ']'),
+                Some('{') => i = self.skip_delim(i, '{', '}'),
+                _ => i += 1,
+            }
+        }
+        i
+    }
+
+    /// Parse items until EOF or the `}` closing this level (consumed).
+    fn items(&mut self, ctx: &mut Ctx, until_close: bool) {
+        // `#[cfg(test)]`/`#[test]` seen since the last item, with the line
+        // of the first such attribute.
+        let mut pending_test: Option<usize> = None;
+        while self.i < self.t.len() {
+            match &self.t[self.i].tok {
+                Tok::Punct('}') if until_close => {
+                    self.i += 1;
+                    return;
+                }
+                Tok::Punct('#') => {
+                    // Attribute: `#[...]` or inner `#![...]`.
+                    let inner = self.punct_at(self.i + 1) == Some('!');
+                    let open = self.i + if inner { 2 } else { 1 };
+                    if self.punct_at(open) == Some('[') {
+                        let end = self.skip_delim(open, '[', ']');
+                        if !inner && self.attr_is_test(open, end) {
+                            pending_test.get_or_insert(self.line_at(self.i));
+                        }
+                        self.i = end;
+                    } else {
+                        self.i += 1;
+                    }
+                    continue;
+                }
+                Tok::Ident(kw) => {
+                    let kw = kw.clone();
+                    match kw.as_str() {
+                        "pub" => {
+                            // `pub` / `pub(crate)` / `pub(in path)`.
+                            self.i += 1;
+                            if self.punct_at(self.i) == Some('(') {
+                                self.i = self.skip_delim(self.i, '(', ')');
+                            }
+                            continue; // modifiers keep pending_test alive
+                        }
+                        "unsafe" | "async" | "default" | "extern" | "const" | "static"
+                            if self.ident_at(self.i + 1) == Some("fn")
+                                || (matches!(kw.as_str(), "unsafe" | "async" | "default")
+                                    && self.ident_at(self.i + 1).is_some_and(|n| {
+                                        matches!(n, "fn" | "impl" | "trait" | "extern" | "const")
+                                    })) =>
+                        {
+                            self.i += 1;
+                            continue;
+                        }
+                        "fn" => {
+                            self.parse_fn(ctx, pending_test.take());
+                            continue;
+                        }
+                        "mod" => {
+                            self.parse_mod(ctx, pending_test.take());
+                            continue;
+                        }
+                        "impl" => {
+                            self.parse_impl(ctx, pending_test.take());
+                            continue;
+                        }
+                        "trait" => {
+                            self.parse_trait(ctx, pending_test.take());
+                            continue;
+                        }
+                        "use" => {
+                            self.parse_use(ctx, pending_test.take());
+                            continue;
+                        }
+                        "const" | "static" => {
+                            self.i += 1;
+                            // `static mut` (never in this workspace, but be
+                            // exact) and the underscore const `const _:`.
+                            if self.ident_at(self.i) == Some("mut") {
+                                self.i += 1;
+                            }
+                            if let Some(name) = self.ident_at(self.i) {
+                                self.out.consts.push(ConstItem {
+                                    name: name.to_string(),
+                                    line: self.line_at(self.i),
+                                });
+                            }
+                            let end = self.skip_to_semi(self.i);
+                            self.close_pending(pending_test.take(), end.saturating_sub(1));
+                            self.i = end;
+                            continue;
+                        }
+                        "struct" | "enum" | "union" | "type" => {
+                            // Skip the whole item: to `{...}` or `;`.
+                            self.i += 1;
+                            while self.i < self.t.len() {
+                                match self.punct_at(self.i) {
+                                    Some('{') => {
+                                        self.i = self.skip_delim(self.i, '{', '}');
+                                        break;
+                                    }
+                                    Some(';') => {
+                                        self.i += 1;
+                                        break;
+                                    }
+                                    Some('<') => self.i = self.skip_delim(self.i, '<', '>'),
+                                    Some('(') => self.i = self.skip_delim(self.i, '(', ')'),
+                                    _ => self.i += 1,
+                                }
+                            }
+                            self.close_pending(pending_test.take(), self.line_at(self.i - 1));
+                            continue;
+                        }
+                        "macro_rules" => {
+                            self.i += 1; // `!` name `{ ... }`
+                            while self.i < self.t.len() && self.punct_at(self.i) != Some('{') {
+                                self.i += 1;
+                            }
+                            self.i = self.skip_delim(self.i, '{', '}');
+                            pending_test = None;
+                            continue;
+                        }
+                        _ => {
+                            self.i += 1;
+                            pending_test = None;
+                            continue;
+                        }
+                    }
+                }
+                Tok::Punct('{') => {
+                    self.i = self.skip_delim(self.i, '{', '}');
+                    pending_test = None;
+                }
+                _ => {
+                    self.i += 1;
+                    pending_test = None;
+                }
+            }
+        }
+    }
+
+    /// Does the attribute body (tokens in `(open..end)`, brackets included)
+    /// gate on `test`? Matches `#[test]` and any `#[cfg(... test ...)]`
+    /// that is not negated (`not(test)` means the opposite).
+    fn attr_is_test(&self, open: usize, end: usize) -> bool {
+        let body: Vec<&str> = self.t[open..end.min(self.t.len())]
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Ident(i) => Some(i.as_str()),
+                _ => None,
+            })
+            .collect();
+        match body.as_slice() {
+            ["test"] => true,
+            _ => body.first() == Some(&"cfg") && body.contains(&"test") && !body.contains(&"not"),
+        }
+    }
+
+    /// Record a `#[cfg(test)]`/`#[test]` subtree's line range.
+    fn close_pending(&mut self, pending: Option<usize>, end_line: usize) {
+        if let Some(start) = pending {
+            self.out.test_ranges.push((start, end_line.max(start)));
+        }
+    }
+
+    fn parse_fn(&mut self, ctx: &Ctx, pending_test: Option<usize>) {
+        self.i += 1; // `fn`
+        let Some(name) = self.ident_at(self.i) else {
+            return;
+        };
+        let name = name.to_string();
+        let line = self.line_at(self.i);
+        self.i += 1;
+        self.i = self.skip_generics(self.i);
+        let mut params = Vec::new();
+        if self.punct_at(self.i) == Some('(') {
+            let close = self.skip_delim(self.i, '(', ')');
+            params = self.parse_params(self.i + 1, close - 1);
+            self.i = close;
+        }
+        // Return type / where clause: scan to the body `{` or decl `;`.
+        // Braces cannot occur inside a type, so the first one is the body.
+        let mut body = None;
+        while self.i < self.t.len() {
+            match self.punct_at(self.i) {
+                Some('{') => {
+                    let close = self.skip_delim(self.i, '{', '}');
+                    body = Some((self.i, close - 1));
+                    self.i = close;
+                    break;
+                }
+                Some(';') => {
+                    self.i += 1;
+                    break;
+                }
+                _ => self.i += 1,
+            }
+        }
+        let end_line = body.map_or(line, |(_, c)| self.line_at(c));
+        self.close_pending(pending_test, end_line);
+        self.out.fns.push(FnItem {
+            name,
+            owner: ctx.owner.clone(),
+            trait_name: ctx.trait_name.clone(),
+            module: ctx.module.clone(),
+            line,
+            params,
+            body,
+            in_test: ctx.in_test || pending_test.is_some(),
+        });
+    }
+
+    /// Split the parameter token range on top-level commas; for each param
+    /// the binding is the last identifier before the top-level `:`.
+    fn parse_params(&self, start: usize, end: usize) -> Vec<Param> {
+        let mut params = Vec::new();
+        let mut i = start;
+        let mut part = Vec::new(); // token indices of the current param
+        let mut flush = |part: &mut Vec<usize>| {
+            if part.is_empty() {
+                return;
+            }
+            let colon = part.iter().position(|&k| self.punct_at(k) == Some(':'));
+            let (name_end, ty_text) = match colon {
+                Some(c) => (
+                    c,
+                    tokens_text(
+                        &part[c + 1..]
+                            .iter()
+                            .map(|&k| self.t[k].clone())
+                            .collect::<Vec<_>>(),
+                    ),
+                ),
+                None => (part.len(), "Self".to_string()), // receiver
+            };
+            let name = part[..name_end]
+                .iter()
+                .rev()
+                .find_map(|&k| self.ident_at(k))
+                .unwrap_or("_")
+                .to_string();
+            params.push(Param { name, ty: ty_text });
+            part.clear();
+        };
+        while i < end.min(self.t.len()) {
+            match self.punct_at(i) {
+                Some(',') => {
+                    flush(&mut part);
+                    i += 1;
+                }
+                Some('(') => {
+                    for k in i..self.skip_delim(i, '(', ')') {
+                        part.push(k);
+                    }
+                    i = self.skip_delim(i, '(', ')');
+                }
+                Some('<') => {
+                    for k in i..self.skip_delim(i, '<', '>') {
+                        part.push(k);
+                    }
+                    i = self.skip_delim(i, '<', '>');
+                }
+                Some('[') => {
+                    for k in i..self.skip_delim(i, '[', ']') {
+                        part.push(k);
+                    }
+                    i = self.skip_delim(i, '[', ']');
+                }
+                _ => {
+                    part.push(i);
+                    i += 1;
+                }
+            }
+        }
+        flush(&mut part);
+        params
+    }
+
+    fn parse_mod(&mut self, ctx: &mut Ctx, pending_test: Option<usize>) {
+        self.i += 1; // `mod`
+        let Some(name) = self.ident_at(self.i) else {
+            return;
+        };
+        let name = name.to_string();
+        self.i += 1;
+        match self.punct_at(self.i) {
+            Some('{') => {
+                let close = self.skip_delim(self.i, '{', '}');
+                self.i += 1; // into the block
+                let mut inner = ctx.clone();
+                inner.module.push(name);
+                inner.in_test = inner.in_test || pending_test.is_some();
+                self.items(&mut inner, true);
+                self.close_pending(pending_test, self.line_at(close - 1));
+            }
+            Some(';') => {
+                self.i += 1;
+                self.close_pending(pending_test, self.line_at(self.i - 1));
+            }
+            _ => {}
+        }
+    }
+
+    /// Last identifier of the path starting at `i` before generics/`for`/
+    /// `{`/`where`; returns (name, index after the path).
+    fn path_tail(&self, mut i: usize) -> (Option<String>, usize) {
+        let mut last = None;
+        loop {
+            // Leading `&`, `mut`, `dyn` in types like `impl Probe for &mut X`.
+            while matches!(self.punct_at(i), Some('&') | Some('*'))
+                || matches!(self.ident_at(i), Some("mut") | Some("dyn"))
+            {
+                i += 1;
+            }
+            match self.t.get(i).map(|s| &s.tok) {
+                Some(Tok::Ident(name)) => {
+                    if matches!(name.as_str(), "for" | "where") {
+                        return (last, i);
+                    }
+                    last = Some(name.clone());
+                    i += 1;
+                    i = self.skip_generics(i);
+                    if matches!(self.t.get(i).map(|s| &s.tok), Some(Tok::PathSep)) {
+                        i += 1;
+                        continue;
+                    }
+                    return (last, i);
+                }
+                Some(Tok::Punct('<')) => {
+                    // `impl<T> ...` generics before the path.
+                    i = self.skip_delim(i, '<', '>');
+                }
+                Some(Tok::Punct('(')) => {
+                    // Tuple/fn-pointer type — no meaningful owner name.
+                    return (last, self.skip_delim(i, '(', ')'));
+                }
+                Some(Tok::Punct('[')) => {
+                    return (last, self.skip_delim(i, '[', ']'));
+                }
+                _ => return (last, i),
+            }
+        }
+    }
+
+    fn parse_impl(&mut self, ctx: &Ctx, pending_test: Option<usize>) {
+        self.i += 1; // `impl`
+        self.i = self.skip_generics(self.i);
+        let (first, after) = self.path_tail(self.i);
+        self.i = after;
+        let (trait_name, owner) = if self.ident_at(self.i) == Some("for") {
+            let (self_ty, after) = self.path_tail(self.i + 1);
+            self.i = after;
+            (first, self_ty)
+        } else {
+            (None, first)
+        };
+        // Skip a where clause: no braces can appear before the block's `{`.
+        while self.i < self.t.len() && self.punct_at(self.i) != Some('{') {
+            if self.punct_at(self.i) == Some('<') {
+                self.i = self.skip_delim(self.i, '<', '>');
+            } else {
+                self.i += 1;
+            }
+        }
+        if self.punct_at(self.i) == Some('{') {
+            let close = self.skip_delim(self.i, '{', '}');
+            self.i += 1;
+            let mut inner = ctx.clone();
+            inner.owner = owner;
+            inner.trait_name = trait_name;
+            inner.in_test = inner.in_test || pending_test.is_some();
+            self.items(&mut inner, true);
+            self.close_pending(pending_test, self.line_at(close - 1));
+        }
+    }
+
+    fn parse_trait(&mut self, ctx: &Ctx, pending_test: Option<usize>) {
+        self.i += 1; // `trait`
+        let Some(name) = self.ident_at(self.i) else {
+            return;
+        };
+        let name = name.to_string();
+        self.i += 1;
+        while self.i < self.t.len()
+            && self.punct_at(self.i) != Some('{')
+            && self.punct_at(self.i) != Some(';')
+        {
+            if self.punct_at(self.i) == Some('<') {
+                self.i = self.skip_delim(self.i, '<', '>');
+            } else {
+                self.i += 1;
+            }
+        }
+        if self.punct_at(self.i) == Some('{') {
+            let close = self.skip_delim(self.i, '{', '}');
+            self.i += 1;
+            let mut inner = ctx.clone();
+            inner.owner = Some(name);
+            inner.trait_name = None;
+            inner.in_test = inner.in_test || pending_test.is_some();
+            self.items(&mut inner, true);
+            self.close_pending(pending_test, self.line_at(close - 1));
+        } else {
+            self.i += 1;
+        }
+    }
+
+    fn parse_use(&mut self, ctx: &Ctx, pending_test: Option<usize>) {
+        self.i += 1; // `use`
+        let end = self.skip_to_semi(self.i);
+        let in_test = ctx.in_test || pending_test.is_some();
+        self.use_tree(self.i, end.saturating_sub(1), &mut Vec::new(), in_test);
+        self.close_pending(pending_test, self.line_at(end.saturating_sub(1)));
+        self.i = end;
+    }
+
+    /// Recursively expand a use tree in `start..end` under `prefix`.
+    fn use_tree(&mut self, start: usize, end: usize, prefix: &mut Vec<String>, in_test: bool) {
+        let depth0 = prefix.len();
+        let mut i = start;
+        let mut last_alias: Option<String> = None;
+        while i < end.min(self.t.len()) {
+            match &self.t[i].tok {
+                Tok::Ident(seg) if seg == "as" => {
+                    if let Some(alias) = self.ident_at(i + 1) {
+                        last_alias = Some(alias.to_string());
+                    }
+                    i += 2;
+                }
+                Tok::Ident(seg) => {
+                    prefix.push(seg.clone());
+                    i += 1;
+                }
+                Tok::PathSep => {
+                    i += 1;
+                }
+                Tok::Punct('{') => {
+                    // Group: recurse per comma-separated element.
+                    let close = self.skip_delim(i, '{', '}') - 1;
+                    let mut part = i + 1;
+                    let mut k = i + 1;
+                    let mut depth = 0usize;
+                    while k <= close.min(self.t.len().saturating_sub(1)) {
+                        match self.punct_at(k) {
+                            Some('{') => depth += 1,
+                            Some('}') if depth > 0 => depth -= 1,
+                            Some('}') => {
+                                self.use_tree(part, k, &mut prefix.clone(), in_test);
+                                break;
+                            }
+                            Some(',') if depth == 0 => {
+                                self.use_tree(part, k, &mut prefix.clone(), in_test);
+                                part = k + 1;
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                    prefix.truncate(depth0);
+                    return;
+                }
+                Tok::Punct('*') => {
+                    self.out.uses.push(UseItem {
+                        name: "*".to_string(),
+                        path: prefix.clone(),
+                        in_test,
+                    });
+                    prefix.truncate(depth0);
+                    return;
+                }
+                _ => {
+                    i += 1;
+                }
+            }
+        }
+        if prefix.len() > depth0 || last_alias.is_some() {
+            let name = last_alias
+                .or_else(|| prefix.last().cloned())
+                .unwrap_or_default();
+            if !name.is_empty() {
+                self.out.uses.push(UseItem {
+                    name,
+                    path: prefix.clone(),
+                    in_test,
+                });
+            }
+        }
+        prefix.truncate(depth0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn tree(src: &str) -> ItemTree {
+        parse(&lex(src))
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_indexed_with_owners() {
+        let t = tree(
+            "fn free(a: u64, b: &str) -> u64 { a }\n\
+             impl ClusterExec { fn run(&mut self, phase: Phase) -> f64 { 0.0 } }\n\
+             impl Probe for TimelineProbe { fn on_event(&mut self, ev: &ProbeEvent) {} }\n",
+        );
+        assert_eq!(t.fns.len(), 3);
+        assert_eq!(t.fns[0].name, "free");
+        assert_eq!(t.fns[0].owner, None);
+        assert_eq!(
+            t.fns[0]
+                .params
+                .iter()
+                .map(|p| p.name.as_str())
+                .collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert_eq!(t.fns[1].owner.as_deref(), Some("ClusterExec"));
+        assert_eq!(t.fns[1].params[0].name, "self");
+        assert_eq!(t.fns[2].owner.as_deref(), Some("TimelineProbe"));
+        assert_eq!(t.fns[2].trait_name.as_deref(), Some("Probe"));
+    }
+
+    #[test]
+    fn nested_modules_give_module_paths() {
+        let t = tree("mod a { mod b { fn deep() {} } fn mid() {} } fn top() {}");
+        let by_name = |n: &str| t.fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("deep").module, ["a", "b"]);
+        assert_eq!(by_name("mid").module, ["a"]);
+        assert!(by_name("top").module.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_subtree_is_marked_and_bounded() {
+        let src = "\
+fn lib() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+fn after_tests() {}
+";
+        let t = tree(src);
+        let by_name = |n: &str| t.fns.iter().find(|f| f.name == n).unwrap();
+        assert!(!by_name("lib").in_test);
+        assert!(by_name("helper").in_test);
+        // The item *after* the test module is NOT in the subtree — the old
+        // "everything after the first #[cfg(test)]" heuristic got this wrong.
+        assert!(!by_name("after_tests").in_test);
+        assert_eq!(t.test_ranges, vec![(2, 5)]);
+        assert!(t.line_in_test(4));
+        assert!(!t.line_in_test(6));
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fn() {
+        let t = tree("#[test]\nfn a_test() {}\nfn real() {}");
+        assert!(t.fns[0].in_test);
+        assert!(!t.fns[1].in_test);
+        // cfg(not(test)) is the opposite of a test gate.
+        let t2 = tree("#[cfg(not(test))]\nfn gated() {}");
+        assert!(!t2.fns[0].in_test);
+    }
+
+    #[test]
+    fn use_aliases_groups_and_globs() {
+        let t = tree(
+            "use storage::text::decode;\n\
+             use cluster::exec as substrate;\n\
+             use simkit::{secs, Sim as Kernel, probe::ProbeEvent};\n\
+             use relational::ops::*;\n",
+        );
+        let find = |n: &str| t.uses.iter().find(|u| u.name == n).unwrap();
+        assert_eq!(find("decode").path, ["storage", "text", "decode"]);
+        assert_eq!(find("substrate").path, ["cluster", "exec"]);
+        assert_eq!(find("secs").path, ["simkit", "secs"]);
+        assert_eq!(find("Kernel").path, ["simkit", "Sim"]);
+        assert_eq!(find("ProbeEvent").path, ["simkit", "probe", "ProbeEvent"]);
+        assert_eq!(find("*").path, ["relational", "ops"]);
+    }
+
+    #[test]
+    fn consts_are_recorded_and_bodies_are_ranges() {
+        let t = tree("const SCENARIO_SEED: u64 = 42;\nfn f() { let x = [1; 3]; }\n");
+        assert_eq!(t.consts.len(), 1);
+        assert_eq!(t.consts[0].name, "SCENARIO_SEED");
+        let body = t.fns[0].body.unwrap();
+        assert!(body.0 < body.1);
+    }
+
+    #[test]
+    fn generics_where_clauses_and_return_types_do_not_confuse_bodies() {
+        let t = tree(
+            "fn g<T: Iterator<Item = u8>>(it: T) -> Vec<u8>\n\
+             where T: Clone { it.collect() }\n\
+             fn h() -> impl Fn(u8) -> u8 { |x| x }\n",
+        );
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[0].name, "g");
+        assert_eq!(t.fns[0].params.len(), 1);
+        assert_eq!(t.fns[1].name, "h");
+        assert!(t.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn trait_decl_methods_carry_the_trait_as_owner() {
+        let t = tree("trait Probe { fn on_event(&mut self, ev: &ProbeEvent); fn noop() {} }");
+        assert_eq!(t.fns.len(), 2);
+        assert_eq!(t.fns[0].owner.as_deref(), Some("Probe"));
+        assert!(t.fns[0].body.is_none(), "declaration has no body");
+        assert!(t.fns[1].body.is_some(), "default body recorded");
+    }
+}

@@ -1,0 +1,9 @@
+//! The laundering regression `exec-substrate-only` cannot catch: no banned
+//! token appears anywhere in this file — the acquisition happens two hops
+//! away, in a helper crate the token rule does not scope.
+
+use util::spill_partition;
+
+pub fn run_join(sim: &mut Sim, part: &Partition) {
+    spill_partition(sim, part);
+}

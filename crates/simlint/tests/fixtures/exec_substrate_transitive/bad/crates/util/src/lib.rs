@@ -1,0 +1,9 @@
+//! Helper crate acquiring simkit resources on the engine's behalf.
+
+pub fn spill_partition(sim: &mut Sim, part: &Partition) {
+    write_run(sim, part);
+}
+
+fn write_run(sim: &mut Sim, part: &Partition) {
+    sim.request(DISK, part.bytes, Box::new(|_| {}));
+}

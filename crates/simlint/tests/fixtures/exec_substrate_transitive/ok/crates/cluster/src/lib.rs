@@ -1,0 +1,5 @@
+//! The trusted substrate: resource acquisition lives here by design.
+
+pub fn run_phase(sim: &mut Sim, spec: &JobSpec) {
+    sim.request(DISK, spec.bytes, Box::new(|_| {}));
+}

@@ -1,0 +1,8 @@
+//! The sanctioned shape: the engine books all time through the trusted
+//! substrate (`crates/cluster`), which owns the simkit acquisitions.
+
+use cluster::run_phase;
+
+pub fn run_join(sim: &mut Sim, spec: &JobSpec) {
+    run_phase(sim, spec);
+}

@@ -1,0 +1,19 @@
+//! Positive fixture: f64/f32 accumulation while iterating unordered
+//! containers — the sum's low bits depend on iteration order. Two
+//! violations: the `+=` over the map and the rebind form over the set.
+
+pub fn mean_latency(samples: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in samples {
+        total += v;
+    }
+    total / samples.len() as f64
+}
+
+pub fn joint_prob(weights: &HashSet<u32>) -> f32 {
+    let mut prod = 1.0f32;
+    for w in weights.iter() {
+        prod = prod * decode(w);
+    }
+    prod
+}

@@ -1,0 +1,28 @@
+//! Negative fixture: ordered sources (Vec, sorted view of a map) and
+//! order-insensitive integer accumulation over an unordered source.
+
+pub fn mean_latency(samples: &Vec<f64>) -> f64 {
+    let mut total = 0.0;
+    for v in samples {
+        total += v;
+    }
+    total / samples.len() as f64
+}
+
+pub fn mean_sorted(samples: &HashMap<u64, f64>) -> f64 {
+    let mut keys: Vec<&u64> = samples.keys().collect();
+    keys.sort();
+    let mut total = 0.0;
+    for k in keys.iter().collect::<Vec<_>>() {
+        total += samples[k];
+    }
+    total / samples.len() as f64
+}
+
+pub fn row_count(parts: &HashMap<u64, u64>) -> u64 {
+    let mut n = 0;
+    for (_, c) in parts {
+        n += c;
+    }
+    n
+}

@@ -1,0 +1,12 @@
+//! Positive fixture for the interleave check: the `acquire_write` lands
+//! between `acquire_read` and `release_read` — the writer queues behind
+//! the read lock the continuation still holds (read-to-write upgrade
+//! deadlock). Per-kind tracking alone cannot see this.
+
+pub fn upgrade_in_place(l: &mut Lock, s: &mut Sim) {
+    l.acquire_read(s, |s| {
+        l.acquire_write(s, cont_w);
+        l.release_read(s);
+    });
+    l.release_write(s);
+}

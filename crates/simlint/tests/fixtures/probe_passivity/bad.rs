@@ -1,0 +1,16 @@
+//! Positive fixture: probe-side code mutating the simulation, directly and
+//! through a helper chain. Three violations: `fold_depth` (direct),
+//! `fold_window` (reaches `schedule_in` via `refresh`), and `refresh`
+//! itself (direct site, also a root because it lives in the probe scope).
+
+pub fn fold_depth(sim: &mut Sim, ev: &ProbeEvent) {
+    sim.schedule_at(ev.t, Event::Tick);
+}
+
+pub fn fold_window(sim: &mut Sim) {
+    refresh(sim);
+}
+
+fn refresh(sim: &mut Sim) {
+    sim.schedule_in(1, Event::Refresh);
+}

@@ -1,0 +1,17 @@
+//! Negative fixture: passive folds read the event stream and accumulate
+//! into their own state; a `Probe` handler that only counts is fine.
+
+pub fn fold_depth(acc: &mut Vec<usize>, ev: &ProbeEvent) {
+    acc.push(ev.queue_depth);
+}
+
+pub fn fold_window(acc: &[f64]) -> f64 {
+    acc.iter().copied().fold(0.0, f64::max)
+}
+
+impl Probe for DepthProbe {
+    fn on_event(&mut self, ev: &ProbeEvent) {
+        self.seen += 1;
+        self.max_depth = self.max_depth.max(ev.queue_depth);
+    }
+}

@@ -1,0 +1,13 @@
+//! Positive fixture: seeds that bottom out in inline literals — a hidden
+//! scenario input no config or CLI flag can vary. Two violations: the
+//! direct literal and the laundered `let` chain.
+
+pub fn adhoc() -> StdRng {
+    StdRng::seed_from_u64(42)
+}
+
+pub fn laundered() -> StdRng {
+    let base = 17;
+    let seed = base * 2 + 1;
+    StdRng::seed_from_u64(seed as u64)
+}

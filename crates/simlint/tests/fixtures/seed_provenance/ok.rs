@@ -1,0 +1,23 @@
+//! Negative fixture: sanctioned seed provenance — a parameter, a named
+//! scenario constant, a config field, and a stream derived from a
+//! parameter. Unknown provenance never fires (the rule proves laundering,
+//! it does not guess).
+
+const SCENARIO_SEED: u64 = 7;
+
+pub fn from_param(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn from_const() -> StdRng {
+    StdRng::seed_from_u64(SCENARIO_SEED)
+}
+
+pub fn from_config(cfg: &RunConfig) -> StdRng {
+    StdRng::seed_from_u64(cfg.seed)
+}
+
+pub fn worker_stream(seed: u64, worker: u64) -> StdRng {
+    let derived = seed * 1000 + worker;
+    StdRng::seed_from_u64(derived)
+}

@@ -23,3 +23,23 @@ pub fn private_contention(sim: &mut Sim<()>) {
     let disk = sim.add_resource("disk", 1);
     sim.request(disk, secs(1.0), Box::new(|_| {}));
 }
+
+pub fn laundered_contention(sim: &mut Sim<()>) {
+    private_contention(sim);
+}
+
+pub fn probe_fold(sim: &mut Sim<()>) {
+    sim.schedule_at(secs(1.0), Event::Tick);
+}
+
+pub fn unstable_sum(m: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_, v) in m {
+        total += v;
+    }
+    total
+}
+
+pub fn adhoc_rng() -> StdRng {
+    StdRng::seed_from_u64(1234)
+}

@@ -13,8 +13,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== simlint"
 # The determinism lint must pass on the tree...
 cargo run -q -p simlint
-# ...and must still *bite*: a deliberately seeded violation tree has to make
-# it exit nonzero, or the gate above is vacuous.
+# ...every inline suppression must still suppress something (a stale allow
+# is dead policy and rots silently otherwise)...
+cargo run -q -p simlint -- --list-allows --strict >/dev/null
+# ...and the gate must still *bite*: a deliberately seeded violation tree
+# has to make it exit nonzero, or the gates above are vacuous.
 if cargo run -q -p simlint -- --root crates/simlint/tests/fixtures/selftest \
     >/dev/null 2>&1; then
   echo "simlint self-test FAILED: expected violations in the selftest tree" >&2

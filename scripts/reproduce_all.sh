@@ -34,4 +34,6 @@ echo "== concurrent_mix (admission-scheduled mix + measured-wait feedback)"
 cargo run --release -p bench --bin concurrent_mix > results/concurrent_mix.txt
 echo "== bench_scan (REAL wall-clock decode throughput — host-dependent, not diff-gated)"
 cargo run --release -p bench --bin bench_scan > results/BENCH_scan.json
+echo "== bench_simlint (REAL wall-clock lint speed over the workspace — host-dependent, not diff-gated)"
+cargo run --release -p bench --bin bench_simlint > results/BENCH_simlint.json
 echo "done — see results/ and EXPERIMENTS.md"
