@@ -1,0 +1,518 @@
+//! Kernel perf-trajectory harness: REAL wall-clock event throughput of
+//! the simulation kernel itself, measured against the preserved
+//! pre-rework kernel (`bench::legacy`) on the same host in the same
+//! process. Output is JSON on stdout (committed as
+//! `results/BENCH_kernel.json`, schema-gated but not byte-diff gated:
+//! timings are host-dependent by design — see PERFORMANCE.md for how to
+//! read the trajectory).
+//!
+//! Sections of the artifact:
+//!   * `workloads` — synthetic kernel stress runs executed on all three
+//!     scheduling stacks: the legacy heap kernel (baseline), and the
+//!     current kernel under its calendar-queue and binary-heap backends.
+//!     `timers` holds a large pending population (the regime where the
+//!     legacy heap's O(log n) sifts over fat boxed nodes hurt most);
+//!     `queueing` is a closed queueing network hammering the resource
+//!     grant/completion path (where the legacy double-Box lived).
+//!   * `headline` — the acceptance number: current-kernel default backend
+//!     vs legacy, both events/sec recorded.
+//!   * `engine_points` — the same kernel doing real work: a PDW TPC-H Q5
+//!     phase replay on `ClusterExec` and a YCSB workload-A serving run.
+//!     These are the numbers to watch across PRs.
+//!   * `fanout` — the parallel sweep runner over per-seed replicas
+//!     (serial vs parallel wall-clock; identical results asserted).
+//!
+//! `--smoke` shrinks every dimension for CI; `--iters N` sets the
+//! best-of-N repeat count (default 3).
+
+use std::rc::Rc;
+use std::time::Instant;
+
+use bench::{fanout, legacy, meta};
+use cluster::{ClusterExec, Params};
+use docstore::{MongoCluster, Sharding};
+use elephants_core::serving::ServingConfig;
+use pdw::{load_pdw, PdwEngine};
+use simkit::{SchedulerKind, Sim};
+use tpch::{generate, GenConfig};
+use ycsb::driver::{run_workload, RunConfig};
+use ycsb::workload::Workload;
+
+/// World state shared by the synthetic workloads on every kernel.
+struct World {
+    fired: u64,
+    reschedules_left: u64,
+}
+
+/// A boxed event closure for kernel `K` (both kernels box identically).
+type Ev<K> = Box<dyn FnOnce(&mut K, &mut World)>;
+
+/// The kernel surface the synthetic workloads need. Implemented by the
+/// current simkit kernel and by the preserved legacy baseline, so one
+/// workload definition drives both and the comparison cannot drift.
+trait Kernel: Sized + 'static {
+    type Res: Copy + 'static;
+    fn after_boxed(&mut self, delay: u64, f: Ev<Self>);
+    fn add_server_pool(&mut self, servers: u32) -> Self::Res;
+    fn request(&mut self, r: Self::Res, service: u64, done: Ev<Self>);
+    fn drain(&mut self, w: &mut World) -> u64;
+    fn events_executed(&self) -> u64;
+}
+
+impl Kernel for legacy::Sim<World> {
+    type Res = legacy::ResourceId;
+    fn after_boxed(&mut self, delay: u64, f: Ev<Self>) {
+        self.schedule_in(delay, f);
+    }
+    fn add_server_pool(&mut self, servers: u32) -> Self::Res {
+        self.add_resource(servers)
+    }
+    fn request(&mut self, r: Self::Res, service: u64, done: Ev<Self>) {
+        legacy::Sim::request(self, r, service, done);
+    }
+    fn drain(&mut self, w: &mut World) -> u64 {
+        self.run(w)
+    }
+    fn events_executed(&self) -> u64 {
+        legacy::Sim::events_executed(self)
+    }
+}
+
+impl Kernel for Sim<World> {
+    type Res = simkit::ResourceId;
+    fn after_boxed(&mut self, delay: u64, f: Ev<Self>) {
+        self.schedule_in(delay, f);
+    }
+    fn add_server_pool(&mut self, servers: u32) -> Self::Res {
+        self.add_resource("pool", servers)
+    }
+    fn request(&mut self, r: Self::Res, service: u64, done: Ev<Self>) {
+        Sim::request(self, r, service, done);
+    }
+    fn drain(&mut self, w: &mut World) -> u64 {
+        self.run(w)
+    }
+    fn events_executed(&self) -> u64 {
+        Sim::events_executed(self)
+    }
+}
+
+/// splitmix64 finalizer: deterministic integer mixing in place of an RNG
+/// (no random stream, so nothing to seed — every run is identical).
+#[inline]
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// One self-rescheduling timer: fires, then reschedules itself with a new
+/// pseudo-random delay while the shared budget lasts. Keeps the pending
+/// population near-constant until the tail drains.
+fn tick<K: Kernel>(sim: &mut K, id: u64, round: u64) {
+    let delay = mix(id.wrapping_mul(0x0100_0000_01B3).wrapping_add(round)) % 1_000_000 + 1;
+    sim.after_boxed(
+        delay,
+        Box::new(move |s, w| {
+            w.fired += 1;
+            if w.reschedules_left > 0 {
+                w.reschedules_left -= 1;
+                tick(s, id, round + 1);
+            }
+        }),
+    );
+}
+
+/// Pure dequeue stress: bulk-inject a pre-generated arrival trace of
+/// `total` one-shot events (untimed — trace replay injects up front),
+/// then time draining it. This isolates the scheduler's pop path, the
+/// part the rework replaced: the legacy heap pays an O(log n) sift-down
+/// over 32-byte boxed nodes per event (cold cache lines at this
+/// population), the calendar queue an O(1) short-bucket scan.
+fn run_drain<K: Kernel>(mut sim: K, total: u64) -> (u64, f64) {
+    let mut w = World {
+        fired: 0,
+        reschedules_left: 0,
+    };
+    // ~500 ns mean spacing: a dense arrival trace spanning total/2 µs.
+    let span = total.saturating_mul(500);
+    for id in 0..total {
+        let at = mix(id) % span + 1;
+        sim.after_boxed(at, Box::new(move |_s, w| w.fired += 1));
+    }
+    let t0 = Instant::now();
+    sim.drain(&mut w);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(w.fired, total, "every injected arrival must fire");
+    assert_eq!(sim.events_executed(), total);
+    (total, secs)
+}
+
+/// Timer stress: `pending` concurrent timers, `total` events overall.
+/// Returns (events executed, wall-clock seconds including scheduling).
+fn run_timers<K: Kernel>(mut sim: K, pending: u64, total: u64) -> (u64, f64) {
+    let mut w = World {
+        fired: 0,
+        reschedules_left: total.saturating_sub(pending),
+    };
+    let t0 = Instant::now();
+    for id in 0..pending {
+        tick(&mut sim, id, 0);
+    }
+    sim.drain(&mut w);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(w.fired, total, "timer budget must be fully consumed");
+    assert_eq!(sim.events_executed(), total);
+    (total, secs)
+}
+
+/// One customer hop in the closed queueing network: request a
+/// pseudo-random pool for a pseudo-random service time, and on completion
+/// hop again while the shared budget lasts.
+fn hop<K: Kernel>(sim: &mut K, pools: Rc<Vec<K::Res>>, customer: u64, round: u64) {
+    let h = mix(customer
+        .wrapping_mul(0x0000_0100_0000_01B3)
+        .wrapping_add(round));
+    let r = pools[(h as usize) % pools.len()];
+    let service = (h >> 32) % 9_900 + 100;
+    sim.request(
+        r,
+        service,
+        Box::new(move |s, w| {
+            w.fired += 1;
+            if w.reschedules_left > 0 {
+                w.reschedules_left -= 1;
+                hop(s, pools, customer, round + 1);
+            }
+        }),
+    );
+}
+
+/// Closed queueing network: `customers` customers cycling over `pools`
+/// 4-server pools until `total` completions have fired. Hammers the
+/// grant/completion path.
+fn run_queueing<K: Kernel>(mut sim: K, customers: u64, pools: usize, total: u64) -> (u64, f64) {
+    let pools: Rc<Vec<K::Res>> = Rc::new((0..pools).map(|_| sim.add_server_pool(4)).collect());
+    let mut w = World {
+        fired: 0,
+        reschedules_left: total.saturating_sub(customers),
+    };
+    let t0 = Instant::now();
+    for c in 0..customers {
+        hop(&mut sim, Rc::clone(&pools), c, 0);
+    }
+    sim.drain(&mut w);
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(w.fired, total, "queueing budget must be fully consumed");
+    (sim.events_executed(), secs)
+}
+
+/// Best-of-N wall-clock over a workload closure returning (events, secs).
+fn best_of(iters: usize, f: impl Fn() -> (u64, f64)) -> (u64, f64) {
+    let mut best = f64::INFINITY;
+    let mut events = 0;
+    for _ in 0..iters.max(1) {
+        let (e, s) = f();
+        events = e;
+        best = best.min(s);
+    }
+    (events, best)
+}
+
+/// PDW TPC-H Q5 phase replay: record the resolved plan once, then replay
+/// its phases on a fresh `ClusterExec` per iteration. This is the kernel
+/// doing engine-grade work — phase barriers, per-node disk/CPU/NIC
+/// requests — rather than synthetic ticks.
+fn pdw_q5_point(sf: f64, paper: f64, iters: usize) -> (u64, f64) {
+    let cat = generate(&GenConfig::new(sf));
+    let params = Params::paper_dss().scaled(paper / sf);
+    let (pdwcat, _) = load_pdw(&cat, &params);
+    let engine = PdwEngine::new(pdwcat);
+    let (_, phases) = engine.run_query_recorded(&tpch::query(5));
+    best_of(iters, || {
+        let mut exec = ClusterExec::new(Params::paper_dss().scaled(paper / sf));
+        let t0 = Instant::now();
+        for ph in &phases {
+            exec.run(ph.clone());
+        }
+        (exec.events_executed(), t0.elapsed().as_secs_f64())
+    })
+}
+
+/// YCSB workload-A serving run on a sharded Mongo cluster: the serving
+/// side's open-loop arrival stream is the other engine-grade shape (many
+/// small events, deep timer population).
+fn ycsb_point(measure_secs: f64, iters: usize) -> (u64, f64) {
+    let cfg = ServingConfig::default();
+    best_of(iters, || {
+        let params = cfg.params();
+        let mut sim: Sim<()> = Sim::new();
+        let m = MongoCluster::build(&mut sim, &params, Sharding::Hash);
+        m.load(cfg.n_records());
+        let rc = RunConfig {
+            target_ops_per_sec: 20_000.0,
+            threads: cfg.threads,
+            warmup_secs: cfg.warmup_secs.min(measure_secs),
+            measure_secs,
+            seed: cfg.seed,
+            n_records: cfg.n_records(),
+            max_scan_len: 1000,
+        };
+        let t0 = Instant::now();
+        run_workload(&mut sim, m, Workload::A, &rc);
+        (sim.events_executed(), t0.elapsed().as_secs_f64())
+    })
+}
+
+/// Fan-out demo: the same per-seed timer replica sweep run serially and
+/// through the parallel runner; asserts the results are identical, so the
+/// artifact records measured proof that parallelism changes wall-clock
+/// only.
+fn fanout_section(jobs: usize, pending: u64, total: u64) -> (usize, usize, f64, f64) {
+    let make_jobs = || -> Vec<Box<dyn FnOnce() -> (u64, f64) + Send>> {
+        (0..jobs as u64)
+            .map(|seed| {
+                let f: Box<dyn FnOnce() -> (u64, f64) + Send> = Box::new(move || {
+                    run_timers(
+                        Sim::<World>::with_scheduler(SchedulerKind::Calendar),
+                        pending + seed, // vary the replica shape a little
+                        total,
+                    )
+                });
+                f
+            })
+            .collect()
+    };
+    let threads = fanout::default_threads();
+    let t0 = Instant::now();
+    let serial = fanout::run_with_threads(make_jobs(), 1);
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let parallel = fanout::run_with_threads(make_jobs(), threads);
+    let parallel_secs = t0.elapsed().as_secs_f64();
+    let ev = |r: &[(u64, f64)]| -> Vec<u64> { r.iter().map(|(e, _)| *e).collect() };
+    assert_eq!(
+        ev(&serial),
+        ev(&parallel),
+        "fan-out must not change results"
+    );
+    (jobs, threads, serial_secs, parallel_secs)
+}
+
+struct KernelRow {
+    kernel: &'static str,
+    events: u64,
+    secs: f64,
+}
+
+impl KernelRow {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.secs
+    }
+}
+
+fn print_workload(name: &str, note: &str, rows: &[KernelRow], last: bool) {
+    println!("    {{");
+    println!("      \"name\": \"{name}\",");
+    println!("      \"note\": \"{note}\",");
+    println!("      \"kernels\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        println!(
+            "        {{ \"kernel\": \"{}\", \"events\": {}, \"secs\": {:.4}, \
+             \"events_per_sec\": {:.0} }}{comma}",
+            r.kernel,
+            r.events,
+            r.secs,
+            r.events_per_sec()
+        );
+    }
+    println!("      ],");
+    let legacy_eps = rows[0].events_per_sec();
+    let calendar_eps = rows[1].events_per_sec();
+    println!(
+        "      \"speedup_calendar_vs_legacy\": {:.2}",
+        calendar_eps / legacy_eps
+    );
+    println!("    }}{}", if last { "" } else { "," });
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = bench::has_flag(&args, "--smoke");
+    let iters = bench::arg_usize(&args, "--iters", if smoke { 1 } else { 3 });
+
+    // Workload dimensions: the timer population is the headline regime
+    // (large pending set → deep heap), sized well past L2 so node
+    // locality matters; totals keep full runs under a minute per kernel.
+    let (t_pending, t_total) = if smoke {
+        (2_048, 50_000)
+    } else {
+        (131_072, 2_000_000)
+    };
+    let t_pending = bench::arg_usize(&args, "--pending", t_pending as usize) as u64;
+    let t_total = bench::arg_usize(&args, "--events", t_total as usize) as u64;
+    let (q_customers, q_pools, q_total) = if smoke {
+        (200, 8, 20_000)
+    } else {
+        (2_000, 16, 1_000_000)
+    };
+    let d_total = if smoke { 16_384 } else { 4_000_000 };
+    let d_total = bench::arg_usize(&args, "--drain-events", d_total as usize) as u64;
+
+    let row = |kernel, (events, secs)| KernelRow {
+        kernel,
+        events,
+        secs,
+    };
+    let drain = vec![
+        row(
+            "legacy_heap",
+            best_of(iters, || run_drain(legacy::Sim::new(), d_total)),
+        ),
+        row(
+            "calendar",
+            best_of(iters, || {
+                run_drain(Sim::with_scheduler(SchedulerKind::Calendar), d_total)
+            }),
+        ),
+        row(
+            "heap",
+            best_of(iters, || {
+                run_drain(Sim::with_scheduler(SchedulerKind::Heap), d_total)
+            }),
+        ),
+    ];
+    let timers = vec![
+        row(
+            "legacy_heap",
+            best_of(iters, || run_timers(legacy::Sim::new(), t_pending, t_total)),
+        ),
+        row(
+            "calendar",
+            best_of(iters, || {
+                run_timers(
+                    Sim::with_scheduler(SchedulerKind::Calendar),
+                    t_pending,
+                    t_total,
+                )
+            }),
+        ),
+        row(
+            "heap",
+            best_of(iters, || {
+                run_timers(Sim::with_scheduler(SchedulerKind::Heap), t_pending, t_total)
+            }),
+        ),
+    ];
+    let queueing = vec![
+        row(
+            "legacy_heap",
+            best_of(iters, || {
+                run_queueing(legacy::Sim::new(), q_customers, q_pools, q_total)
+            }),
+        ),
+        row(
+            "calendar",
+            best_of(iters, || {
+                run_queueing(
+                    Sim::with_scheduler(SchedulerKind::Calendar),
+                    q_customers,
+                    q_pools,
+                    q_total,
+                )
+            }),
+        ),
+        row(
+            "heap",
+            best_of(iters, || {
+                run_queueing(
+                    Sim::with_scheduler(SchedulerKind::Heap),
+                    q_customers,
+                    q_pools,
+                    q_total,
+                )
+            }),
+        ),
+    ];
+
+    // Engine-grade trajectory points on the default (calendar) backend.
+    let (pdw_events, pdw_secs) = if smoke {
+        pdw_q5_point(0.01, 250.0, 1)
+    } else {
+        pdw_q5_point(0.02, 1000.0, iters)
+    };
+    let (ycsb_events, ycsb_secs) = ycsb_point(if smoke { 2.0 } else { 30.0 }, iters);
+
+    let (fo_jobs, fo_threads, fo_serial, fo_parallel) = if smoke {
+        fanout_section(4, 1_024, 10_000)
+    } else {
+        fanout_section(8, 16_384, 200_000)
+    };
+
+    // ---- JSON artifact --------------------------------------------------
+    println!("{{");
+    println!("  \"bench\": \"kernel\",");
+    println!("  \"smoke\": {smoke},");
+    println!("{},", meta::machine_json("  "));
+    println!(
+        "{},",
+        meta::config_json("  ", iters, "best_of_n_wall_clock")
+    );
+    println!("  \"workloads\": [");
+    print_workload(
+        "drain",
+        &format!(
+            "pre-injected arrival trace, {d_total} events; timed region is the drain loop only"
+        ),
+        &drain,
+        false,
+    );
+    print_workload(
+        "timers",
+        &format!("{t_pending} pending self-rescheduling timers, {t_total} events"),
+        &timers,
+        false,
+    );
+    print_workload(
+        "queueing",
+        &format!(
+            "closed network: {q_customers} customers over {q_pools} 4-server pools, {q_total} completions"
+        ),
+        &queueing,
+        true,
+    );
+    println!("  ],");
+    let baseline_eps = drain[0].events_per_sec();
+    let new_eps = drain[1].events_per_sec();
+    println!("  \"headline\": {{");
+    println!("    \"workload\": \"drain\",");
+    println!("    \"baseline_kernel\": \"legacy_heap\",");
+    println!("    \"baseline_events_per_sec\": {baseline_eps:.0},");
+    println!("    \"new_kernel\": \"calendar\",");
+    println!("    \"new_events_per_sec\": {new_eps:.0},");
+    println!("    \"speedup\": {:.2}", new_eps / baseline_eps);
+    println!("  }},");
+    println!("  \"engine_points\": [");
+    println!(
+        "    {{ \"name\": \"pdw_q5_phase_replay\", \"events\": {pdw_events}, \"secs\": {pdw_secs:.4}, \
+         \"events_per_sec\": {:.0} }},",
+        pdw_events as f64 / pdw_secs
+    );
+    println!(
+        "    {{ \"name\": \"ycsb_workload_a\", \"events\": {ycsb_events}, \"secs\": {ycsb_secs:.4}, \
+         \"events_per_sec\": {:.0} }}",
+        ycsb_events as f64 / ycsb_secs
+    );
+    println!("  ],");
+    println!("  \"fanout\": {{");
+    println!("    \"jobs\": {fo_jobs},");
+    println!("    \"threads\": {fo_threads},");
+    println!("    \"serial_secs\": {fo_serial:.4},");
+    println!("    \"parallel_secs\": {fo_parallel:.4}");
+    println!("  }}");
+    println!("}}");
+}

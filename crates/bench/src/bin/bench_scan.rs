@@ -44,6 +44,11 @@ fn main() {
 
     println!("{{");
     println!("  \"bench\": \"scan_decode\",");
+    println!("{},", bench::meta::machine_json("  "));
+    println!(
+        "{},",
+        bench::meta::config_json("  ", iters, "best_of_n_wall_clock")
+    );
     println!("  \"table\": \"lineitem\",");
     println!("  \"sf\": {sf},");
     println!("  \"rows\": {},", rows.len());

@@ -86,6 +86,11 @@ fn main() {
     let lines_per_sec = lines as f64 / best;
     println!("{{");
     println!("  \"bench\": \"simlint_workspace\",");
+    println!("{},", bench::meta::machine_json("  "));
+    println!(
+        "{},",
+        bench::meta::config_json("  ", iters, "best_of_n_wall_clock")
+    );
     println!("  \"files\": {files},");
     println!("  \"lines\": {lines},");
     println!("  \"fns\": {fns},");

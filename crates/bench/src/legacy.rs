@@ -1,0 +1,272 @@
+//! The pre-rework simkit kernel, preserved as a live benchmark baseline.
+//!
+//! `bench_kernel` reports a *measured* speedup, not one transcribed from an
+//! old lab notebook: both kernels run on the same host, same build, same
+//! workload, in the same process. That requires the old kernel's hot paths
+//! to still exist somewhere compilable. This module is that somewhere — a
+//! faithful copy of `simkit::Sim` as it stood before the calendar-queue /
+//! arena / batched-grant rework, trimmed to the surface the benchmark
+//! workloads exercise:
+//!
+//! * **binary-heap event queue** whose nodes carry the boxed event inline
+//!   (`Scheduled { Reverse<Key>, Box<dyn FnOnce> }`) — every sift moves
+//!   32-byte nodes and every schedule heap-allocates;
+//! * **per-grant closure re-dispatch**: a resource completion is a *second*
+//!   boxed closure wrapping the caller's `done` box (the "double Box"),
+//!   and each completion re-enters `begin_service` once;
+//! * the same k-server FIFO `ResourceState` algorithm the current kernel
+//!   uses (that file was not changed by the rework), so the two kernels
+//!   differ only in the scheduling machinery being measured.
+//!
+//! Nothing outside `crates/bench` may depend on this module; the
+//! `exec-substrate-only` lint keeps engine code on the real kernel.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Virtual time in nanoseconds (mirrors `simkit::SimTime`).
+pub type SimTime = u64;
+
+/// A scheduled action (mirrors `simkit::Event`).
+pub type Event<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+
+/// Handle to a registered resource.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ResourceId(usize);
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    at: SimTime,
+    seq: u64,
+}
+
+struct Scheduled<W> {
+    key: Reverse<Key>,
+    event: Event<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+struct Pending<W> {
+    enqueued_at: SimTime,
+    service: SimTime,
+    done: Event<W>,
+}
+
+/// The old kernel's `ResourceState`, untagged-request subset (the
+/// benchmark workloads issue only untagged requests, whose dispatch path
+/// is identical in both kernels' resource layer).
+struct ResourceState<W> {
+    servers: u32,
+    busy: u32,
+    queue: VecDeque<Pending<W>>,
+    completions: u64,
+    total_queue_wait: SimTime,
+}
+
+impl<W> ResourceState<W> {
+    fn enqueue(&mut self, now: SimTime, service: SimTime, done: Event<W>) -> bool {
+        self.queue.push_back(Pending {
+            enqueued_at: now,
+            service,
+            done,
+        });
+        self.busy < self.servers
+    }
+
+    fn start_next(&mut self, now: SimTime) -> Option<(SimTime, SimTime, Event<W>)> {
+        if self.busy >= self.servers {
+            return None;
+        }
+        let p = self.queue.pop_front()?;
+        self.busy += 1;
+        let wait = now - p.enqueued_at;
+        self.total_queue_wait += wait;
+        Some((p.service, wait, p.done))
+    }
+
+    fn finish_one(&mut self) -> bool {
+        debug_assert!(self.busy > 0);
+        self.busy -= 1;
+        self.completions += 1;
+        !self.queue.is_empty()
+    }
+}
+
+/// The pre-rework discrete-event simulator (benchmark baseline).
+pub struct Sim<W> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Scheduled<W>>,
+    resources: Vec<ResourceState<W>>,
+    executed: u64,
+}
+
+impl<W: 'static> Default for Sim<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<W: 'static> Sim<W> {
+    pub fn new() -> Self {
+        Sim {
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            resources: Vec::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Kernel events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Schedule `event` at absolute time `at` (clamped to `now`).
+    pub fn schedule_at(&mut self, at: SimTime, event: Event<W>) {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled {
+            key: Reverse(Key { at, seq }),
+            event,
+        });
+    }
+
+    /// Schedule `event` after `delay`.
+    pub fn schedule_in(&mut self, delay: SimTime, event: Event<W>) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Schedule a closure after `delay`.
+    pub fn after(&mut self, delay: SimTime, f: impl FnOnce(&mut Sim<W>, &mut W) + 'static) {
+        self.schedule_in(delay, Box::new(f));
+    }
+
+    /// Create a k-server FIFO resource.
+    pub fn add_resource(&mut self, servers: u32) -> ResourceId {
+        assert!(servers > 0, "resource must have at least one server");
+        let id = ResourceId(self.resources.len());
+        self.resources.push(ResourceState {
+            servers,
+            busy: 0,
+            queue: VecDeque::new(),
+            completions: 0,
+            total_queue_wait: 0,
+        });
+        id
+    }
+
+    /// Request `service` time on `r`; `done` fires when service completes.
+    pub fn request(&mut self, r: ResourceId, service: SimTime, done: Event<W>) {
+        let now = self.now;
+        let start = self.resources[r.0].enqueue(now, service, done);
+        if start {
+            self.begin_service(r);
+        }
+    }
+
+    /// Request with a closure completion.
+    pub fn use_resource(
+        &mut self,
+        r: ResourceId,
+        service: SimTime,
+        done: impl FnOnce(&mut Sim<W>, &mut W) + 'static,
+    ) {
+        self.request(r, service, Box::new(done));
+    }
+
+    // The measured path: each grant schedules a *new* boxed closure that
+    // wraps the caller's already-boxed `done`, and each completion
+    // re-enters begin_service once.
+    fn begin_service(&mut self, r: ResourceId) {
+        let now = self.now;
+        let Some((service, _wait, done)) = self.resources[r.0].start_next(now) else {
+            return;
+        };
+        self.schedule_in(
+            service,
+            Box::new(move |sim: &mut Sim<W>, w: &mut W| {
+                done(sim, w);
+                let more = sim.resources[r.0].finish_one();
+                if more {
+                    sim.begin_service(r);
+                }
+            }),
+        );
+    }
+
+    /// Total completed services on `r`.
+    pub fn resource_completions(&self, r: ResourceId) -> u64 {
+        self.resources[r.0].completions
+    }
+
+    /// Time spent queued, summed over started requests on `r`.
+    pub fn resource_queue_wait(&self, r: ResourceId) -> SimTime {
+        self.resources[r.0].total_queue_wait
+    }
+
+    /// Drain every event. Returns the final clock value.
+    pub fn run(&mut self, w: &mut W) -> SimTime {
+        while let Some(s) = self.heap.pop() {
+            let Reverse(Key { at, .. }) = s.key;
+            debug_assert!(at >= self.now, "time went backwards");
+            self.now = at;
+            self.executed += 1;
+            (s.event)(self, w);
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn behaves_like_the_old_kernel() {
+        let mut sim: Sim<Vec<(SimTime, &'static str)>> = Sim::new();
+        let mut w = Vec::new();
+        sim.after(2_000, |s, w: &mut Vec<_>| w.push((s.now(), "b")));
+        sim.after(1_000, |s, w: &mut Vec<_>| w.push((s.now(), "a")));
+        let disk = sim.add_resource(1);
+        for name in ["r1", "r2"] {
+            sim.use_resource(disk, 5_000, move |s, w: &mut Vec<_>| {
+                w.push((s.now(), name))
+            });
+        }
+        let end = sim.run(&mut w);
+        assert_eq!(
+            w,
+            vec![(1_000, "a"), (2_000, "b"), (5_000, "r1"), (10_000, "r2")]
+        );
+        assert_eq!(end, 10_000);
+        assert_eq!(sim.resource_completions(disk), 2);
+        assert_eq!(sim.resource_queue_wait(disk), 5_000);
+        // 2 timers + 2 completion events.
+        assert_eq!(sim.events_executed(), 4);
+    }
+}

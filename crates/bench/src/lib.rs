@@ -2,7 +2,10 @@
 
 #![forbid(unsafe_code)]
 
+pub mod fanout;
 pub mod figures;
+pub mod legacy;
+pub mod meta;
 
 /// Parse `--key value` style args with a default.
 pub fn arg_f64(args: &[String], key: &str, default: f64) -> f64 {

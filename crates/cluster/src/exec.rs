@@ -615,6 +615,13 @@ impl ClusterExec {
         self.sim.now()
     }
 
+    /// Kernel events executed by the underlying event loop so far. The
+    /// perf-trajectory harness (`bench_kernel`) divides this by wall-clock
+    /// to report events/sec on real engine workloads.
+    pub fn events_executed(&self) -> u64 {
+        self.sim.events_executed()
+    }
+
     pub fn trace(&self) -> &Trace {
         &self.trace
     }

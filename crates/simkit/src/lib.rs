@@ -4,7 +4,9 @@
 //! transfers, CPU work, lock waits — is charged against a virtual clock
 //! managed by [`Sim`]. The kernel provides:
 //!
-//! * a binary-heap event queue with deterministic FIFO tie-breaking,
+//! * a calendar-queue event scheduler with deterministic FIFO
+//!   tie-breaking, arena-recycled event storage, and a binary-heap
+//!   fallback backend for A/B verification (see [`sched`]),
 //! * k-server FIFO [`resource`]s (disks, NICs, CPU pools, map slots, locks),
 //! * [`latch`]es for barrier-style joins ("when all N tasks finish, ..."),
 //! * online [`stats`] (mean/percentile latencies, resource utilization),
@@ -45,6 +47,7 @@
 pub mod latch;
 pub mod probe;
 pub mod resource;
+pub mod sched;
 pub mod sim;
 pub mod stats;
 pub mod trace;
@@ -52,6 +55,7 @@ pub mod trace;
 pub use latch::Latch;
 pub use probe::{Probe, ProbeEvent};
 pub use resource::ResourceId;
+pub use sched::SchedulerKind;
 pub use sim::{Event, Sim, SimTime};
 pub use trace::{Contrib, ResKind, Span, Trace, UtilSummary};
 

@@ -1,12 +1,19 @@
-//! The event loop: virtual clock, event heap, resource dispatch.
+//! The event loop: virtual clock, calendar-queue event scheduling, arena
+//! event storage, batched resource grant/re-dispatch.
+//!
+//! See [`crate::sched`] for the queue backends and the arena; this module
+//! owns the clock, the dispatch loop, and the resource grant path. The
+//! observable contract is frozen: event order is strictly `(at, seq)` and
+//! the probe stream is byte-identical across scheduler backends — the
+//! scheduler-equivalence suite (`tests/scheduler_equivalence.rs`) runs
+//! whole engine workloads under both to prove it.
 
 use std::cell::RefCell;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 use std::rc::Rc;
 
 use crate::probe::{Probe, ProbeEvent};
 use crate::resource::{ResourceId, ResourceState};
+use crate::sched::{Action, Arena, Entry, EventQueue, SchedulerKind};
 
 /// Virtual time in nanoseconds since simulation start.
 pub type SimTime = u64;
@@ -15,43 +22,23 @@ pub type SimTime = u64;
 /// caller's world state.
 pub type Event<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
 
-/// Heap key: earliest time first; FIFO among equal times via `seq`.
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct Key {
-    at: SimTime,
-    seq: u64,
-}
-
-struct Scheduled<W> {
-    key: Reverse<Key>,
-    event: Event<W>,
-}
-
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.key.cmp(&other.key)
-    }
-}
-
 /// A discrete-event simulator over world type `W`.
 ///
 /// Resources live inside the simulator so that event handlers (which hold
 /// `&mut Sim<W>`) can request service without interior mutability.
+///
+/// Pending events are stored in a recycling arena; the priority structure
+/// (calendar queue by default, binary heap as the A/B fallback — see
+/// [`SchedulerKind`]) orders lightweight `(at, seq, slot)` triples.
+/// Resource-service completions are kernel-native events: a request costs
+/// one allocation (the caller's `done` closure), not two, and a completion
+/// re-dispatches every startable queued request in one frame instead of
+/// bouncing through a per-grant closure.
 pub struct Sim<W> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Scheduled<W>>,
+    arena: Arena<W>,
+    queue: EventQueue,
     resources: Vec<ResourceState<W>>,
     executed: u64,
     /// Optional passive observer (see [`crate::probe`]). `None` (the
@@ -67,15 +54,31 @@ impl<W: 'static> Default for Sim<W> {
 }
 
 impl<W: 'static> Sim<W> {
+    /// A simulator on the thread-default scheduler backend: the calendar
+    /// queue, unless a [`crate::sched::override_thread_default`] guard or
+    /// the `heap-scheduler` feature says otherwise.
     pub fn new() -> Self {
+        Self::with_scheduler(crate::sched::thread_default())
+    }
+
+    /// A simulator on an explicitly chosen scheduler backend. Both
+    /// backends produce bit-identical event order; this exists for A/B
+    /// verification and benchmarking.
+    pub fn with_scheduler(kind: SchedulerKind) -> Self {
         Sim {
             now: 0,
             seq: 0,
-            heap: BinaryHeap::new(),
+            arena: Arena::new(),
+            queue: EventQueue::new(kind),
             resources: Vec::new(),
             executed: 0,
             probe: None,
         }
+    }
+
+    /// Which scheduler backend this simulator runs on.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.queue.kind()
     }
 
     /// Attach (or detach, with `None`) a passive [`Probe`]. Resources that
@@ -121,15 +124,38 @@ impl<W: 'static> Sim<W> {
         self.executed
     }
 
-    /// Schedule `event` to fire at absolute time `at` (clamped to `now`).
-    pub fn schedule_at(&mut self, at: SimTime, event: Event<W>) {
+    /// Events currently pending (scheduled but not yet fired).
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// High-water mark of the event arena: the peak number of events that
+    /// were ever pending at once. The arena recycles slots, so this stays
+    /// flat however many events flow through — the property the arena
+    /// recycling test pins down.
+    pub fn arena_capacity(&self) -> usize {
+        self.arena.capacity()
+    }
+
+    /// Arena slots currently holding a pending event. Always equals
+    /// [`Sim::pending_events`]; exposed separately so tests can check the
+    /// slab and the queue agree.
+    pub fn arena_live(&self) -> usize {
+        self.arena.live()
+    }
+
+    #[inline]
+    fn schedule_action(&mut self, at: SimTime, action: Action<W>) {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Scheduled {
-            key: Reverse(Key { at, seq }),
-            event,
-        });
+        let slot = self.arena.insert(action);
+        self.queue.push(Entry { at, seq, slot });
+    }
+
+    /// Schedule `event` to fire at absolute time `at` (clamped to `now`).
+    pub fn schedule_at(&mut self, at: SimTime, event: Event<W>) {
+        self.schedule_action(at, Action::Call(event));
     }
 
     /// Schedule `event` to fire after `delay`.
@@ -194,7 +220,7 @@ impl<W: 'static> Sim<W> {
             });
         }
         if start {
-            self.begin_service(r);
+            self.grant(r);
         }
     }
 
@@ -208,47 +234,64 @@ impl<W: 'static> Sim<W> {
         self.request(r, service, Box::new(done));
     }
 
-    fn begin_service(&mut self, r: ResourceId) {
+    /// Start service on every startable queued request of `r` — the batched
+    /// grant path. A single freed server grants one request, but the loop
+    /// means any caller that frees or adds capacity re-dispatches the whole
+    /// eligible queue in one frame, with one probe guard check per grant
+    /// and a kernel-native completion event (no per-grant closure).
+    fn grant(&mut self, r: ResourceId) {
         let now = self.now;
-        let Some((service, wait, done)) = self.resources[r.0].start_next(now) else {
-            return;
-        };
+        while let Some((service, wait, done)) = self.resources[r.0].start_next(now) {
+            if self.probe.is_some() {
+                self.emit_probe(ProbeEvent::ServiceStarted {
+                    at: now,
+                    res: r,
+                    service,
+                    wait,
+                    waiting: self.resources[r.0].queue_len(),
+                });
+            }
+            self.schedule_action(
+                now.saturating_add(service),
+                Action::Completion { res: r, done },
+            );
+        }
+    }
+
+    /// A kernel-native service completion fired: emit the probe event, run
+    /// the caller's `done`, release the server, re-dispatch the queue.
+    /// Order matches the pre-arena kernel exactly: completed-probe, done,
+    /// finish, grant.
+    fn complete(&mut self, r: ResourceId, done: Event<W>, w: &mut W) {
         if self.probe.is_some() {
-            self.emit_probe(ProbeEvent::ServiceStarted {
-                at: now,
+            self.emit_probe(ProbeEvent::ServiceCompleted {
+                at: self.now,
                 res: r,
-                service,
-                wait,
                 waiting: self.resources[r.0].queue_len(),
             });
         }
-        self.schedule_in(
-            service,
-            Box::new(move |sim: &mut Sim<W>, w: &mut W| {
-                if sim.probe.is_some() {
-                    sim.emit_probe(ProbeEvent::ServiceCompleted {
-                        at: sim.now,
-                        res: r,
-                        waiting: sim.resources[r.0].queue_len(),
-                    });
-                }
-                done(sim, w);
-                let more = sim.resources[r.0].finish_one(sim.now);
-                if more {
-                    sim.begin_service(r);
-                }
-            }),
-        );
+        done(self, w);
+        let more = self.resources[r.0].finish_one(self.now);
+        if more {
+            self.grant(r);
+        }
+    }
+
+    #[inline]
+    fn fire(&mut self, e: Entry, w: &mut W) {
+        debug_assert!(e.at >= self.now, "time went backwards");
+        self.now = e.at;
+        self.executed += 1;
+        match self.arena.take(e.slot) {
+            Action::Call(ev) => ev(self, w),
+            Action::Completion { res, done } => self.complete(res, done, w),
+        }
     }
 
     /// Drain every event. Returns the final clock value.
     pub fn run(&mut self, w: &mut W) -> SimTime {
-        while let Some(s) = self.heap.pop() {
-            let Reverse(Key { at, .. }) = s.key;
-            debug_assert!(at >= self.now, "time went backwards");
-            self.now = at;
-            self.executed += 1;
-            (s.event)(self, w);
+        while let Some(e) = self.queue.pop() {
+            self.fire(e, w);
         }
         self.now
     }
@@ -257,20 +300,16 @@ impl<W: 'static> Sim<W> {
     /// `deadline` still fire. Returns true if the queue drained.
     pub fn run_until(&mut self, w: &mut W, deadline: SimTime) -> bool {
         loop {
-            let Some(top) = self.heap.peek() else {
+            let Some(at) = self.queue.peek_time() else {
                 return true;
             };
-            let Reverse(Key { at, .. }) = top.key;
             if at > deadline {
                 // A deadline already in the past must not rewind the clock.
                 self.now = self.now.max(deadline);
                 return false;
             }
-            let s = self.heap.pop().expect("peeked");
-            let Reverse(Key { at, .. }) = s.key;
-            self.now = at;
-            self.executed += 1;
-            (s.event)(self, w);
+            let e = self.queue.pop().expect("peeked");
+            self.fire(e, w);
         }
     }
 
@@ -433,6 +472,21 @@ mod tests {
     }
 
     #[test]
+    fn schedule_after_partial_run_until_fires_in_order() {
+        // Regression for the calendar window: peeking a far-future event
+        // jumps the ring forward; a later schedule between `now` and that
+        // event must still fire first (window rewind).
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        sim.after(secs(100.0), |s, w| w.log.push((s.now(), "far")));
+        let drained = sim.run_until(&mut w, secs(1.0));
+        assert!(!drained);
+        sim.after(secs(1.0), |s, w| w.log.push((s.now(), "near")));
+        sim.run(&mut w);
+        assert_eq!(w.log, vec![(secs(2.0), "near"), (secs(100.0), "far")]);
+    }
+
+    #[test]
     fn tagged_requests_served_round_robin_across_clients() {
         let mut sim: Sim<World> = Sim::new();
         let mut w = World::default();
@@ -544,5 +598,49 @@ mod tests {
         sim.run(&mut w);
         assert_eq!(*order.borrow(), vec!["long", "short"]);
         assert_eq!(sim.now(), secs(6.0));
+    }
+
+    #[test]
+    fn backends_replay_identical_logs() {
+        // The same workload on both backends, including resource traffic
+        // and same-instant ties, must produce the same log.
+        let run = |kind: SchedulerKind| {
+            let mut sim: Sim<World> = Sim::with_scheduler(kind);
+            assert_eq!(sim.scheduler_kind(), kind);
+            let mut w = World::default();
+            let disk = sim.add_resource("disk", 1);
+            let cpu = sim.add_resource("cpu", 2);
+            for i in 0..20u64 {
+                sim.after(secs(0.1) * i, move |s, w| {
+                    w.log.push((s.now(), "tick"));
+                    let svc = MICRO_MIX[i as usize % MICRO_MIX.len()];
+                    s.use_resource(if i % 3 == 0 { disk } else { cpu }, svc, |s, w| {
+                        w.log.push((s.now(), "done"));
+                    });
+                });
+            }
+            sim.run(&mut w);
+            (w.log, sim.events_executed())
+        };
+        const MICRO_MIX: [SimTime; 4] = [1_000, 250_000, 70_000_000, 2_000_000_000];
+        assert_eq!(run(SchedulerKind::Calendar), run(SchedulerKind::Heap));
+    }
+
+    #[test]
+    fn arena_stays_flat_across_sequential_events() {
+        // A self-rescheduling timer fires 10_000 times but only ever has
+        // one pending event: the arena must not grow past the peak.
+        fn tick(s: &mut Sim<World>, remaining: u32) {
+            if remaining > 0 {
+                s.after(1_000, move |s, _| tick(s, remaining - 1));
+            }
+        }
+        let mut sim: Sim<World> = Sim::new();
+        let mut w = World::default();
+        tick(&mut sim, 10_000);
+        sim.run(&mut w);
+        assert_eq!(sim.events_executed(), 10_000);
+        assert_eq!(sim.arena_capacity(), 1, "one pending event at a time");
+        assert_eq!(sim.pending_events(), 0);
     }
 }

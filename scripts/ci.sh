@@ -59,4 +59,27 @@ echo "== columnar ablation (three-way storage artifact diff)"
 cargo run -q --release -p bench --bin ablation_columnar > "$obs_tmp/ablation_columnar.txt"
 diff -u results/ablation_columnar.txt "$obs_tmp/ablation_columnar.txt"
 
+echo "== kernel bench smoke (runs end-to-end + schema gate over BENCH_*.json)"
+# BENCH_*.json artifacts are host-dependent timings, exempt from the
+# byte-diff gates above; the schema gate keeps them honest instead. The
+# smoke run proves the harness (both kernels, fan-out, engine points)
+# still executes; validate_bench then checks the smoke output AND every
+# committed trajectory artifact for the machine/config annotations and
+# per-bench fields the docs read.
+cargo run -q --release -p bench --bin bench_kernel -- --smoke > "$obs_tmp/BENCH_kernel_smoke.json"
+cargo run -q --release -p bench --bin validate_bench -- \
+  "$obs_tmp/BENCH_kernel_smoke.json" results/BENCH_*.json
+
+echo "== stale-fixture check (every results/ file named in EXPERIMENTS.md exists)"
+# EXPERIMENTS.md is the map of the results/ directory; a renamed or
+# deleted artifact must not leave a dangling reference behind.
+missing=0
+for f in $(grep -o 'results/[A-Za-z0-9_.-]*\.[a-z]*' EXPERIMENTS.md | sort -u); do
+  if [ ! -f "$f" ]; then
+    echo "EXPERIMENTS.md names $f but it does not exist" >&2
+    missing=1
+  fi
+done
+[ "$missing" -eq 0 ]
+
 echo "ci: all green"

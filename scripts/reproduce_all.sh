@@ -36,4 +36,8 @@ echo "== bench_scan (REAL wall-clock decode throughput — host-dependent, not d
 cargo run --release -p bench --bin bench_scan > results/BENCH_scan.json
 echo "== bench_simlint (REAL wall-clock lint speed over the workspace — host-dependent, not diff-gated)"
 cargo run --release -p bench --bin bench_simlint > results/BENCH_simlint.json
+echo "== bench_kernel (REAL wall-clock kernel event throughput vs the pre-rework baseline — host-dependent, not diff-gated)"
+cargo run --release -p bench --bin bench_kernel > results/BENCH_kernel.json
+echo "== validate_bench (schema gate over the perf-trajectory artifacts)"
+cargo run --release -p bench --bin validate_bench -- results/BENCH_*.json
 echo "done — see results/ and EXPERIMENTS.md"
