@@ -6,13 +6,22 @@
 //! ```text
 //! cargo run --release -p bench --bin profile_ycsb -- \
 //!     [--workload A] [--target 40000] [--windows 4] [--k 2500]
+//!     [--tenants 4] [--slo]
 //! ```
 //!
 //! The observer is passive: the same point run through `repro_fig*` yields
 //! byte-identical throughput/latency numbers.
+//!
+//! `--tenants N` reruns the point with client threads partitioned into N
+//! tenants feeding the streaming metric registry; the windowed section is
+//! then *derived* from the registry — bit-identical to the direct fold, so
+//! the default output doesn't change — and a per-tenant ops table is
+//! appended. `--slo` (with `--tenants`) also appends per-tenant SLO burn
+//! rates (same policies as the `slo_report` bin).
 
 use bench::figures::figure_config;
-use elephants_core::serving::{run_point_profiled, SystemKind};
+use elephants_core::serving::{run_point_profiled, run_point_profiled_tenants, SystemKind};
+use obs::SloPolicy;
 use ycsb::workload::Workload;
 
 fn main() {
@@ -20,6 +29,8 @@ fn main() {
     let cfg = figure_config(&args);
     let target = bench::arg_f64(&args, "--target", 40e3);
     let windows = bench::arg_usize(&args, "--windows", 4);
+    let tenants = bench::arg_usize(&args, "--tenants", 0) as u32;
+    let slo = bench::has_flag(&args, "--slo");
     let workload = match bench::arg_str(&args, "--workload").as_deref() {
         None | Some("A") | Some("a") => Workload::A,
         Some("B") | Some("b") => Workload::B,
@@ -39,7 +50,14 @@ fn main() {
     );
     for system in SystemKind::all() {
         eprintln!("  {} ...", system.label());
-        let (point, wl) = run_point_profiled(&cfg, system, workload, target, windows);
+        let (point, wl, reg) = if tenants > 0 {
+            let (p, w, r) =
+                run_point_profiled_tenants(&cfg, system, workload, target, windows, tenants);
+            (p, w, Some(r))
+        } else {
+            let (p, w) = run_point_profiled(&cfg, system, workload, target, windows);
+            (p, w, None)
+        };
         println!();
         print!(
             "{}",
@@ -50,5 +68,23 @@ fn main() {
                 if point.crashed { " (CRASHED)" } else { "" }
             ))
         );
+        let Some(reg) = reg else { continue };
+        println!("per-tenant ops ({tenants} tenants, client threads round-robin):");
+        for (engine, op) in reg.ops() {
+            for t in reg.tenants(engine, op) {
+                let ops: u64 = (0..windows as u64)
+                    .map(|w| reg.tenant_window(engine, op, Some(t), w).count())
+                    .sum();
+                println!("  tenant {t} {op:<8} {ops:>8}");
+            }
+        }
+        if slo {
+            let policies = [
+                SloPolicy::new("read", simkit::millis(25.0), 0.95),
+                SloPolicy::new("update", simkit::millis(30.0), 0.99),
+            ];
+            let evals = obs::slo::evaluate(&reg, system.label(), &policies, 2);
+            print!("{}", obs::slo::render(system.label(), &evals));
+        }
     }
 }

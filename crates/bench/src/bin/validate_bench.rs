@@ -143,6 +143,42 @@ fn check_body(root: &Json, out: &mut Vec<String>) {
                 _ => out.push("`formats` is not a non-empty array".into()),
             }
         }
+        "obs_overhead" => {
+            need_num(root, "query", out);
+            need_num(root, "sf", out);
+            match need(root, "engines", out).and_then(|e| e.as_arr()) {
+                Some(es) if !es.is_empty() => {
+                    for e in es {
+                        need_str(e, "name", out);
+                        for p in [
+                            "events_bare",
+                            "events_probed",
+                            "sim_secs",
+                            "probe_events",
+                            "spans",
+                            "bare_secs",
+                            "probed_secs",
+                            "overhead_pct",
+                        ] {
+                            need_num(e, p, out);
+                        }
+                        // The committed artifact must embody the passivity
+                        // proof, not just gesture at it.
+                        if let (Some(b), Some(p)) = (
+                            e.get("events_bare").and_then(Json::as_f64),
+                            e.get("events_probed").and_then(Json::as_f64),
+                        ) {
+                            if b != p {
+                                out.push(format!(
+                                    "probed event count {p} differs from bare {b} — probes must be passive"
+                                ));
+                            }
+                        }
+                    }
+                }
+                _ => out.push("`engines` is not a non-empty array".into()),
+            }
+        }
         "simlint_workspace" => {
             for p in [
                 "files",

@@ -1,11 +1,13 @@
-//! CI guard: parse a Chrome Trace Event JSON produced by `--trace` and
-//! check its shape — valid JSON, a `traceEvents` array, at least one
-//! process per expected engine, complete (`ph:"X"`) span events with
-//! non-negative durations, and counter (`ph:"C"`) tracks.
+//! CI guard: validate a Chrome Trace Event JSON produced by `--trace`.
+//!
+//! The structural rules live in [`obs::validate`]: valid JSON with a
+//! `traceEvents` array, known event phases, per-track `B`/`E` pairs
+//! balanced LIFO by name, and `X` spans on one thread lane properly
+//! nested (a child must not extend past its parent). This bin adds the
+//! CI policy on top — the trace must contain spans and counter samples,
+//! and every process named on the command line must be present.
 //!
 //!     cargo run --release -p bench --bin validate_trace -- trace.json [proc ...]
-
-use obs::json::{parse, Json};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -13,55 +15,23 @@ fn main() {
         .get(1)
         .expect("usage: validate_trace <trace.json> [proc ...]");
     let text = std::fs::read_to_string(path).expect("read trace file");
-    let doc = parse(&text).unwrap_or_else(|e| panic!("{path}: invalid JSON: {e}"));
-    let events = doc
-        .get("traceEvents")
-        .and_then(Json::as_arr)
-        .expect("traceEvents array");
-    assert!(!events.is_empty(), "empty trace");
-
-    let mut procs = Vec::new();
-    let mut spans = 0usize;
-    let mut counters = 0usize;
-    for ev in events {
-        let ph = ev.get("ph").and_then(Json::as_str).expect("ph field");
-        match ph {
-            "M" => {
-                if ev.get("name").and_then(Json::as_str) == Some("process_name") {
-                    let name = ev
-                        .get("args")
-                        .and_then(|a| a.get("name"))
-                        .and_then(Json::as_str)
-                        .expect("process name");
-                    procs.push(name.to_string());
-                }
-            }
-            "X" => {
-                spans += 1;
-                let ts = ev.get("ts").and_then(Json::as_f64).expect("ts");
-                let dur = ev.get("dur").and_then(Json::as_f64).expect("dur");
-                assert!(
-                    ts >= 0.0 && dur >= 0.0,
-                    "negative span time: ts={ts} dur={dur}"
-                );
-                assert!(ev.get("name").and_then(Json::as_str).is_some(), "span name");
-            }
-            "C" => counters += 1,
-            other => panic!("unexpected event phase {other:?}"),
-        }
-    }
-    assert!(spans > 0, "no span events");
-    assert!(counters > 0, "no counter samples");
+    let sum = obs::validate::validate_text(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assert!(sum.spans > 0, "no span events");
+    assert!(sum.counters > 0, "no counter samples");
     for want in args.iter().skip(2) {
         assert!(
-            procs.iter().any(|p| p == want),
-            "missing process {want:?} (have {procs:?})"
+            sum.procs.iter().any(|p| p == want),
+            "missing process {want:?} (have {:?})",
+            sum.procs
         );
     }
     println!(
-        "{path}: OK — {} events, {} processes {:?}, {spans} spans, {counters} counter samples",
-        events.len(),
-        procs.len(),
-        procs
+        "{path}: OK — {} events, {} processes {:?}, {} spans, {} B/E pairs, {} counter samples",
+        sum.events,
+        sum.procs.len(),
+        sum.procs,
+        sum.spans,
+        sum.pairs,
+        sum.counters
     );
 }

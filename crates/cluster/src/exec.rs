@@ -493,10 +493,12 @@ fn advance_mix_job(
         reqs,
     } = phase;
     let t0 = sim.now();
+    let sid = sim.next_span_id();
     sim.emit_probe(ProbeEvent::SpanOpened {
         at: t0,
         name: &name,
         node,
+        id: sid,
     });
     let issue_at = t0.saturating_add(setup);
     let contribs: Rc<RefCell<Vec<Contrib>>> = Rc::default();
@@ -510,6 +512,7 @@ fn advance_mix_job(
                 at: end,
                 name: &name,
                 node,
+                id: sid,
             });
             spans.borrow_mut().push(Span {
                 name,
@@ -530,6 +533,9 @@ fn advance_mix_job(
                 fin.count_down(sim);
                 return;
             }
+            // Mix phases interleave, so the span context is scoped to
+            // exactly this issue loop (requests capture it at enqueue).
+            let prev = sim.set_probe_ctx(Some(sid));
             for (rid, kind, node, service) in reqs {
                 let sink = contribs.clone();
                 let f = fin.clone();
@@ -549,6 +555,7 @@ fn advance_mix_job(
                     }),
                 );
             }
+            sim.set_probe_ctx(prev);
         }),
     );
 }
@@ -644,10 +651,12 @@ impl ClusterExec {
             rec.push(phase.clone());
         }
         let t0 = self.sim.now();
+        let sid = self.sim.next_span_id();
         self.sim.emit_probe(ProbeEvent::SpanOpened {
             at: t0,
             name: &phase.name,
             node: phase.node,
+            id: sid,
         });
         let issue_at = t0.saturating_add(secs(phase.setup));
         let reqs = self.resolve(&phase.work);
@@ -674,12 +683,17 @@ impl ClusterExec {
                 }
             }),
         );
+        // `run` drains exclusively (one phase at a time), so every request
+        // issued during the drain belongs to this span.
+        let prev = self.sim.set_probe_ctx(Some(sid));
         self.sim.run(&mut ());
+        self.sim.set_probe_ctx(prev);
         let end = self.sim.now();
         self.sim.emit_probe(ProbeEvent::SpanClosed {
             at: end,
             name: &phase.name,
             node: phase.node,
+            id: sid,
         });
         self.trace.push(Span {
             name: phase.name,
@@ -704,10 +718,12 @@ impl ClusterExec {
             self.ensure_hdfs_links();
         }
         let t0 = self.sim.now();
+        let sid = self.sim.next_span_id();
         self.sim.emit_probe(ProbeEvent::SpanOpened {
             at: t0,
             name: &phase.name,
             node: None,
+            id: sid,
         });
         let before = self.class_totals();
         let issue_at = t0.saturating_add(secs(phase.setup));
@@ -727,12 +743,17 @@ impl ClusterExec {
                 }
             }),
         );
+        // Task steps issue requests at arbitrary times during this
+        // exclusive drain; the span context covers them all.
+        let prev = self.sim.set_probe_ctx(Some(sid));
         self.sim.run(&mut ());
+        self.sim.set_probe_ctx(prev);
         let end = self.sim.now();
         self.sim.emit_probe(ProbeEvent::SpanClosed {
             at: end,
             name: &phase.name,
             node: None,
+            id: sid,
         });
         let after = self.class_totals();
         let mut contribs = Vec::new();

@@ -2,7 +2,7 @@
 
 use cluster::Params;
 use docstore::{MongoCluster, Sharding};
-use obs::WindowedLatencies;
+use obs::{MetricKey, MetricRegistry, WindowedLatencies};
 use simkit::{Sim, SimTime};
 use sqlengine::SqlCluster;
 use std::cell::RefCell;
@@ -162,8 +162,44 @@ fn run_point_inner(
 struct WindowedObserver(WindowedLatencies);
 
 impl OpObserver for WindowedObserver {
-    fn on_op(&mut self, ty: OpType, shard: Option<usize>, at: SimTime, latency: SimTime) {
+    fn on_op(
+        &mut self,
+        ty: OpType,
+        shard: Option<usize>,
+        _client: u32,
+        at: SimTime,
+        latency: SimTime,
+    ) {
         self.0.record(ty.label(), shard, at, latency);
+    }
+}
+
+/// Bridges the driver's per-op callback into the streaming registry,
+/// assigning each client thread to a tenant round-robin (`client %
+/// tenants`) — deterministic, stable across the run, and independent of
+/// op timing.
+struct TenantObserver {
+    reg: MetricRegistry,
+    engine: &'static str,
+    tenants: u32,
+}
+
+impl OpObserver for TenantObserver {
+    fn on_op(
+        &mut self,
+        ty: OpType,
+        shard: Option<usize>,
+        client: u32,
+        at: SimTime,
+        latency: SimTime,
+    ) {
+        let key = MetricKey::new(
+            self.engine,
+            ty.label(),
+            shard,
+            Some(client % self.tenants.max(1)),
+        );
+        self.reg.observe(key, at, latency);
     }
 }
 
@@ -191,6 +227,43 @@ pub fn run_point_profiled(
         .expect("driver released observer")
         .into_inner();
     (point, obs.0)
+}
+
+/// [`run_point_profiled`] with multi-tenant streaming metrics: client
+/// threads are partitioned into `tenants` tenants and every completed op
+/// feeds a [`MetricRegistry`] keyed `(engine, op, shard, tenant)` —
+/// counters plus sliding-window latency histograms, updated as the run
+/// progresses. The returned [`WindowedLatencies`] is *derived* from the
+/// registry ([`MetricRegistry::to_windowed`]), which is bit-identical to
+/// the direct fold (tenant splits merge away exactly), so callers that
+/// only read the windowed view cannot tell the paths apart. The observer
+/// stays passive: the `SweepPoint` is byte-identical to [`run_point`].
+pub fn run_point_profiled_tenants(
+    cfg: &ServingConfig,
+    system: SystemKind,
+    workload: Workload,
+    target_ops: f64,
+    windows: usize,
+    tenants: u32,
+) -> (SweepPoint, WindowedLatencies, MetricRegistry) {
+    let t0 = simkit::secs(cfg.warmup_secs);
+    let window = simkit::secs(cfg.measure_secs / windows.max(1) as f64).max(1);
+    // The driver drains in-flight ops for 5 s past the measurement end;
+    // those completions land in windows past the profiled range and must
+    // not evict it from the ring, so retain the drain's windows too.
+    let cap = windows.max(1) + (simkit::secs(5.0) / window) as usize + 2;
+    let obs = Rc::new(RefCell::new(TenantObserver {
+        reg: MetricRegistry::new(t0, window, cap),
+        engine: system.label(),
+        tenants,
+    }));
+    let point = run_point_inner(cfg, system, workload, target_ops, Some(obs.clone()));
+    let obs = Rc::try_unwrap(obs)
+        .ok()
+        .expect("driver released observer")
+        .into_inner();
+    let wl = obs.reg.to_windowed(system.label(), windows.max(1));
+    (point, wl, obs.reg)
 }
 
 /// Sweep a workload over targets for every system.
@@ -261,6 +334,34 @@ mod tests {
             .sum();
         assert!(total > 0, "windowed reads recorded");
         assert!(!wl.shards("read").is_empty(), "shard labels present");
+    }
+
+    #[test]
+    fn tenant_profile_matches_plain_profile_bit_for_bit() {
+        let cfg = tiny();
+        let (plain, wl) = run_point_profiled(&cfg, SystemKind::SqlCs, Workload::A, 2_000.0, 4);
+        let (point, twl, reg) =
+            run_point_profiled_tenants(&cfg, SystemKind::SqlCs, Workload::A, 2_000.0, 4, 4);
+        // Passivity again, across observer implementations.
+        assert_eq!(format!("{plain:?}"), format!("{point:?}"));
+        // The registry-derived windowed view is bit-identical to the
+        // direct fold: tenant splitting merges away exactly.
+        for op in ["read", "update"] {
+            for w in 0..4 {
+                assert_eq!(twl.merged(op, w), wl.merged(op, w), "{op} w{w}");
+            }
+        }
+        // All four tenants saw traffic, and their windows partition the
+        // merged histogram.
+        let tenants = reg.tenants("SQL-CS", "read");
+        assert_eq!(tenants, vec![0, 1, 2, 3]);
+        let whole = reg.merged_window("SQL-CS", "read", 1).count();
+        let parts: u64 = tenants
+            .iter()
+            .map(|&t| reg.tenant_window("SQL-CS", "read", Some(t), 1).count())
+            .sum();
+        assert_eq!(whole, parts);
+        assert!(whole > 0);
     }
 
     #[test]

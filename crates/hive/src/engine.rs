@@ -27,6 +27,9 @@ pub struct QueryRun {
     /// Block-pruning totals over every colblock scan in the query (all
     /// zeros for RCFile/text warehouses).
     pub scan_stats: storage::ScanStats,
+    /// Kernel events the shared executor processed for this query — the
+    /// passivity yardstick: identical with and without a probe attached.
+    pub events_executed: u64,
 }
 
 impl QueryRun {
@@ -230,6 +233,7 @@ impl HiveEngine {
             scratch_bytes: lowering.peak_scratch,
             resources: lowering.exec.resource_reports(),
             scan_stats: lowering.scan_stats,
+            events_executed: lowering.exec.events_executed(),
         })
     }
 }

@@ -87,17 +87,46 @@ fn util_strip(probe: &TimelineProbe, end: SimTime, kind: &str) -> Option<String>
     let width = probe.bucket_width();
     let mut busy_ns = vec![0u128; COLS];
     let mut servers = 0u64;
+    // When a bucket is wider than a column, midpoint assignment drifts:
+    // whole buckets of busy time land on one column while the columns the
+    // bucket actually covers render idle. Prorate those buckets exactly
+    // over the columns they overlap (integer math in ns×COLS units).
+    // Narrow buckets keep the midpoint rule — each lands inside one
+    // column, so proration would only redistribute boundary slivers.
+    let prorate = width as u128 * COLS as u128 > end as u128;
     for res in probe.resources() {
         if kind_of(&res.name) != Some(kind) {
             continue;
         }
         servers += res.servers as u64;
         for (b, bucket) in res.buckets().iter().enumerate() {
-            // Assign each bucket's integral to the column containing its
-            // midpoint — coarse, but stable and monotone.
-            let mid = b as u128 * width as u128 + width as u128 / 2;
-            let col = (mid * COLS as u128 / end as u128).min(COLS as u128 - 1) as usize;
-            busy_ns[col] += bucket.busy_ns as u128;
+            if bucket.busy_ns == 0 {
+                continue;
+            }
+            if prorate {
+                // Bucket b covers [b*width, (b+1)*width), clipped to the
+                // rendered range; column c covers [c*end, (c+1)*end) in
+                // ns×COLS units.
+                let b_lo = b as u128 * width as u128 * COLS as u128;
+                let b_hi = ((b as u128 + 1) * width as u128 * COLS as u128)
+                    .min(end as u128 * COLS as u128);
+                if b_hi <= b_lo {
+                    continue;
+                }
+                let c0 = (b_lo / end as u128).min(COLS as u128 - 1) as usize;
+                let c1 = ((b_hi - 1) / end as u128).min(COLS as u128 - 1) as usize;
+                for (c, cell) in busy_ns.iter_mut().enumerate().take(c1 + 1).skip(c0) {
+                    let lo = b_lo.max(c as u128 * end as u128);
+                    let hi = b_hi.min((c as u128 + 1) * end as u128);
+                    *cell += bucket.busy_ns as u128 * (hi - lo) / (b_hi - b_lo);
+                }
+            } else {
+                // Assign each bucket's integral to the column containing
+                // its midpoint — coarse, but stable and monotone.
+                let mid = b as u128 * width as u128 + width as u128 / 2;
+                let col = (mid * COLS as u128 / end as u128).min(COLS as u128 - 1) as usize;
+                busy_ns[col] += bucket.busy_ns as u128;
+            }
         }
     }
     if servers == 0 || busy_ns.iter().all(|&b| b == 0) {
@@ -164,6 +193,7 @@ mod tests {
             at: 0,
             name: "scan:lineitem",
             node: None,
+            id: 0,
         });
         sim.use_resource(disk, secs(8.0), |_, _| {});
         let end = sim.run(&mut ());
@@ -171,6 +201,7 @@ mod tests {
             at: end,
             name: "scan:lineitem",
             node: None,
+            id: 0,
         });
         let text = ascii_timeline("test", &probe.borrow());
         assert!(text.contains("scan:lineitem"));
@@ -180,5 +211,48 @@ mod tests {
         assert!(bar_line.contains(&"#".repeat(COLS)));
         // Deterministic.
         assert_eq!(text, ascii_timeline("test", &probe.borrow()));
+    }
+
+    #[test]
+    fn coarse_buckets_prorate_instead_of_drifting() {
+        // Bucket width (10s) far exceeds the column width (16s/64 =
+        // 0.25s): the old midpoint rule dumped the whole first bucket's
+        // busy time on one column, rendering the rest of the busy region
+        // idle and misaligning the strip against the span bars.
+        let mut sim: Sim<()> = Sim::new();
+        let probe = Rc::new(RefCell::new(TimelineProbe::new(secs(10.0))));
+        sim.set_probe(Some(probe.clone()));
+        let disk = sim.add_resource("node0.disk0-with-a-very-long-label", 1);
+        sim.emit_probe(simkit::ProbeEvent::SpanOpened {
+            at: 0,
+            name: "scan:a-table-name-longer-than-the-gutter",
+            node: None,
+            id: 0,
+        });
+        sim.use_resource(disk, secs(8.0), |_, _| {});
+        sim.after(secs(16.0), |_, _| {});
+        let end = sim.run(&mut ());
+        sim.emit_probe(simkit::ProbeEvent::SpanClosed {
+            at: end,
+            name: "scan:a-table-name-longer-than-the-gutter",
+            node: None,
+            id: 0,
+        });
+        let text = ascii_timeline("coarse", &probe.borrow());
+        let strip = text
+            .lines()
+            .find(|l| l.starts_with("disk busy"))
+            .expect("disk strip");
+        let bar: &str = &strip[LABEL + 2..LABEL + 2 + COLS];
+        let busy_cols = bar.chars().filter(|c| *c != '.').count();
+        // 8s busy inside the 0–10s bucket spreads over the ~40 columns the
+        // bucket covers, not one.
+        assert!(busy_cols > 30, "prorated strip, got {bar:?}");
+        // Nothing leaks past the bucket's real extent (10s ≈ col 40).
+        assert!(bar[44..].chars().all(|c| c == '.'), "tail idle: {bar:?}");
+        // Long names truncate to the gutter; every row stays aligned.
+        for line in text.lines().skip(1) {
+            assert_eq!(line.find('|'), Some(LABEL + 1), "aligned: {line:?}");
+        }
     }
 }

@@ -1,7 +1,21 @@
 //! Chrome Trace Event JSON export (the format Perfetto and `chrome://
-//! tracing` load): one *process* per probe (engine), a "phases" thread
-//! carrying exact span slices, a counter track per active resource
+//! tracing` load): one *process* per probe (engine), "phases" thread
+//! lanes carrying exact span slices, a counter track per active resource
 //! (busy fraction, mean queue depth), and a task-concurrency counter.
+//!
+//! Spans that run concurrently (an admission-scheduled mix) are spread
+//! across thread lanes so each lane holds only sequential-or-nested
+//! slices — trace viewers render one lane as a call stack, and a
+//! partially-overlapping pair on one lane draws as a lie (the
+//! [`crate::validate`] checker rejects it). Lane assignment is greedy
+//! lowest-free-lane over spans in start order, so a sequential run stays
+//! entirely on the familiar single "phases" lane.
+//!
+//! When a [`CritPathReport`] for the same run is supplied
+//! ([`chrome_trace_annotated`]), each span slice carries its blame
+//! breakdown in `args.crit` — per-kind critical-path service/queue-wait
+//! microseconds plus the dominant verdict — so clicking a phase in
+//! Perfetto answers "why was this slow" directly.
 //!
 //! Timestamps are microseconds (the format's unit); bucketed counters are
 //! emitted delta-style — a sample only when the value changes — so steady
@@ -9,6 +23,7 @@
 //! and buckets are iterated in index order and floats use fixed-precision
 //! formatting.
 
+use crate::critpath::CritPathReport;
 use crate::json::{escape, num};
 use crate::timeline::TimelineProbe;
 use simkit::SimTime;
@@ -21,23 +36,67 @@ fn us(t: SimTime) -> String {
 /// probe)` pair becomes a process; pass one pair per engine to see e.g.
 /// Hive and PDW side by side on a shared time axis.
 pub fn chrome_trace(procs: &[(&str, &TimelineProbe)]) -> String {
+    let plain: Vec<(&str, &TimelineProbe, Option<&CritPathReport>)> =
+        procs.iter().map(|&(n, p)| (n, p, None)).collect();
+    chrome_trace_annotated(&plain)
+}
+
+/// [`chrome_trace`] with optional per-process critical-path blame
+/// annotations riding on the span slices (see the module docs).
+pub fn chrome_trace_annotated(procs: &[(&str, &TimelineProbe, Option<&CritPathReport>)]) -> String {
     let mut events: Vec<String> = Vec::new();
-    for (i, (name, probe)) in procs.iter().enumerate() {
+    for (i, (name, probe, report)) in procs.iter().enumerate() {
         let pid = i + 1;
         events.push(format!(
             r#"{{"ph":"M","pid":{pid},"tid":0,"name":"process_name","args":{{"name":{}}}}}"#,
             escape(name)
         ));
-        events.push(format!(
-            r#"{{"ph":"M","pid":{pid},"tid":1,"name":"thread_name","args":{{"name":"phases"}}}}"#
-        ));
-        for span in probe.spans() {
-            let args = match span.node {
-                Some(n) => format!(r#","args":{{"node":{n}}}"#),
-                None => String::new(),
+        let lanes = assign_lanes(probe.spans());
+        let nlanes = lanes.iter().copied().max().map_or(1, |l| l + 1);
+        for lane in 0..nlanes {
+            let label = if lane == 0 {
+                "phases".to_string()
+            } else {
+                format!("phases {}", lane + 1)
             };
             events.push(format!(
-                r#"{{"ph":"X","pid":{pid},"tid":1,"cat":"phase","name":{},"ts":{},"dur":{}{args}}}"#,
+                r#"{{"ph":"M","pid":{pid},"tid":{},"name":"thread_name","args":{{"name":{}}}}}"#,
+                lane + 1,
+                escape(&label)
+            ));
+        }
+        for (span, lane) in probe.spans().iter().zip(&lanes) {
+            let mut kvs: Vec<String> = Vec::new();
+            if let Some(n) = span.node {
+                kvs.push(format!(r#""node":{n}"#));
+            }
+            if let Some(b) = report.and_then(|r| r.find(&span.name, span.start)) {
+                let mut crit: Vec<String> = b
+                    .components()
+                    .iter()
+                    .filter(|(_, v)| *v > 0)
+                    .map(|(label, v)| format!(r#"{}:{}"#, escape(label), us(*v)))
+                    .collect();
+                if b.elapsed() > 0 {
+                    let (label, v) = b.dominant();
+                    crit.push(format!(
+                        r#""dominant":{}"#,
+                        escape(&format!(
+                            "{label} {:.0}%",
+                            v as f64 * 100.0 / b.elapsed() as f64
+                        ))
+                    ));
+                }
+                kvs.push(format!(r#""crit":{{{}}}"#, crit.join(",")));
+            }
+            let args = if kvs.is_empty() {
+                String::new()
+            } else {
+                format!(r#","args":{{{}}}"#, kvs.join(","))
+            };
+            events.push(format!(
+                r#"{{"ph":"X","pid":{pid},"tid":{},"cat":"phase","name":{},"ts":{},"dur":{}{args}}}"#,
+                lane + 1,
                 escape(&span.name),
                 us(span.start),
                 us(span.end.saturating_sub(span.start)),
@@ -87,6 +146,42 @@ pub fn chrome_trace(procs: &[(&str, &TimelineProbe)]) -> String {
     out
 }
 
+/// Greedy lane assignment: process spans in start order (longest first at
+/// ties) and place each on the lowest lane where it either starts after
+/// everything already there or nests fully inside the lane's innermost
+/// still-open span. Returns one lane index per span, in `spans` order.
+fn assign_lanes(spans: &[crate::timeline::SpanRec]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..spans.len()).collect();
+    order.sort_by(|&a, &b| {
+        spans[a]
+            .start
+            .cmp(&spans[b].start)
+            .then(spans[b].end.cmp(&spans[a].end))
+            .then(a.cmp(&b))
+    });
+    // Per lane: stack of open span end times (innermost last).
+    let mut lanes: Vec<Vec<SimTime>> = Vec::new();
+    let mut out = vec![0usize; spans.len()];
+    for idx in order {
+        let s = &spans[idx];
+        let lane = (0..lanes.len())
+            .find(|&l| {
+                let open = &mut lanes[l];
+                while open.last().is_some_and(|&e| e <= s.start) {
+                    open.pop();
+                }
+                open.last().is_none_or(|&e| s.end <= e)
+            })
+            .unwrap_or_else(|| {
+                lanes.push(Vec::new());
+                lanes.len() - 1
+            });
+        lanes[lane].push(s.end);
+        out[idx] = lane;
+    }
+    out
+}
+
 /// Emit one counter's samples, bucket by bucket, skipping repeats and
 /// closing with a zero sample after the last bucket.
 fn counter_track(
@@ -123,6 +218,7 @@ fn counter_track(
 mod tests {
     use super::*;
     use crate::json::parse;
+    use crate::validate::validate_text;
     use simkit::{secs, Sim};
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -136,6 +232,7 @@ mod tests {
             at: 0,
             name: "scan",
             node: Some(0),
+            id: 0,
         });
         for _ in 0..2 {
             sim.use_resource(disk, secs(1.0), |_, _| {});
@@ -145,6 +242,7 @@ mod tests {
             at: end,
             name: "scan",
             node: Some(0),
+            id: 0,
         });
         sim.set_probe(None);
         Rc::try_unwrap(probe).expect("sole owner").into_inner()
@@ -168,6 +266,8 @@ mod tests {
         assert_eq!(span.get("name").and_then(|n| n.as_str()), Some("scan"));
         assert_eq!(span.get("ts").and_then(|t| t.as_f64()), Some(0.0));
         assert_eq!(span.get("dur").and_then(|d| d.as_f64()), Some(2e6));
+        // A sequential run stays on the single "phases" lane.
+        assert_eq!(span.get("tid").and_then(|t| t.as_f64()), Some(1.0));
         // Busy and queue counter tracks exist for the disk.
         for track in ["node0.disk0 busy", "node0.disk0 queue"] {
             assert!(
@@ -184,5 +284,111 @@ mod tests {
         let a = chrome_trace(&[("x", &sample_probe())]);
         let b = chrome_trace(&[("x", &sample_probe())]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlapping_spans_spread_across_lanes_and_validate() {
+        // Two partially-overlapping jobs plus a nested child: jobs get
+        // separate lanes, the child shares its parent's.
+        let mut probe = TimelineProbe::new(secs(1.0));
+        let ev = |ph: &str, at, name: &'static str, id| {
+            if ph == "B" {
+                simkit::ProbeEvent::SpanOpened {
+                    at,
+                    name,
+                    node: None,
+                    id,
+                }
+            } else {
+                simkit::ProbeEvent::SpanClosed {
+                    at,
+                    name,
+                    node: None,
+                    id,
+                }
+            }
+        };
+        use simkit::probe::Probe as _;
+        probe.on_event(&ev("B", 0, "job-a", 0));
+        probe.on_event(&ev("B", secs(1.0), "job-a/step", 1));
+        probe.on_event(&ev("E", secs(3.0), "job-a/step", 1));
+        probe.on_event(&ev("B", secs(2.0), "job-b", 2));
+        probe.on_event(&ev("E", secs(4.0), "job-a", 0));
+        probe.on_event(&ev("E", secs(6.0), "job-b", 2));
+        let doc = chrome_trace(&[("mix", &probe)]);
+        let sum = validate_text(&doc).expect("lanes make the trace validate");
+        assert_eq!(sum.spans, 3);
+        let v = parse(&doc).expect("json");
+        let tid_of = |name: &str| {
+            v.get("traceEvents")
+                .and_then(|e| e.as_arr())
+                .unwrap()
+                .iter()
+                .find(|e| {
+                    e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                        && e.get("name").and_then(|n| n.as_str()) == Some(name)
+                })
+                .and_then(|e| e.get("tid"))
+                .and_then(|t| t.as_f64())
+                .unwrap()
+        };
+        assert_eq!(tid_of("job-a"), 1.0);
+        assert_eq!(tid_of("job-a/step"), 1.0, "nested child shares the lane");
+        assert_eq!(tid_of("job-b"), 2.0, "overlapping job moves to lane 2");
+    }
+
+    #[test]
+    fn blame_annotations_ride_on_span_args() {
+        let mut sim: Sim<()> = Sim::new();
+        let tl = Rc::new(RefCell::new(TimelineProbe::new(secs(1.0))));
+        let cp = Rc::new(RefCell::new(crate::CritPathProbe::new()));
+        let tee = crate::Tee::of(vec![tl.clone(), cp.clone()]);
+        sim.set_probe(Some(Rc::new(RefCell::new(tee))));
+        let disk = sim.add_resource("node0.disk0", 1);
+        let sid = sim.next_span_id();
+        sim.emit_probe(simkit::ProbeEvent::SpanOpened {
+            at: 0,
+            name: "scan",
+            node: None,
+            id: sid,
+        });
+        let prev = sim.set_probe_ctx(Some(sid));
+        sim.use_resource(disk, secs(2.0), |_, _| {});
+        sim.set_probe_ctx(prev);
+        let end = sim.run(&mut ());
+        sim.emit_probe(simkit::ProbeEvent::SpanClosed {
+            at: end,
+            name: "scan",
+            node: None,
+            id: sid,
+        });
+        sim.set_probe(None);
+        let report = Rc::try_unwrap(cp)
+            .map(|c| c.into_inner().report())
+            .unwrap_or_else(|_| panic!("sole owner"));
+        let tl = Rc::try_unwrap(tl).expect("sole owner").into_inner();
+        let doc = chrome_trace_annotated(&[("pdw", &tl, Some(&report))]);
+        validate_text(&doc).expect("annotated trace validates");
+        let v = parse(&doc).expect("json");
+        let span = v
+            .get("traceEvents")
+            .and_then(|e| e.as_arr())
+            .unwrap()
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .expect("span");
+        let crit = span
+            .get("args")
+            .and_then(|a| a.get("crit"))
+            .expect("crit annotation");
+        assert_eq!(
+            crit.get("disk.svc").and_then(|d| d.as_f64()),
+            Some(2e6),
+            "2s of disk service in µs"
+        );
+        assert_eq!(
+            crit.get("dominant").and_then(|d| d.as_str()),
+            Some("disk.svc 100%")
+        );
     }
 }

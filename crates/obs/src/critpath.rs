@@ -1,0 +1,501 @@
+//! Critical-path extraction and blame attribution.
+//!
+//! The probe stream says *what happened*; this module says *why it took
+//! that long*. [`CritPathProbe`] reconstructs each phase span's blocking
+//! structure from the kernel's span↔resource linkage (every
+//! `Enqueued`/`ServiceStarted`/`ServiceCompleted` carries the issuing
+//! span's id as `ctx` — see `simkit::probe`), walks the span backwards
+//! along its last-blocking requests, and partitions **every nanosecond**
+//! of the span's elapsed time into:
+//!
+//! * `<kind>.svc` — a disk / CPU / NIC server was doing this span's work,
+//! * `<kind>.que` — the span's last-blocking request sat queued behind
+//!   other work (contention), or
+//! * `stall` — no request of the span was outstanding (setup delays,
+//!   dispatch gaps, slot waits, barriers).
+//!
+//! The walk is exact: the segments tile `[start, end]` with no gaps or
+//! overlaps, so per-span blame sums to the span's elapsed time and the
+//! critical path can never exceed wall clock (`crates/obs/tests/`
+//! pins both as properties). Everything is integer arithmetic over the
+//! deterministic probe stream, so the report is byte-reproducible and
+//! CI byte-diff gates it (`results/critpath_q5.txt`).
+
+use simkit::probe::{Probe, ProbeEvent};
+use simkit::trace::ResKind;
+use simkit::SimTime;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Classify a cluster resource by its conventional name (same rules the
+/// ASCII strips use). Unknown names fall out of per-kind blame and their
+/// time reports as `stall`.
+fn kind_of(name: &str) -> Option<ResKind> {
+    if name.contains("disk") || name.contains("hdfs") {
+        Some(ResKind::Disk)
+    } else if name.contains("cpu") {
+        Some(ResKind::Cpu)
+    } else if name.contains("nic") || name.contains(".rx") || name.contains(".tx") {
+        Some(ResKind::Net)
+    } else {
+        None
+    }
+}
+
+/// What one critical-path segment was waiting on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlameKind {
+    /// A server of this resource kind was serving the span's request.
+    Service(ResKind),
+    /// The span's last-blocking request was queued on this resource kind.
+    Queue(ResKind),
+    /// No request of the span was outstanding (setup, dispatch, barrier).
+    Stall,
+}
+
+/// One segment of a span's critical path; segments tile `[start, end]`.
+#[derive(Clone, Copy, Debug)]
+pub struct CritSeg {
+    pub from: SimTime,
+    pub to: SimTime,
+    pub kind: BlameKind,
+}
+
+/// A completed request of one span, as seen by the probe.
+#[derive(Clone, Copy, Debug)]
+struct DoneReq {
+    enq: SimTime,
+    start: SimTime,
+    done: SimTime,
+    kind: Option<ResKind>,
+    req: u64,
+}
+
+/// Per-span blame: the critical path and its per-kind totals.
+#[derive(Clone, Debug)]
+pub struct SpanBlame {
+    pub name: String,
+    pub node: Option<usize>,
+    pub start: SimTime,
+    pub end: SimTime,
+    /// Completed requests the span issued (all of them, not just the ones
+    /// on the critical path).
+    pub requests: usize,
+    /// Critical-path service time per [`ResKind::ALL`] order.
+    pub service: [SimTime; 3],
+    /// Critical-path queue wait per [`ResKind::ALL`] order.
+    pub queue: [SimTime; 3],
+    /// Critical-path time with no outstanding request.
+    pub stall: SimTime,
+    /// The path itself, in time order.
+    pub path: Vec<CritSeg>,
+}
+
+impl SpanBlame {
+    pub fn elapsed(&self) -> SimTime {
+        self.end - self.start
+    }
+
+    /// Total length of the critical-path segments. Equal to
+    /// [`SpanBlame::elapsed`] by construction (property-tested).
+    pub fn path_len(&self) -> SimTime {
+        self.path.iter().map(|s| s.to - s.from).sum()
+    }
+
+    /// All seven blame components in render order, as `(label, ns)`.
+    pub fn components(&self) -> [(&'static str, SimTime); 7] {
+        [
+            (svc_label(ResKind::Disk), self.service[0]),
+            (que_label(ResKind::Disk), self.queue[0]),
+            (svc_label(ResKind::Cpu), self.service[1]),
+            (que_label(ResKind::Cpu), self.queue[1]),
+            (svc_label(ResKind::Net), self.service[2]),
+            (que_label(ResKind::Net), self.queue[2]),
+            ("stall", self.stall),
+        ]
+    }
+
+    /// The dominant blame component as `(label, ns)`.
+    pub fn dominant(&self) -> (&'static str, SimTime) {
+        let mut best = ("stall", self.stall);
+        for (i, k) in ResKind::ALL.iter().enumerate() {
+            for (label, v) in [
+                (svc_label(*k), self.service[i]),
+                (que_label(*k), self.queue[i]),
+            ] {
+                if v > best.1 {
+                    best = (label, v);
+                }
+            }
+        }
+        best
+    }
+}
+
+fn svc_label(k: ResKind) -> &'static str {
+    match k {
+        ResKind::Disk => "disk.svc",
+        ResKind::Cpu => "cpu.svc",
+        ResKind::Net => "net.svc",
+    }
+}
+
+fn que_label(k: ResKind) -> &'static str {
+    match k {
+        ResKind::Disk => "disk.que",
+        ResKind::Cpu => "cpu.que",
+        ResKind::Net => "net.que",
+    }
+}
+
+/// A span still open (or being accumulated) in the collector.
+struct SpanState {
+    name: String,
+    node: Option<usize>,
+    start: SimTime,
+    reqs: Vec<DoneReq>,
+}
+
+/// A request in flight: enqueue/start times plus its resource.
+#[derive(Clone, Copy)]
+struct LiveReq {
+    enq: SimTime,
+    start: SimTime,
+    res: usize,
+    ctx: u64,
+}
+
+/// Passive collector probe: feed it a run (alone or fanned out behind a
+/// [`crate::Tee`] next to a [`crate::TimelineProbe`]) and call
+/// [`CritPathProbe::report`] at the end.
+#[derive(Default)]
+pub struct CritPathProbe {
+    /// Resource kind by dense resource index.
+    kinds: Vec<Option<ResKind>>,
+    /// In-flight requests by kernel request id.
+    live: BTreeMap<u64, LiveReq>,
+    /// Open spans by span id.
+    open: BTreeMap<u64, SpanState>,
+    /// Closed spans with their blame, in close order.
+    spans: Vec<SpanBlame>,
+    /// Completed ctx-tagged requests whose span was not open (should not
+    /// happen with the cluster executor; counted, never silently dropped).
+    pub orphaned: u64,
+}
+
+impl CritPathProbe {
+    pub fn new() -> CritPathProbe {
+        CritPathProbe::default()
+    }
+
+    /// Blame for every closed span, in close order.
+    pub fn spans(&self) -> &[SpanBlame] {
+        &self.spans
+    }
+
+    /// Finish and summarize: consumes the collector, returns the report.
+    pub fn report(self) -> CritPathReport {
+        let start = self.spans.iter().map(|s| s.start).min().unwrap_or(0);
+        let end = self.spans.iter().map(|s| s.end).max().unwrap_or(0);
+        CritPathReport {
+            spans: self.spans,
+            start,
+            end,
+            orphaned: self.orphaned,
+        }
+    }
+
+    fn close_span(&mut self, id: u64, end: SimTime) {
+        let Some(st) = self.open.remove(&id) else {
+            return;
+        };
+        self.spans.push(blame(st, end));
+    }
+}
+
+/// Walk `[start, end]` backwards: at each point the blame goes to the
+/// last-blocking request — the completed request with the latest `done`
+/// among those already enqueued. Its service interval blames the
+/// resource's kind as `.svc`, its queue interval as `.que`, and any gap
+/// until the next blocker is `stall`. Ties break on the kernel request id,
+/// so the walk is deterministic.
+fn blame(st: SpanState, end: SimTime) -> SpanBlame {
+    let SpanState {
+        name,
+        node,
+        start,
+        mut reqs,
+    } = st;
+    reqs.sort_by(|a, b| {
+        b.done
+            .cmp(&a.done)
+            .then(b.start.cmp(&a.start))
+            .then(b.enq.cmp(&a.enq))
+            .then(a.req.cmp(&b.req))
+    });
+    let mut path: Vec<CritSeg> = Vec::new();
+    let mut push = |kind: BlameKind, from: SimTime, to: SimTime| {
+        if to > from {
+            path.push(CritSeg { from, to, kind });
+        }
+    };
+    let mut t = end;
+    let mut i = 0;
+    while t > start {
+        // Requests enqueued at or after `t` can never block `[start, t)`;
+        // `t` only decreases, so the cursor never backtracks.
+        while i < reqs.len() && reqs[i].enq >= t {
+            i += 1;
+        }
+        let Some(r) = reqs.get(i).copied() else {
+            push(BlameKind::Stall, start, t);
+            break;
+        };
+        let done = r.done.min(t);
+        if done <= start {
+            // The latest blocker finished before the span even started
+            // (clock clamp); everything left is stall.
+            push(BlameKind::Stall, start, t);
+            break;
+        }
+        push(BlameKind::Stall, done, t);
+        let kind = r.kind.map_or(BlameKind::Stall, BlameKind::Service);
+        let svc_from = r.start.max(start).min(done);
+        push(kind, svc_from, done);
+        let kind = r.kind.map_or(BlameKind::Stall, BlameKind::Queue);
+        let que_from = r.enq.max(start).min(svc_from);
+        push(kind, que_from, svc_from);
+        t = que_from;
+        i += 1;
+    }
+    path.reverse();
+    let mut service = [0; 3];
+    let mut queue = [0; 3];
+    let mut stall = 0;
+    for seg in &path {
+        let len = seg.to - seg.from;
+        match seg.kind {
+            BlameKind::Service(k) => {
+                service[ResKind::ALL.iter().position(|x| *x == k).expect("in ALL")] += len
+            }
+            BlameKind::Queue(k) => {
+                queue[ResKind::ALL.iter().position(|x| *x == k).expect("in ALL")] += len
+            }
+            BlameKind::Stall => stall += len,
+        }
+    }
+    SpanBlame {
+        name,
+        node,
+        start,
+        end,
+        requests: reqs.len(),
+        service,
+        queue,
+        stall,
+        path,
+    }
+}
+
+impl Probe for CritPathProbe {
+    fn on_event(&mut self, ev: &ProbeEvent<'_>) {
+        match *ev {
+            ProbeEvent::ResourceRegistered { res, name, .. } => {
+                let i = res.index();
+                if self.kinds.len() <= i {
+                    self.kinds.resize(i + 1, None);
+                }
+                self.kinds[i] = kind_of(name);
+            }
+            ProbeEvent::Enqueued {
+                at,
+                res,
+                req,
+                ctx: Some(ctx),
+                ..
+            } => {
+                self.live.insert(
+                    req,
+                    LiveReq {
+                        enq: at,
+                        start: at,
+                        res: res.index(),
+                        ctx,
+                    },
+                );
+            }
+            ProbeEvent::ServiceStarted { at, req, .. } => {
+                if let Some(r) = self.live.get_mut(&req) {
+                    r.start = at;
+                }
+            }
+            ProbeEvent::ServiceCompleted { at, req, .. } => {
+                let Some(r) = self.live.remove(&req) else {
+                    return;
+                };
+                match self.open.get_mut(&r.ctx) {
+                    Some(span) => span.reqs.push(DoneReq {
+                        enq: r.enq,
+                        start: r.start,
+                        done: at,
+                        kind: self.kinds.get(r.res).copied().flatten(),
+                        req,
+                    }),
+                    None => self.orphaned += 1,
+                }
+            }
+            ProbeEvent::SpanOpened { at, name, node, id } => {
+                self.open.insert(
+                    id,
+                    SpanState {
+                        name: name.to_string(),
+                        node,
+                        start: at,
+                        reqs: Vec::new(),
+                    },
+                );
+            }
+            ProbeEvent::SpanClosed { at, id, .. } => {
+                self.close_span(id, at);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The finished analysis: per-span blame plus run totals.
+#[derive(Clone, Debug)]
+pub struct CritPathReport {
+    pub spans: Vec<SpanBlame>,
+    pub start: SimTime,
+    pub end: SimTime,
+    pub orphaned: u64,
+}
+
+impl CritPathReport {
+    /// Run totals in render order:
+    /// `(elapsed, service[3], queue[3], stall, requests)`.
+    pub fn totals(&self) -> (SimTime, [SimTime; 3], [SimTime; 3], SimTime, usize) {
+        let mut elapsed = 0;
+        let mut service = [0; 3];
+        let mut queue = [0; 3];
+        let mut stall = 0;
+        let mut requests = 0;
+        for s in &self.spans {
+            elapsed += s.elapsed();
+            for i in 0..3 {
+                service[i] += s.service[i];
+                queue[i] += s.queue[i];
+            }
+            stall += s.stall;
+            requests += s.requests;
+        }
+        (elapsed, service, queue, stall, requests)
+    }
+
+    /// Blame for the span named `name` starting nearest `start` (Chrome
+    /// annotation lookup).
+    pub fn find(&self, name: &str, start: SimTime) -> Option<&SpanBlame> {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .min_by_key(|s| s.start.abs_diff(start))
+    }
+
+    /// Deterministic text report: one row per span, a totals row, and a
+    /// blame summary line. This is the byte-diff-gated artifact body.
+    pub fn render(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical path {title}: {:.1}s .. {:.1}s",
+            self.start as f64 / 1e9,
+            self.end as f64 / 1e9
+        );
+        let _ = writeln!(
+            out,
+            "{:<24} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>6}  verdict",
+            "phase",
+            "elapsed",
+            "disk.svc",
+            "disk.que",
+            "cpu.svc",
+            "cpu.que",
+            "net.svc",
+            "net.que",
+            "stall",
+            "reqs"
+        );
+        let secs = |t: SimTime| format!("{:.1}s", t as f64 / 1e9);
+        let row = |out: &mut String,
+                   name: &str,
+                   elapsed: SimTime,
+                   service: &[SimTime; 3],
+                   queue: &[SimTime; 3],
+                   stall: SimTime,
+                   reqs: usize,
+                   verdict: String| {
+            let name: String = name.chars().take(24).collect();
+            let _ = writeln!(
+                out,
+                "{name:<24} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {reqs:>6}  {verdict}",
+                secs(elapsed),
+                secs(service[0]),
+                secs(queue[0]),
+                secs(service[1]),
+                secs(queue[1]),
+                secs(service[2]),
+                secs(queue[2]),
+                secs(stall),
+            );
+        };
+        for s in &self.spans {
+            let verdict = if s.elapsed() == 0 {
+                "-".to_string()
+            } else {
+                let (label, v) = s.dominant();
+                format!("{label} {:.0}%", v as f64 * 100.0 / s.elapsed() as f64)
+            };
+            row(
+                &mut out,
+                &s.name,
+                s.elapsed(),
+                &s.service,
+                &s.queue,
+                s.stall,
+                s.requests,
+                verdict,
+            );
+        }
+        let (elapsed, service, queue, stall, requests) = self.totals();
+        row(
+            &mut out,
+            "total",
+            elapsed,
+            &service,
+            &queue,
+            stall,
+            requests,
+            String::new(),
+        );
+        // A compact one-line summary for humans and greppers.
+        if elapsed > 0 {
+            let pct = |v: SimTime| v as f64 * 100.0 / elapsed as f64;
+            let mut parts: Vec<String> = Vec::new();
+            for (i, k) in ResKind::ALL.iter().enumerate() {
+                parts.push(format!("{} {:.1}%", svc_label(*k), pct(service[i])));
+                parts.push(format!("{} {:.1}%", que_label(*k), pct(queue[i])));
+            }
+            parts.push(format!("stall {:.1}%", pct(stall)));
+            let _ = writeln!(out, "blame: {}", parts.join(" · "));
+        }
+        if self.orphaned > 0 {
+            let _ = writeln!(
+                out,
+                "({} requests completed outside any span)",
+                self.orphaned
+            );
+        }
+        out
+    }
+}

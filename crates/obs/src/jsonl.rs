@@ -91,12 +91,16 @@ mod tests {
             at: 0,
             name: "phase \"quoted\"",
             node: None,
+            id: 0,
         });
         probe.on_event(&ProbeEvent::Enqueued {
             at: 0,
             res: r,
             service: secs(1.0),
             waiting: 1,
+            req: 0,
+            ctx: Some(0),
+            client: None,
         });
         probe.on_event(&ProbeEvent::ServiceStarted {
             at: 0,
@@ -104,16 +108,23 @@ mod tests {
             service: secs(1.0),
             wait: 0,
             waiting: 0,
+            req: 0,
+            ctx: Some(0),
+            client: None,
         });
         probe.on_event(&ProbeEvent::ServiceCompleted {
             at: secs(1.0),
             res: r,
             waiting: 0,
+            req: 0,
+            ctx: Some(0),
+            client: None,
         });
         probe.on_event(&ProbeEvent::SpanClosed {
             at: secs(1.0),
             name: "phase \"quoted\"",
             node: None,
+            id: 0,
         });
         let _ = ResourceId::index(r);
         let text = jsonl("hive", &probe);

@@ -1,0 +1,382 @@
+//! Deterministic streaming metric registry.
+//!
+//! PR 4's observability plane records everything and folds it *after* the
+//! run ([`crate::WindowedLatencies`], [`crate::TimelineProbe`]). This
+//! module is the live half: counters, gauges, and sliding-window latency
+//! histograms keyed by `(engine, op, shard, tenant)` that are updated
+//! **incrementally** as samples arrive, so a sensor inside a running
+//! experiment (the `pdw::FeedbackCosts` loop, an elasticity balancer, an
+//! SLO evaluator) can read current values mid-flight instead of waiting
+//! for the end-of-run fold.
+//!
+//! Everything here is plain deterministic bookkeeping: `BTreeMap` keying,
+//! integer window arithmetic, [`LatencyHistogram`] bucketing. Feeding the
+//! same sample stream always produces the same registry, and the windows
+//! are **bit-identical** to the post-hoc [`crate::WindowedLatencies`] fold
+//! over the same stream (`crates/obs/tests/streaming.rs` pins this as a
+//! property; [`MetricRegistry::to_windowed`] materializes the fold view).
+
+use simkit::stats::LatencyHistogram;
+use simkit::SimTime;
+use std::collections::BTreeMap;
+
+/// Metric identity: which engine, which operation, which shard (if the
+/// store is sharded), which tenant (if the workload is multi-tenant).
+/// `None` dimensions collapse — a single-tenant run keys everything under
+/// `tenant: None` and reads identically to before tenancy existed.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    pub engine: String,
+    pub op: String,
+    pub shard: Option<usize>,
+    pub tenant: Option<u32>,
+}
+
+impl MetricKey {
+    pub fn new(
+        engine: impl Into<String>,
+        op: impl Into<String>,
+        shard: Option<usize>,
+        tenant: Option<u32>,
+    ) -> MetricKey {
+        MetricKey {
+            engine: engine.into(),
+            op: op.into(),
+            shard,
+            tenant,
+        }
+    }
+}
+
+/// A ring of per-window [`LatencyHistogram`]s over fixed windows of
+/// `width` ns starting at `t0`, retaining the most recent `cap` windows.
+/// Window `w` covers `[t0 + w*width, t0 + (w+1)*width)` — exactly the
+/// arithmetic [`crate::WindowedLatencies::record`] uses, which is what
+/// makes the bit-identity proof possible.
+///
+/// Samples must arrive in non-decreasing `at` order (probe streams and op
+/// observers are emitted from the deterministic event loop, so they do).
+#[derive(Clone, Debug)]
+pub struct SlidingWindows {
+    t0: SimTime,
+    width: SimTime,
+    /// Ring slots; slot = window index % cap.
+    ring: Vec<LatencyHistogram>,
+    /// Highest absolute window index seen so far.
+    hi: u64,
+    /// Whether any sample has arrived (distinguishes "window 0 live" from
+    /// "nothing yet").
+    any: bool,
+}
+
+impl SlidingWindows {
+    pub fn new(t0: SimTime, width: SimTime, cap: usize) -> SlidingWindows {
+        assert!(width > 0 && cap > 0);
+        SlidingWindows {
+            t0,
+            width,
+            ring: (0..cap).map(|_| LatencyHistogram::new()).collect(),
+            hi: 0,
+            any: false,
+        }
+    }
+
+    pub fn width(&self) -> SimTime {
+        self.width
+    }
+
+    pub fn start(&self) -> SimTime {
+        self.t0
+    }
+
+    /// Highest window index with data so far (0 if nothing recorded).
+    pub fn hi(&self) -> u64 {
+        self.hi
+    }
+
+    /// Record one sample. Samples before `t0` are dropped (same rule as
+    /// the fold); windows older than the retained `cap` are gone.
+    pub fn record(&mut self, at: SimTime, v: SimTime) {
+        if at < self.t0 {
+            return;
+        }
+        let w = (at - self.t0) / self.width;
+        if w > self.hi {
+            // Advance the ring, clearing every slot the clock skipped.
+            let first_new = self.hi + 1;
+            let from = if w - first_new >= self.ring.len() as u64 {
+                w + 1 - self.ring.len() as u64
+            } else {
+                first_new
+            };
+            for i in from..=w {
+                let slot = (i % self.ring.len() as u64) as usize;
+                self.ring[slot].clear();
+            }
+            self.hi = w;
+        }
+        self.any = true;
+        let slot = (w % self.ring.len() as u64) as usize;
+        self.ring[slot].record(v);
+    }
+
+    /// The histogram for absolute window `w`, if it is still retained
+    /// (within `cap` of the most recent window) and not in the future.
+    pub fn window(&self, w: u64) -> Option<&LatencyHistogram> {
+        if !self.any || w > self.hi || w + self.ring.len() as u64 <= self.hi {
+            return None;
+        }
+        Some(&self.ring[(w % self.ring.len() as u64) as usize])
+    }
+
+    /// Merge of the retained windows in `lo..=hi` (missing ones skipped).
+    pub fn merged(&self, lo: u64, hi: u64) -> LatencyHistogram {
+        let mut m = LatencyHistogram::new();
+        for w in lo..=hi {
+            if let Some(h) = self.window(w) {
+                m.merge(h);
+            }
+        }
+        m
+    }
+}
+
+/// The streaming registry: counters, gauges, and sliding-window latency
+/// histograms, all keyed by [`MetricKey`]. One registry per run; feed it
+/// from an op observer or a probe and read it at any point.
+pub struct MetricRegistry {
+    t0: SimTime,
+    width: SimTime,
+    cap: usize,
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    latencies: BTreeMap<MetricKey, SlidingWindows>,
+}
+
+impl MetricRegistry {
+    /// Latency windows of `width` ns starting at `t0`, retaining `cap`
+    /// windows per key.
+    pub fn new(t0: SimTime, width: SimTime, cap: usize) -> MetricRegistry {
+        assert!(width > 0 && cap > 0);
+        MetricRegistry {
+            t0,
+            width,
+            cap,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            latencies: BTreeMap::new(),
+        }
+    }
+
+    pub fn window_width(&self) -> SimTime {
+        self.width
+    }
+
+    pub fn start(&self) -> SimTime {
+        self.t0
+    }
+
+    /// Increment a counter by `n`.
+    pub fn add(&mut self, key: MetricKey, n: u64) {
+        *self.counters.entry(key).or_insert(0) += n;
+    }
+
+    /// Increment a counter by one.
+    pub fn inc(&mut self, key: MetricKey) {
+        self.add(key, 1);
+    }
+
+    /// Set a gauge to its latest value.
+    pub fn set_gauge(&mut self, key: MetricKey, v: f64) {
+        self.gauges.insert(key, v);
+    }
+
+    /// Record one latency sample (and bump the key's op counter).
+    pub fn observe(&mut self, key: MetricKey, at: SimTime, latency: SimTime) {
+        self.add(key.clone(), 1);
+        let (t0, width, cap) = (self.t0, self.width, self.cap);
+        self.latencies
+            .entry(key)
+            .or_insert_with(|| SlidingWindows::new(t0, width, cap))
+            .record(at, latency);
+    }
+
+    pub fn counter(&self, key: &MetricKey) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    pub fn gauge(&self, key: &MetricKey) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    pub fn latency(&self, key: &MetricKey) -> Option<&SlidingWindows> {
+        self.latencies.get(key)
+    }
+
+    /// Iterate latency keys in sorted (deterministic) order.
+    pub fn latency_keys(&self) -> impl Iterator<Item = &MetricKey> {
+        self.latencies.keys()
+    }
+
+    /// Distinct `(engine, op)` pairs with latency data, sorted.
+    pub fn ops(&self) -> Vec<(&str, &str)> {
+        let mut v: Vec<(&str, &str)> = self
+            .latencies
+            .keys()
+            .map(|k| (k.engine.as_str(), k.op.as_str()))
+            .collect();
+        v.dedup();
+        v
+    }
+
+    /// Tenants seen for `(engine, op)`, sorted; `None` excluded.
+    pub fn tenants(&self, engine: &str, op: &str) -> Vec<u32> {
+        let mut ts: Vec<u32> = self
+            .latencies
+            .keys()
+            .filter(|k| k.engine == engine && k.op == op)
+            .filter_map(|k| k.tenant)
+            .collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// Merge window `w` across shards and tenants of `(engine, op)` —
+    /// exact, because histogram merge is bucket-wise integer addition.
+    pub fn merged_window(&self, engine: &str, op: &str, w: u64) -> LatencyHistogram {
+        let mut m = LatencyHistogram::new();
+        for (k, s) in &self.latencies {
+            if k.engine == engine && k.op == op {
+                if let Some(h) = s.window(w) {
+                    m.merge(h);
+                }
+            }
+        }
+        m
+    }
+
+    /// Merge window `w` across shards of one `(engine, op, tenant)` cell.
+    pub fn tenant_window(
+        &self,
+        engine: &str,
+        op: &str,
+        tenant: Option<u32>,
+        w: u64,
+    ) -> LatencyHistogram {
+        let mut m = LatencyHistogram::new();
+        for (k, s) in &self.latencies {
+            if k.engine == engine && k.op == op && k.tenant == tenant {
+                if let Some(h) = s.window(w) {
+                    m.merge(h);
+                }
+            }
+        }
+        m
+    }
+
+    /// Materialize the classic post-hoc fold for `engine` over the first
+    /// `n` windows: a [`crate::WindowedLatencies`] keyed by `(op, shard)`
+    /// with tenants merged, bit-identical to having fed every sample to
+    /// the fold directly (requires `cap >= n` so no window was evicted).
+    pub fn to_windowed(&self, engine: &str, n: usize) -> crate::WindowedLatencies {
+        assert!(
+            n <= self.cap,
+            "registry retains {} windows, fold wants {n}",
+            self.cap
+        );
+        let mut wl = crate::WindowedLatencies::new(self.t0, self.width, n);
+        for (k, s) in &self.latencies {
+            if k.engine != engine {
+                continue;
+            }
+            for w in 0..n as u64 {
+                if let Some(h) = s.window(w) {
+                    if h.count() > 0 {
+                        wl.absorb(&k.op, k.shard, w as usize, h);
+                    }
+                }
+            }
+        }
+        wl
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::{millis, secs};
+
+    #[test]
+    fn sliding_windows_match_fixed_window_arithmetic() {
+        let mut sw = SlidingWindows::new(secs(4.0), secs(1.0), 8);
+        sw.record(secs(3.9), millis(1.0)); // before t0: dropped
+        sw.record(secs(4.0), millis(1.0)); // window 0
+        sw.record(secs(5.5), millis(2.0)); // window 1
+        sw.record(secs(6.999), millis(3.0)); // window 2
+        assert_eq!(sw.window(0).map(|h| h.count()), Some(1));
+        assert_eq!(sw.window(1).map(|h| h.count()), Some(1));
+        assert_eq!(sw.window(2).map(|h| h.count()), Some(1));
+        assert_eq!(sw.hi(), 2);
+        assert_eq!(sw.merged(0, 2).count(), 3);
+    }
+
+    #[test]
+    fn old_windows_evict_as_the_clock_advances() {
+        let mut sw = SlidingWindows::new(0, secs(1.0), 2);
+        sw.record(secs(0.5), millis(1.0)); // window 0
+        sw.record(secs(1.5), millis(2.0)); // window 1
+        assert!(sw.window(0).is_some());
+        sw.record(secs(2.5), millis(3.0)); // window 2 evicts window 0
+        assert!(sw.window(0).is_none());
+        assert_eq!(sw.window(1).map(|h| h.count()), Some(1));
+        assert_eq!(sw.window(2).map(|h| h.count()), Some(1));
+        // A long quiet gap clears every skipped slot: window 9 is still
+        // retained (within cap of the newest) but empty, older ones are gone.
+        sw.record(secs(10.2), millis(4.0)); // window 10
+        assert!(sw.window(2).is_none());
+        assert_eq!(sw.window(9).map(|h| h.count()), Some(0));
+        assert_eq!(sw.window(10).map(|h| h.count()), Some(1));
+    }
+
+    #[test]
+    fn registry_counters_gauges_and_keys_are_deterministic() {
+        let mut reg = MetricRegistry::new(0, secs(1.0), 4);
+        let k = |t| MetricKey::new("sqlcs", "read", Some(0), Some(t));
+        reg.inc(k(1));
+        reg.add(k(0), 3);
+        reg.set_gauge(MetricKey::new("sqlcs", "depth", None, None), 2.5);
+        reg.observe(k(0), secs(0.5), millis(5.0));
+        assert_eq!(reg.counter(&k(0)), 4); // 3 + the observe
+        assert_eq!(reg.counter(&k(1)), 1);
+        assert_eq!(
+            reg.gauge(&MetricKey::new("sqlcs", "depth", None, None)),
+            Some(2.5)
+        );
+        assert_eq!(reg.tenants("sqlcs", "read"), vec![0]);
+        assert_eq!(reg.ops(), vec![("sqlcs", "read")]);
+    }
+
+    #[test]
+    fn to_windowed_matches_direct_fold() {
+        let mut reg = MetricRegistry::new(secs(1.0), secs(2.0), 4);
+        let mut wl = crate::WindowedLatencies::new(secs(1.0), secs(2.0), 4);
+        let stream = [
+            ("read", Some(0), 2, secs(1.2), millis(3.0)),
+            ("read", Some(1), 0, secs(2.8), millis(7.0)),
+            ("update", Some(0), 1, secs(4.4), millis(9.0)),
+            ("read", Some(0), 2, secs(6.0), millis(2.0)),
+            ("update", Some(1), 3, secs(8.9), millis(1.0)),
+        ];
+        for (op, shard, tenant, at, lat) in stream {
+            reg.observe(MetricKey::new("mongo", op, shard, Some(tenant)), at, lat);
+            wl.record(op, shard, at, lat);
+        }
+        let derived = reg.to_windowed("mongo", 4);
+        for op in ["read", "update"] {
+            for w in 0..4 {
+                assert_eq!(derived.merged(op, w), wl.merged(op, w), "{op} w{w}");
+            }
+        }
+    }
+}

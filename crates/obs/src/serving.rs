@@ -81,6 +81,35 @@ impl WindowedLatencies {
         series.windows[w].record(latency);
     }
 
+    /// Merge a whole per-window histogram into `(label, shard, w)` — the
+    /// bridge that lets a streaming [`crate::metrics::MetricRegistry`]
+    /// materialize the classic fold view at end of run. Because bucketing
+    /// and [`LatencyHistogram::merge`] are exact, absorbing the registry's
+    /// windows gives bit-identical series to having called
+    /// [`WindowedLatencies::record`] per sample.
+    pub fn absorb(&mut self, label: &str, shard: Option<usize>, w: usize, h: &LatencyHistogram) {
+        if w >= self.n {
+            return;
+        }
+        let n = self.n;
+        let series = match self
+            .series
+            .iter_mut()
+            .position(|s| s.label == label && s.shard == shard)
+        {
+            Some(i) => &mut self.series[i],
+            None => {
+                self.series.push(Series {
+                    label: label.to_string(),
+                    shard,
+                    windows: (0..n).map(|_| LatencyHistogram::new()).collect(),
+                });
+                self.series.last_mut().expect("just pushed")
+            }
+        };
+        series.windows[w].merge(h);
+    }
+
     /// Distinct operation labels, sorted (deterministic report order).
     pub fn labels(&self) -> Vec<&str> {
         let mut ls: Vec<&str> = self.series.iter().map(|s| s.label.as_str()).collect();

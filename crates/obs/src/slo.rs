@@ -1,0 +1,253 @@
+//! Per-tenant SLO tracking: multi-window burn rates over the streaming
+//! histograms.
+//!
+//! An SLO here is "fraction of `op` operations under `threshold` must be
+//! at least `objective`" (e.g. 99% of reads under 10 ms). Following the
+//! multi-window burn-rate practice, compliance is evaluated over two
+//! horizons of the [`crate::metrics::MetricRegistry`]'s sliding windows:
+//! a *long* burn over every retained window (is the error budget being
+//! consumed at all?) and a *short* burn over the most recent few windows
+//! (is it being consumed *right now*?). A burn rate of 1.0 spends exactly
+//! the budget; paging only when **both** horizons burn hot suppresses
+//! both stale alerts (long-only) and blips (short-only).
+//!
+//! Everything reads the registry's deterministic histograms —
+//! [`simkit::stats::LatencyHistogram::count_over`] gives the breach count
+//! at bucket resolution — so reports are byte-reproducible and CI
+//! byte-diff gates them.
+
+use crate::metrics::MetricRegistry;
+use simkit::{as_millis, SimTime};
+use std::fmt::Write as _;
+
+/// One target: `objective` of `op` operations complete within
+/// `threshold`.
+#[derive(Clone, Debug)]
+pub struct SloPolicy {
+    pub op: String,
+    pub threshold: SimTime,
+    /// Target success fraction in `(0, 1)`, e.g. `0.99`.
+    pub objective: f64,
+}
+
+impl SloPolicy {
+    pub fn new(op: impl Into<String>, threshold: SimTime, objective: f64) -> SloPolicy {
+        let objective_ok = (0.0..1.0).contains(&objective) && objective > 0.0;
+        assert!(objective_ok, "objective must be in (0, 1)");
+        SloPolicy {
+            op: op.into(),
+            threshold,
+            objective,
+        }
+    }
+}
+
+/// Both-horizon burn verdict. Thresholds follow the common 14.4×/6×
+/// alerting ladder scaled to this harness's short runs: [`SloStatus::Page`]
+/// when both horizons burn ≥ 10× the budget rate, [`SloStatus::Warn`]
+/// when both burn ≥ 2×.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SloStatus {
+    Ok,
+    Warn,
+    Page,
+}
+
+const WARN_BURN: f64 = 2.0;
+const PAGE_BURN: f64 = 10.0;
+
+/// One `(tenant, policy)` evaluation.
+#[derive(Clone, Debug)]
+pub struct SloEval {
+    /// `None` aggregates every tenant (the whole-engine row).
+    pub tenant: Option<u32>,
+    pub op: String,
+    pub threshold: SimTime,
+    pub objective: f64,
+    /// Operations / breaches over the long horizon.
+    pub ops: u64,
+    pub breaches: u64,
+    pub burn_long: f64,
+    pub burn_short: f64,
+    pub status: SloStatus,
+}
+
+fn burn(breaches: u64, ops: u64, objective: f64) -> f64 {
+    if ops == 0 {
+        return 0.0;
+    }
+    (breaches as f64 / ops as f64) / (1.0 - objective)
+}
+
+fn status(burn_short: f64, burn_long: f64) -> SloStatus {
+    if burn_short >= PAGE_BURN && burn_long >= PAGE_BURN {
+        SloStatus::Page
+    } else if burn_short >= WARN_BURN && burn_long >= WARN_BURN {
+        SloStatus::Warn
+    } else {
+        SloStatus::Ok
+    }
+}
+
+/// Evaluate `policies` against `engine`'s streaming histograms: one row
+/// per seen tenant per policy (plus an all-tenants row when the run is
+/// multi-tenant), each with long-horizon burn over all retained windows
+/// and short-horizon burn over the last `short_windows`.
+pub fn evaluate(
+    reg: &MetricRegistry,
+    engine: &str,
+    policies: &[SloPolicy],
+    short_windows: u64,
+) -> Vec<SloEval> {
+    assert!(short_windows > 0);
+    let mut out = Vec::new();
+    for p in policies {
+        // The evaluation clock: the newest window any key of this op saw.
+        let hi = reg
+            .latency_keys()
+            .filter(|k| k.engine == engine && k.op == p.op)
+            .filter_map(|k| reg.latency(k).map(|s| s.hi()))
+            .max();
+        let Some(hi) = hi else {
+            continue; // no data for this op
+        };
+        let short_lo = hi.saturating_sub(short_windows - 1);
+        let tenants = reg.tenants(engine, &p.op);
+        let mut cells: Vec<Option<u32>> = tenants.iter().map(|t| Some(*t)).collect();
+        if cells.len() != 1 {
+            // Aggregate row: every tenant (or the only data there is, when
+            // the run never tagged tenants).
+            cells.push(None);
+        }
+        for tenant in cells {
+            let (mut ops, mut breaches) = (0u64, 0u64);
+            let (mut ops_s, mut breaches_s) = (0u64, 0u64);
+            for w in 0..=hi {
+                let h = match tenant {
+                    Some(t) => reg.tenant_window(engine, &p.op, Some(t), w),
+                    None => reg.merged_window(engine, &p.op, w),
+                };
+                let b = h.count_over(p.threshold);
+                ops += h.count();
+                breaches += b;
+                if w >= short_lo {
+                    ops_s += h.count();
+                    breaches_s += b;
+                }
+            }
+            let burn_long = burn(breaches, ops, p.objective);
+            let burn_short = burn(breaches_s, ops_s, p.objective);
+            out.push(SloEval {
+                tenant,
+                op: p.op.clone(),
+                threshold: p.threshold,
+                objective: p.objective,
+                ops,
+                breaches,
+                burn_long,
+                burn_short,
+                status: status(burn_short, burn_long),
+            });
+        }
+    }
+    out
+}
+
+/// Render evaluations as a fixed-width table (byte-diff-gated artifact).
+pub fn render(title: &str, evals: &[SloEval]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "SLO burn rates — {title}");
+    let _ = writeln!(
+        out,
+        "{:<10} {:<22} {:>10} {:>10} {:>11} {:>11}  status",
+        "tenant", "slo", "ops", "breaches", "burn(long)", "burn(short)"
+    );
+    for e in evals {
+        let tenant = match e.tenant {
+            Some(t) => format!("tenant {t}"),
+            None => "all".to_string(),
+        };
+        let slo = format!(
+            "{} p{:.0} < {:.0}ms",
+            e.op,
+            e.objective * 100.0,
+            as_millis(e.threshold)
+        );
+        let _ = writeln!(
+            out,
+            "{tenant:<10} {slo:<22} {:>10} {:>10} {:>11.2} {:>11.2}  {}",
+            e.ops,
+            e.breaches,
+            e.burn_long,
+            e.burn_short,
+            match e.status {
+                SloStatus::Ok => "ok",
+                SloStatus::Warn => "WARN",
+                SloStatus::Page => "PAGE",
+            }
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricKey;
+    use simkit::{millis, secs};
+
+    fn reg_with(tenant_lat: &[(u32, f64)]) -> MetricRegistry {
+        let mut reg = MetricRegistry::new(0, secs(1.0), 8);
+        for (i, (tenant, lat_ms)) in tenant_lat.iter().enumerate() {
+            // Spread samples over 4 windows.
+            let at = secs(0.5) + secs(1.0) * (i as u64 % 4);
+            reg.observe(
+                MetricKey::new("sqlcs", "read", Some(0), Some(*tenant)),
+                at,
+                millis(*lat_ms),
+            );
+        }
+        reg
+    }
+
+    #[test]
+    fn healthy_tenant_is_ok_hot_tenant_pages() {
+        // Tenant 0: all fast. Tenant 1: every op breaches a 99% objective
+        // → burn 100×, both horizons.
+        let samples: Vec<(u32, f64)> = (0..40)
+            .map(|i| if i % 2 == 0 { (0, 1.0) } else { (1, 50.0) })
+            .collect();
+        let reg = reg_with(&samples);
+        let evals = evaluate(
+            &reg,
+            "sqlcs",
+            &[SloPolicy::new("read", millis(10.0), 0.99)],
+            2,
+        );
+        let t0 = evals.iter().find(|e| e.tenant == Some(0)).expect("t0");
+        let t1 = evals.iter().find(|e| e.tenant == Some(1)).expect("t1");
+        let all = evals.iter().find(|e| e.tenant.is_none()).expect("all");
+        assert_eq!(t0.status, SloStatus::Ok);
+        assert_eq!(t1.status, SloStatus::Page);
+        assert_eq!(t1.breaches, t1.ops);
+        assert_eq!(all.ops, t0.ops + t1.ops);
+    }
+
+    #[test]
+    fn ops_without_data_are_skipped_and_render_is_deterministic() {
+        let reg = reg_with(&[(0, 1.0)]);
+        let evals = evaluate(
+            &reg,
+            "sqlcs",
+            &[
+                SloPolicy::new("read", millis(10.0), 0.99),
+                SloPolicy::new("scan", millis(10.0), 0.99),
+            ],
+            2,
+        );
+        assert!(evals.iter().all(|e| e.op == "read"));
+        let a = render("t", &evals);
+        assert_eq!(a, render("t", &evals));
+        assert!(a.contains("read p99 < 10ms"));
+    }
+}

@@ -265,7 +265,7 @@ impl Probe for TimelineProbe {
                 s.busy = s.busy.saturating_sub(1);
                 s.completions += 1;
             }
-            ProbeEvent::SpanOpened { at, name, node } => {
+            ProbeEvent::SpanOpened { at, name, node, .. } => {
                 self.see(at);
                 self.open.push((name.to_string(), node, at));
             }
@@ -403,6 +403,7 @@ mod tests {
                 at: secs(2.5),
                 name: "tail",
                 node: None,
+                id: 0,
             },
         );
         assert_eq!(q.bucket_count(), 3);
@@ -433,6 +434,7 @@ mod tests {
             at: secs(1.0),
             name: "map",
             node: None,
+            id: 0,
         });
         ev(ProbeEvent::TaskStarted {
             at: secs(1.5),
@@ -450,6 +452,7 @@ mod tests {
             at: secs(3.0),
             name: "map",
             node: None,
+            id: 0,
         });
         assert_eq!(p.spans().len(), 1);
         let s = &p.spans()[0];

@@ -1,0 +1,246 @@
+//! Structural validation of Chrome Trace Event JSON exports.
+//!
+//! The exporters in this crate only ever emit well-formed traces, but the
+//! CI gate re-checks the bytes on disk (`validate_trace` bin) so a
+//! regression in an exporter — or a hand-edited fixture — fails loudly
+//! instead of rendering garbage in Perfetto. Beyond "parses and has the
+//! right fields", two *shape* rules are enforced per `(pid, tid)` track:
+//!
+//! - **Duration pairs balance**: every `ph:"B"` has a matching `ph:"E"`,
+//!   matched LIFO by name (Chrome's own semantics — an `E` closes the most
+//!   recent open `B`), closing no earlier than it opened, with nothing
+//!   left open at end of trace.
+//! - **Complete spans nest**: `ph:"X"` events on one thread lane must be
+//!   properly nested — a span overlapping another must lie fully inside
+//!   it. A child extending past its parent means the exporter put
+//!   concurrent work on one lane, which trace viewers silently render as
+//!   a misleading stack.
+
+use crate::json::{parse, Json};
+
+/// What a valid trace contained, for the caller's policy checks and logs.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    pub events: usize,
+    /// Process names from `process_name` metadata, in document order.
+    pub procs: Vec<String>,
+    /// Complete (`ph:"X"`) span count.
+    pub spans: usize,
+    /// Matched `B`/`E` pair count.
+    pub pairs: usize,
+    /// Counter (`ph:"C"`) sample count.
+    pub counters: usize,
+}
+
+/// Span endpoints come from the simulator's integer-nanosecond clock
+/// rendered in microseconds, so a *real* overshoot is at least one clock
+/// tick = 1e-3 µs, while f64 noise in `ts + dur` at trace magnitudes is
+/// a few 1e-6 µs. The epsilon sits between the two: rounding passes,
+/// any genuine tick-sized violation is flagged.
+const EPS: f64 = 5e-4;
+
+fn f(ev: &Json, key: &str) -> Result<f64, String> {
+    ev.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("event missing numeric {key:?}: {ev:?}"))
+}
+
+fn lane(ev: &Json) -> (i64, i64) {
+    let id = |key| ev.get(key).and_then(Json::as_f64).map_or(0, |v| v as i64);
+    (id("pid"), id("tid"))
+}
+
+/// Validate trace text end to end: JSON parse, then [`validate_doc`].
+pub fn validate_text(text: &str) -> Result<TraceSummary, String> {
+    let doc = parse(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    validate_doc(&doc)
+}
+
+/// Validate a parsed trace document. See the module docs for the rules.
+pub fn validate_doc(doc: &Json) -> Result<TraceSummary, String> {
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("no traceEvents array")?;
+    if events.is_empty() {
+        return Err("empty trace".to_string());
+    }
+    let mut sum = TraceSummary {
+        events: events.len(),
+        ..TraceSummary::default()
+    };
+    // Per-(pid,tid) open B spans (name, ts) and X spans (ts, end, name).
+    type Lane = (i64, i64);
+    type OpenStack = Vec<(String, f64)>;
+    type XSpans = Vec<(f64, f64, String)>;
+    let mut open: Vec<(Lane, OpenStack)> = Vec::new();
+    let mut xspans: Vec<(Lane, XSpans)> = Vec::new();
+    for ev in events {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event missing ph: {ev:?}"))?;
+        let name = || {
+            ev.get("name")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| format!("{ph} event missing name: {ev:?}"))
+        };
+        match ph {
+            "M" => {
+                if ev.get("name").and_then(Json::as_str) == Some("process_name") {
+                    let p = ev
+                        .get("args")
+                        .and_then(|a| a.get("name"))
+                        .and_then(Json::as_str)
+                        .ok_or("process_name metadata without args.name")?;
+                    sum.procs.push(p.to_string());
+                }
+            }
+            "X" => {
+                sum.spans += 1;
+                let (ts, dur) = (f(ev, "ts")?, f(ev, "dur")?);
+                if ts < 0.0 || dur < 0.0 {
+                    return Err(format!("negative span time: ts={ts} dur={dur}"));
+                }
+                let n = name()?;
+                let key = lane(ev);
+                match xspans.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, v)) => v.push((ts, ts + dur, n)),
+                    None => xspans.push((key, vec![(ts, ts + dur, n)])),
+                }
+            }
+            "B" | "E" => {
+                let ts = f(ev, "ts")?;
+                let key = lane(ev);
+                let stack = match open.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, v)) => v,
+                    None => {
+                        open.push((key, Vec::new()));
+                        &mut open.last_mut().expect("just pushed").1
+                    }
+                };
+                if ph == "B" {
+                    stack.push((name()?, ts));
+                } else {
+                    let n = name()?;
+                    let Some((top, opened)) = stack.pop() else {
+                        return Err(format!("E {n:?} at ts={ts} with no open B on {key:?}"));
+                    };
+                    if top != n {
+                        return Err(format!(
+                            "E {n:?} closes B {top:?} on {key:?} — pairs must nest LIFO"
+                        ));
+                    }
+                    if ts + EPS < opened {
+                        return Err(format!("span {n:?} closes at {ts} before opening {opened}"));
+                    }
+                    sum.pairs += 1;
+                }
+            }
+            "C" => sum.counters += 1,
+            other => return Err(format!("unexpected event phase {other:?}")),
+        }
+    }
+    for (key, stack) in &open {
+        if let Some((n, ts)) = stack.last() {
+            return Err(format!(
+                "unbalanced B/E on {key:?}: {n:?} opened at ts={ts} never closes ({} open)",
+                stack.len()
+            ));
+        }
+    }
+    // X nesting per lane: sweep in start order (longest first at ties);
+    // each span must close no later than the still-open span it sits in.
+    for (key, spans) in &mut xspans {
+        spans.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.2.cmp(&b.2))
+        });
+        let mut stack: Vec<&(f64, f64, String)> = Vec::new();
+        for s in spans.iter() {
+            while stack.last().is_some_and(|t| t.1 <= s.0 + EPS) {
+                stack.pop();
+            }
+            if let Some(parent) = stack.last() {
+                if s.1 > parent.1 + EPS {
+                    return Err(format!(
+                        "span {:?} [{}, {}] extends past its parent {:?} [{}, {}] on {key:?}",
+                        s.2, s.0, s.1, parent.2, parent.0, parent.1
+                    ));
+                }
+            }
+            stack.push(s);
+        }
+    }
+    Ok(sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(events: &[&str]) -> String {
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+    }
+
+    #[test]
+    fn accepts_nested_x_and_balanced_be() {
+        let t = doc(&[
+            r#"{"ph":"M","pid":1,"tid":0,"name":"process_name","args":{"name":"pdw"}}"#,
+            r#"{"ph":"X","pid":1,"tid":1,"name":"outer","ts":0,"dur":100}"#,
+            r#"{"ph":"X","pid":1,"tid":1,"name":"inner","ts":10,"dur":50}"#,
+            r#"{"ph":"X","pid":1,"tid":1,"name":"later","ts":70,"dur":30}"#,
+            r#"{"ph":"B","pid":1,"tid":2,"name":"a","ts":0}"#,
+            r#"{"ph":"B","pid":1,"tid":2,"name":"b","ts":5}"#,
+            r#"{"ph":"E","pid":1,"tid":2,"name":"b","ts":8}"#,
+            r#"{"ph":"E","pid":1,"tid":2,"name":"a","ts":9}"#,
+            r#"{"ph":"C","pid":1,"name":"depth","ts":0,"args":{"depth":2}}"#,
+        ]);
+        let s = validate_text(&t).expect("valid");
+        assert_eq!(s.procs, vec!["pdw"]);
+        assert_eq!((s.spans, s.pairs, s.counters), (3, 2, 1));
+    }
+
+    #[test]
+    fn rejects_unbalanced_and_interleaved_be() {
+        let dangling = doc(&[r#"{"ph":"B","pid":1,"tid":1,"name":"a","ts":0}"#]);
+        assert!(validate_text(&dangling).unwrap_err().contains("unbalanced"));
+        let stray = doc(&[r#"{"ph":"E","pid":1,"tid":1,"name":"a","ts":0}"#]);
+        assert!(validate_text(&stray).unwrap_err().contains("no open B"));
+        let crossed = doc(&[
+            r#"{"ph":"B","pid":1,"tid":1,"name":"a","ts":0}"#,
+            r#"{"ph":"B","pid":1,"tid":1,"name":"b","ts":1}"#,
+            r#"{"ph":"E","pid":1,"tid":1,"name":"a","ts":2}"#,
+            r#"{"ph":"E","pid":1,"tid":1,"name":"b","ts":3}"#,
+        ]);
+        assert!(validate_text(&crossed).unwrap_err().contains("LIFO"));
+    }
+
+    #[test]
+    fn rejects_child_extending_past_parent_but_allows_other_lanes() {
+        let bad = doc(&[
+            r#"{"ph":"X","pid":1,"tid":1,"name":"parent","ts":0,"dur":100}"#,
+            r#"{"ph":"X","pid":1,"tid":1,"name":"child","ts":50,"dur":100}"#,
+        ]);
+        assert!(validate_text(&bad).unwrap_err().contains("extends past"));
+        // The same overlap on different lanes is legitimate concurrency.
+        let ok = doc(&[
+            r#"{"ph":"X","pid":1,"tid":1,"name":"parent","ts":0,"dur":100}"#,
+            r#"{"ph":"X","pid":1,"tid":2,"name":"child","ts":50,"dur":100}"#,
+        ]);
+        assert!(validate_text(&ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(validate_text("{}").is_err());
+        assert!(validate_text(r#"{"traceEvents":[]}"#).is_err());
+        let bad_ph = doc(&[r#"{"ph":"Z","pid":1,"name":"x","ts":0}"#]);
+        assert!(validate_text(&bad_ph).unwrap_err().contains("phase"));
+        let neg = doc(&[r#"{"ph":"X","pid":1,"tid":1,"name":"x","ts":-1,"dur":5}"#]);
+        assert!(validate_text(&neg).unwrap_err().contains("negative"));
+    }
+}

@@ -55,6 +55,9 @@ pub struct PdwQueryRun {
     /// Block-pruning totals over every colblock scan in the query (all
     /// zeros for the row-store engine).
     pub scan_stats: ScanStats,
+    /// Kernel events the step executor processed for this query — the
+    /// passivity yardstick: identical with and without a probe attached.
+    pub events_executed: u64,
 }
 
 /// The optimizer's movement choice for one join, with every candidate's
@@ -242,6 +245,7 @@ impl PdwEngine {
         };
         let total_secs = ctx.exec.now_secs();
         let resources = ctx.exec.resource_reports();
+        let events_executed = ctx.exec.events_executed();
         ctx.exec.set_probe(None);
         let phases = ctx.exec.take_recorded_phases();
         let trace = ctx.exec.take_trace();
@@ -262,6 +266,7 @@ impl PdwEngine {
                 resources,
                 decisions: ctx.decisions,
                 scan_stats: ctx.scan_stats,
+                events_executed,
             },
             phases,
         )

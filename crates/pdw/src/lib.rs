@@ -35,7 +35,7 @@ pub mod optimizer;
 
 pub use catalog::{load_pdw, PdwCatalog, PdwLoadReport, PdwTable};
 pub use exec::{JoinDecision, PdwEngine, PdwQueryRun, StepReport};
-pub use feedback::FeedbackCosts;
+pub use feedback::{FeedbackCosts, NetDepthAccum};
 
 /// Number of hash distributions = nodes × distributions/node (128 in the
 /// paper's configuration).

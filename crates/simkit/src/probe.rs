@@ -37,11 +37,24 @@ pub enum ProbeEvent<'a> {
     /// requests *including this one*; a request that starts immediately is
     /// popped again by the [`ProbeEvent::ServiceStarted`] event at the same
     /// timestamp.
+    ///
+    /// `req` is a kernel-assigned id, unique per [`Sim`](crate::Sim) and
+    /// monotone in issue order, that links this event to the matching
+    /// [`ProbeEvent::ServiceStarted`] / [`ProbeEvent::ServiceCompleted`].
+    /// `ctx` is the span context active when the request was issued (see
+    /// [`Sim::set_probe_ctx`](crate::Sim::set_probe_ctx)) — the
+    /// span↔resource linkage a critical-path analysis needs. `client` is
+    /// the round-robin client tag from
+    /// [`Sim::request_as`](crate::Sim::request_as), which doubles as the
+    /// kernel-level tenant tag.
     Enqueued {
         at: SimTime,
         res: ResourceId,
         service: SimTime,
         waiting: usize,
+        req: u64,
+        ctx: Option<u64>,
+        client: Option<u32>,
     },
     /// A server picked up a request after `wait` in the queue.
     ServiceStarted {
@@ -50,24 +63,35 @@ pub enum ProbeEvent<'a> {
         service: SimTime,
         wait: SimTime,
         waiting: usize,
+        req: u64,
+        ctx: Option<u64>,
+        client: Option<u32>,
     },
     /// A request finished service.
     ServiceCompleted {
         at: SimTime,
         res: ResourceId,
         waiting: usize,
+        req: u64,
+        ctx: Option<u64>,
+        client: Option<u32>,
     },
-    /// A named phase opened (emitted by the phase executor).
+    /// A named phase opened (emitted by the phase executor). `id` is the
+    /// executor-allocated span id (see
+    /// [`Sim::next_span_id`](crate::Sim::next_span_id)); requests issued
+    /// while this span is the probe context carry it as their `ctx`.
     SpanOpened {
         at: SimTime,
         name: &'a str,
         node: Option<usize>,
+        id: u64,
     },
     /// The matching phase closed.
     SpanClosed {
         at: SimTime,
         name: &'a str,
         node: Option<usize>,
+        id: u64,
     },
     /// A slot-scheduled task began running on `node`.
     TaskStarted { at: SimTime, node: usize },

@@ -51,7 +51,22 @@ struct Pending<W> {
     enqueued_at: SimTime,
     service: SimTime,
     client: Option<u32>,
+    /// Kernel-assigned request id (monotone in issue order; probe linkage).
+    req: u64,
+    /// Span context captured at issue time (probe linkage).
+    ctx: Option<u64>,
     done: Event<W>,
+}
+
+/// A dequeued request about to enter service: everything the grant path
+/// needs to schedule the completion and describe the request to a probe.
+pub(crate) struct Started<W> {
+    pub(crate) service: SimTime,
+    pub(crate) wait: SimTime,
+    pub(crate) req: u64,
+    pub(crate) ctx: Option<u64>,
+    pub(crate) client: Option<u32>,
+    pub(crate) done: Event<W>,
 }
 
 impl<W> ResourceState<W> {
@@ -83,6 +98,8 @@ impl<W> ResourceState<W> {
         now: SimTime,
         service: SimTime,
         client: Option<u32>,
+        req: u64,
+        ctx: Option<u64>,
         done: Event<W>,
     ) -> bool {
         if client.is_some() {
@@ -92,6 +109,8 @@ impl<W> ResourceState<W> {
             enqueued_at: now,
             service,
             client,
+            req,
+            ctx,
             done,
         });
         if self.busy >= self.servers {
@@ -122,8 +141,9 @@ impl<W> ResourceState<W> {
     }
 
     /// Pop the next queued request and mark one server busy. Returns the
-    /// service time, the queue wait it experienced, and its completion.
-    pub(crate) fn start_next(&mut self, now: SimTime) -> Option<(SimTime, SimTime, Event<W>)> {
+    /// service time, the queue wait it experienced, its probe identity, and
+    /// its completion.
+    pub(crate) fn start_next(&mut self, now: SimTime) -> Option<Started<W>> {
         if self.busy >= self.servers {
             return None;
         }
@@ -136,7 +156,14 @@ impl<W> ResourceState<W> {
         self.busy += 1;
         let wait = now - p.enqueued_at;
         self.total_queue_wait += wait;
-        Some((p.service, wait, p.done))
+        Some(Started {
+            service: p.service,
+            wait,
+            req: p.req,
+            ctx: p.ctx,
+            client: p.client,
+            done: p.done,
+        })
     }
 
     /// A service completed. Returns true if more work is queued.

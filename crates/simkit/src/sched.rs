@@ -101,7 +101,13 @@ impl Drop for SchedulerOverride {
 /// closure — one allocation per resource request that the arena kills.
 pub(crate) enum Action<W> {
     Call(Event<W>),
-    Completion { res: ResourceId, done: Event<W> },
+    Completion {
+        res: ResourceId,
+        req: u64,
+        ctx: Option<u64>,
+        client: Option<u32>,
+        done: Event<W>,
+    },
 }
 
 /// Recycling slab of pending [`Action`]s. Slots freed by fired events are

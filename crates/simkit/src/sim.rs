@@ -45,6 +45,16 @@ pub struct Sim<W> {
     /// default) costs one branch per emission point; a probe receives
     /// borrowed event data only, so it cannot perturb the run.
     probe: Option<Rc<RefCell<dyn Probe>>>,
+    /// Next request id; every request gets one (monotone in issue order)
+    /// whether or not a probe is attached, so probed and unprobed runs take
+    /// identical code paths.
+    next_req: u64,
+    /// Span context stamped onto requests at issue time (probe metadata
+    /// only — dispatch never reads it). Execution layers set this around
+    /// the requests a span issues; see [`Sim::set_probe_ctx`].
+    probe_ctx: Option<u64>,
+    /// Next span id handed out by [`Sim::next_span_id`].
+    next_span: u64,
 }
 
 impl<W: 'static> Default for Sim<W> {
@@ -73,6 +83,9 @@ impl<W: 'static> Sim<W> {
             resources: Vec::new(),
             executed: 0,
             probe: None,
+            next_req: 0,
+            probe_ctx: None,
+            next_span: 0,
         }
     }
 
@@ -101,6 +114,31 @@ impl<W: 'static> Sim<W> {
     #[inline]
     pub fn has_probe(&self) -> bool {
         self.probe.is_some()
+    }
+
+    /// Set the span context stamped onto requests issued from now on (the
+    /// span↔resource linkage carried by [`ProbeEvent::Enqueued`] and
+    /// friends). Returns the previous context so callers can nest scopes.
+    /// Pure probe metadata: dispatch order, timing, and randomness are
+    /// unaffected, so setting it never perturbs a run.
+    pub fn set_probe_ctx(&mut self, ctx: Option<u64>) -> Option<u64> {
+        std::mem::replace(&mut self.probe_ctx, ctx)
+    }
+
+    /// The span context currently stamped onto issued requests.
+    #[inline]
+    pub fn probe_ctx(&self) -> Option<u64> {
+        self.probe_ctx
+    }
+
+    /// Allocate a fresh span id (unique per `Sim`, monotone). Execution
+    /// layers put it on [`ProbeEvent::SpanOpened`]/[`ProbeEvent::SpanClosed`]
+    /// and pass it to [`Sim::set_probe_ctx`] while the span's requests are
+    /// issued.
+    pub fn next_span_id(&mut self) -> u64 {
+        let id = self.next_span;
+        self.next_span += 1;
+        id
     }
 
     /// Emit an event to the attached probe, if any. Public so execution
@@ -207,9 +245,12 @@ impl<W: 'static> Sim<W> {
         done: Event<W>,
     ) {
         let now = self.now;
+        let req = self.next_req;
+        self.next_req += 1;
+        let ctx = self.probe_ctx;
         let start = {
             let rs = &mut self.resources[r.0];
-            rs.enqueue(now, service, client, done)
+            rs.enqueue(now, service, client, req, ctx, done)
         };
         if self.probe.is_some() {
             self.emit_probe(ProbeEvent::Enqueued {
@@ -217,6 +258,9 @@ impl<W: 'static> Sim<W> {
                 res: r,
                 service,
                 waiting: self.resources[r.0].queue_len(),
+                req,
+                ctx,
+                client,
             });
         }
         if start {
@@ -241,19 +285,28 @@ impl<W: 'static> Sim<W> {
     /// and a kernel-native completion event (no per-grant closure).
     fn grant(&mut self, r: ResourceId) {
         let now = self.now;
-        while let Some((service, wait, done)) = self.resources[r.0].start_next(now) {
+        while let Some(s) = self.resources[r.0].start_next(now) {
             if self.probe.is_some() {
                 self.emit_probe(ProbeEvent::ServiceStarted {
                     at: now,
                     res: r,
-                    service,
-                    wait,
+                    service: s.service,
+                    wait: s.wait,
                     waiting: self.resources[r.0].queue_len(),
+                    req: s.req,
+                    ctx: s.ctx,
+                    client: s.client,
                 });
             }
             self.schedule_action(
-                now.saturating_add(service),
-                Action::Completion { res: r, done },
+                now.saturating_add(s.service),
+                Action::Completion {
+                    res: r,
+                    req: s.req,
+                    ctx: s.ctx,
+                    client: s.client,
+                    done: s.done,
+                },
             );
         }
     }
@@ -262,12 +315,23 @@ impl<W: 'static> Sim<W> {
     /// the caller's `done`, release the server, re-dispatch the queue.
     /// Order matches the pre-arena kernel exactly: completed-probe, done,
     /// finish, grant.
-    fn complete(&mut self, r: ResourceId, done: Event<W>, w: &mut W) {
+    fn complete(
+        &mut self,
+        r: ResourceId,
+        req: u64,
+        ctx: Option<u64>,
+        client: Option<u32>,
+        done: Event<W>,
+        w: &mut W,
+    ) {
         if self.probe.is_some() {
             self.emit_probe(ProbeEvent::ServiceCompleted {
                 at: self.now,
                 res: r,
                 waiting: self.resources[r.0].queue_len(),
+                req,
+                ctx,
+                client,
             });
         }
         done(self, w);
@@ -284,7 +348,13 @@ impl<W: 'static> Sim<W> {
         self.executed += 1;
         match self.arena.take(e.slot) {
             Action::Call(ev) => ev(self, w),
-            Action::Completion { res, done } => self.complete(res, done, w),
+            Action::Completion {
+                res,
+                req,
+                ctx,
+                client,
+                done,
+            } => self.complete(res, req, ctx, client, done, w),
         }
     }
 

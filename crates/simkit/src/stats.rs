@@ -88,7 +88,7 @@ impl OnlineStats {
 ///
 /// Buckets have ~4.5% relative width (16 sub-buckets per power of two),
 /// which is plenty for reporting p50/p95/p99 of operation latencies.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
     count: u64,
@@ -182,6 +182,17 @@ impl LatencyHistogram {
         self.count = 0;
         self.sum = 0;
         self.max = 0;
+    }
+
+    /// Samples recorded in a strictly higher bucket than `threshold`'s —
+    /// the histogram-resolution answer to "how many ops exceeded the SLO
+    /// threshold". Exact when `threshold` is a bucket upper bound;
+    /// otherwise off by at most the threshold bucket's population (~4.5%
+    /// relative bucket width). Deterministic either way, which is what the
+    /// burn-rate artifacts need.
+    pub fn count_over(&self, threshold: SimTime) -> u64 {
+        let cut = bucket_index(threshold).min(self.buckets.len() - 1);
+        self.buckets[cut + 1..].iter().sum()
     }
 
     /// Fold another histogram into this one (cross-shard / cross-client

@@ -38,11 +38,20 @@ pub trait Store {
 /// Passive observer of completed operations. `on_op` fires for every
 /// completed op — warm-up included, so observers see the full run and can
 /// window it themselves — with the op's type label, the serving shard (when
-/// the store is sharded), the completion time, and the measured latency.
-/// Observers get no handle back into the simulation or the driver, so
-/// attaching one cannot change throughput or latency results.
+/// the store is sharded), the issuing client thread's index (stable across
+/// the run, so multi-tenant profiles can partition clients into tenants),
+/// the completion time, and the measured latency. Observers get no handle
+/// back into the simulation or the driver, so attaching one cannot change
+/// throughput or latency results.
 pub trait OpObserver {
-    fn on_op(&mut self, ty: OpType, shard: Option<usize>, at: SimTime, latency: SimTime);
+    fn on_op(
+        &mut self,
+        ty: OpType,
+        shard: Option<usize>,
+        client: u32,
+        at: SimTime,
+        latency: SimTime,
+    );
 }
 
 /// One benchmark run's configuration.
@@ -139,7 +148,7 @@ struct Driver {
 }
 
 impl Driver {
-    fn record(&self, start: SimTime, now: SimTime, op: Op, result: u64) {
+    fn record(&self, start: SimTime, now: SimTime, client: u32, op: Op, result: u64) {
         let mut st = self.state.borrow_mut();
         if result == u64::MAX {
             st.crashed = true;
@@ -148,7 +157,7 @@ impl Driver {
         let lat = now - start;
         if let Some(obs) = &self.observer {
             obs.borrow_mut()
-                .on_op(op.ty, self.store.shard_of(op.key), now, lat);
+                .on_op(op.ty, self.store.shard_of(op.key), client, now, lat);
         }
         if now < self.warm_start || now > self.end {
             return;
@@ -161,7 +170,7 @@ impl Driver {
     }
 }
 
-fn issue_loop(driver: Rc<Driver>, due: SimTime, sim: &mut S) {
+fn issue_loop(driver: Rc<Driver>, due: SimTime, client: u32, sim: &mut S) {
     if sim.now() >= driver.end || driver.store.crashed() || driver.state.borrow().crashed {
         return;
     }
@@ -185,12 +194,12 @@ fn issue_loop(driver: Rc<Driver>, due: SimTime, sim: &mut S) {
         sim,
         op,
         Box::new(move |sim, result| {
-            d2.record(start, sim.now(), op, result);
+            d2.record(start, sim.now(), client, op, result);
             let next_due = (due + d2.interval).max(sim.now());
             let d3 = d2.clone();
             sim.schedule_at(
                 next_due,
-                Box::new(move |sim, _| issue_loop(d3, next_due, sim)),
+                Box::new(move |sim, _| issue_loop(d3, next_due, client, sim)),
             );
         }),
     );
@@ -258,7 +267,7 @@ pub fn run_workload_observed(
         let offset = (driver.interval / cfg.threads.max(1) as u64) * i as u64;
         sim.schedule_at(
             offset,
-            Box::new(move |sim, _| issue_loop(d, sim.now(), sim)),
+            Box::new(move |sim, _| issue_loop(d, sim.now(), i as u32, sim)),
         );
     }
 

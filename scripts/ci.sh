@@ -43,6 +43,28 @@ cargo run -q --release -p bench --bin explain -- 5 --sf 0.02 --timeline \
 cargo run -q --release -p bench --bin validate_trace -- "$obs_tmp/q5.json" hive pdw
 diff -u results/profile_q5.txt "$obs_tmp/profile_q5.txt"
 
+echo "== critical-path blame (deterministic blame artifact + annotated trace)"
+# The blame layer sits on the same passive probe stream: the per-phase
+# critical-path attribution must regenerate byte-for-byte, and the
+# blame-annotated trace export must satisfy the structural validator
+# (balanced lanes, nested spans) like every other trace.
+cargo run -q --release -p bench --bin critpath -- 5 --sf 0.02 \
+  --trace "$obs_tmp/critpath_q5.json" > "$obs_tmp/critpath_q5.txt"
+cargo run -q --release -p bench --bin validate_trace -- "$obs_tmp/critpath_q5.json" hive pdw
+diff -u results/critpath_q5.txt "$obs_tmp/critpath_q5.txt"
+
+echo "== per-tenant SLO report (streaming registry + burn-rate artifact diff)"
+# The streaming metric registry and burn-rate evaluation are deterministic
+# end to end — same windows, same verdicts, same bytes.
+cargo run -q --release -p bench --bin slo_report > "$obs_tmp/slo_report_a.txt"
+diff -u results/slo_report_a.txt "$obs_tmp/slo_report_a.txt"
+
+echo "== obs overhead smoke (probe passivity at the kernel's own counters)"
+# bench_obs asserts probed == unprobed kernel event counts and simulated
+# times internally; the smoke run proves that holds on this tree, and the
+# schema gate below re-checks the committed artifact's embedded proof.
+cargo run -q --release -p bench --bin bench_obs -- --iters 1 > "$obs_tmp/BENCH_obs_smoke.json"
+
 echo "== concurrent mix (admission determinism + feedback-flip artifact diff)"
 # The concurrent-mix artifact is the determinism contract for run_mix and
 # the measured-wait feedback loop: regenerating it (with a Chrome trace of
@@ -68,7 +90,7 @@ echo "== kernel bench smoke (runs end-to-end + schema gate over BENCH_*.json)"
 # per-bench fields the docs read.
 cargo run -q --release -p bench --bin bench_kernel -- --smoke > "$obs_tmp/BENCH_kernel_smoke.json"
 cargo run -q --release -p bench --bin validate_bench -- \
-  "$obs_tmp/BENCH_kernel_smoke.json" results/BENCH_*.json
+  "$obs_tmp/BENCH_kernel_smoke.json" "$obs_tmp/BENCH_obs_smoke.json" results/BENCH_*.json
 
 echo "== stale-fixture check (every results/ file named in EXPERIMENTS.md exists)"
 # EXPERIMENTS.md is the map of the results/ directory; a renamed or

@@ -32,12 +32,18 @@ echo "== profile_ycsb_a (windowed serving-side latency percentiles)"
 cargo run --release -p bench --bin profile_ycsb > results/profile_ycsb_a.txt
 echo "== concurrent_mix (admission-scheduled mix + measured-wait feedback)"
 cargo run --release -p bench --bin concurrent_mix > results/concurrent_mix.txt
+echo "== critpath_q5 (critical-path blame per phase, both engines)"
+cargo run --release -p bench --bin critpath -- 5 --sf 0.02 > results/critpath_q5.txt
+echo "== slo_report_a (per-tenant SLO burn rates from the streaming registry)"
+cargo run --release -p bench --bin slo_report > results/slo_report_a.txt
 echo "== bench_scan (REAL wall-clock decode throughput — host-dependent, not diff-gated)"
 cargo run --release -p bench --bin bench_scan > results/BENCH_scan.json
 echo "== bench_simlint (REAL wall-clock lint speed over the workspace — host-dependent, not diff-gated)"
 cargo run --release -p bench --bin bench_simlint > results/BENCH_simlint.json
 echo "== bench_kernel (REAL wall-clock kernel event throughput vs the pre-rework baseline — host-dependent, not diff-gated)"
 cargo run --release -p bench --bin bench_kernel > results/BENCH_kernel.json
+echo "== bench_obs (REAL wall-clock probe overhead + passivity proof — host-dependent, not diff-gated)"
+cargo run --release -p bench --bin bench_obs > results/BENCH_obs.json
 echo "== validate_bench (schema gate over the perf-trajectory artifacts)"
 cargo run --release -p bench --bin validate_bench -- results/BENCH_*.json
 echo "done — see results/ and EXPERIMENTS.md"
