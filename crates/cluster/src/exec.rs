@@ -61,7 +61,7 @@ use crate::topo::Cluster;
 use simkit::probe::{Probe, ProbeEvent};
 use simkit::resource::{report, ResourceReport};
 use simkit::trace::{Contrib, ResKind, Span, Trace};
-use simkit::{as_secs, secs, Latch, ResourceId, Sim, SimTime};
+use simkit::{as_secs, secs, Latch, ReqTiming, ResourceId, Sim, SimTime};
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::rc::Rc;
@@ -107,6 +107,17 @@ impl Phase {
             setup: 0.0,
             work: Vec::new(),
         }
+    }
+
+    /// The phase's name as given to [`Phase::new`] (mix re-planners inspect
+    /// it to recognize e.g. `shuffle:`/`replicate:` movement phases).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fixed setup overhead in seconds.
+    pub fn setup_secs(&self) -> f64 {
+        self.setup
     }
 
     /// Pin the phase's span to one node (default: cluster-wide).
@@ -450,48 +461,168 @@ impl JobOutcome {
     }
 }
 
-/// A [`Phase`] with its work pre-bound to concrete resource requests and
-/// its span name prefixed `job/phase` (mix-internal).
-struct PreparedPhase {
-    name: String,
-    node: Option<usize>,
-    setup: SimTime,
-    reqs: Vec<(ResourceId, ResKind, Option<usize>, SimTime)>,
+/// Live context handed to a job's [`Replanner`] at a phase boundary.
+pub struct ReplanCtx<'a> {
+    /// The job's name as submitted.
+    pub job: &'a str,
+    /// Current sim time in seconds.
+    pub now_secs: f64,
+    /// Phases the job has completed so far.
+    pub completed: usize,
+    /// The not-yet-started tail of the job's phase chain, in run order.
+    pub remaining: &'a [Phase],
 }
 
-/// Mix-internal per-job constants shared across its phase chain.
-struct MixMeta {
+/// A job's re-plan callback, invoked at every phase boundary (including
+/// admission, before the first phase, and after the last, when `remaining`
+/// is empty). Returning `Some(tail)` replaces the job's not-yet-started
+/// phases; `None` keeps them. Boundaries are deterministic event-loop
+/// instants, so any deterministic callback preserves byte-reproducibility;
+/// returning `None` everywhere (or an identical tail) leaves the schedule
+/// bitwise unchanged.
+pub type Replanner = Box<dyn FnMut(&ReplanCtx<'_>) -> Option<Vec<Phase>>>;
+
+/// A [`JobSpec`] plus an optional mid-mix re-planner for
+/// [`ClusterExec::run_mix_adaptive`].
+pub struct MixJob {
+    pub spec: JobSpec,
+    pub replan: Option<Replanner>,
+}
+
+impl MixJob {
+    /// A fixed-plan job (no re-planning) — exactly what
+    /// [`ClusterExec::run_mix`] submits.
+    pub fn fixed(spec: JobSpec) -> MixJob {
+        MixJob { spec, replan: None }
+    }
+
+    /// A job whose tail may be rewritten at phase boundaries.
+    pub fn adaptive(
+        spec: JobSpec,
+        replan: impl FnMut(&ReplanCtx<'_>) -> Option<Vec<Phase>> + 'static,
+    ) -> MixJob {
+        MixJob {
+            spec,
+            replan: Some(Box::new(replan)),
+        }
+    }
+}
+
+/// The static resource topology a mix phase binds against, detached from
+/// [`ClusterExec`] so per-job continuations (which only hold the [`Sim`])
+/// can bind phases lazily at each boundary. Binding is pure — it reads the
+/// topology and computes service times, touching neither the event loop
+/// nor the probe stream — so binding at a boundary instead of at mix start
+/// cannot change a single event.
+struct Binder {
+    nodes: Vec<crate::topo::NodeRes>,
+    control_rx: ResourceId,
+}
+
+impl Binder {
+    /// Bind abstract work items to concrete resource requests (the mix-time
+    /// twin of the serial path's resolution; both call this).
+    fn resolve(&self, work: &[Work]) -> Vec<(ResourceId, ResKind, Option<usize>, SimTime)> {
+        let mut reqs = Vec::new();
+        for w in work {
+            match *w {
+                Work::DiskSeq {
+                    node,
+                    bytes,
+                    node_bw,
+                } => {
+                    // bytes/D per disk at node_bw/D per-disk share: every
+                    // disk is busy for the full bytes/node_bw.
+                    let service = secs(bytes / node_bw);
+                    for &d in &self.nodes[node].disks {
+                        reqs.push((d, ResKind::Disk, Some(node), service));
+                    }
+                }
+                Work::Cpu {
+                    node,
+                    per_lane_secs,
+                    lanes,
+                } => {
+                    let service = secs(per_lane_secs);
+                    for _ in 0..lanes {
+                        reqs.push((self.nodes[node].cpu, ResKind::Cpu, Some(node), service));
+                    }
+                }
+                Work::NetSend { node, bytes, bw } => {
+                    reqs.push((
+                        self.nodes[node].nic_send,
+                        ResKind::Net,
+                        Some(node),
+                        secs(bytes / bw),
+                    ));
+                }
+                Work::NetRecv { node, bytes, bw } => {
+                    reqs.push((
+                        self.nodes[node].nic_recv,
+                        ResKind::Net,
+                        Some(node),
+                        secs(bytes / bw),
+                    ));
+                }
+                Work::GatherRecv { bytes, bw } => {
+                    reqs.push((self.control_rx, ResKind::Net, None, secs(bytes / bw)));
+                }
+            }
+        }
+        reqs
+    }
+}
+
+/// One mix job's live state, owned by its continuation chain: the unbound
+/// phase tail, the boundary re-planner, and the completion bookkeeping.
+struct MixJobState {
+    client: u32,
     name: String,
     arrival_secs: f64,
-    phases: usize,
+    completed: usize,
+    remaining: VecDeque<Phase>,
+    replan: Option<Replanner>,
 }
 
-/// Advance one mix job: run its next prepared phase (span opened now,
-/// requests issued after setup, span closed when the last drains), then
-/// recurse; record a [`JobOutcome`] when the chain is exhausted.
+/// Advance one mix job at a phase boundary: offer the re-planner the
+/// not-yet-started tail, bind the next phase's work to concrete requests
+/// *now* (span opened now, requests issued after setup, span closed when
+/// the last drains), then recurse; record a [`JobOutcome`] when the chain
+/// is exhausted.
 fn advance_mix_job(
     sim: &mut Sim<()>,
-    client: u32,
-    meta: Rc<MixMeta>,
-    mut phases: std::vec::IntoIter<PreparedPhase>,
+    binder: Rc<Binder>,
+    mut st: MixJobState,
     spans: Rc<RefCell<Vec<Span>>>,
     outcomes: Rc<RefCell<Vec<JobOutcome>>>,
 ) {
-    let Some(phase) = phases.next() else {
+    if let Some(replan) = st.replan.as_mut() {
+        st.remaining.make_contiguous();
+        let (tail, _) = st.remaining.as_slices();
+        let ctx = ReplanCtx {
+            job: &st.name,
+            now_secs: as_secs(sim.now()),
+            completed: st.completed,
+            remaining: tail,
+        };
+        if let Some(new_tail) = replan(&ctx) {
+            st.remaining = new_tail.into();
+        }
+    }
+    let Some(phase) = st.remaining.pop_front() else {
         outcomes.borrow_mut().push(JobOutcome {
-            name: meta.name.clone(),
-            arrival_secs: meta.arrival_secs,
+            name: st.name,
+            arrival_secs: st.arrival_secs,
             end_secs: as_secs(sim.now()),
-            phases: meta.phases,
+            phases: st.completed,
         });
         return;
     };
-    let PreparedPhase {
-        name,
-        node,
-        setup,
-        reqs,
-    } = phase;
+    let name = format!("{}/{}", st.name, phase.name);
+    let node = phase.node;
+    let setup = secs(phase.setup);
+    let reqs = binder.resolve(&phase.work);
+    let client = st.client;
     let t0 = sim.now();
     let sid = sim.next_span_id();
     sim.emit_probe(ProbeEvent::SpanOpened {
@@ -506,6 +637,7 @@ fn advance_mix_job(
     let fin = {
         let contribs = contribs.clone();
         let (spans, outcomes) = (spans, outcomes);
+        let mut st = st;
         Latch::with(n.max(1) as u64, move |sim: &mut Sim<()>, _| {
             let end = sim.now();
             sim.emit_probe(ProbeEvent::SpanClosed {
@@ -521,7 +653,8 @@ fn advance_mix_job(
                 end,
                 contribs: contribs.take(),
             });
-            advance_mix_job(sim, client, meta, phases, spans, outcomes);
+            st.completed += 1;
+            advance_mix_job(sim, binder, st, spans, outcomes);
         })
     };
     sim.schedule_at(
@@ -539,17 +672,20 @@ fn advance_mix_job(
             for (rid, kind, node, service) in reqs {
                 let sink = contribs.clone();
                 let f = fin.clone();
-                sim.request_as(
+                sim.request_as_timed(
                     rid,
                     service,
                     client,
-                    Box::new(move |sim, _| {
-                        let wait = sim.now().saturating_sub(issue_at).saturating_sub(service);
+                    Box::new(move |sim, _, t: ReqTiming| {
+                        // Queue wait comes from the kernel's own request
+                        // instants (start − enqueue), not re-derived from
+                        // issue-time arithmetic that would fold any
+                        // completion-dispatch skew into the wait.
                         sink.borrow_mut().push(Contrib {
                             kind,
                             node,
                             service: as_secs(service),
-                            queue_wait: as_secs(wait),
+                            queue_wait: as_secs(t.queue_wait()),
                         });
                         f.count_down(sim);
                     }),
@@ -568,6 +704,8 @@ pub struct ClusterExec {
     /// The control node's ingest link (gather target). Not part of
     /// [`Cluster`]'s data-node resources.
     control_rx: ResourceId,
+    /// The shared work→request binding table (serial and mix paths).
+    binder: Rc<Binder>,
     /// Per-node HDFS ingest links (capacity 1), created lazily on the
     /// first [`TaskStep::HdfsRead`] so runs that never touch HDFS (PDW)
     /// report exactly the resources they use.
@@ -583,11 +721,16 @@ impl ClusterExec {
     pub fn new(params: Params) -> ClusterExec {
         let mut sim: Sim<()> = Sim::new();
         let cluster = Cluster::build(&mut sim, params);
-        let control_rx = sim.add_resource("control.rx", 1);
+        let control_rx = sim.add_resource_kind("control.rx", ResKind::Net, 1);
+        let binder = Rc::new(Binder {
+            nodes: cluster.nodes.clone(),
+            control_rx,
+        });
         ClusterExec {
             sim,
             cluster,
             control_rx,
+            binder,
             hdfs_read: Vec::new(),
             trace: Trace::default(),
             recording: None,
@@ -792,42 +935,48 @@ impl ClusterExec {
     /// the submission order of `jobs` cannot change the schedule. Phase
     /// spans are appended to the trace in completion order under
     /// `job/phase` names; outcomes return in admission order.
-    pub fn run_mix(&mut self, mut jobs: Vec<JobSpec>) -> Vec<JobOutcome> {
+    pub fn run_mix(&mut self, jobs: Vec<JobSpec>) -> Vec<JobOutcome> {
+        self.run_mix_adaptive(jobs.into_iter().map(MixJob::fixed).collect())
+    }
+
+    /// [`ClusterExec::run_mix`] with optional per-job re-planning: at every
+    /// phase boundary a job's [`Replanner`] (if any) may rewrite its
+    /// not-yet-started phase tail from whatever live state it observes
+    /// (probes, metrics windows, blame). Phases are bound to concrete
+    /// resources lazily, when they start — binding is pure, so a mix whose
+    /// re-planners always return `None` (or are absent) executes the exact
+    /// event sequence of the fixed-plan path, byte for byte.
+    ///
+    /// Determinism contract: re-plans fire only at phase boundaries —
+    /// admission, each phase completion, and chain exhaustion — which are
+    /// deterministic event-loop instants, and jobs are admitted in the
+    /// canonical `(arrival, name)` order regardless of submission
+    /// permutation. A deterministic re-planner therefore yields a
+    /// byte-reproducible run.
+    pub fn run_mix_adaptive(&mut self, mut jobs: Vec<MixJob>) -> Vec<JobOutcome> {
         jobs.sort_by(|a, b| {
-            (secs(a.arrival_secs), a.name.as_str()).cmp(&(secs(b.arrival_secs), b.name.as_str()))
+            (secs(a.spec.arrival_secs), a.spec.name.as_str())
+                .cmp(&(secs(b.spec.arrival_secs), b.spec.name.as_str()))
         });
+        let binder = self.binder.clone();
         let spans: Rc<RefCell<Vec<Span>>> = Rc::default();
         let outcomes: Rc<RefCell<Vec<JobOutcome>>> = Rc::default();
         let t0 = self.sim.now();
         for (client, job) in jobs.into_iter().enumerate() {
-            let prepared: Vec<PreparedPhase> = job
-                .phases
-                .iter()
-                .map(|ph| PreparedPhase {
-                    name: format!("{}/{}", job.name, ph.name),
-                    node: ph.node,
-                    setup: secs(ph.setup),
-                    reqs: self.resolve(&ph.work),
-                })
-                .collect();
-            let meta = Rc::new(MixMeta {
-                name: job.name,
-                arrival_secs: job.arrival_secs,
-                phases: prepared.len(),
-            });
+            let st = MixJobState {
+                client: client as u32,
+                name: job.spec.name,
+                arrival_secs: job.spec.arrival_secs,
+                completed: 0,
+                remaining: job.spec.phases.into(),
+                replan: job.replan,
+            };
+            let arrival = secs(st.arrival_secs);
+            let binder = binder.clone();
             let (spans, outcomes) = (spans.clone(), outcomes.clone());
             self.sim.schedule_at(
-                t0.saturating_add(secs(job.arrival_secs)),
-                Box::new(move |sim, _| {
-                    advance_mix_job(
-                        sim,
-                        client as u32,
-                        meta,
-                        prepared.into_iter(),
-                        spans,
-                        outcomes,
-                    )
-                }),
+                t0.saturating_add(arrival),
+                Box::new(move |sim, _| advance_mix_job(sim, binder, st, spans, outcomes)),
             );
         }
         self.sim.run(&mut ());
@@ -844,7 +993,10 @@ impl ClusterExec {
     fn ensure_hdfs_links(&mut self) {
         if self.hdfs_read.is_empty() {
             self.hdfs_read = (0..self.cluster.params.nodes)
-                .map(|n| self.sim.add_resource(format!("node{n}.hdfs_read"), 1))
+                .map(|n| {
+                    self.sim
+                        .add_resource_kind(format!("node{n}.hdfs_read"), ResKind::Disk, 1)
+                })
                 .collect();
         }
     }
@@ -914,60 +1066,11 @@ impl ClusterExec {
         ]
     }
 
-    /// Bind abstract work items to concrete resource requests.
+    /// Bind abstract work items to concrete resource requests (shared with
+    /// the mix path's [`Binder`], so serial and mix phases bind
+    /// identically).
     fn resolve(&self, work: &[Work]) -> Vec<(ResourceId, ResKind, Option<usize>, SimTime)> {
-        let mut reqs = Vec::new();
-        for w in work {
-            match *w {
-                Work::DiskSeq {
-                    node,
-                    bytes,
-                    node_bw,
-                } => {
-                    // bytes/D per disk at node_bw/D per-disk share: every
-                    // disk is busy for the full bytes/node_bw.
-                    let service = secs(bytes / node_bw);
-                    for &d in &self.cluster.nodes[node].disks {
-                        reqs.push((d, ResKind::Disk, Some(node), service));
-                    }
-                }
-                Work::Cpu {
-                    node,
-                    per_lane_secs,
-                    lanes,
-                } => {
-                    let service = secs(per_lane_secs);
-                    for _ in 0..lanes {
-                        reqs.push((
-                            self.cluster.nodes[node].cpu,
-                            ResKind::Cpu,
-                            Some(node),
-                            service,
-                        ));
-                    }
-                }
-                Work::NetSend { node, bytes, bw } => {
-                    reqs.push((
-                        self.cluster.nodes[node].nic_send,
-                        ResKind::Net,
-                        Some(node),
-                        secs(bytes / bw),
-                    ));
-                }
-                Work::NetRecv { node, bytes, bw } => {
-                    reqs.push((
-                        self.cluster.nodes[node].nic_recv,
-                        ResKind::Net,
-                        Some(node),
-                        secs(bytes / bw),
-                    ));
-                }
-                Work::GatherRecv { bytes, bw } => {
-                    reqs.push((self.control_rx, ResKind::Net, None, secs(bytes / bw)));
-                }
-            }
-        }
-        reqs
+        self.binder.resolve(work)
     }
 
     /// End-of-run utilization of every cluster resource (all nodes' CPUs,
@@ -1316,5 +1419,151 @@ mod tests {
             .resource_reports()
             .iter()
             .any(|r| r.name == "node2.hdfs_read"));
+    }
+
+    /// Probe that flattens the event stream into strings, for bitwise
+    /// comparisons of whole runs.
+    #[derive(Default)]
+    struct EventLog(Vec<String>);
+
+    impl Probe for EventLog {
+        fn on_event(&mut self, ev: &ProbeEvent<'_>) {
+            self.0.push(format!("{ev:?}"));
+        }
+    }
+
+    fn chain_job(name: &str, arrival: f64) -> JobSpec {
+        let mut p1 = Phase::new("a");
+        p1.cpu(0, 0.5, 2);
+        let p2 = Phase::new("handoff").setup(0.25);
+        let mut p3 = Phase::new("b");
+        p3.cpu(1, 0.5, 2);
+        JobSpec {
+            name: name.into(),
+            arrival_secs: arrival,
+            phases: vec![p1, p2, p3],
+        }
+    }
+
+    #[test]
+    fn mix_pure_setup_phase_mid_chain_is_a_boundary() {
+        // A zero-request setup phase in the middle of a chain must advance
+        // the clock, keep the chain's order, and present a re-plan boundary
+        // like any other phase.
+        let boundaries: Rc<RefCell<Vec<(usize, f64)>>> = Rc::default();
+        let seen = boundaries.clone();
+        let mut ex = ClusterExec::new(params());
+        let out = ex.run_mix_adaptive(vec![MixJob::adaptive(chain_job("j", 0.0), move |ctx| {
+            seen.borrow_mut().push((ctx.completed, ctx.now_secs));
+            None
+        })]);
+        assert_eq!(out[0].phases, 3);
+        assert!((out[0].end_secs - 1.25).abs() < 1e-9);
+        let spans = &ex.trace().spans;
+        assert_eq!(
+            spans.iter().map(|s| s.name.as_str()).collect::<Vec<_>>(),
+            ["j/a", "j/handoff", "j/b"]
+        );
+        assert!(spans[1].contribs.is_empty(), "setup phase made requests");
+        // Boundaries: admission, then one after each completed phase.
+        assert_eq!(
+            *boundaries.borrow(),
+            vec![(0, 0.0), (1, 0.5), (2, 0.75), (3, 1.25)]
+        );
+    }
+
+    #[test]
+    fn mix_replan_can_empty_the_tail() {
+        // A re-planner that drops every remaining phase ends the job at
+        // the boundary; the outcome records only the phases that ran.
+        let mut ex = ClusterExec::new(params());
+        let out = ex.run_mix_adaptive(vec![MixJob::adaptive(chain_job("j", 0.0), |ctx| {
+            if ctx.completed == 1 {
+                Some(Vec::new())
+            } else {
+                None
+            }
+        })]);
+        assert_eq!(out[0].phases, 1);
+        assert!((out[0].end_secs - 0.5).abs() < 1e-9);
+        assert_eq!(ex.trace().spans.len(), 1);
+        assert_eq!(ex.trace().spans[0].name, "j/a");
+    }
+
+    #[test]
+    fn mix_identity_replan_is_bitwise_noop() {
+        // Returning the tail unchanged (or None) must not perturb a single
+        // event: outcomes and the full probe stream are compared bitwise
+        // against the non-adaptive run.
+        let run = |adaptive: bool| {
+            let mut ex = ClusterExec::new(params());
+            let log = Rc::new(RefCell::new(EventLog::default()));
+            ex.set_probe(Some(log.clone() as Rc<RefCell<dyn Probe>>));
+            let jobs = vec![chain_job("x", 0.1), chain_job("y", 0.0)];
+            let out = if adaptive {
+                ex.run_mix_adaptive(
+                    jobs.into_iter()
+                        .enumerate()
+                        .map(|(i, spec)| {
+                            if i == 0 {
+                                // Identity rewrite: same phases, new Vec.
+                                MixJob::adaptive(spec, |ctx| Some(ctx.remaining.to_vec()))
+                            } else {
+                                MixJob::adaptive(spec, |_| None)
+                            }
+                        })
+                        .collect(),
+                )
+            } else {
+                ex.run_mix(jobs)
+            };
+            ex.set_probe(None);
+            let outs: Vec<(String, u64, usize)> = out
+                .iter()
+                .map(|o| (o.name.clone(), o.end_secs.to_bits(), o.phases))
+                .collect();
+            let events = log.borrow().0.clone();
+            (outs, events)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn mix_contrib_waits_reconcile_with_resource_reports() {
+        // Per-span queue-wait attribution must add up to the kernel's own
+        // per-resource wait accounting: both sides now come from the same
+        // request timing, so the totals agree to float round-off.
+        let mut ex = ClusterExec::new(params());
+        let job = |name: &str| {
+            let mut p = Phase::new("work");
+            p.cpu(0, 0.5, 8);
+            p.disk_seq(0, 100.0 * MB as f64, 100.0 * MB as f64);
+            JobSpec {
+                name: name.into(),
+                arrival_secs: 0.0,
+                phases: vec![p],
+            }
+        };
+        ex.run_mix(vec![job("a"), job("b"), job("c")]);
+        let mut span_wait = 0.0;
+        let mut span_requests = 0u64;
+        for s in &ex.trace().spans {
+            for c in &s.contribs {
+                span_wait += c.queue_wait;
+                span_requests += 1;
+            }
+        }
+        assert!(span_wait > 0.0, "mix was not contended");
+        let mut report_wait = 0.0;
+        let mut report_requests = 0u64;
+        for r in ex.resource_reports() {
+            report_wait += r.mean_queue_wait_secs * r.completions as f64;
+            report_requests += r.completions;
+        }
+        assert_eq!(span_requests, report_requests);
+        assert!(
+            (span_wait - report_wait).abs() < 1e-6,
+            "span wait {span_wait} vs resource wait {report_wait}"
+        );
     }
 }

@@ -34,7 +34,8 @@ pub mod params;
 pub mod topo;
 
 pub use exec::{
-    ClusterExec, JobOutcome, JobSpec, Phase, Task, TaskPhase, TaskPhaseReport, TaskStep,
+    ClusterExec, JobOutcome, JobSpec, MixJob, Phase, ReplanCtx, Replanner, Task, TaskPhase,
+    TaskPhaseReport, TaskStep,
 };
 pub use params::{FormatCost, Params, ScanFormat};
 pub use topo::{Cluster, NodeId};

@@ -2,6 +2,7 @@
 //! NIC directions as `simkit` resources, plus charging helpers.
 
 use crate::params::Params;
+use simkit::trace::ResKind;
 use simkit::{secs, Event, Latch, ResourceId, Sim};
 
 /// Index of a node in the cluster (0-based).
@@ -31,12 +32,16 @@ impl Cluster {
     pub fn build<W: 'static>(sim: &mut Sim<W>, params: Params) -> Cluster {
         let nodes = (0..params.nodes)
             .map(|n| NodeRes {
-                cpu: sim.add_resource(format!("node{n}.cpu"), params.cores_per_node),
+                cpu: sim.add_resource_kind(
+                    format!("node{n}.cpu"),
+                    ResKind::Cpu,
+                    params.cores_per_node,
+                ),
                 disks: (0..params.disks_per_node)
-                    .map(|d| sim.add_resource(format!("node{n}.disk{d}"), 1))
+                    .map(|d| sim.add_resource_kind(format!("node{n}.disk{d}"), ResKind::Disk, 1))
                     .collect(),
-                nic_send: sim.add_resource(format!("node{n}.nic_tx"), 1),
-                nic_recv: sim.add_resource(format!("node{n}.nic_rx"), 1),
+                nic_send: sim.add_resource_kind(format!("node{n}.nic_tx"), ResKind::Net, 1),
+                nic_recv: sim.add_resource_kind(format!("node{n}.nic_rx"), ResKind::Net, 1),
             })
             .collect();
         Cluster { params, nodes }

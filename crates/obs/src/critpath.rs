@@ -132,6 +132,48 @@ impl SpanBlame {
     }
 }
 
+/// A per-span dominant-cause ruling, distilled from a [`SpanBlame`] for
+/// consumers that steer on *why* a phase took its time (e.g. an adaptive
+/// re-planner raising a movement's effective cost when its span was
+/// `net.que`-dominant) without carrying the whole critical path around.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// Full span name as emitted (`job/phase` in a mix).
+    pub span: String,
+    /// Dominant blame component label (`disk.svc`, `net.que`, `stall`, …).
+    pub label: &'static str,
+    /// Dominant component's share of the span's elapsed time (0..=1).
+    pub share: f64,
+    /// Critical-path Net service seconds of the span.
+    pub net_svc_secs: f64,
+    /// Critical-path Net queue-wait seconds of the span.
+    pub net_que_secs: f64,
+    /// Span close time, seconds.
+    pub at_secs: f64,
+}
+
+impl SpanBlame {
+    /// Distill this span's blame into a [`Verdict`].
+    pub fn verdict(&self) -> Verdict {
+        let (label, ns) = self.dominant();
+        let elapsed = self.elapsed();
+        let net = ResKind::ALL.iter().position(|k| *k == ResKind::Net);
+        let net = net.expect("Net is a ResKind");
+        Verdict {
+            span: self.name.clone(),
+            label,
+            share: if elapsed == 0 {
+                0.0
+            } else {
+                ns as f64 / elapsed as f64
+            },
+            net_svc_secs: simkit::as_secs(self.service[net]),
+            net_que_secs: simkit::as_secs(self.queue[net]),
+            at_secs: simkit::as_secs(self.end),
+        }
+    }
+}
+
 fn svc_label(k: ResKind) -> &'static str {
     match k {
         ResKind::Disk => "disk.svc",
@@ -191,6 +233,14 @@ impl CritPathProbe {
     /// Blame for every closed span, in close order.
     pub fn spans(&self) -> &[SpanBlame] {
         &self.spans
+    }
+
+    /// Dominant-cause [`Verdict`]s for every span closed so far, in close
+    /// order. Reading this mid-run (e.g. from a mix re-planner at a phase
+    /// boundary) is safe — the probe only appends on span close — and
+    /// deterministic, since close order is event order.
+    pub fn verdicts(&self) -> Vec<Verdict> {
+        self.spans.iter().map(SpanBlame::verdict).collect()
     }
 
     /// Finish and summarize: consumes the collector, returns the report.

@@ -41,7 +41,7 @@ pub mod validate;
 
 pub use ascii::ascii_timeline;
 pub use chrome::chrome_trace;
-pub use critpath::{CritPathProbe, CritPathReport};
+pub use critpath::{CritPathProbe, CritPathReport, Verdict};
 pub use jsonl::jsonl;
 pub use metrics::{MetricKey, MetricRegistry};
 pub use serving::WindowedLatencies;

@@ -78,6 +78,10 @@ pub struct JoinDecision {
     pub closed_form: String,
     /// The movement actually executed (argmin of effective estimates).
     pub chosen: String,
+    /// For decisions revised mid-flight by an adaptive re-planner: the
+    /// live-blame evidence that justified the revision (dominant-cause
+    /// verdict, measured inflations). `None` for plan-time decisions.
+    pub evidence: Option<String>,
 }
 
 impl JoinDecision {
@@ -85,6 +89,40 @@ impl JoinDecision {
     pub fn flipped(&self) -> bool {
         self.chosen != self.closed_form
     }
+}
+
+/// Build a DMS shuffle phase (`shuffle:{name}`): every node sends its
+/// share and receives its share, both NIC directions busy concurrently at
+/// the DMS rate. On a single node a "shuffle" is a local repartition — no
+/// NIC traffic, just the step overhead. Shared by the step executor and
+/// the adaptive re-planner so a swapped-in movement is charged exactly as
+/// a planned one would have been.
+pub(crate) fn shuffle_phase(p: &Params, name: &str, bytes: u64) -> Phase {
+    let mut ph = Phase::new(format!("shuffle:{name}")).setup(p.pdw_step_overhead);
+    if p.nodes == 1 {
+        return ph;
+    }
+    let share = bytes as f64 / p.nodes as f64;
+    for n in 0..p.nodes {
+        ph.net_send(n, share, p.dms_bw_per_node);
+        ph.net_recv(n, share, p.dms_bw_per_node);
+    }
+    ph
+}
+
+/// Build a DMS replicate phase (`replicate:{name}`): every node must
+/// ingest the (n-1)/n of the data it doesn't already have, and ship its
+/// own share to everyone else. Shared with the adaptive re-planner like
+/// [`shuffle_phase`].
+pub(crate) fn replicate_phase(p: &Params, name: &str, bytes: u64) -> Phase {
+    let nodes = p.nodes as f64;
+    let traffic = bytes as f64 * (nodes - 1.0) / nodes;
+    let mut ph = Phase::new(format!("replicate:{name}")).setup(p.pdw_step_overhead);
+    for n in 0..p.nodes {
+        ph.net_send(n, traffic, p.dms_bw_per_node);
+        ph.net_recv(n, traffic, p.dms_bw_per_node);
+    }
+    ph
 }
 
 /// Physical distribution of an intermediate result.
@@ -415,36 +453,14 @@ impl<'a> Ctx<'a> {
     /// DMS shuffle: every node sends its share and receives its share, both
     /// NIC directions busy concurrently at the DMS rate.
     fn charge_shuffle(&mut self, name: &str, bytes: u64) {
-        let p = self.p();
-        if p.nodes == 1 {
-            // Single node: a "shuffle" is a local repartition among the
-            // node's own distributions — no NIC traffic, just the step
-            // overhead. Billing `bytes` to the loopback NIC would charge
-            // network time a one-node cluster cannot spend.
-            let ph = Phase::new(format!("shuffle:{name}")).setup(p.pdw_step_overhead);
-            self.exec.run(ph);
-            return;
-        }
-        let share = bytes as f64 / p.nodes as f64;
-        let mut ph = Phase::new(format!("shuffle:{name}")).setup(p.pdw_step_overhead);
-        for n in 0..p.nodes {
-            ph.net_send(n, share, p.dms_bw_per_node);
-            ph.net_recv(n, share, p.dms_bw_per_node);
-        }
+        let ph = shuffle_phase(self.p(), name, bytes);
         self.exec.run(ph);
     }
 
     /// DMS replicate: every node must ingest the (n-1)/n of the data it
     /// doesn't already have, and ship its own share to everyone else.
     fn charge_replicate(&mut self, name: &str, bytes: u64) {
-        let p = self.p();
-        let nodes = p.nodes as f64;
-        let traffic = bytes as f64 * (nodes - 1.0) / nodes;
-        let mut ph = Phase::new(format!("replicate:{name}")).setup(p.pdw_step_overhead);
-        for n in 0..p.nodes {
-            ph.net_send(n, traffic, p.dms_bw_per_node);
-            ph.net_recv(n, traffic, p.dms_bw_per_node);
-        }
+        let ph = replicate_phase(self.p(), name, bytes);
         self.exec.run(ph);
     }
 
@@ -1074,6 +1090,7 @@ impl<'a> Ctx<'a> {
                 .collect(),
             closed_form: label(&options[closed_idx].0).to_string(),
             chosen: label(&options[chosen_idx].0).to_string(),
+            evidence: None,
         });
         let mv = options[chosen_idx].0;
 

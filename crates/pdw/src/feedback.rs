@@ -115,7 +115,10 @@ impl FeedbackCosts {
         };
         let (mut net_busy, mut net_completions) = (0.0f64, 0u64);
         for r in reports {
-            if r.name.contains("nic") || r.name == "control.rx" {
+            // Classify by the structural kind declared at registration,
+            // never by naming conventions: a network link is a network
+            // link whatever a topology chose to call it.
+            if matches!(r.kind, Some(ResKind::Net)) {
                 net_busy += r.busy_secs;
                 net_completions += r.completions;
             }
@@ -209,6 +212,7 @@ mod tests {
         trace.push(span("q/scan:lineitem", 99.0, 99.0)); // ignored
         let reports = vec![ResourceReport {
             name: "node0.nic_send".into(),
+            kind: Some(ResKind::Net),
             busy_secs: 30.0,
             completions: 10,
             mean_queue_wait_secs: 0.0,
@@ -224,6 +228,35 @@ mod tests {
     }
 
     #[test]
+    fn network_links_classify_by_kind_not_by_name() {
+        // Regression: classification used to substring-match "nic" in the
+        // resource name, silently dropping network links a topology named
+        // differently (and wrongly matching anything that happened to
+        // contain "nic"). A Net-kind link named without "nic" must count;
+        // a Disk-kind resource whose name contains "nic" must not.
+        let mut trace = Trace::default();
+        trace.push(span("q/shuffle:orders", 10.0, 10.0));
+        let mk = |name: &str, kind, busy_secs, completions| ResourceReport {
+            name: name.into(),
+            kind,
+            busy_secs,
+            completions,
+            mean_queue_wait_secs: 0.0,
+            max_queue_depth: 0,
+            queued_at_end: 0,
+            pending_wait_secs: 0.0,
+        };
+        let reports = vec![
+            mk("repl-channel-3", Some(ResKind::Net), 12.0, 4),
+            mk("node0.scenic_disk", Some(ResKind::Disk), 1000.0, 1),
+            mk("unclassified", None, 500.0, 2),
+        ];
+        let fb = FeedbackCosts::from_observation(&reports, &trace, &[1.0]);
+        // Only the Net-kind link contributes: mean service 12/4 = 3s.
+        assert!((fb.net_wait_per_move_secs - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn observation_without_movement_spans_falls_back_to_identity_rates() {
         let fb = FeedbackCosts::from_observation(&[], &Trace::default(), &[]);
         assert!(fb.is_none());
@@ -236,6 +269,7 @@ mod tests {
         trace.push(span("q/replicate:nation", 20.0, 2.0));
         let reports = vec![ResourceReport {
             name: "node1.nic_recv".into(),
+            kind: Some(ResKind::Net),
             busy_secs: 17.0,
             completions: 7,
             mean_queue_wait_secs: 0.0,

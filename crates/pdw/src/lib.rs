@@ -28,11 +28,13 @@
 
 #![forbid(unsafe_code)]
 
+pub mod adaptive;
 pub mod catalog;
 pub mod exec;
 pub mod feedback;
 pub mod optimizer;
 
+pub use adaptive::{live_costs, AdaptiveTail, BlameVerdict};
 pub use catalog::{load_pdw, PdwCatalog, PdwLoadReport, PdwTable};
 pub use exec::{JoinDecision, PdwEngine, PdwQueryRun, StepReport};
 pub use feedback::{FeedbackCosts, NetDepthAccum};

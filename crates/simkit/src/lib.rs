@@ -56,7 +56,7 @@ pub use latch::Latch;
 pub use probe::{Probe, ProbeEvent};
 pub use resource::ResourceId;
 pub use sched::SchedulerKind;
-pub use sim::{Event, Sim, SimTime};
+pub use sim::{Event, ReqTiming, Sim, SimTime, TimedEvent};
 pub use trace::{Contrib, ResKind, Span, Trace, UtilSummary};
 
 /// One microsecond in [`SimTime`] units.

@@ -14,7 +14,8 @@
 //! exact dispatch path they always did, so single-stream runs are
 //! byte-identical with or without this feature compiled in.
 
-use crate::sim::{Event, Sim, SimTime};
+use crate::sim::{Event, ReqTiming, Sim, SimTime, TimedEvent};
+use crate::trace::ResKind;
 use std::collections::VecDeque;
 
 /// Handle to a resource registered with a [`Sim`].
@@ -30,8 +31,21 @@ impl ResourceId {
     }
 }
 
+/// A request's completion continuation. The timed form receives the
+/// kernel-held [`ReqTiming`] instants (enqueue, service start, completion)
+/// so callers attribute queue wait from the kernel's own bookkeeping
+/// instead of re-deriving it from their issue-time arithmetic.
+pub(crate) enum Done<W> {
+    Plain(Event<W>),
+    Timed(TimedEvent<W>),
+}
+
 pub(crate) struct ResourceState<W> {
     name: String,
+    /// Structural classification declared at registration (see
+    /// [`crate::sim::Sim::add_resource_kind`]); `None` for resources
+    /// registered without one.
+    kind: Option<ResKind>,
     servers: u32,
     busy: u32,
     queue: VecDeque<Pending<W>>,
@@ -55,7 +69,7 @@ struct Pending<W> {
     req: u64,
     /// Span context captured at issue time (probe linkage).
     ctx: Option<u64>,
-    done: Event<W>,
+    done: Done<W>,
 }
 
 /// A dequeued request about to enter service: everything the grant path
@@ -66,13 +80,36 @@ pub(crate) struct Started<W> {
     pub(crate) req: u64,
     pub(crate) ctx: Option<u64>,
     pub(crate) client: Option<u32>,
-    pub(crate) done: Event<W>,
+    pub(crate) done: Done<W>,
+}
+
+impl<W: 'static> Started<W> {
+    /// Resolve the continuation into a plain event, binding the kernel's
+    /// timing instants into a timed completion. `started` is the grant
+    /// instant; the completion instant is read off the clock when it fires.
+    pub(crate) fn into_done(self, started: SimTime) -> Event<W> {
+        match self.done {
+            Done::Plain(f) => f,
+            Done::Timed(f) => {
+                let enqueued = started - self.wait;
+                Box::new(move |sim, w| {
+                    let timing = ReqTiming {
+                        enqueued,
+                        started,
+                        completed: sim.now(),
+                    };
+                    f(sim, w, timing)
+                })
+            }
+        }
+    }
 }
 
 impl<W> ResourceState<W> {
-    pub(crate) fn new(name: String, servers: u32) -> Self {
+    pub(crate) fn new(name: String, kind: Option<ResKind>, servers: u32) -> Self {
         ResourceState {
             name,
+            kind,
             servers,
             busy: 0,
             queue: VecDeque::new(),
@@ -100,7 +137,7 @@ impl<W> ResourceState<W> {
         client: Option<u32>,
         req: u64,
         ctx: Option<u64>,
-        done: Event<W>,
+        done: Done<W>,
     ) -> bool {
         if client.is_some() {
             self.tagged += 1;
@@ -198,6 +235,10 @@ impl<W> ResourceState<W> {
         &self.name
     }
 
+    pub(crate) fn kind(&self) -> Option<ResKind> {
+        self.kind
+    }
+
     pub(crate) fn queue_len(&self) -> usize {
         self.queue.len()
     }
@@ -221,6 +262,11 @@ impl<W> ResourceState<W> {
 #[derive(Clone, Debug)]
 pub struct ResourceReport {
     pub name: String,
+    /// Structural kind declared at registration (`None` if the resource
+    /// was registered without one). Consumers that classify resources —
+    /// e.g. `pdw::FeedbackCosts` picking out network links — must key on
+    /// this, not on naming conventions.
+    pub kind: Option<ResKind>,
     pub busy_secs: f64,
     pub completions: u64,
     pub mean_queue_wait_secs: f64,
@@ -241,6 +287,7 @@ pub fn report<W: 'static>(sim: &Sim<W>, ids: &[ResourceId]) -> Vec<ResourceRepor
             let completions = sim.resource_completions(id);
             ResourceReport {
                 name: sim.resource_name(id).to_string(),
+                kind: sim.resource_kind(id),
                 busy_secs: crate::as_secs(sim.resource_busy_time(id)),
                 completions,
                 mean_queue_wait_secs: if completions == 0 {

@@ -12,8 +12,9 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use crate::probe::{Probe, ProbeEvent};
-use crate::resource::{ResourceId, ResourceState};
+use crate::resource::{Done, ResourceId, ResourceState};
 use crate::sched::{Action, Arena, Entry, EventQueue, SchedulerKind};
+use crate::trace::ResKind;
 
 /// Virtual time in nanoseconds since simulation start.
 pub type SimTime = u64;
@@ -21,6 +22,38 @@ pub type SimTime = u64;
 /// A scheduled action. Receives the simulator (to schedule more work) and the
 /// caller's world state.
 pub type Event<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W)>;
+
+/// A completion that also receives the kernel's [`ReqTiming`] for the
+/// request (see [`Sim::request_as_timed`]).
+pub type TimedEvent<W> = Box<dyn FnOnce(&mut Sim<W>, &mut W, ReqTiming)>;
+
+/// The kernel's own record of one request's life: when it was enqueued on
+/// the resource, when a server granted it, and when service completed.
+/// Handed to [`TimedEvent`] completions so callers attribute queue wait
+/// from these instants instead of re-deriving it from issue-time
+/// arithmetic (which would fold any completion-dispatch skew into the
+/// wait).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReqTiming {
+    /// Instant the request entered the resource's queue.
+    pub enqueued: SimTime,
+    /// Instant a server started serving it.
+    pub started: SimTime,
+    /// Instant service completed (== the instant the completion fires).
+    pub completed: SimTime,
+}
+
+impl ReqTiming {
+    /// Time spent queued behind other work: `started - enqueued`.
+    pub fn queue_wait(&self) -> SimTime {
+        self.started - self.enqueued
+    }
+
+    /// Time in service: `completed - started`.
+    pub fn service(&self) -> SimTime {
+        self.completed - self.started
+    }
+}
 
 /// A discrete-event simulator over world type `W`.
 ///
@@ -208,10 +241,31 @@ impl<W: 'static> Sim<W> {
 
     /// Create a k-server FIFO resource (see [`crate::resource`]).
     pub fn add_resource(&mut self, name: impl Into<String>, servers: u32) -> ResourceId {
+        self.add_resource_inner(name.into(), None, servers)
+    }
+
+    /// Like [`Sim::add_resource`], but declaring the resource's structural
+    /// [`ResKind`]. The kind rides on [`crate::resource::ResourceReport`]s
+    /// so consumers classify resources by what they *are* (disk / CPU /
+    /// network link), never by naming conventions a rename would break.
+    pub fn add_resource_kind(
+        &mut self,
+        name: impl Into<String>,
+        kind: ResKind,
+        servers: u32,
+    ) -> ResourceId {
+        self.add_resource_inner(name.into(), Some(kind), servers)
+    }
+
+    fn add_resource_inner(
+        &mut self,
+        name: String,
+        kind: Option<ResKind>,
+        servers: u32,
+    ) -> ResourceId {
         assert!(servers > 0, "resource must have at least one server");
         let id = ResourceId(self.resources.len());
-        self.resources
-            .push(ResourceState::new(name.into(), servers));
+        self.resources.push(ResourceState::new(name, kind, servers));
         if self.probe.is_some() {
             self.emit_probe(ProbeEvent::ResourceRegistered {
                 res: id,
@@ -225,7 +279,7 @@ impl<W: 'static> Sim<W> {
     /// Request `service` time on resource `r`; `done` fires when service
     /// completes (after any FIFO queueing delay).
     pub fn request(&mut self, r: ResourceId, service: SimTime, done: Event<W>) {
-        self.request_inner(r, service, None, done);
+        self.request_inner(r, service, None, Done::Plain(done));
     }
 
     /// Like [`Sim::request`], but tagged with a `client` id. When tagged
@@ -234,7 +288,22 @@ impl<W: 'static> Sim<W> {
     /// cannot starve another's — see [`crate::resource`]. Untagged and
     /// tagged requests may share a resource; untagged ones sort last.
     pub fn request_as(&mut self, r: ResourceId, service: SimTime, client: u32, done: Event<W>) {
-        self.request_inner(r, service, Some(client), done);
+        self.request_inner(r, service, Some(client), Done::Plain(done));
+    }
+
+    /// Like [`Sim::request_as`], but the completion receives the kernel's
+    /// [`ReqTiming`] (enqueue / service-start / completion instants) so the
+    /// caller can attribute queue wait from the resource's own bookkeeping.
+    /// Dispatch, accounting, and the probe stream are identical to
+    /// [`Sim::request_as`].
+    pub fn request_as_timed(
+        &mut self,
+        r: ResourceId,
+        service: SimTime,
+        client: u32,
+        done: TimedEvent<W>,
+    ) {
+        self.request_inner(r, service, Some(client), Done::Timed(done));
     }
 
     fn request_inner(
@@ -242,7 +311,7 @@ impl<W: 'static> Sim<W> {
         r: ResourceId,
         service: SimTime,
         client: Option<u32>,
-        done: Event<W>,
+        done: Done<W>,
     ) {
         let now = self.now;
         let req = self.next_req;
@@ -278,6 +347,11 @@ impl<W: 'static> Sim<W> {
         self.request(r, service, Box::new(done));
     }
 
+    /// Structural kind of `r`, if one was declared at registration.
+    pub fn resource_kind(&self, r: ResourceId) -> Option<ResKind> {
+        self.resources[r.0].kind()
+    }
+
     /// Start service on every startable queued request of `r` — the batched
     /// grant path. A single freed server grants one request, but the loop
     /// means any caller that frees or adds capacity re-dispatches the whole
@@ -298,14 +372,18 @@ impl<W: 'static> Sim<W> {
                     client: s.client,
                 });
             }
+            let (service, req, ctx, client) = (s.service, s.req, s.ctx, s.client);
+            // Timed completions bind the kernel's grant instant here; plain
+            // ones pass through untouched (no extra allocation).
+            let done = s.into_done(now);
             self.schedule_action(
-                now.saturating_add(s.service),
+                now.saturating_add(service),
                 Action::Completion {
                     res: r,
-                    req: s.req,
-                    ctx: s.ctx,
-                    client: s.client,
-                    done: s.done,
+                    req,
+                    ctx,
+                    client,
+                    done,
                 },
             );
         }

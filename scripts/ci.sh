@@ -74,6 +74,14 @@ cargo run -q --release -p bench --bin concurrent_mix -- \
 cargo run -q --release -p bench --bin validate_trace -- "$obs_tmp/mix.json" mix mix-feedback
 diff -u results/concurrent_mix.txt "$obs_tmp/concurrent_mix.txt"
 
+echo "== adaptive mix (mid-flight re-planning artifact diff + equivalence assert)"
+# The adaptive-mix artifact is the determinism contract for boundary
+# re-planning: the bin itself asserts that identity re-planners reproduce
+# the fixed run bitwise, and the recorded swaps (with their blame
+# evidence) must regenerate byte-for-byte.
+cargo run -q --release -p bench --bin adaptive_mix > "$obs_tmp/adaptive_mix.txt"
+diff -u results/adaptive_mix.txt "$obs_tmp/adaptive_mix.txt"
+
 echo "== columnar ablation (three-way storage artifact diff)"
 # The colblock scan path (block pruning order, vectorized decode, shared
 # format-cost table) is deterministic by construction; regenerating the

@@ -32,6 +32,8 @@ echo "== profile_ycsb_a (windowed serving-side latency percentiles)"
 cargo run --release -p bench --bin profile_ycsb > results/profile_ycsb_a.txt
 echo "== concurrent_mix (admission-scheduled mix + measured-wait feedback)"
 cargo run --release -p bench --bin concurrent_mix > results/concurrent_mix.txt
+echo "== adaptive_mix (mid-flight re-planning from live blame)"
+cargo run --release -p bench --bin adaptive_mix > results/adaptive_mix.txt
 echo "== critpath_q5 (critical-path blame per phase, both engines)"
 cargo run --release -p bench --bin critpath -- 5 --sf 0.02 > results/critpath_q5.txt
 echo "== slo_report_a (per-tenant SLO burn rates from the streaming registry)"

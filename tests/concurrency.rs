@@ -13,7 +13,7 @@
 //! a recorded PDW query, a background all-node transfer job, and a pure
 //! CPU job, with seeded arrival offsets.
 
-use elephants::cluster::{ClusterExec, JobSpec, Params, Phase};
+use elephants::cluster::{ClusterExec, JobSpec, MixJob, Params, Phase};
 use elephants::pdw::{load_pdw, PdwEngine};
 use elephants::simkit::probe::{Probe, ProbeEvent};
 use elephants::tpch::{generate, GenConfig};
@@ -102,6 +102,55 @@ fn run(jobs: Vec<JobSpec>, probe: bool) -> (String, Vec<String>) {
     (fingerprint, events)
 }
 
+/// Like [`run`], but through `run_mix_adaptive`: q5 gets a re-planner that
+/// actually rewrites its tail (rotates the remaining phases once, at the
+/// boundary after its second phase), the other jobs run fixed. The rewrite
+/// is a pure function of the boundary, so reruns must still be
+/// byte-identical.
+fn run_adaptive(jobs: Vec<JobSpec>, probe: bool) -> (String, Vec<String>) {
+    let mut exec = ClusterExec::new(params());
+    let stream = probe.then(|| Rc::new(RefCell::new(StreamProbe::default())));
+    if let Some(s) = &stream {
+        exec.set_probe(Some(s.clone() as Rc<RefCell<dyn Probe>>));
+    }
+    let mix_jobs = jobs
+        .into_iter()
+        .map(|spec| {
+            if spec.name == "q5" {
+                MixJob::adaptive(spec, |ctx| {
+                    if ctx.completed == 2 && ctx.remaining.len() >= 2 {
+                        let mut tail = ctx.remaining.to_vec();
+                        tail.rotate_left(1);
+                        Some(tail)
+                    } else {
+                        None
+                    }
+                })
+            } else {
+                MixJob::fixed(spec)
+            }
+        })
+        .collect();
+    let outcomes = exec.run_mix_adaptive(mix_jobs);
+    let fingerprint = format!(
+        "{:?}\n{:?}\n{:?}",
+        outcomes,
+        exec.resource_reports(),
+        exec.trace().spans
+    );
+    exec.set_probe(None);
+    let events = match stream {
+        Some(s) => {
+            Rc::try_unwrap(s)
+                .expect("exec released the probe")
+                .into_inner()
+                .0
+        }
+        None => Vec::new(),
+    };
+    (fingerprint, events)
+}
+
 #[test]
 fn same_seed_same_mix_is_byte_identical() {
     let (fp1, ev1) = run(mix(7), true);
@@ -147,4 +196,70 @@ fn probe_is_passive_on_mixes() {
         "attaching a probe must not change a single outcome byte"
     );
     assert!(!events.is_empty());
+}
+
+#[test]
+fn adaptive_mix_same_seed_is_byte_identical() {
+    // The re-planned run is as deterministic as the fixed one: same seed,
+    // same rewriting callback → byte-identical outcomes, reports, trace,
+    // and probe stream.
+    let (fp1, ev1) = run_adaptive(mix(7), true);
+    let (fp2, ev2) = run_adaptive(mix(7), true);
+    assert_eq!(fp1, fp2, "adaptive outcomes/reports/trace must replay");
+    assert_eq!(ev1, ev2, "adaptive probe streams must replay");
+    // The rewrite really happened: the tail rotation moves q5's third
+    // phase to the end, so the fixed run's trace differs.
+    let (fp_fixed, _) = run(mix(7), false);
+    assert_ne!(fp1, fp_fixed, "the re-planner should have rewritten q5");
+}
+
+#[test]
+fn adaptive_submission_permutation_is_invariant() {
+    // Canonical admission order applies to adaptive jobs too: permuting
+    // the submission Vec changes nothing, including re-plan boundaries.
+    let jobs = mix(7);
+    let mut reversed = jobs.clone();
+    reversed.reverse();
+    let (fp, _) = run_adaptive(jobs, false);
+    let (fp_rev, _) = run_adaptive(reversed, false);
+    assert_eq!(fp, fp_rev, "submission order must not matter when adaptive");
+}
+
+#[test]
+fn identity_replanners_match_the_fixed_run_exactly() {
+    // `run_mix_adaptive` with callbacks that never rewrite is the fixed
+    // run, bit for bit — outcomes, reports, trace, and probe stream.
+    let run_identity = |jobs: Vec<JobSpec>, probe: bool| {
+        let mut exec = ClusterExec::new(params());
+        let stream = probe.then(|| Rc::new(RefCell::new(StreamProbe::default())));
+        if let Some(s) = &stream {
+            exec.set_probe(Some(s.clone() as Rc<RefCell<dyn Probe>>));
+        }
+        let mix_jobs = jobs
+            .into_iter()
+            .map(|spec| MixJob::adaptive(spec, |ctx| Some(ctx.remaining.to_vec())))
+            .collect();
+        let outcomes = exec.run_mix_adaptive(mix_jobs);
+        let fingerprint = format!(
+            "{:?}\n{:?}\n{:?}",
+            outcomes,
+            exec.resource_reports(),
+            exec.trace().spans
+        );
+        exec.set_probe(None);
+        let events = match stream {
+            Some(s) => {
+                Rc::try_unwrap(s)
+                    .expect("exec released the probe")
+                    .into_inner()
+                    .0
+            }
+            None => Vec::new(),
+        };
+        (fingerprint, events)
+    };
+    let (fp_fixed, ev_fixed) = run(mix(7), true);
+    let (fp_id, ev_id) = run_identity(mix(7), true);
+    assert_eq!(fp_fixed, fp_id, "identity re-plan must not change a byte");
+    assert_eq!(ev_fixed, ev_id, "identity re-plan must not shift an event");
 }
